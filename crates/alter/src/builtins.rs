@@ -1,0 +1,430 @@
+//! Standard (non-model) builtins: arithmetic, comparison, lists, strings,
+//! higher-order procedures, and the text-emission calls the glue-code
+//! generator uses to produce source files.
+
+use crate::env::Env;
+use crate::error::AlterError;
+use crate::eval::Interpreter;
+use crate::value::{Callable, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Installs all standard builtins into `env`.
+pub fn install(env: &Rc<RefCell<Env>>) {
+    let mut e = env.borrow_mut();
+    let mut def = |name: &'static str,
+                   f: fn(&mut Interpreter, &[Value]) -> Result<Value, AlterError>| {
+        e.define(name, Value::Proc(Callable::Builtin(name, f)));
+    };
+    def("+", b_add);
+    def("-", b_sub);
+    def("*", b_mul);
+    def("/", b_div);
+    def("mod", b_mod);
+    def("min", b_min);
+    def("max", b_max);
+    def("=", b_eq);
+    def("equal?", b_eq);
+    def("<", b_lt);
+    def(">", b_gt);
+    def("<=", b_le);
+    def(">=", b_ge);
+    def("not", b_not);
+    def("list", b_list);
+    def("car", b_car);
+    def("cdr", b_cdr);
+    def("cons", b_cons);
+    def("length", b_length);
+    def("nth", b_nth);
+    def("null?", b_null);
+    def("append", b_append);
+    def("reverse", b_reverse);
+    def("range", b_range);
+    def("map", b_map);
+    def("filter", b_filter);
+    def("for-each", b_for_each);
+    def("fold", b_fold);
+    def("apply", b_apply);
+    def("assoc", b_assoc);
+    def("str", b_str);
+    def("string-length", b_string_length);
+    def("number->string", b_num_to_string);
+    def("symbol->string", b_sym_to_string);
+    def("emit", b_emit);
+    def("emitln", b_emitln);
+}
+
+fn numeric_fold(
+    args: &[Value],
+    form: &str,
+    int_op: fn(i64, i64) -> Option<i64>,
+    float_op: fn(f64, f64) -> f64,
+) -> Result<Value, AlterError> {
+    if args.is_empty() {
+        return Err(AlterError::BadArgs {
+            form: form.into(),
+            message: "needs at least one argument".into(),
+        });
+    }
+    let all_int = args.iter().all(|a| matches!(a, Value::Int(_)));
+    if all_int {
+        let mut acc = args[0].as_i64()?;
+        for a in &args[1..] {
+            acc = int_op(acc, a.as_i64()?)
+                .ok_or_else(|| AlterError::Arith(format!("`{form}` overflow or div by zero")))?;
+        }
+        Ok(Value::Int(acc))
+    } else {
+        let mut acc = args[0].as_f64()?;
+        for a in &args[1..] {
+            acc = float_op(acc, a.as_f64()?);
+        }
+        Ok(Value::Float(acc))
+    }
+}
+
+fn b_add(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    if args.is_empty() {
+        return Ok(Value::Int(0));
+    }
+    numeric_fold(args, "+", |a, b| a.checked_add(b), |a, b| a + b)
+}
+
+fn b_sub(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    if args.len() == 1 {
+        return match &args[0] {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            v => Ok(Value::Float(-v.as_f64()?)),
+        };
+    }
+    numeric_fold(args, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+}
+
+fn b_mul(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    if args.is_empty() {
+        return Ok(Value::Int(1));
+    }
+    numeric_fold(args, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+}
+
+fn b_div(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    numeric_fold(
+        args,
+        "/",
+        |a, b| if b == 0 { None } else { a.checked_div(b) },
+        |a, b| a / b,
+    )
+}
+
+fn b_mod(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (a, b) = two(args, "mod")?;
+    let (a, b) = (a.as_i64()?, b.as_i64()?);
+    if b == 0 {
+        return Err(AlterError::Arith("mod by zero".into()));
+    }
+    Ok(Value::Int(a.rem_euclid(b)))
+}
+
+fn b_min(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    numeric_fold(args, "min", |a, b| Some(a.min(b)), f64::min)
+}
+
+fn b_max(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    numeric_fold(args, "max", |a, b| Some(a.max(b)), f64::max)
+}
+
+fn b_eq(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (a, b) = two(args, "=")?;
+    Ok(Value::Bool(a.structural_eq(b)))
+}
+
+macro_rules! cmp_builtin {
+    ($name:ident, $op:tt) => {
+        fn $name(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+            let (a, b) = two(args, stringify!($op))?;
+            Ok(Value::Bool(a.as_f64()? $op b.as_f64()?))
+        }
+    };
+}
+cmp_builtin!(b_lt, <);
+cmp_builtin!(b_gt, >);
+cmp_builtin!(b_le, <=);
+cmp_builtin!(b_ge, >=);
+
+fn b_not(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    Ok(Value::Bool(!one(args, "not")?.is_truthy()))
+}
+
+fn b_list(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    Ok(Value::list(args.to_vec()))
+}
+
+fn b_car(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let l = one(args, "car")?.as_list()?;
+    l.first().cloned().ok_or_else(|| AlterError::BadArgs {
+        form: "car".into(),
+        message: "empty list".into(),
+    })
+}
+
+fn b_cdr(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let l = one(args, "cdr")?.as_list()?;
+    if l.is_empty() {
+        return Err(AlterError::BadArgs {
+            form: "cdr".into(),
+            message: "empty list".into(),
+        });
+    }
+    Ok(Value::list(l[1..].to_vec()))
+}
+
+fn b_cons(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (head, tail) = two(args, "cons")?;
+    let mut items = vec![head.clone()];
+    items.extend_from_slice(tail.as_list()?);
+    Ok(Value::list(items))
+}
+
+fn b_length(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    match one(args, "length")? {
+        Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+        v => Ok(Value::Int(v.as_list()?.len() as i64)),
+    }
+}
+
+fn b_nth(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (idx, l) = two(args, "nth")?;
+    let i = idx.as_i64()?;
+    let items = l.as_list()?;
+    items
+        .get(i as usize)
+        .cloned()
+        .ok_or_else(|| AlterError::BadArgs {
+            form: "nth".into(),
+            message: format!("index {i} out of range (len {})", items.len()),
+        })
+}
+
+fn b_null(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    Ok(Value::Bool(one(args, "null?")?.as_list().map(|l| l.is_empty()).unwrap_or(false)))
+}
+
+fn b_append(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let mut out = Vec::new();
+    for a in args {
+        out.extend_from_slice(a.as_list()?);
+    }
+    Ok(Value::list(out))
+}
+
+fn b_reverse(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let mut items = one(args, "reverse")?.as_list()?.to_vec();
+    items.reverse();
+    Ok(Value::list(items))
+}
+
+fn b_range(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (lo, hi) = match args.len() {
+        1 => (0, args[0].as_i64()?),
+        2 => (args[0].as_i64()?, args[1].as_i64()?),
+        _ => {
+            return Err(AlterError::BadArgs {
+                form: "range".into(),
+                message: "(range n) or (range lo hi)".into(),
+            })
+        }
+    };
+    Ok(Value::list((lo..hi).map(Value::Int).collect()))
+}
+
+fn b_map(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (f, l) = two(args, "map")?;
+    let mut out = Vec::new();
+    for item in l.as_list()? {
+        out.push(interp.apply(f, std::slice::from_ref(item))?);
+    }
+    Ok(Value::list(out))
+}
+
+fn b_filter(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (f, l) = two(args, "filter")?;
+    let mut out = Vec::new();
+    for item in l.as_list()? {
+        if interp.apply(f, std::slice::from_ref(item))?.is_truthy() {
+            out.push(item.clone());
+        }
+    }
+    Ok(Value::list(out))
+}
+
+fn b_for_each(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (f, l) = two(args, "for-each")?;
+    for item in l.as_list()? {
+        interp.apply(f, std::slice::from_ref(item))?;
+    }
+    Ok(Value::Nil)
+}
+
+fn b_fold(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    if args.len() != 3 {
+        return Err(AlterError::BadArgs {
+            form: "fold".into(),
+            message: "(fold f init list)".into(),
+        });
+    }
+    let mut acc = args[1].clone();
+    for item in args[2].as_list()? {
+        acc = interp.apply(&args[0], &[acc, item.clone()])?;
+    }
+    Ok(acc)
+}
+
+fn b_apply(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (f, l) = two(args, "apply")?;
+    let items = l.as_list()?.to_vec();
+    interp.apply(f, &items)
+}
+
+fn b_assoc(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    // (assoc key alist) -> the (key value ...) entry, or #f.
+    let (key, alist) = two(args, "assoc")?;
+    for entry in alist.as_list()? {
+        if let Ok(pair) = entry.as_list() {
+            if let Some(k) = pair.first() {
+                if k.structural_eq(key) {
+                    return Ok(entry.clone());
+                }
+            }
+        }
+    }
+    Ok(Value::Bool(false))
+}
+
+fn b_str(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let mut s = String::new();
+    for a in args {
+        s.push_str(&a.to_string());
+    }
+    Ok(Value::str(s))
+}
+
+fn b_string_length(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    Ok(Value::Int(one(args, "string-length")?.as_str()?.chars().count() as i64))
+}
+
+fn b_num_to_string(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let v = one(args, "number->string")?;
+    v.as_f64()?; // type check
+    Ok(Value::str(v.to_string()))
+}
+
+fn b_sym_to_string(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    match one(args, "symbol->string")? {
+        Value::Symbol(s) => Ok(Value::str(s.to_string())),
+        other => Err(AlterError::BadArgs {
+            form: "symbol->string".into(),
+            message: format!("not a symbol: {other}"),
+        }),
+    }
+}
+
+fn b_emit(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    for a in args {
+        let text = a.to_string();
+        interp.emit(&text);
+    }
+    Ok(Value::Nil)
+}
+
+fn b_emitln(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    b_emit(interp, args)?;
+    interp.emit("\n");
+    Ok(Value::Nil)
+}
+
+fn one<'a>(args: &'a [Value], form: &str) -> Result<&'a Value, AlterError> {
+    if args.len() != 1 {
+        return Err(AlterError::BadArgs {
+            form: form.into(),
+            message: format!("expected 1 argument, got {}", args.len()),
+        });
+    }
+    Ok(&args[0])
+}
+
+fn two<'a>(args: &'a [Value], form: &str) -> Result<(&'a Value, &'a Value), AlterError> {
+    if args.len() != 2 {
+        return Err(AlterError::BadArgs {
+            form: form.into(),
+            message: format!("expected 2 arguments, got {}", args.len()),
+        });
+    }
+    Ok((&args[0], &args[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Interpreter;
+
+    fn run(src: &str) -> String {
+        Interpreter::new().eval_str(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn list_primitives() {
+        assert_eq!(run("(car '(1 2 3))"), "1");
+        assert_eq!(run("(cdr '(1 2 3))"), "(2 3)");
+        assert_eq!(run("(cons 0 '(1 2))"), "(0 1 2)");
+        assert_eq!(run("(length '(a b c))"), "3");
+        assert_eq!(run("(nth 1 '(a b c))"), "b");
+        assert_eq!(run("(null? '())"), "#t");
+        assert_eq!(run("(null? '(1))"), "#f");
+        assert_eq!(run("(append '(1) '(2 3) '())"), "(1 2 3)");
+        assert_eq!(run("(reverse '(1 2 3))"), "(3 2 1)");
+    }
+
+    #[test]
+    fn higher_order() {
+        assert_eq!(run("(map (lambda (x) (* x x)) '(1 2 3))"), "(1 4 9)");
+        assert_eq!(run("(filter (lambda (x) (> x 1)) '(0 1 2 3))"), "(2 3)");
+        assert_eq!(run("(fold + 0 (range 1 5))"), "10");
+        assert_eq!(run("(range 3)"), "(0 1 2)");
+    }
+
+    #[test]
+    fn string_ops() {
+        assert_eq!(run("(str \"f\" 1 \"_\" 'x)"), "f1_x");
+        assert_eq!(run("(string-length \"hello\")"), "5");
+        assert_eq!(run("(number->string 42)"), "42");
+        assert_eq!(run("(symbol->string 'abc)"), "abc");
+    }
+
+    #[test]
+    fn emit_accumulates_output() {
+        let mut i = Interpreter::new();
+        i.eval_str("(emit \"a\" 1) (emitln \"b\") (emit \"c\")").unwrap();
+        assert_eq!(i.output(), "a1b\nc");
+        assert_eq!(i.take_output(), "a1b\nc");
+        assert_eq!(i.output(), "");
+    }
+
+    #[test]
+    fn min_max_mod() {
+        assert_eq!(run("(min 3 1 2)"), "1");
+        assert_eq!(run("(max 3 1 2)"), "3");
+        assert_eq!(run("(mod 7 4)"), "3");
+        assert_eq!(run("(mod -1 4)"), "3"); // euclidean
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(Interpreter::new().eval_str("(/ 1 0)").is_err());
+        assert!(Interpreter::new().eval_str("(mod 1 0)").is_err());
+    }
+
+    #[test]
+    fn car_of_empty_errors() {
+        assert!(Interpreter::new().eval_str("(car '())").is_err());
+        assert!(Interpreter::new().eval_str("(nth 5 '(1))").is_err());
+    }
+}

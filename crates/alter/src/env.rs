@@ -1,0 +1,89 @@
+//! Lexical environments (a chain of scopes).
+
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One lexical scope with an optional parent.
+#[derive(Default)]
+pub struct Env {
+    bindings: HashMap<String, Value>,
+    parent: Option<Rc<RefCell<Env>>>,
+}
+
+impl Env {
+    /// Creates the global scope.
+    pub fn new_global() -> Rc<RefCell<Env>> {
+        Rc::new(RefCell::new(Env::default()))
+    }
+
+    /// Creates a child scope of `parent`.
+    pub fn new_child(parent: Rc<RefCell<Env>>) -> Rc<RefCell<Env>> {
+        Rc::new(RefCell::new(Env {
+            bindings: HashMap::new(),
+            parent: Some(parent),
+        }))
+    }
+
+    /// Defines (or redefines) a binding in *this* scope.
+    pub fn define(&mut self, name: impl Into<String>, value: Value) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// Looks a name up through the scope chain.
+    pub fn lookup(env: &Rc<RefCell<Env>>, name: &str) -> Option<Value> {
+        let mut cur = Some(env.clone());
+        while let Some(e) = cur {
+            let b = e.borrow();
+            if let Some(v) = b.bindings.get(name) {
+                return Some(v.clone());
+            }
+            cur = b.parent.clone();
+        }
+        None
+    }
+
+    /// Mutates the nearest existing binding (`set!`); returns `false` if the
+    /// name is unbound anywhere in the chain.
+    pub fn set(env: &Rc<RefCell<Env>>, name: &str, value: Value) -> bool {
+        let mut cur = Some(env.clone());
+        while let Some(e) = cur {
+            {
+                let mut b = e.borrow_mut();
+                if b.bindings.contains_key(name) {
+                    b.bindings.insert(name.to_string(), value);
+                    return true;
+                }
+            }
+            cur = e.borrow().parent.clone();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup_through_chain() {
+        let g = Env::new_global();
+        g.borrow_mut().define("x", Value::Int(1));
+        let child = Env::new_child(g.clone());
+        assert_eq!(Env::lookup(&child, "x").unwrap().to_string(), "1");
+        child.borrow_mut().define("x", Value::Int(2));
+        assert_eq!(Env::lookup(&child, "x").unwrap().to_string(), "2");
+        assert_eq!(Env::lookup(&g, "x").unwrap().to_string(), "1"); // shadowed, not clobbered
+    }
+
+    #[test]
+    fn set_mutates_nearest() {
+        let g = Env::new_global();
+        g.borrow_mut().define("x", Value::Int(1));
+        let child = Env::new_child(g.clone());
+        assert!(Env::set(&child, "x", Value::Int(9)));
+        assert_eq!(Env::lookup(&g, "x").unwrap().to_string(), "9");
+        assert!(!Env::set(&child, "nope", Value::Nil));
+    }
+}

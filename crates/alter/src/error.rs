@@ -1,0 +1,52 @@
+//! Alter evaluation and parse errors.
+
+use std::fmt;
+
+/// Everything that can go wrong while lexing, parsing, or evaluating Alter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlterError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the source.
+        offset: usize,
+    },
+    /// Structural parse error (unbalanced parens, stray token).
+    Parse(String),
+    /// A symbol had no binding.
+    Unbound(String),
+    /// Wrong number or kind of arguments to a form or builtin.
+    BadArgs {
+        /// The form or builtin that was misused.
+        form: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// Attempt to call a non-callable value.
+    NotCallable(String),
+    /// Arithmetic on non-numbers, division by zero, etc.
+    Arith(String),
+    /// A model-access builtin was used without a model loaded, or with a
+    /// stale object handle.
+    Model(String),
+    /// Recursion or loop exceeded the interpreter's safety budget.
+    Budget(String),
+}
+
+impl fmt::Display for AlterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlterError::Lex { message, offset } => write!(f, "lex error at {offset}: {message}"),
+            AlterError::Parse(m) => write!(f, "parse error: {m}"),
+            AlterError::Unbound(s) => write!(f, "unbound symbol `{s}`"),
+            AlterError::BadArgs { form, message } => write!(f, "`{form}`: {message}"),
+            AlterError::NotCallable(v) => write!(f, "not callable: {v}"),
+            AlterError::Arith(m) => write!(f, "arithmetic error: {m}"),
+            AlterError::Model(m) => write!(f, "model access error: {m}"),
+            AlterError::Budget(m) => write!(f, "evaluation budget exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlterError {}

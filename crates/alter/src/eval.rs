@@ -1,0 +1,500 @@
+//! The Alter evaluator.
+
+use crate::builtins;
+use crate::env::Env;
+use crate::error::AlterError;
+use crate::model_api::{self, ModelContext};
+use crate::parser::parse_program;
+use crate::value::{Callable, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Hard cap on evaluation steps so a buggy generator script cannot hang the
+/// tool (the paper's generator runs inside an interactive design
+/// environment).
+const STEP_BUDGET: u64 = 50_000_000;
+
+/// An Alter interpreter instance.
+///
+/// Owns the global environment, the text-output accumulator fed by
+/// `emit`/`emitln`, and (optionally) a loaded SAGE model for the
+/// [`crate::model_api`] builtins to traverse.
+pub struct Interpreter {
+    global: Rc<RefCell<Env>>,
+    output: String,
+    model: Option<Rc<ModelContext>>,
+    steps: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the standard builtins installed.
+    pub fn new() -> Interpreter {
+        let global = Env::new_global();
+        builtins::install(&global);
+        model_api::install(&global);
+        Interpreter {
+            global,
+            output: String::new(),
+            model: None,
+            steps: 0,
+        }
+    }
+
+    /// Creates an interpreter with a SAGE model loaded for traversal.
+    pub fn with_model(ctx: ModelContext) -> Interpreter {
+        let mut i = Interpreter::new();
+        i.model = Some(Rc::new(ctx));
+        i
+    }
+
+    /// The loaded model context, if any.
+    pub fn model(&self) -> Result<&ModelContext, AlterError> {
+        self.model
+            .as_deref()
+            .ok_or_else(|| AlterError::Model("no model loaded".into()))
+    }
+
+    /// Appends text to the generated-source accumulator.
+    pub fn emit(&mut self, text: &str) {
+        self.output.push_str(text);
+    }
+
+    /// The text emitted so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Takes and clears the emitted text.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Parses and evaluates a program, returning the value of its last form.
+    pub fn eval_str(&mut self, src: &str) -> Result<Value, AlterError> {
+        let forms = parse_program(src)?;
+        let mut last = Value::Nil;
+        let env = self.global.clone();
+        for f in forms {
+            last = self.eval(&f, &env)?;
+        }
+        Ok(last)
+    }
+
+    /// Evaluates one form in `env`.
+    pub fn eval(&mut self, form: &Value, env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            return Err(AlterError::Budget(format!("{STEP_BUDGET} steps")));
+        }
+        match form {
+            Value::Nil | Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_)
+            | Value::Proc(_) | Value::Obj(_) => Ok(form.clone()),
+            Value::Symbol(name) => Env::lookup(env, name)
+                .ok_or_else(|| AlterError::Unbound(name.to_string())),
+            Value::List(items) => {
+                if items.is_empty() {
+                    return Ok(Value::Nil);
+                }
+                if let Value::Symbol(head) = &items[0] {
+                    match head.as_str() {
+                        "quote" => return self.sf_quote(items),
+                        "if" => return self.sf_if(items, env),
+                        "cond" => return self.sf_cond(items, env),
+                        "define" => return self.sf_define(items, env),
+                        "set!" => return self.sf_set(items, env),
+                        "lambda" => return self.sf_lambda(items, env),
+                        "let" => return self.sf_let(items, env, false),
+                        "let*" => return self.sf_let(items, env, true),
+                        "begin" => return self.sf_begin(items, env),
+                        "while" => return self.sf_while(items, env),
+                        "and" => return self.sf_and(items, env),
+                        "or" => return self.sf_or(items, env),
+                        _ => {}
+                    }
+                }
+                // Procedure application.
+                let callee = self.eval(&items[0], env)?;
+                let mut args = Vec::with_capacity(items.len() - 1);
+                for a in &items[1..] {
+                    args.push(self.eval(a, env)?);
+                }
+                self.apply(&callee, &args)
+            }
+        }
+    }
+
+    /// Applies a procedure value to already-evaluated arguments.
+    pub fn apply(&mut self, callee: &Value, args: &[Value]) -> Result<Value, AlterError> {
+        match callee {
+            Value::Proc(Callable::Builtin(_, f)) => f(self, args),
+            Value::Proc(Callable::Lambda { params, body, env }) => {
+                if params.len() != args.len() {
+                    return Err(AlterError::BadArgs {
+                        form: "lambda".into(),
+                        message: format!("expected {} args, got {}", params.len(), args.len()),
+                    });
+                }
+                let scope = Env::new_child(env.clone());
+                for (p, a) in params.iter().zip(args) {
+                    scope.borrow_mut().define(p.clone(), a.clone());
+                }
+                let mut last = Value::Nil;
+                for f in body.iter() {
+                    last = self.eval(f, &scope)?;
+                }
+                Ok(last)
+            }
+            other => Err(AlterError::NotCallable(other.to_string())),
+        }
+    }
+
+    fn sf_quote(&mut self, items: &[Value]) -> Result<Value, AlterError> {
+        items
+            .get(1)
+            .cloned()
+            .ok_or_else(|| AlterError::BadArgs {
+                form: "quote".into(),
+                message: "needs one argument".into(),
+            })
+    }
+
+    fn sf_if(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        if items.len() < 3 || items.len() > 4 {
+            return Err(AlterError::BadArgs {
+                form: "if".into(),
+                message: "(if cond then [else])".into(),
+            });
+        }
+        if self.eval(&items[1], env)?.is_truthy() {
+            self.eval(&items[2], env)
+        } else if let Some(e) = items.get(3) {
+            self.eval(e, env)
+        } else {
+            Ok(Value::Nil)
+        }
+    }
+
+    fn sf_cond(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        for clause in &items[1..] {
+            let parts = clause.as_list()?;
+            if parts.is_empty() {
+                continue;
+            }
+            let is_else = matches!(&parts[0], Value::Symbol(s) if s.as_str() == "else");
+            if is_else || self.eval(&parts[0], env)?.is_truthy() {
+                let mut last = Value::Nil;
+                for f in &parts[1..] {
+                    last = self.eval(f, env)?;
+                }
+                return Ok(last);
+            }
+        }
+        Ok(Value::Nil)
+    }
+
+    fn sf_define(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        match items.get(1) {
+            // (define name expr)
+            Some(Value::Symbol(name)) => {
+                let v = match items.get(2) {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Nil,
+                };
+                env.borrow_mut().define(name.to_string(), v);
+                Ok(Value::Nil)
+            }
+            // (define (name p1 p2) body...)
+            Some(Value::List(sig)) if !sig.is_empty() => {
+                let name = match &sig[0] {
+                    Value::Symbol(s) => s.to_string(),
+                    other => {
+                        return Err(AlterError::BadArgs {
+                            form: "define".into(),
+                            message: format!("bad procedure name {other}"),
+                        })
+                    }
+                };
+                let params = param_names(&sig[1..])?;
+                let lambda = Value::Proc(Callable::Lambda {
+                    params: Rc::new(params),
+                    body: Rc::new(items[2..].to_vec()),
+                    env: env.clone(),
+                });
+                env.borrow_mut().define(name, lambda);
+                Ok(Value::Nil)
+            }
+            _ => Err(AlterError::BadArgs {
+                form: "define".into(),
+                message: "(define name expr) or (define (name args) body)".into(),
+            }),
+        }
+    }
+
+    fn sf_set(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        let name = match items.get(1) {
+            Some(Value::Symbol(s)) => s.to_string(),
+            _ => {
+                return Err(AlterError::BadArgs {
+                    form: "set!".into(),
+                    message: "(set! name expr)".into(),
+                })
+            }
+        };
+        let v = self.eval(items.get(2).unwrap_or(&Value::Nil), env)?;
+        if Env::set(env, &name, v) {
+            Ok(Value::Nil)
+        } else {
+            Err(AlterError::Unbound(name))
+        }
+    }
+
+    fn sf_lambda(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        let params = param_names(items.get(1).ok_or_else(|| AlterError::BadArgs {
+            form: "lambda".into(),
+            message: "missing parameter list".into(),
+        })?.as_list()?)?;
+        Ok(Value::Proc(Callable::Lambda {
+            params: Rc::new(params),
+            body: Rc::new(items[2..].to_vec()),
+            env: env.clone(),
+        }))
+    }
+
+    fn sf_let(
+        &mut self,
+        items: &[Value],
+        env: &Rc<RefCell<Env>>,
+        sequential: bool,
+    ) -> Result<Value, AlterError> {
+        let bindings = items.get(1).ok_or_else(|| AlterError::BadArgs {
+            form: "let".into(),
+            message: "missing bindings".into(),
+        })?;
+        let scope = Env::new_child(env.clone());
+        for b in bindings.as_list()? {
+            let pair = b.as_list()?;
+            match (pair.first(), pair.get(1)) {
+                (Some(Value::Symbol(n)), Some(e)) => {
+                    // `let` evaluates in the outer scope, `let*` in the
+                    // partially-built inner scope.
+                    let v = if sequential {
+                        self.eval(e, &scope)?
+                    } else {
+                        self.eval(e, env)?
+                    };
+                    scope.borrow_mut().define(n.to_string(), v);
+                }
+                _ => {
+                    return Err(AlterError::BadArgs {
+                        form: "let".into(),
+                        message: "bindings are (name expr) pairs".into(),
+                    })
+                }
+            }
+        }
+        let mut last = Value::Nil;
+        for f in &items[2..] {
+            last = self.eval(f, &scope)?;
+        }
+        Ok(last)
+    }
+
+    fn sf_begin(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        let mut last = Value::Nil;
+        for f in &items[1..] {
+            last = self.eval(f, env)?;
+        }
+        Ok(last)
+    }
+
+    fn sf_while(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        let cond = items.get(1).ok_or_else(|| AlterError::BadArgs {
+            form: "while".into(),
+            message: "(while cond body...)".into(),
+        })?;
+        while self.eval(cond, env)?.is_truthy() {
+            for f in &items[2..] {
+                self.eval(f, env)?;
+            }
+        }
+        Ok(Value::Nil)
+    }
+
+    fn sf_and(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        let mut last = Value::Bool(true);
+        for f in &items[1..] {
+            last = self.eval(f, env)?;
+            if !last.is_truthy() {
+                return Ok(Value::Bool(false));
+            }
+        }
+        Ok(last)
+    }
+
+    fn sf_or(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
+        for f in &items[1..] {
+            let v = self.eval(f, env)?;
+            if v.is_truthy() {
+                return Ok(v);
+            }
+        }
+        Ok(Value::Bool(false))
+    }
+}
+
+fn param_names(list: &[Value]) -> Result<Vec<String>, AlterError> {
+    list.iter()
+        .map(|v| match v {
+            Value::Symbol(s) => Ok(s.to_string()),
+            other => Err(AlterError::BadArgs {
+                form: "lambda".into(),
+                message: format!("parameter must be a symbol, got {other}"),
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> String {
+        Interpreter::new().eval_str(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("(+ 1 2 3)"), "6");
+        assert_eq!(run("(- 10 3 2)"), "5");
+        assert_eq!(run("(* 2 3.5)"), "7.0");
+        assert_eq!(run("(/ 7 2)"), "3"); // integer division on ints
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(run("(if (> 2 1) \"yes\" \"no\")"), "yes");
+        assert_eq!(run("(if (< 2 1) 1)"), "()");
+        assert_eq!(run("(cond ((< 2 1) 0) ((> 2 1) 42) (else 9))"), "42");
+        assert_eq!(run("(cond (#f 0) (else 9))"), "9");
+    }
+
+    #[test]
+    fn define_and_call_procedures() {
+        assert_eq!(run("(define (sq x) (* x x)) (sq 7)"), "49");
+        assert_eq!(run("(define f (lambda (a b) (+ a b))) (f 1 2)"), "3");
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        assert_eq!(
+            run("(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1))))) (fact 10)"),
+            "3628800"
+        );
+    }
+
+    #[test]
+    fn let_scoping_and_set() {
+        assert_eq!(run("(define x 1) (let ((x 10) (y 2)) (+ x y))"), "12");
+        assert_eq!(run("(define x 1) (set! x 5) x"), "5");
+        assert!(Interpreter::new().eval_str("(set! nope 1)").is_err());
+    }
+
+    #[test]
+    fn while_loops() {
+        assert_eq!(
+            run("(define i 0) (define acc 0) (while (< i 5) (set! acc (+ acc i)) (set! i (+ i 1))) acc"),
+            "10"
+        );
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        assert_eq!(run("(and 1 2 3)"), "3");
+        assert_eq!(run("(and 1 #f (error-if-evaluated))"), "#f");
+        assert_eq!(run("(or #f 7 (error-if-evaluated))"), "7");
+        assert_eq!(run("(or #f #f)"), "#f");
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        assert_eq!(
+            run("(define (adder n) (lambda (x) (+ x n))) (define add5 (adder 5)) (add5 3)"),
+            "8"
+        );
+    }
+
+    #[test]
+    fn quote_prevents_evaluation() {
+        assert_eq!(run("'(+ 1 2)"), "(+ 1 2)");
+        assert_eq!(run("(quote abc)"), "abc");
+    }
+
+    #[test]
+    fn unbound_symbol_errors() {
+        assert!(matches!(
+            Interpreter::new().eval_str("nosuch"),
+            Err(AlterError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        assert!(Interpreter::new()
+            .eval_str("((lambda (x) x) 1 2)")
+            .is_err());
+    }
+
+    #[test]
+    fn calling_non_callable_errors() {
+        assert!(matches!(
+            Interpreter::new().eval_str("(1 2 3)"),
+            Err(AlterError::NotCallable(_))
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let mut i = Interpreter::new();
+        assert!(matches!(
+            i.eval_str("(while #t 1)"),
+            Err(AlterError::Budget(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    fn run(src: &str) -> String {
+        Interpreter::new().eval_str(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn let_star_sees_earlier_bindings() {
+        assert_eq!(run("(let* ((x 2) (y (* x 3))) (+ x y))"), "8");
+        // Plain let must NOT see them.
+        assert!(Interpreter::new()
+            .eval_str("(let ((x 2) (y (* x 3))) y)")
+            .is_err());
+    }
+
+    #[test]
+    fn apply_spreads_list_arguments() {
+        assert_eq!(run("(apply + '(1 2 3 4))"), "10");
+        assert_eq!(run("(apply (lambda (a b) (- a b)) (list 9 4))"), "5");
+    }
+
+    #[test]
+    fn assoc_finds_entries() {
+        assert_eq!(run("(assoc 'b '((a 1) (b 2) (c 3)))"), "(b 2)");
+        assert_eq!(run("(assoc 'z '((a 1)))"), "#f");
+        assert_eq!(run("(nth 1 (assoc \"k\" (list (list \"k\" 42))))"), "42");
+    }
+}

@@ -1,0 +1,176 @@
+//! Tokenizer for Alter source text.
+
+use crate::error::AlterError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `'` (quote shorthand)
+    Quote,
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (escapes `\n`, `\t`, `\"`, `\\` handled).
+    Str(String),
+    /// Any other atom (identifier, operator, `#t`, `#f`).
+    Symbol(String),
+}
+
+/// Tokenizes `src`, skipping whitespace and `;` line comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, AlterError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ';' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '\'' => {
+                out.push(Token::Quote);
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(AlterError::Lex {
+                            message: "unterminated string".into(),
+                            offset: start,
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= bytes.len() {
+                                return Err(AlterError::Lex {
+                                    message: "dangling escape".into(),
+                                    offset: i,
+                                });
+                            }
+                            s.push(match bytes[i] {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(AlterError::Lex {
+                                        message: format!("bad escape `\\{}`", other as char),
+                                        offset: i,
+                                    })
+                                }
+                            });
+                            i += 1;
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_whitespace() || b == '(' || b == ')' || b == '"' || b == ';' {
+                        break;
+                    }
+                    i += 1;
+                }
+                let atom = &src[start..i];
+                out.push(classify_atom(atom));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn classify_atom(atom: &str) -> Token {
+    if let Ok(n) = atom.parse::<i64>() {
+        return Token::Int(n);
+    }
+    // Floats must contain a digit; bare `.` or `-` stay symbols.
+    if atom.chars().any(|c| c.is_ascii_digit()) {
+        if let Ok(x) = atom.parse::<f64>() {
+            return Token::Float(x);
+        }
+    }
+    Token::Symbol(atom.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("(+ 1 2.5 \"hi\" foo)").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::LParen,
+                Token::Symbol("+".into()),
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Str("hi".into()),
+                Token::Symbol("foo".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("1 ; the rest is ignored (even parens\n2").unwrap();
+        assert_eq!(t, vec![Token::Int(1), Token::Int(2)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = lex(r#""a\nb\t\"\\""#).unwrap();
+        assert_eq!(t, vec![Token::Str("a\nb\t\"\\".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"abc"), Err(AlterError::Lex { .. })));
+    }
+
+    #[test]
+    fn negative_numbers_and_minus_symbol() {
+        assert_eq!(lex("-5").unwrap(), vec![Token::Int(-5)]);
+        assert_eq!(lex("-").unwrap(), vec![Token::Symbol("-".into())]);
+        assert_eq!(lex("-1.5e3").unwrap(), vec![Token::Float(-1500.0)]);
+    }
+
+    #[test]
+    fn quote_shorthand() {
+        let t = lex("'x").unwrap();
+        assert_eq!(t, vec![Token::Quote, Token::Symbol("x".into())]);
+    }
+}

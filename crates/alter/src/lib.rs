@@ -1,0 +1,44 @@
+//! # sage-alter
+//!
+//! **Alter** is "a programming language similar to Lisp in its syntax and
+//! style, which provides a direct interface to the contents of a SAGE model.
+//! Alter is designed to enable the tool developer to traverse the objects
+//! and arc connections in a model, collect the relevant information from the
+//! various attributes and properties, and then output the information in a
+//! particular format" (paper §2). The SAGE glue-code generator is written in
+//! it.
+//!
+//! This crate implements Alter as an s-expression interpreter with
+//!
+//! * the "traditional programming tasks" the paper lists: procedure
+//!   encapsulation (`define`/`lambda`), conditionals (`if`/`cond`), looping
+//!   (`while`, `for-each`), variable declaration (`let`, `set!`), and
+//!   recursion;
+//! * "a set of standard calls to access certain features in SAGE, such as
+//!   setting or retrieving a property value from an object"
+//!   ([`model_api`]);
+//! * text output builtins (`emit`, `emitln`) that accumulate the generated
+//!   source file.
+//!
+//! ```
+//! use sage_alter::Interpreter;
+//! let mut interp = Interpreter::new();
+//! let v = interp.eval_str("(+ 1 (* 2 3))").unwrap();
+//! assert_eq!(v.to_string(), "7");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod model_api;
+pub mod parser;
+pub mod value;
+
+pub use error::AlterError;
+pub use eval::Interpreter;
+pub use parser::parse_program;
+pub use value::Value;

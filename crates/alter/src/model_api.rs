@@ -1,0 +1,451 @@
+//! Model-access builtins: "a set of standard calls to access certain
+//! features in SAGE, such as setting or retrieving a property value from an
+//! object" (paper §2).
+//!
+//! An Alter program traverses a loaded [`ModelContext`] through object
+//! handles ([`crate::value::ObjRef`]): `(blocks)` returns block handles,
+//! `(block-ports b)` port handles, `(connections)` arc handles, and
+//! accessor builtins read names, kinds, types, striping, costs, properties,
+//! and the AToT mapping.
+
+use crate::env::Env;
+use crate::error::AlterError;
+use crate::eval::Interpreter;
+use crate::value::{Callable, ObjRef, Value};
+use sage_model::{AppGraph, BlockKind, Direction, HardwareSpec, Mapping, Striping};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The SAGE model a script traverses: a flattened application graph plus
+/// (optionally) the target hardware and the AToT mapping.
+pub struct ModelContext {
+    /// The (flattened) application graph.
+    pub graph: AppGraph,
+    /// Target hardware, if the script needs node information.
+    pub hardware: Option<HardwareSpec>,
+    /// AToT mapping, if the script emits per-node schedules.
+    pub mapping: Option<Mapping>,
+}
+
+impl ModelContext {
+    /// Wraps a graph with no hardware/mapping attached.
+    pub fn new(graph: AppGraph) -> ModelContext {
+        ModelContext {
+            graph,
+            hardware: None,
+            mapping: None,
+        }
+    }
+
+    /// Attaches a hardware model.
+    pub fn with_hardware(mut self, hw: HardwareSpec) -> Self {
+        self.hardware = Some(hw);
+        self
+    }
+
+    /// Attaches a mapping.
+    pub fn with_mapping(mut self, m: Mapping) -> Self {
+        self.mapping = Some(m);
+        self
+    }
+}
+
+/// Installs the model-access builtins into `env`.
+pub fn install(env: &Rc<RefCell<Env>>) {
+    let mut e = env.borrow_mut();
+    let mut def = |name: &'static str,
+                   f: fn(&mut Interpreter, &[Value]) -> Result<Value, AlterError>| {
+        e.define(name, Value::Proc(Callable::Builtin(name, f)));
+    };
+    def("model-name", m_model_name);
+    def("blocks", m_blocks);
+    def("block-name", m_block_name);
+    def("block-index", m_block_index);
+    def("block-kind", m_block_kind);
+    def("block-function", m_block_function);
+    def("block-threads", m_block_threads);
+    def("block-flops", m_block_flops);
+    def("block-ports", m_block_ports);
+    def("prop", m_prop);
+    def("port-name", m_port_name);
+    def("port-direction", m_port_direction);
+    def("port-bytes", m_port_bytes);
+    def("port-striping", m_port_striping);
+    def("connections", m_connections);
+    def("conn-from-block", m_conn_from_block);
+    def("conn-to-block", m_conn_to_block);
+    def("conn-from-port", m_conn_from_port);
+    def("conn-to-port", m_conn_to_port);
+    def("conn-bytes", m_conn_bytes);
+    def("mapped-node", m_mapped_node);
+    def("node-count", m_node_count);
+}
+
+fn block_arg(interp: &Interpreter, args: &[Value], form: &str) -> Result<usize, AlterError> {
+    match args.first() {
+        Some(Value::Obj(ObjRef::Block(i))) => {
+            if *i < interp.model()?.graph.block_count() {
+                Ok(*i)
+            } else {
+                Err(AlterError::Model(format!("stale block handle {i}")))
+            }
+        }
+        other => Err(AlterError::BadArgs {
+            form: form.into(),
+            message: format!("expected a block handle, got {other:?}"),
+        }),
+    }
+}
+
+fn conn_arg(interp: &Interpreter, args: &[Value], form: &str) -> Result<usize, AlterError> {
+    match args.first() {
+        Some(Value::Obj(ObjRef::Conn(i))) => {
+            if *i < interp.model()?.graph.connections().len() {
+                Ok(*i)
+            } else {
+                Err(AlterError::Model(format!("stale connection handle {i}")))
+            }
+        }
+        other => Err(AlterError::BadArgs {
+            form: form.into(),
+            message: format!("expected a connection handle, got {other:?}"),
+        }),
+    }
+}
+
+fn port_arg(args: &[Value], form: &str) -> Result<(usize, usize), AlterError> {
+    match args.first() {
+        Some(Value::Obj(ObjRef::Port { block, port })) => Ok((*block, *port)),
+        other => Err(AlterError::BadArgs {
+            form: form.into(),
+            message: format!("expected a port handle, got {other:?}"),
+        }),
+    }
+}
+
+fn m_model_name(interp: &mut Interpreter, _: &[Value]) -> Result<Value, AlterError> {
+    Ok(Value::str(interp.model()?.graph.name.clone()))
+}
+
+fn m_blocks(interp: &mut Interpreter, _: &[Value]) -> Result<Value, AlterError> {
+    let n = interp.model()?.graph.block_count();
+    Ok(Value::list(
+        (0..n).map(|i| Value::Obj(ObjRef::Block(i))).collect(),
+    ))
+}
+
+fn m_block_name(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-name")?;
+    Ok(Value::str(interp.model()?.graph.blocks()[i].name.clone()))
+}
+
+fn m_block_index(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-index")?;
+    Ok(Value::Int(i as i64))
+}
+
+fn m_block_kind(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-kind")?;
+    let kind = match &interp.model()?.graph.blocks()[i].kind {
+        BlockKind::Source { .. } => "source",
+        BlockKind::Sink { .. } => "sink",
+        BlockKind::Primitive { .. } => "primitive",
+        BlockKind::Hierarchical { .. } => "hierarchical",
+    };
+    Ok(Value::sym(kind))
+}
+
+fn m_block_function(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-function")?;
+    match &interp.model()?.graph.blocks()[i].kind {
+        BlockKind::Primitive { function, .. } => Ok(Value::str(function.clone())),
+        _ => Ok(Value::Nil),
+    }
+}
+
+fn m_block_threads(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-threads")?;
+    Ok(Value::Int(interp.model()?.graph.blocks()[i].threads() as i64))
+}
+
+fn m_block_flops(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-flops")?;
+    Ok(Value::Float(interp.model()?.graph.blocks()[i].cost().flops))
+}
+
+fn m_block_ports(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "block-ports")?;
+    let n = interp.model()?.graph.blocks()[i].ports.len();
+    Ok(Value::list(
+        (0..n)
+            .map(|p| Value::Obj(ObjRef::Port { block: i, port: p }))
+            .collect(),
+    ))
+}
+
+fn m_prop(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    if args.len() != 2 {
+        return Err(AlterError::BadArgs {
+            form: "prop".into(),
+            message: "(prop obj key)".into(),
+        });
+    }
+    let key = args[1].as_str()?.to_string();
+    let model = interp.model()?;
+    let props = match &args[0] {
+        Value::Obj(ObjRef::Model) => Some(&model.graph.props),
+        Value::Obj(ObjRef::Block(i)) => model.graph.blocks().get(*i).map(|b| &b.props),
+        other => {
+            return Err(AlterError::BadArgs {
+                form: "prop".into(),
+                message: format!("object has no properties: {other:?}"),
+            })
+        }
+    };
+    match props.and_then(|p| p.get(&key)) {
+        Some(v) => Ok(Value::str(v.as_text())),
+        None => Ok(Value::Nil),
+    }
+}
+
+fn m_port_name(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (b, p) = port_arg(args, "port-name")?;
+    Ok(Value::str(
+        interp.model()?.graph.blocks()[b].ports[p].name.clone(),
+    ))
+}
+
+fn m_port_direction(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (b, p) = port_arg(args, "port-direction")?;
+    let d = match interp.model()?.graph.blocks()[b].ports[p].direction {
+        Direction::In => "in",
+        Direction::Out => "out",
+    };
+    Ok(Value::sym(d))
+}
+
+fn m_port_bytes(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (b, p) = port_arg(args, "port-bytes")?;
+    Ok(Value::Int(
+        interp.model()?.graph.blocks()[b].ports[p].data_type.size_bytes() as i64,
+    ))
+}
+
+fn m_port_striping(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let (b, p) = port_arg(args, "port-striping")?;
+    match interp.model()?.graph.blocks()[b].ports[p].striping {
+        Striping::Replicated => Ok(Value::sym("replicated")),
+        Striping::Striped { dim } => Ok(Value::list(vec![
+            Value::sym("striped"),
+            Value::Int(dim as i64),
+        ])),
+    }
+}
+
+fn m_connections(interp: &mut Interpreter, _: &[Value]) -> Result<Value, AlterError> {
+    let n = interp.model()?.graph.connections().len();
+    Ok(Value::list(
+        (0..n).map(|i| Value::Obj(ObjRef::Conn(i))).collect(),
+    ))
+}
+
+fn m_conn_from_block(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = conn_arg(interp, args, "conn-from-block")?;
+    let c = &interp.model()?.graph.connections()[i];
+    Ok(Value::Obj(ObjRef::Block(c.from.block.index())))
+}
+
+fn m_conn_to_block(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = conn_arg(interp, args, "conn-to-block")?;
+    let c = &interp.model()?.graph.connections()[i];
+    Ok(Value::Obj(ObjRef::Block(c.to.block.index())))
+}
+
+fn m_conn_from_port(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = conn_arg(interp, args, "conn-from-port")?;
+    let c = &interp.model()?.graph.connections()[i];
+    Ok(Value::Obj(ObjRef::Port {
+        block: c.from.block.index(),
+        port: c.from.port,
+    }))
+}
+
+fn m_conn_to_port(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = conn_arg(interp, args, "conn-to-port")?;
+    let c = &interp.model()?.graph.connections()[i];
+    Ok(Value::Obj(ObjRef::Port {
+        block: c.to.block.index(),
+        port: c.to.port,
+    }))
+}
+
+fn m_conn_bytes(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = conn_arg(interp, args, "conn-bytes")?;
+    let model = interp.model()?;
+    let c = &model.graph.connections()[i];
+    Ok(Value::Int(model.graph.connection_bytes(c) as i64))
+}
+
+fn m_mapped_node(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
+    let i = block_arg(interp, args, "mapped-node")?;
+    let model = interp.model()?;
+    let mapping = model
+        .mapping
+        .as_ref()
+        .ok_or_else(|| AlterError::Model("no mapping loaded".into()))?;
+    Ok(Value::Int(
+        mapping.node_of(sage_model::BlockId::from_index(i)).index() as i64,
+    ))
+}
+
+fn m_node_count(interp: &mut Interpreter, _: &[Value]) -> Result<Value, AlterError> {
+    let model = interp.model()?;
+    let hw = model
+        .hardware
+        .as_ref()
+        .ok_or_else(|| AlterError::Model("no hardware loaded".into()))?;
+    Ok(Value::Int(hw.node_count() as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_model::{Block, CostModel, DataType, Port, PropValue};
+
+    fn demo_model() -> ModelContext {
+        let mut g = AppGraph::new("demo");
+        let src = g.add_block(
+            Block::source(
+                "src",
+                vec![Port::output(
+                    "out",
+                    DataType::complex_matrix(4, 4),
+                    Striping::Replicated,
+                )],
+            )
+            .with_prop("rate_hz", PropValue::Float(100.0)),
+        );
+        let fft = g.add_block(Block::primitive(
+            "fft",
+            "isspl.fft_rows",
+            2,
+            CostModel::new(1000.0, 64.0),
+            vec![
+                Port::input("in", DataType::complex_matrix(4, 4), Striping::BY_ROWS),
+                Port::output("out", DataType::complex_matrix(4, 4), Striping::BY_ROWS),
+            ],
+        ));
+        let snk = g.add_block(Block::sink(
+            "snk",
+            vec![Port::input(
+                "in",
+                DataType::complex_matrix(4, 4),
+                Striping::Replicated,
+            )],
+        ));
+        g.connect(src, "out", fft, "in").unwrap();
+        g.connect(fft, "out", snk, "in").unwrap();
+        ModelContext::new(g)
+            .with_hardware(sage_model::HardwareShelf::cspi_with_nodes(4))
+            .with_mapping(Mapping::round_robin(3, 2))
+    }
+
+    fn run(src: &str) -> String {
+        Interpreter::with_model(demo_model())
+            .eval_str(src)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn traverses_blocks() {
+        assert_eq!(run("(model-name)"), "demo");
+        assert_eq!(run("(length (blocks))"), "3");
+        assert_eq!(run("(block-name (nth 1 (blocks)))"), "fft");
+        assert_eq!(run("(block-kind (nth 0 (blocks)))"), "source");
+        assert_eq!(run("(block-function (nth 1 (blocks)))"), "isspl.fft_rows");
+        assert_eq!(run("(block-function (nth 0 (blocks)))"), "()");
+        assert_eq!(run("(block-threads (nth 1 (blocks)))"), "2");
+        assert_eq!(run("(block-flops (nth 1 (blocks)))"), "1000.0");
+    }
+
+    #[test]
+    fn traverses_ports_and_striping() {
+        assert_eq!(run("(length (block-ports (nth 1 (blocks))))"), "2");
+        assert_eq!(
+            run("(port-name (car (block-ports (nth 1 (blocks)))))"),
+            "in"
+        );
+        assert_eq!(
+            run("(port-direction (car (block-ports (nth 1 (blocks)))))"),
+            "in"
+        );
+        assert_eq!(run("(port-bytes (car (block-ports (nth 1 (blocks)))))"), "128");
+        assert_eq!(
+            run("(port-striping (car (block-ports (nth 1 (blocks)))))"),
+            "(striped 0)"
+        );
+        assert_eq!(
+            run("(port-striping (car (block-ports (nth 0 (blocks)))))"),
+            "replicated"
+        );
+    }
+
+    #[test]
+    fn traverses_connections() {
+        assert_eq!(run("(length (connections))"), "2");
+        assert_eq!(run("(block-name (conn-from-block (nth 0 (connections))))"), "src");
+        assert_eq!(run("(block-name (conn-to-block (nth 0 (connections))))"), "fft");
+        assert_eq!(run("(conn-bytes (nth 0 (connections)))"), "128");
+        assert_eq!(
+            run("(port-name (conn-to-port (nth 1 (connections))))"),
+            "in"
+        );
+    }
+
+    #[test]
+    fn reads_props_and_mapping() {
+        assert_eq!(run("(prop (nth 0 (blocks)) \"rate_hz\")"), "100");
+        assert_eq!(run("(prop (nth 0 (blocks)) \"missing\")"), "()");
+        assert_eq!(run("(mapped-node (nth 1 (blocks)))"), "1");
+        assert_eq!(run("(node-count)"), "4");
+    }
+
+    #[test]
+    fn script_generates_function_table_text() {
+        // A miniature version of the paper's glue-code generator: walk the
+        // function instances, emit one descriptor line per block.
+        let script = r#"
+            (emitln "function_table[" (length (blocks)) "] = {")
+            (for-each
+              (lambda (b)
+                (emitln "  { id=" (block-index b)
+                        ", name=\"" (block-name b)
+                        "\", threads=" (block-threads b) " },"))
+              (blocks))
+            (emitln "}")
+        "#;
+        let mut i = Interpreter::with_model(demo_model());
+        i.eval_str(script).unwrap();
+        let out = i.take_output();
+        assert!(out.contains("function_table[3]"));
+        assert!(out.contains("id=1, name=\"fft\", threads=2"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn model_calls_error_without_model() {
+        let mut i = Interpreter::new();
+        assert!(matches!(
+            i.eval_str("(blocks)"),
+            Err(AlterError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_handle_kind_errors() {
+        let mut i = Interpreter::with_model(demo_model());
+        assert!(i.eval_str("(block-name 3)").is_err());
+        assert!(i.eval_str("(port-name (nth 0 (blocks)))").is_err());
+    }
+}

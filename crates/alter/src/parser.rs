@@ -1,0 +1,96 @@
+//! S-expression parser producing [`Value`] trees (code is data).
+
+use crate::error::AlterError;
+use crate::lexer::{lex, Token};
+use crate::value::Value;
+
+/// Parses a whole program: a sequence of top-level forms.
+pub fn parse_program(src: &str) -> Result<Vec<Value>, AlterError> {
+    let tokens = lex(src)?;
+    let mut pos = 0;
+    let mut forms = Vec::new();
+    while pos < tokens.len() {
+        let (v, next) = parse_form(&tokens, pos)?;
+        forms.push(v);
+        pos = next;
+    }
+    Ok(forms)
+}
+
+/// Parses a single form, returning it and the index of the next token.
+fn parse_form(tokens: &[Token], pos: usize) -> Result<(Value, usize), AlterError> {
+    match tokens.get(pos) {
+        None => Err(AlterError::Parse("unexpected end of input".into())),
+        Some(Token::RParen) => Err(AlterError::Parse("unexpected `)`".into())),
+        Some(Token::Quote) => {
+            let (inner, next) = parse_form(tokens, pos + 1)?;
+            Ok((Value::list(vec![Value::sym("quote"), inner]), next))
+        }
+        Some(Token::LParen) => {
+            let mut items = Vec::new();
+            let mut p = pos + 1;
+            loop {
+                match tokens.get(p) {
+                    None => return Err(AlterError::Parse("unclosed `(`".into())),
+                    Some(Token::RParen) => return Ok((Value::list(items), p + 1)),
+                    _ => {
+                        let (v, next) = parse_form(tokens, p)?;
+                        items.push(v);
+                        p = next;
+                    }
+                }
+            }
+        }
+        Some(Token::Int(i)) => Ok((Value::Int(*i), pos + 1)),
+        Some(Token::Float(x)) => Ok((Value::Float(*x), pos + 1)),
+        Some(Token::Str(s)) => Ok((Value::str(s.clone()), pos + 1)),
+        Some(Token::Symbol(s)) => {
+            let v = match s.as_str() {
+                "#t" => Value::Bool(true),
+                "#f" => Value::Bool(false),
+                "nil" => Value::Nil,
+                _ => Value::sym(s.clone()),
+            };
+            Ok((v, pos + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists() {
+        let forms = parse_program("(a (b 1) \"s\")").unwrap();
+        assert_eq!(forms.len(), 1);
+        assert_eq!(forms[0].to_string(), "(a (b 1) s)");
+    }
+
+    #[test]
+    fn parses_multiple_top_level_forms() {
+        let forms = parse_program("1 2 (3)").unwrap();
+        assert_eq!(forms.len(), 3);
+    }
+
+    #[test]
+    fn quote_expands() {
+        let forms = parse_program("'(1 2)").unwrap();
+        assert_eq!(forms[0].to_string(), "(quote (1 2))");
+    }
+
+    #[test]
+    fn literals() {
+        let forms = parse_program("#t #f nil").unwrap();
+        assert!(matches!(forms[0], Value::Bool(true)));
+        assert!(matches!(forms[1], Value::Bool(false)));
+        assert!(matches!(forms[2], Value::Nil));
+    }
+
+    #[test]
+    fn errors_on_unbalanced() {
+        assert!(parse_program("(a (b)").is_err());
+        assert!(parse_program(")").is_err());
+        assert!(parse_program("'").is_err());
+    }
+}

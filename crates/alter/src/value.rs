@@ -1,0 +1,235 @@
+//! Runtime values of the Alter language.
+
+use crate::env::Env;
+use crate::error::AlterError;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A handle to a SAGE model object, as surfaced to Alter programs.
+///
+/// Handles are indices into the model the interpreter was loaded with; they
+/// become stale only if the host swaps the model, which the API prevents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjRef {
+    /// The application graph itself.
+    Model,
+    /// Block `index` of the flattened model.
+    Block(usize),
+    /// Port `port` of block `block`.
+    Port {
+        /// Host block index.
+        block: usize,
+        /// Port declaration index.
+        port: usize,
+    },
+    /// Connection `index`.
+    Conn(usize),
+    /// Flattened hardware node `index`.
+    Node(usize),
+}
+
+/// A user or builtin procedure.
+#[derive(Clone)]
+pub enum Callable {
+    /// A native builtin: name + function pointer.
+    Builtin(
+        &'static str,
+        fn(&mut crate::eval::Interpreter, &[Value]) -> Result<Value, AlterError>,
+    ),
+    /// A lambda closure: parameter names, body forms, captured environment.
+    Lambda {
+        /// Formal parameter names.
+        params: Rc<Vec<String>>,
+        /// Body expressions, evaluated in sequence.
+        body: Rc<Vec<Value>>,
+        /// Captured lexical environment.
+        env: Rc<RefCell<Env>>,
+    },
+}
+
+/// An Alter value.
+#[derive(Clone)]
+pub enum Value {
+    /// The empty value / empty list.
+    Nil,
+    /// Boolean (`#t` / `#f`).
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(Rc<String>),
+    /// Symbol (unevaluated identifier, produced by `quote`).
+    Symbol(Rc<String>),
+    /// Proper list.
+    List(Rc<Vec<Value>>),
+    /// Procedure.
+    Proc(Callable),
+    /// SAGE model object handle.
+    Obj(ObjRef),
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// Convenience symbol constructor.
+    pub fn sym(s: impl Into<String>) -> Value {
+        Value::Symbol(Rc::new(s.into()))
+    }
+
+    /// Convenience list constructor.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
+    }
+
+    /// Scheme-style truthiness: everything except `#f` and nil is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false) | Value::Nil)
+    }
+
+    /// Numeric coercion to f64.
+    pub fn as_f64(&self) -> Result<f64, AlterError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(x) => Ok(*x),
+            other => Err(AlterError::Arith(format!("not a number: {other}"))),
+        }
+    }
+
+    /// Integer extraction (floats must be integral).
+    pub fn as_i64(&self) -> Result<i64, AlterError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(x) if x.fract() == 0.0 => Ok(*x as i64),
+            other => Err(AlterError::Arith(format!("not an integer: {other}"))),
+        }
+    }
+
+    /// Borrows list contents.
+    pub fn as_list(&self) -> Result<&[Value], AlterError> {
+        match self {
+            Value::List(items) => Ok(items),
+            Value::Nil => Ok(&[]),
+            other => Err(AlterError::BadArgs {
+                form: "list-op".into(),
+                message: format!("not a list: {other}"),
+            }),
+        }
+    }
+
+    /// Borrows string contents.
+    pub fn as_str(&self) -> Result<&str, AlterError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(AlterError::BadArgs {
+                form: "string-op".into(),
+                message: format!("not a string: {other}"),
+            }),
+        }
+    }
+
+    /// Structural equality as used by the `=`/`equal?` builtins.
+    pub fn structural_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Symbol(a), Value::Symbol(b)) => a == b,
+            (Value::Obj(a), Value::Obj(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.structural_eq(y))
+            }
+            (Value::List(a), Value::Nil) | (Value::Nil, Value::List(a)) => a.is_empty(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "()"),
+            Value::Bool(true) => write!(f, "#t"),
+            Value::Bool(false) => write!(f, "#f"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Symbol(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Proc(Callable::Builtin(name, _)) => write!(f, "#<builtin {name}>"),
+            Value::Proc(Callable::Lambda { params, .. }) => {
+                write!(f, "#<lambda/{}>", params.len())
+            }
+            Value::Obj(o) => write!(f, "#<{o:?}>"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            other => fmt::Display::fmt(other, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(0).is_truthy()); // scheme-style: 0 is true
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Nil.is_truthy());
+        assert!(Value::str("").is_truthy());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.0).as_i64().unwrap(), 2);
+        assert!(Value::Float(2.5).as_i64().is_err());
+        assert!(Value::str("x").as_f64().is_err());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Value::list(vec![Value::Int(1), Value::sym("a")]).to_string(), "(1 a)");
+        assert_eq!(Value::Bool(true).to_string(), "#t");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn structural_equality_mixed_numerics() {
+        assert!(Value::Int(2).structural_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).structural_eq(&Value::Float(2.5)));
+        assert!(Value::Nil.structural_eq(&Value::list(vec![])));
+    }
+}

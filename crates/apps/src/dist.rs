@@ -1,0 +1,96 @@
+//! Shared pieces of the hand-coded distributed implementations: tile
+//! packing for `MPI_All_to_All` and the transposing unpack, exactly as the
+//! CSPI reference codes organize the exchange.
+
+use sage_signal::complex::{as_bytes, from_bytes};
+use sage_signal::Complex32;
+
+/// Packs a local row-stripe (`rl` rows of `size` columns) into one
+/// contiguous tile per destination: destination `j` receives the `rl x cl`
+/// tile of columns `j*cl..(j+1)*cl`, where `cl = size / n`.
+pub fn pack_tiles(local: &[Complex32], rl: usize, size: usize, n: usize) -> Vec<Vec<u8>> {
+    assert_eq!(local.len(), rl * size);
+    assert_eq!(size % n, 0);
+    let cl = size / n;
+    (0..n)
+        .map(|j| {
+            let mut tile = Vec::with_capacity(rl * cl);
+            for r in 0..rl {
+                let row = &local[r * size + j * cl..r * size + (j + 1) * cl];
+                tile.extend_from_slice(row);
+            }
+            as_bytes(&tile).to_vec()
+        })
+        .collect()
+}
+
+/// Unpacks the received tiles (index = source rank) while transposing: the
+/// result is this rank's `cl x size` row-stripe of the **transposed**
+/// matrix. Source `j`'s tile holds rows `j*rl..` of the original matrix
+/// restricted to this rank's `cl` columns.
+pub fn unpack_transpose(tiles: &[Vec<u8>], rl: usize, cl: usize, size: usize) -> Vec<Complex32> {
+    assert_eq!(tiles.len() * rl, size);
+    let mut out = vec![Complex32::ZERO; cl * size];
+    for (j, bytes) in tiles.iter().enumerate() {
+        let tile = from_bytes(bytes);
+        assert_eq!(tile.len(), rl * cl, "tile from rank {j} has wrong size");
+        for r in 0..rl {
+            for c in 0..cl {
+                out[c * size + j * rl + r] = tile[r * cl + c];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn pack_then_unpack_transposes() {
+        // Simulate 2 ranks on an 8x8 matrix without any communication.
+        let size = 8;
+        let n = 2;
+        let rl = size / n;
+        let cl = size / n;
+        let full = workload::input_matrix(3, size);
+        let stripes: Vec<Vec<Complex32>> = (0..n)
+            .map(|me| workload::input_stripe(3, size, me * rl, rl))
+            .collect();
+        let packed: Vec<Vec<Vec<u8>>> = stripes
+            .iter()
+            .map(|s| pack_tiles(s, rl, size, n))
+            .collect();
+        // "alltoall": rank me receives packed[j][me] from each j.
+        #[allow(clippy::needless_range_loop)]
+        for me in 0..n {
+            let tiles: Vec<Vec<u8>> = (0..n).map(|j| packed[j][me].clone()).collect();
+            let out = unpack_transpose(&tiles, rl, cl, size);
+            // Row c of `out` is column me*cl + c of the original.
+            for c in 0..cl {
+                for r in 0..size {
+                    assert_eq!(out[c * size + r], full.get(r, me * cl + c), "me={me}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_tile_sizes() {
+        let local = workload::input_stripe(1, 8, 0, 2);
+        let tiles = pack_tiles(&local, 2, 8, 4);
+        assert_eq!(tiles.len(), 4);
+        for t in &tiles {
+            assert_eq!(t.len(), 2 * 2 * 8); // rl x cl complex samples
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unpack_rejects_bad_tiles() {
+        let tiles = vec![vec![0u8; 8]; 2];
+        unpack_transpose(&tiles, 4, 4, 8);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's §3.3 measurement procedure, producing Table 1.0 cells.
+//!
+//! "each node configuration and mapping will be executed ten times where
+//! each execution consists of a 100 iterations. ... The final performance
+//! number for that execution will average the 100*10 results into a final
+//! average result." Virtual time is deterministic, so by default we run a
+//! reduced repetition count; set the environment variable
+//! `SAGE_FULL_ITERS=1` to reproduce the full 10x100 procedure.
+
+use crate::{corner_turn, fft2d};
+use sage_fabric::TimePolicy;
+use sage_runtime::RuntimeOptions;
+
+/// Which benchmark application a cell measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchApp {
+    /// Parallel 2D FFT.
+    Fft2d,
+    /// Distributed corner turn.
+    CornerTurn,
+}
+
+impl BenchApp {
+    /// Display name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchApp::Fft2d => "2D FFT",
+            BenchApp::CornerTurn => "Corner Turn",
+        }
+    }
+}
+
+/// One cell of Table 1.0: a (application, array size, node count) point.
+#[derive(Clone, Debug)]
+pub struct Table1Cell {
+    /// Application.
+    pub app: BenchApp,
+    /// Array edge (the paper's 256/512/1024).
+    pub size: usize,
+    /// Processing nodes.
+    pub nodes: usize,
+    /// Hand-coded seconds per data set.
+    pub hand_secs: f64,
+    /// SAGE auto-generated seconds per data set.
+    pub sage_secs: f64,
+}
+
+impl Table1Cell {
+    /// "% of hand coded": hand time over SAGE time, as a percentage (100 =
+    /// parity; smaller = more SAGE overhead), matching the paper's column.
+    pub fn pct_of_hand(&self) -> f64 {
+        100.0 * self.hand_secs / self.sage_secs
+    }
+
+    /// SAGE overhead relative to hand-coded, as a fraction.
+    pub fn overhead(&self) -> f64 {
+        self.sage_secs / self.hand_secs - 1.0
+    }
+}
+
+/// The repetition schedule: (executions, iterations per execution).
+pub fn repetitions() -> (u32, u32) {
+    if std::env::var("SAGE_FULL_ITERS").is_ok() {
+        (10, 100) // the paper's full procedure
+    } else {
+        (2, 5)
+    }
+}
+
+/// Measures one Table 1.0 cell in deterministic virtual time on the CSPI
+/// platform model.
+pub fn table1_cell(
+    app: BenchApp,
+    size: usize,
+    nodes: usize,
+    options: &RuntimeOptions,
+) -> Table1Cell {
+    let (execs, iters) = repetitions();
+    let mut hand_total = 0.0;
+    let mut sage_total = 0.0;
+    for _ in 0..execs {
+        let (hand, sage) = match app {
+            BenchApp::Fft2d => (
+                fft2d::run_hand_coded(size, nodes, TimePolicy::Virtual, iters),
+                fft2d::run_sage(size, nodes, TimePolicy::Virtual, options, iters),
+            ),
+            BenchApp::CornerTurn => (
+                corner_turn::run_hand_coded(size, nodes, TimePolicy::Virtual, iters),
+                corner_turn::run_sage(size, nodes, TimePolicy::Virtual, options, iters),
+            ),
+        };
+        hand_total += hand.per_iter_secs;
+        sage_total += sage.per_iter_secs;
+    }
+    Table1Cell {
+        app,
+        size,
+        nodes,
+        hand_secs: hand_total / execs as f64,
+        sage_secs: sage_total / execs as f64,
+    }
+}
+
+/// The full Table 1.0 sweep: both applications, array sizes
+/// 256/512/1024, node counts 4 and 8 (plus the §3.4 two-node
+/// configuration when `include_two_nodes` is set).
+pub fn table1_sweep(
+    sizes: &[usize],
+    node_counts: &[usize],
+    options: &RuntimeOptions,
+) -> Vec<Table1Cell> {
+    let mut cells = Vec::new();
+    for &nodes in node_counts {
+        for app in [BenchApp::Fft2d, BenchApp::CornerTurn] {
+            for &size in sizes {
+                cells.push(table1_cell(app, size, nodes, options));
+            }
+        }
+    }
+    cells
+}
+
+/// Renders cells in the paper's Table 1.0 layout, with per-application and
+/// cumulative averages.
+pub fn render_table1(cells: &[Table1Cell]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<6} {:<12} {:>11} {:>16} {:>16} {:>14}",
+        "Nodes", "Application", "Array Size", "Hand Coded (ms)", "SAGE AutoGen (ms)", "% of Hand"
+    );
+    let mut nodes_seen: Vec<usize> = cells.iter().map(|c| c.nodes).collect();
+    nodes_seen.dedup();
+    for c in cells {
+        let _ = writeln!(
+            s,
+            "{:<6} {:<12} {:>7} x {:<3} {:>16.3} {:>16.3} {:>13.1}%",
+            c.nodes,
+            c.app.name(),
+            c.size,
+            c.size,
+            c.hand_secs * 1e3,
+            c.sage_secs * 1e3,
+            c.pct_of_hand()
+        );
+    }
+    for app in [BenchApp::Fft2d, BenchApp::CornerTurn] {
+        let xs: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.app == app)
+            .map(|c| c.pct_of_hand())
+            .collect();
+        if !xs.is_empty() {
+            let _ = writeln!(
+                s,
+                "average {:<12} {:>58.1}%",
+                app.name(),
+                xs.iter().sum::<f64>() / xs.len() as f64
+            );
+        }
+    }
+    let all: Vec<f64> = cells.iter().map(|c| c.pct_of_hand()).collect();
+    if !all.is_empty() {
+        let _ = writeln!(
+            s,
+            "cumulative average {:>51.1}%",
+            all.iter().sum::<f64>() / all.len() as f64
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_math() {
+        let c = Table1Cell {
+            app: BenchApp::Fft2d,
+            size: 256,
+            nodes: 4,
+            hand_secs: 0.08,
+            sage_secs: 0.10,
+        };
+        assert!((c.pct_of_hand() - 80.0).abs() < 1e-9);
+        assert!((c.overhead() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_cell_runs_and_is_within_paper_band() {
+        let c = table1_cell(
+            BenchApp::CornerTurn,
+            64,
+            4,
+            &RuntimeOptions::paper_faithful(),
+        );
+        assert!(c.hand_secs > 0.0 && c.sage_secs > 0.0);
+        let pct = c.pct_of_hand();
+        assert!(pct < 100.0, "SAGE must carry overhead, pct={pct}");
+        assert!(pct > 40.0, "SAGE must stay comparable, pct={pct}");
+    }
+
+    #[test]
+    fn render_contains_averages() {
+        let cells = vec![
+            Table1Cell {
+                app: BenchApp::Fft2d,
+                size: 256,
+                nodes: 4,
+                hand_secs: 0.01,
+                sage_secs: 0.0125,
+            },
+            Table1Cell {
+                app: BenchApp::CornerTurn,
+                size: 256,
+                nodes: 4,
+                hand_secs: 0.004,
+                sage_secs: 0.005,
+            },
+        ];
+        let t = render_table1(&cells);
+        assert!(t.contains("2D FFT"));
+        assert!(t.contains("Corner Turn"));
+        assert!(t.contains("cumulative average"));
+        assert!(t.contains("80.0%"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # sage-apps
+//!
+//! The paper's benchmark applications — "algorithms that have been used by
+//! Rome Laboratories and MITRE in their benchmarking efforts of COTS based
+//! high performance computing systems" (§3.1) — each in two forms:
+//!
+//! * a **SAGE-modeled** form: a Designer dataflow model whose glue code is
+//!   auto-generated and executed by the run-time kernel, and
+//! * a **hand-coded** form: a direct MPI implementation against the
+//!   vendor-tuned message layer, the way CSPI's engineers wrote the
+//!   reference versions.
+//!
+//! Applications:
+//!
+//! * [`fft2d`] — the Parallel 2D FFT (row FFTs → distributed corner turn →
+//!   column FFTs; the distributed result is the transposed 2D FFT, as usual
+//!   for this decomposition);
+//! * [`corner_turn`] — the Distributed Corner Turn (all-to-all
+//!   redistribution + local tile transposes);
+//! * [`stap`] — a STAP-flavoured radar pipeline (pulse compression →
+//!   Doppler FFT → corner turn → beamform → detect) exercising the full
+//!   Designer/AToT/codegen flow on a deeper graph.
+//!
+//! [`workload`] provides deterministic input generation and serial reference
+//! implementations; [`kernels`] registers the ISSPL-like shelf kernels with
+//! the run-time; [`experiment`] drives the paper's Table 1.0 measurement
+//! procedure.
+
+#![warn(missing_docs)]
+
+pub mod corner_turn;
+pub mod dist;
+pub mod experiment;
+pub mod fft2d;
+pub mod image_filter;
+pub mod kernels;
+pub mod stap;
+pub mod workload;
+
+pub use experiment::{table1_cell, Table1Cell};

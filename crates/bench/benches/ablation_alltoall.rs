@@ -1,0 +1,60 @@
+//! Criterion bench for the all-to-all algorithm ablation (§3.1: vendors'
+//! tuned `MPI_All_to_All` vs the generic pairwise exchange).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_fabric::{Cluster, LinkSpec, MachineSpec, NodeSpec, TimePolicy};
+use sage_mpi::{Communicator, MpiConfig};
+use std::hint::black_box;
+
+fn machine(n: usize) -> MachineSpec {
+    MachineSpec::uniform(
+        "bench",
+        n,
+        NodeSpec {
+            flops_per_sec: 200.0e6,
+            mem_bw: 640.0e6,
+        },
+        LinkSpec {
+            bandwidth: 160.0e6,
+            latency: 20.0e-6,
+        },
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_alltoall");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &(nodes, block_kb) in &[(4usize, 64usize), (8, 64), (8, 256)] {
+        for algo in ["generic", "vendor_tuned", "bruck"] {
+            let label = algo;
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{nodes}n/{block_kb}KB")),
+                &(nodes, block_kb),
+                |b, &(nodes, block_kb)| {
+                    let cluster = Cluster::new(machine(nodes), TimePolicy::Virtual);
+                    b.iter(|| {
+                        let (_, report) = cluster.run(|ctx| {
+                            let me = ctx.id();
+                            let n = ctx.nodes();
+                            let mut comm = Communicator::new(ctx, MpiConfig::generic());
+                            let blocks: Vec<Vec<u8>> =
+                                (0..n).map(|_| vec![me as u8; block_kb * 1024]).collect();
+                            match algo {
+                                "vendor_tuned" => comm.alltoall_tuned(&blocks),
+                                "bruck" => comm.alltoall_bruck(&blocks),
+                                _ => comm.alltoall(&blocks),
+                            }
+                        });
+                        black_box(report.makespan)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

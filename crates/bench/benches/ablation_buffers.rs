@@ -1,0 +1,41 @@
+//! Criterion bench for the buffer-management ablation (§3.4 two-node hit,
+//! §4 optimized run-time): corner turn under the unique vs shared schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_apps::corner_turn;
+use sage_fabric::TimePolicy;
+use sage_runtime::RuntimeOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffers");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &nodes in &[2usize, 8] {
+        for (label, opts) in [
+            ("unique_per_function", RuntimeOptions::paper_faithful()),
+            ("shared", RuntimeOptions::optimized()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{nodes}n")),
+                &nodes,
+                |b, &nodes| {
+                    b.iter(|| {
+                        black_box(corner_turn::run_sage(
+                            128,
+                            nodes,
+                            TimePolicy::Virtual,
+                            &opts,
+                            1,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the AToT mapping ablation (§1.1): GA optimization
+//! cost and the schedule quality of GA vs baseline mappers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage_atot::{baselines, ga, GaConfig, Scheduler, TaskGraph};
+use sage_apps::stap;
+use sage_model::HardwareShelf;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let flat = stap::sage_model(128, 8).flatten().unwrap();
+    let graph = TaskGraph::from_model(&flat);
+    let hw = HardwareShelf::cspi_with_nodes(8);
+    let scheduler = Scheduler::new(&graph, &hw);
+
+    let mut g = c.benchmark_group("ablation_mapping");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("ga_optimize", |b| {
+        let cfg = GaConfig {
+            population: 24,
+            generations: 40,
+            ..GaConfig::default()
+        };
+        b.iter(|| black_box(ga::optimize(&graph, &scheduler, &cfg).makespan))
+    });
+    g.bench_function("greedy_load", |b| {
+        b.iter(|| {
+            let m = baselines::greedy_load(&graph, 8);
+            black_box(scheduler.estimate(&graph, &m).makespan)
+        })
+    });
+    g.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let m = baselines::round_robin(&graph, 8);
+            black_box(scheduler.estimate(&graph, &m).makespan)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for the cross-vendor comparison (§3.1 / MITRE ref [2]):
+//! the corner turn on each vendor platform model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_apps::dist::{pack_tiles, unpack_transpose};
+use sage_apps::workload;
+use sage_fabric::{Cluster, MachineSpec, TimePolicy, Work};
+use sage_model::HardwareShelf;
+use sage_mpi::{Communicator, MpiConfig};
+use sage_signal::complex::as_bytes;
+use sage_signal::cost;
+use std::hint::black_box;
+
+fn corner_turn_on(machine: MachineSpec, size: usize) -> f64 {
+    let nodes = machine.node_count();
+    let rl = size / nodes;
+    let cl = size / nodes;
+    let cluster = Cluster::new(machine, TimePolicy::Virtual);
+    let (_, report) = cluster.run(|ctx| {
+        let me = ctx.id();
+        let n = ctx.nodes();
+        let mut comm = Communicator::new(ctx, MpiConfig::vendor_tuned());
+        let local = workload::input_stripe(1, size, me * rl, rl);
+        comm.ctx().compute(Work::copy(local.len() * 8));
+        let blocks = pack_tiles(&local, rl, size, n);
+        let tiles = comm.alltoall_tuned(&blocks);
+        let t = cost::transpose_cost(cl, size);
+        comm.ctx().compute(Work {
+            flops: t.flops,
+            mem_bytes: t.mem_bytes,
+            overhead_secs: 0.0,
+        });
+        let turned = unpack_transpose(&tiles, rl, cl, size);
+        as_bytes(&turned).len()
+    });
+    report.makespan
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cross_vendor");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for vendor in ["CSPI", "Mercury", "SKY", "SIGI"] {
+        g.bench_with_input(
+            BenchmarkId::new("corner_turn_256", vendor),
+            &vendor,
+            |b, vendor| {
+                b.iter(|| {
+                    let hw = HardwareShelf::by_name(vendor, 8).unwrap();
+                    black_box(corner_turn_on(MachineSpec::from_hardware(&hw), 256))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

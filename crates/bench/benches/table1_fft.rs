@@ -1,0 +1,42 @@
+//! Criterion bench for the Table 1.0 **2D FFT** rows: hand-coded vs SAGE
+//! auto-generated per data set, in deterministic virtual time (measured
+//! quantity = host time to simulate; the virtual ms/data-set values are
+//! printed by the `table1` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_apps::fft2d;
+use sage_fabric::TimePolicy;
+use sage_runtime::RuntimeOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_fft");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for &(size, nodes) in &[(128usize, 4usize), (256, 4), (256, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("hand_coded", format!("{size}x{size}/{nodes}n")),
+            &(size, nodes),
+            |b, &(size, nodes)| {
+                b.iter(|| {
+                    black_box(fft2d::run_hand_coded(size, nodes, TimePolicy::Virtual, 1))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sage_autogen", format!("{size}x{size}/{nodes}n")),
+            &(size, nodes),
+            |b, &(size, nodes)| {
+                let opts = RuntimeOptions::paper_faithful();
+                b.iter(|| {
+                    black_box(fft2d::run_sage(size, nodes, TimePolicy::Virtual, &opts, 1))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 1.0**: "The SAGE glue-code generator gains access
+//! into the internal SAGE design tool environment, traverses objects in the
+//! models to filter relevant information, and then outputs the information
+//! in formats particular to the SAGE run-time source files."
+//!
+//! Shows the pipeline concretely on the Parallel 2D FFT model: the Designer
+//! model, the Alter-driven generator's emitted source, the native
+//! generator's run-time tables, and proof that the generated program
+//! executes.
+
+use sage_apps::fft2d;
+use sage_core::{alter_gen, Placement};
+use sage_fabric::TimePolicy;
+use sage_runtime::RuntimeOptions;
+
+fn main() {
+    let size = 64;
+    let nodes = 4;
+    println!("=== Figure 1.0: SAGE models -> glue-code generator (Alter) -> source files ===\n");
+
+    println!("--- [1] Designer model (DOT rendering of the dataflow graph) ---");
+    let model = fft2d::sage_model(size, nodes);
+    println!("{}", sage_model::dot::to_dot(&model));
+
+    println!("--- [2] Alter glue-code generator output (script-driven traversal) ---");
+    let alter_src = alter_gen::generate_via_alter(&model).expect("Alter generation");
+    println!("{alter_src}");
+
+    println!("--- [3] Native generator: run-time source files ---");
+    let project = fft2d::sage_project(size, nodes);
+    let (program, source) = project.generate(&Placement::Aligned).expect("codegen");
+    println!("{source}");
+
+    println!("--- [4] Compiled with the run-time and executed ---");
+    let exec = project
+        .execute(
+            &program,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful(),
+            3,
+        )
+        .expect("execution");
+    println!(
+        "executed {} iterations on {} nodes: {:.3} ms/data set (virtual), {} messages, {} KB moved",
+        exec.iterations,
+        program.node_count(),
+        exec.secs_per_iteration() * 1e3,
+        exec.report.metrics.total_messages(),
+        exec.report.metrics.total_bytes() / 1024,
+    );
+}

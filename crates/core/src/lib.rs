@@ -1,0 +1,30 @@
+//! # sage-core
+//!
+//! The paper's primary contribution, assembled: **automatic glue-(source-)
+//! code generation plus the run-time infrastructure**, driven end-to-end the
+//! way §3.3 describes the experiments:
+//!
+//! 1. "the application will be modeled using the Designer" —
+//!    [`sage_model::AppGraph`] + [`sage_model::HardwareSpec`];
+//! 2. "the different node configurations and mappings will be chosen" —
+//!    manually, or via AToT's GA ([`Project::auto_map`]);
+//! 3. "the glue code will be auto-generated" — [`codegen`] traverses the
+//!    model and produces the executable [`sage_runtime::GlueProgram`] plus
+//!    the human-readable generated source files; [`alter_gen`] does the
+//!    same traversal through an actual **Alter** script, as the real
+//!    generator did;
+//! 4. "the actual execution" — [`Project::execute`] runs the program on the
+//!    fabric under either clock policy.
+
+#![warn(missing_docs)]
+
+pub mod alter_gen;
+pub mod codegen;
+pub mod emit;
+pub mod model_io;
+pub mod project;
+
+pub use codegen::{generate, CodegenError, Placement};
+pub use emit::render_glue_source;
+pub use model_io::{model_from_sexpr, model_to_sexpr};
+pub use project::Project;

@@ -1,0 +1,32 @@
+//! Time policies: real wall-clock or deterministic virtual time.
+
+use serde::{Deserialize, Serialize};
+
+/// How node clocks advance during a cluster run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimePolicy {
+    /// Nodes report wall-clock time since the cluster epoch; compute charges
+    /// are the actual execution times of the kernels.
+    Real,
+    /// Nodes carry per-node virtual clocks advanced by cost models; results
+    /// are deterministic and independent of host speed or core count.
+    Virtual,
+}
+
+impl TimePolicy {
+    /// `true` for the virtual policy.
+    pub fn is_virtual(self) -> bool {
+        matches!(self, TimePolicy::Virtual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_flags() {
+        assert!(TimePolicy::Virtual.is_virtual());
+        assert!(!TimePolicy::Real.is_virtual());
+    }
+}

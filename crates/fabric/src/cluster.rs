@@ -1,0 +1,472 @@
+//! The threaded cluster: one OS thread per node, mailbox message passing,
+//! pluggable time policy.
+
+use crate::clock::TimePolicy;
+use crate::machine::{MachineSpec, Work};
+use crate::metrics::{FabricMetrics, NodeMetrics};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in flight: payload plus its virtual arrival time at the
+/// destination NIC (0 in real mode).
+struct Msg {
+    payload: Vec<u8>,
+    arrival: f64,
+}
+
+/// Mailbox keyed by `(source node, tag)`; FIFO per key, so receives that
+/// name their source are deterministic.
+#[derive(Default)]
+struct Mailbox {
+    queues: Mutex<HashMap<(u32, u64), VecDeque<Msg>>>,
+    cv: Condvar,
+}
+
+struct Shared {
+    machine: MachineSpec,
+    policy: TimePolicy,
+    mailboxes: Vec<Mailbox>,
+    epoch: Instant,
+    recv_timeout: Duration,
+}
+
+/// The per-node execution context handed to node programs.
+///
+/// All communication and (in virtual mode) all time accounting flows through
+/// this handle. In virtual mode the node's clock only moves through
+/// [`NodeCtx::compute`], [`NodeCtx::advance`], sending (NIC serialization)
+/// and receiving (waiting for the arrival time).
+pub struct NodeCtx {
+    id: usize,
+    clock: f64,
+    nic_free: f64,
+    metrics: NodeMetrics,
+    shared: Arc<Shared>,
+}
+
+impl NodeCtx {
+    /// This node's rank, `0..nodes()`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.shared.machine.node_count()
+    }
+
+    /// The machine description this cluster models.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.shared.machine
+    }
+
+    /// The active time policy.
+    pub fn policy(&self) -> TimePolicy {
+        self.shared.policy
+    }
+
+    /// Current time in seconds: the virtual clock, or wall time since the
+    /// cluster epoch in real mode.
+    pub fn now(&self) -> f64 {
+        match self.shared.policy {
+            TimePolicy::Virtual => self.clock,
+            TimePolicy::Real => self.shared.epoch.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Charges `work` against the virtual clock (no-op in real mode, where
+    /// the kernel's actual execution time is the charge).
+    pub fn compute(&mut self, work: Work) {
+        if self.shared.policy.is_virtual() {
+            let dt = self.shared.machine.work_secs(self.id, work);
+            self.clock += dt;
+            self.metrics.compute_secs += dt;
+        }
+    }
+
+    /// Advances the virtual clock by raw seconds (no-op in real mode).
+    pub fn advance(&mut self, secs: f64) {
+        if self.shared.policy.is_virtual() {
+            self.clock += secs;
+            self.metrics.compute_secs += secs;
+        }
+    }
+
+    /// Sends `payload` to node `dst` with matching `tag`.
+    ///
+    /// Virtual-mode cost model (LogP-style, deterministic): the message
+    /// serializes through this node's NIC (`bytes / link bandwidth`, FIFO
+    /// with this node's earlier sends) and arrives after the link latency.
+    /// The sender is busy until injection completes. Self-sends are free
+    /// buffer hand-offs.
+    pub fn send(&mut self, dst: usize, tag: u64, payload: &[u8]) {
+        assert!(dst < self.nodes(), "send to node {dst} of {}", self.nodes());
+        let bytes = payload.len();
+        let arrival = if !self.shared.policy.is_virtual() || dst == self.id {
+            self.clock
+        } else {
+            let link = self.shared.machine.link(self.id, dst);
+            let inject_start = self.clock.max(self.nic_free);
+            let busy = bytes as f64 / link.bandwidth;
+            self.nic_free = inject_start + busy;
+            self.clock = self.nic_free;
+            self.nic_free + link.latency
+        };
+        self.metrics.messages_sent += 1;
+        self.metrics.bytes_sent += bytes as u64;
+        let mbox = &self.shared.mailboxes[dst];
+        let mut queues = mbox.queues.lock();
+        queues
+            .entry((self.id as u32, tag))
+            .or_default()
+            .push_back(Msg {
+                payload: payload.to_vec(),
+                arrival,
+            });
+        mbox.cv.notify_all();
+    }
+
+    /// Receives the next message from node `src` with matching `tag`,
+    /// blocking until one is available.
+    ///
+    /// In virtual mode the node's clock advances to the message's arrival
+    /// time if it was still ahead.
+    ///
+    /// # Panics
+    /// Panics after the cluster's receive timeout (default 120 s of real
+    /// time) — the standard symptom of a mismatched communication schedule.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        assert!(src < self.nodes(), "recv from node {src} of {}", self.nodes());
+        let mbox = &self.shared.mailboxes[self.id];
+        let deadline = Instant::now() + self.shared.recv_timeout;
+        let mut queues = mbox.queues.lock();
+        let msg = loop {
+            if let Some(q) = queues.get_mut(&(src as u32, tag)) {
+                if let Some(m) = q.pop_front() {
+                    break m;
+                }
+            }
+            if mbox
+                .cv
+                .wait_until(&mut queues, deadline)
+                .timed_out()
+            {
+                panic!(
+                    "node {} timed out waiting for (src={src}, tag={tag})",
+                    self.id
+                );
+            }
+        };
+        drop(queues);
+        if self.shared.policy.is_virtual() && msg.arrival > self.clock {
+            self.metrics.wait_secs += msg.arrival - self.clock;
+            self.clock = msg.arrival;
+        }
+        self.metrics.messages_received += 1;
+        self.metrics.bytes_received += msg.payload.len() as u64;
+        msg.payload
+    }
+
+    /// Combined send-then-receive (both directions may proceed concurrently
+    /// on the peer).
+    pub fn sendrecv(&mut self, peer: usize, tag: u64, payload: &[u8]) -> Vec<u8> {
+        self.send(peer, tag, payload);
+        self.recv(peer, tag)
+    }
+
+    /// The node's current virtual clock (0-based; meaningless in real mode).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+}
+
+/// Summary of a cluster run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-node traffic/timing counters.
+    pub metrics: FabricMetrics,
+    /// Host wall-clock duration of the run.
+    pub wall: Duration,
+    /// Virtual makespan: the largest final node clock (0 in real mode).
+    pub makespan: f64,
+}
+
+/// A multicomputer executing node programs.
+pub struct Cluster {
+    machine: MachineSpec,
+    policy: TimePolicy,
+    recv_timeout: Duration,
+}
+
+impl Cluster {
+    /// Creates a cluster over `machine` with the given time policy.
+    pub fn new(machine: MachineSpec, policy: TimePolicy) -> Cluster {
+        Cluster {
+            machine,
+            policy,
+            recv_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the receive deadlock timeout (tests use short values).
+    pub fn with_recv_timeout(mut self, t: Duration) -> Cluster {
+        self.recv_timeout = t;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.machine.node_count()
+    }
+
+    /// Runs `program` on every node concurrently (SPMD style: the program
+    /// branches on [`NodeCtx::id`]), returning each node's result plus the
+    /// run report.
+    ///
+    /// # Panics
+    /// Propagates any node panic.
+    pub fn run<R, F>(&self, program: F) -> (Vec<R>, RunReport)
+    where
+        R: Send,
+        F: Fn(&mut NodeCtx) -> R + Sync,
+    {
+        let n = self.machine.node_count();
+        let shared = Arc::new(Shared {
+            machine: self.machine.clone(),
+            policy: self.policy,
+            mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
+            epoch: Instant::now(),
+            recv_timeout: self.recv_timeout,
+        });
+        let start = Instant::now();
+        let mut results: Vec<Option<(R, NodeMetrics)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for id in 0..n {
+                let shared = shared.clone();
+                let program = &program;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = NodeCtx {
+                        id,
+                        clock: 0.0,
+                        nic_free: 0.0,
+                        metrics: NodeMetrics::default(),
+                        shared,
+                    };
+                    let r = program(&mut ctx);
+                    ctx.metrics.final_clock = ctx.clock;
+                    (r, ctx.metrics)
+                }));
+            }
+            for (id, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[id] = Some(r),
+                    // Re-raise with the original payload so callers see the
+                    // node's own panic message (e.g. kernel errors).
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let wall = start.elapsed();
+        let mut rs = Vec::with_capacity(n);
+        let mut metrics = FabricMetrics::default();
+        for slot in results {
+            let (r, m) = slot.expect("node produced no result");
+            rs.push(r);
+            metrics.nodes.push(m);
+        }
+        let makespan = metrics.makespan();
+        (
+            rs,
+            RunReport {
+                metrics,
+                wall,
+                makespan,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{LinkSpec, NodeSpec};
+
+    fn machine(n: usize) -> MachineSpec {
+        MachineSpec::uniform(
+            "test",
+            n,
+            NodeSpec {
+                flops_per_sec: 1.0e9,
+                mem_bw: 1.0e9,
+            },
+            LinkSpec {
+                bandwidth: 1.0e8, // 100 MB/s
+                latency: 10.0e-6,
+            },
+        )
+    }
+
+    #[test]
+    fn ping_pong_real_mode() {
+        let cluster = Cluster::new(machine(2), TimePolicy::Real);
+        let (results, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, 7, b"ping");
+                ctx.recv(1, 8)
+            } else {
+                let m = ctx.recv(0, 7);
+                assert_eq!(m, b"ping");
+                ctx.send(0, 8, b"pong");
+                m
+            }
+        });
+        assert_eq!(results[0], b"pong");
+        assert_eq!(report.metrics.total_messages(), 2);
+        assert_eq!(report.metrics.total_bytes(), 8);
+    }
+
+    #[test]
+    fn virtual_clock_advances_by_transfer_time() {
+        let cluster = Cluster::new(machine(2), TimePolicy::Virtual);
+        let (_, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, 0, &vec![0u8; 1_000_000]); // 1 MB at 100 MB/s = 10 ms
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        let expected = 1.0e6 / 1.0e8 + 10.0e-6;
+        assert!(
+            (report.metrics.nodes[1].final_clock - expected).abs() < 1e-9,
+            "got {}",
+            report.metrics.nodes[1].final_clock
+        );
+        // Sender is only busy for the injection (no latency).
+        assert!((report.metrics.nodes[0].final_clock - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_compute_charges() {
+        let cluster = Cluster::new(machine(1), TimePolicy::Virtual);
+        let (_, report) = cluster.run(|ctx| {
+            ctx.compute(Work::flops(2.0e9)); // 2 s at 1 Gflop/s
+            ctx.compute(Work::copy(500_000_000)); // 1 GB traffic at 1 GB/s
+            ctx.advance(0.5);
+        });
+        assert!((report.makespan - 3.5).abs() < 1e-9);
+        assert!((report.metrics.nodes[0].compute_secs - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sender_nic_serializes_consecutive_sends() {
+        let cluster = Cluster::new(machine(3), TimePolicy::Virtual);
+        let (_, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, 0, &vec![0u8; 1_000_000]);
+                ctx.send(2, 0, &vec![0u8; 1_000_000]);
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        // Second message waits for the first injection: arrival = 20ms + lat.
+        let n2 = report.metrics.nodes[2].final_clock;
+        assert!((n2 - (0.02 + 10.0e-6)).abs() < 1e-9, "got {n2}");
+    }
+
+    #[test]
+    fn virtual_times_are_deterministic_across_runs() {
+        let run_once = || {
+            let cluster = Cluster::new(machine(4), TimePolicy::Virtual);
+            let (_, report) = cluster.run(|ctx| {
+                let me = ctx.id();
+                let n = ctx.nodes();
+                // All-to-all of 64 KB chunks with per-peer tags.
+                for p in 0..n {
+                    if p != me {
+                        ctx.send(p, me as u64, &vec![me as u8; 65536]);
+                    }
+                }
+                for p in 0..n {
+                    if p != me {
+                        let m = ctx.recv(p, p as u64);
+                        assert_eq!(m[0], p as u8);
+                    }
+                }
+                ctx.clock()
+            });
+            report
+                .metrics
+                .nodes
+                .iter()
+                .map(|m| m.final_clock)
+                .collect::<Vec<_>>()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fifo_order_per_src_tag() {
+        let cluster = Cluster::new(machine(2), TimePolicy::Real);
+        let (results, _) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                for i in 0..10u8 {
+                    ctx.send(1, 5, &[i]);
+                }
+                0
+            } else {
+                let mut last = None;
+                for _ in 0..10 {
+                    let m = ctx.recv(0, 5);
+                    if let Some(prev) = last {
+                        assert!(m[0] > prev);
+                    }
+                    last = Some(m[0]);
+                }
+                last.unwrap() as i32
+            }
+        });
+        assert_eq!(results[1], 9);
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let cluster = Cluster::new(machine(1), TimePolicy::Virtual);
+        let (_, report) = cluster.run(|ctx| {
+            ctx.send(0, 1, b"loop");
+            let m = ctx.recv(0, 1);
+            assert_eq!(m, b"loop");
+        });
+        assert_eq!(report.makespan, 0.0);
+    }
+
+    #[test]
+    fn recv_timeout_panics() {
+        let cluster = Cluster::new(machine(1), TimePolicy::Real)
+            .with_recv_timeout(Duration::from_millis(50));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run(|ctx| {
+                ctx.recv(0, 42);
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn wait_time_recorded() {
+        let cluster = Cluster::new(machine(2), TimePolicy::Virtual);
+        let (_, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.compute(Work::flops(1.0e9)); // busy 1 s before sending
+                ctx.send(1, 0, b"x");
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        assert!(report.metrics.nodes[1].wait_secs > 0.9);
+    }
+}

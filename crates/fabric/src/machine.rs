@@ -1,0 +1,235 @@
+//! Machine characterization: node compute rates and link cost parameters.
+
+use sage_model::HardwareSpec;
+use serde::{Deserialize, Serialize};
+
+/// One compute node's rates.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Sustainable floating-point rate, flops/second.
+    pub flops_per_sec: f64,
+    /// Sustainable memory bandwidth, bytes/second.
+    pub mem_bw: f64,
+}
+
+/// One directed link's wire characteristics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+}
+
+impl LinkSpec {
+    /// Pure wire time for `bytes` (no NIC serialization).
+    pub fn wire_secs(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// A quantum of computation to charge against a node's virtual clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Work {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes of memory traffic.
+    pub mem_bytes: f64,
+    /// Fixed software overhead in seconds (per-call setup, dispatch, ...).
+    pub overhead_secs: f64,
+}
+
+impl Work {
+    /// Pure flop work.
+    pub fn flops(flops: f64) -> Work {
+        Work {
+            flops,
+            ..Work::default()
+        }
+    }
+
+    /// Pure memory-movement work (e.g. a buffer copy of `bytes` bytes reads
+    /// and writes each byte once).
+    pub fn copy(bytes: usize) -> Work {
+        Work {
+            mem_bytes: 2.0 * bytes as f64,
+            ..Work::default()
+        }
+    }
+
+    /// Pure fixed overhead.
+    pub fn overhead(secs: f64) -> Work {
+        Work {
+            overhead_secs: secs,
+            ..Work::default()
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, o: Work) -> Work {
+        Work {
+            flops: self.flops + o.flops,
+            mem_bytes: self.mem_bytes + o.mem_bytes,
+            overhead_secs: self.overhead_secs + o.overhead_secs,
+        }
+    }
+}
+
+/// The complete machine: nodes plus a dense pairwise link matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Machine name (platform profile).
+    pub name: String,
+    nodes: Vec<NodeSpec>,
+    /// `links[i][j]` is the link used for messages from node i to node j.
+    links: Vec<Vec<LinkSpec>>,
+}
+
+impl MachineSpec {
+    /// A uniform machine: `n` identical nodes, one link spec everywhere.
+    pub fn uniform(name: impl Into<String>, n: usize, node: NodeSpec, link: LinkSpec) -> Self {
+        assert!(n > 0, "machine needs at least one node");
+        MachineSpec {
+            name: name.into(),
+            nodes: vec![node; n],
+            links: vec![vec![link; n]; n],
+        }
+    }
+
+    /// Derives a machine from a Designer hardware model: node rates from the
+    /// processor specs, links from the board/fabric hierarchy.
+    pub fn from_hardware(hw: &HardwareSpec) -> Self {
+        let flat = hw.flatten();
+        assert!(!flat.is_empty(), "hardware model has no processors");
+        let nodes: Vec<NodeSpec> = flat
+            .iter()
+            .map(|p| NodeSpec {
+                flops_per_sec: p.proc.flops_per_sec(),
+                mem_bw: p.proc.mem_bw_mbps * 1.0e6,
+            })
+            .collect();
+        let n = nodes.len();
+        let mut links = vec![
+            vec![
+                LinkSpec {
+                    bandwidth: 1.0,
+                    latency: 0.0
+                };
+                n
+            ];
+            n
+        ];
+        for i in 0..n {
+            for j in 0..n {
+                let f = hw.link_between(&flat[i], &flat[j]);
+                links[i][j] = LinkSpec {
+                    bandwidth: f.bandwidth_mbps * 1.0e6,
+                    latency: f.latency_us * 1.0e-6,
+                };
+            }
+        }
+        MachineSpec {
+            name: hw.name.clone(),
+            nodes,
+            links,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node `i`'s rates.
+    pub fn node(&self, i: usize) -> NodeSpec {
+        self.nodes[i]
+    }
+
+    /// The link for messages `from -> to`.
+    pub fn link(&self, from: usize, to: usize) -> LinkSpec {
+        self.links[from][to]
+    }
+
+    /// Seconds of virtual time `work` costs on node `i`.
+    pub fn work_secs(&self, i: usize, work: Work) -> f64 {
+        let n = self.nodes[i];
+        work.flops / n.flops_per_sec + work.mem_bytes / n.mem_bw + work.overhead_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_model::HardwareShelf;
+
+    fn node() -> NodeSpec {
+        NodeSpec {
+            flops_per_sec: 200.0e6,
+            mem_bw: 320.0e6,
+        }
+    }
+
+    #[test]
+    fn uniform_machine_shape() {
+        let m = MachineSpec::uniform(
+            "t",
+            4,
+            node(),
+            LinkSpec {
+                bandwidth: 160.0e6,
+                latency: 20.0e-6,
+            },
+        );
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.link(0, 3).bandwidth, 160.0e6);
+    }
+
+    #[test]
+    fn work_charging() {
+        let m = MachineSpec::uniform(
+            "t",
+            1,
+            node(),
+            LinkSpec {
+                bandwidth: 1.0,
+                latency: 0.0,
+            },
+        );
+        // 200 Mflops at 200 Mflop/s = 1s; 320 MB at 320 MB/s = 1s; +0.5s overhead.
+        let w = Work {
+            flops: 200.0e6,
+            mem_bytes: 320.0e6,
+            overhead_secs: 0.5,
+        };
+        assert!((m.work_secs(0, w) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_constructors() {
+        assert_eq!(Work::copy(100).mem_bytes, 200.0);
+        assert_eq!(Work::flops(5.0).flops, 5.0);
+        assert_eq!(Work::overhead(0.1).overhead_secs, 0.1);
+        let s = Work::flops(1.0).plus(Work::copy(1)).plus(Work::overhead(2.0));
+        assert_eq!((s.flops, s.mem_bytes, s.overhead_secs), (1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn from_hardware_uses_board_locality() {
+        let hw = HardwareShelf::cspi_testbed(); // 2 boards x 4 procs
+        let m = MachineSpec::from_hardware(&hw);
+        assert_eq!(m.node_count(), 8);
+        assert_eq!(m.node(0).flops_per_sec, 200.0e6);
+        // CSPI preset uses the same Myrinet everywhere.
+        assert_eq!(m.link(0, 1), m.link(0, 7));
+        assert!((m.link(0, 1).bandwidth - 160.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn wire_secs_combines_latency_and_bandwidth() {
+        let l = LinkSpec {
+            bandwidth: 100.0,
+            latency: 0.25,
+        };
+        assert!((l.wire_secs(50) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-run traffic and timing metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// Messages sent by this node.
+    pub messages_sent: u64,
+    /// Payload bytes sent by this node.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Final virtual clock (seconds); 0 in real mode.
+    pub final_clock: f64,
+    /// Accumulated virtual compute time (seconds); 0 in real mode.
+    pub compute_secs: f64,
+    /// Accumulated virtual time blocked in receives (seconds); 0 in real mode.
+    pub wait_secs: f64,
+}
+
+/// Aggregated metrics for a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricMetrics {
+    /// Per-node counters, indexed by node id.
+    pub nodes: Vec<NodeMetrics>,
+}
+
+impl FabricMetrics {
+    /// Total payload bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// The largest final virtual clock — the virtual makespan.
+    pub fn makespan(&self) -> f64 {
+        self.nodes.iter().map(|n| n.final_clock).fold(0.0, f64::max)
+    }
+
+    /// Node compute utilization: compute time over makespan, per node.
+    pub fn utilization(&self) -> Vec<f64> {
+        let ms = self.makespan();
+        if ms <= 0.0 {
+            return vec![0.0; self.nodes.len()];
+        }
+        self.nodes.iter().map(|n| n.compute_secs / ms).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let m = FabricMetrics {
+            nodes: vec![
+                NodeMetrics {
+                    messages_sent: 2,
+                    bytes_sent: 10,
+                    final_clock: 1.0,
+                    compute_secs: 0.5,
+                    ..Default::default()
+                },
+                NodeMetrics {
+                    messages_sent: 1,
+                    bytes_sent: 5,
+                    final_clock: 2.0,
+                    compute_secs: 2.0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(m.total_bytes(), 15);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.makespan(), 2.0);
+        assert_eq!(m.utilization(), vec![0.25, 1.0]);
+    }
+
+    #[test]
+    fn empty_metrics_safe() {
+        let m = FabricMetrics::default();
+        assert_eq!(m.makespan(), 0.0);
+        assert!(m.utilization().is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Graphviz DOT export — the textual stand-in for the Designer's "graphical
+//! view or model of the application".
+
+use crate::block::BlockKind;
+use crate::graph::AppGraph;
+use std::fmt::Write;
+
+/// Renders the application graph in DOT format.
+///
+/// Sources are house-shaped, sinks inverted-house, primitives boxes
+/// (annotated with function name and thread count), hierarchical blocks
+/// double-walled boxes. Edges are labelled with the carried data type.
+pub fn to_dot(graph: &AppGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (i, b) in graph.blocks().iter().enumerate() {
+        let (shape, label) = match &b.kind {
+            BlockKind::Source { .. } => ("house".to_string(), b.name.clone()),
+            BlockKind::Sink { .. } => ("invhouse".to_string(), b.name.clone()),
+            BlockKind::Primitive {
+                function, threads, ..
+            } => (
+                "box".to_string(),
+                format!("{}\\n{function} x{threads}", b.name),
+            ),
+            BlockKind::Hierarchical { .. } => ("box3d".to_string(), b.name.clone()),
+        };
+        let _ = writeln!(s, "  n{i} [shape={shape}, label=\"{label}\"];");
+    }
+    for c in graph.connections() {
+        let ty = graph
+            .port_at(c.from)
+            .map(|p| p.data_type.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [label=\"{}\"];",
+            c.from.block.index(),
+            c.to.block.index(),
+            ty
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, CostModel};
+    use crate::datatype::DataType;
+    use crate::port::{Port, Striping};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = AppGraph::new("demo");
+        let a = g.add_block(Block::source(
+            "src",
+            vec![Port::output("out", DataType::Complex, Striping::Replicated)],
+        ));
+        let b = g.add_block(Block::primitive(
+            "fft",
+            "isspl.fft",
+            2,
+            CostModel::ZERO,
+            vec![
+                Port::input("in", DataType::Complex, Striping::Replicated),
+                Port::output("out", DataType::Complex, Striping::Replicated),
+            ],
+        ));
+        g.connect(a, "out", b, "in").unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("n0 [shape=house"));
+        assert!(dot.contains("isspl.fft x2"));
+        assert!(dot.contains("n0 -> n1 [label=\"Complex32\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,82 @@
+//! Typed identifiers for model objects.
+//!
+//! The paper: "SAGE Designer orders all function instances and assigns them
+//! IDs from 0..N-1. The SAGE runtime executes functions based on this ID,
+//! which is the index of this descriptor into the function table." We keep
+//! that convention: ids are dense indices into the owning collection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index this id wraps.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs an id from a dense index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// Identifies a functional block within an [`crate::AppGraph`].
+    BlockId,
+    "B"
+);
+index_id!(
+    /// Identifies a connection (data-flow arc) within an [`crate::AppGraph`].
+    ConnId,
+    "C"
+);
+index_id!(
+    /// Identifies a flattened processor instance within a
+    /// [`crate::HardwareSpec`].
+    ProcId,
+    "P"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let b = BlockId::from_index(7);
+        assert_eq!(b.index(), 7);
+        assert_eq!(format!("{b}"), "B7");
+        assert_eq!(format!("{:?}", ConnId(3)), "C3");
+        assert_eq!(format!("{}", ProcId(0)), "P0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert_eq!(BlockId(5), BlockId::from_index(5));
+    }
+}

@@ -1,0 +1,87 @@
+//! # sage-model
+//!
+//! The **SAGE Designer** model layer: everything the paper's three editors
+//! capture.
+//!
+//! * the **application editor** builds a hierarchical dataflow graph of
+//!   functional blocks connected through ports ([`graph`], [`block`],
+//!   [`port`]);
+//! * the **data type editor** defines data types and the striping /
+//!   parallelization relationships between functions ([`datatype`]);
+//! * the **hardware editor** builds the hardware architecture hierarchically
+//!   from the processor up to the system level ([`hardware`]);
+//! * primitive and hierarchical blocks are stored on **software and hardware
+//!   shelves** for later reuse ([`shelf`]);
+//! * the application-to-hardware **mapping** ([`mapping`]) is what AToT
+//!   refines and the glue-code generator consumes.
+//!
+//! Every model object carries a free-form property bag so that the Alter
+//! language (`sage-alter`) can traverse objects and "collect the relevant
+//! information from the various attributes and properties" exactly as the
+//! paper describes.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod datatype;
+pub mod dot;
+pub mod graph;
+pub mod hardware;
+pub mod ids;
+pub mod mapping;
+pub mod port;
+pub mod shelf;
+pub mod validate;
+
+pub use block::{Block, BlockKind, CostModel};
+pub use datatype::{DataType, ScalarKind};
+pub use graph::{AppGraph, Connection, Endpoint};
+pub use hardware::{Board, Chassis, FabricSpec, HardwareSpec, Processor, ProcessorInstance};
+pub use ids::{BlockId, ConnId, ProcId};
+pub use mapping::Mapping;
+pub use port::{Direction, Port, Striping};
+pub use shelf::{HardwareShelf, ShelfFunction, SoftwareShelf};
+pub use validate::{validate, ModelError};
+
+use std::collections::BTreeMap;
+
+/// A property value attached to a model object (readable from Alter).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PropValue {
+    /// String property.
+    Str(String),
+    /// Integer property.
+    Int(i64),
+    /// Floating-point property.
+    Float(f64),
+    /// Boolean property.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// Renders the value as display text (used by Alter's `prop` builtin).
+    pub fn as_text(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(i) => i.to_string(),
+            PropValue::Float(f) => f.to_string(),
+            PropValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// An ordered property bag; ordered so generated glue code is deterministic.
+pub type Properties = BTreeMap<String, PropValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_value_text() {
+        assert_eq!(PropValue::Str("x".into()).as_text(), "x");
+        assert_eq!(PropValue::Int(-3).as_text(), "-3");
+        assert_eq!(PropValue::Float(1.5).as_text(), "1.5");
+        assert_eq!(PropValue::Bool(true).as_text(), "true");
+    }
+}

@@ -1,0 +1,139 @@
+//! Ports: the sending and receiving points for all data-flow communication.
+//!
+//! Paper §2: "A function's port object is the sending and receiving point for
+//! all data-flow communication between functions; the striping
+//! characteristics of a data-flow connection are defined on the source and
+//! destination ports. ... A function port can be defined in the model to be
+//! of type replicated or striped. Replicated ports represent data-flow
+//! communications in which the data is replicated for each thread of the
+//! host function. Striped ports represent data-flow communications in which
+//! the data is sliced or divided evenly among the threads of the host
+//! function. The port striping type applies to both sending (outgoing) and
+//! receiving (incoming) ports."
+
+use crate::datatype::DataType;
+use serde::{Deserialize, Serialize};
+
+/// Data-flow direction of a port relative to its host block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Receiving (incoming) port.
+    In,
+    /// Sending (outgoing) port.
+    Out,
+}
+
+/// Port striping convention (paper §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Striping {
+    /// The full datum is replicated for each thread of the host function.
+    Replicated,
+    /// The datum is sliced evenly among the threads of the host function
+    /// along array dimension `dim` (0 = outermost, e.g. rows of a row-major
+    /// matrix).
+    Striped {
+        /// Array dimension along which slicing happens.
+        dim: usize,
+    },
+}
+
+impl Striping {
+    /// Shorthand for striping along the outermost (row) dimension.
+    pub const BY_ROWS: Striping = Striping::Striped { dim: 0 };
+    /// Shorthand for striping along the second (column) dimension.
+    pub const BY_COLS: Striping = Striping::Striped { dim: 1 };
+
+    /// `true` for the replicated convention.
+    pub fn is_replicated(self) -> bool {
+        matches!(self, Striping::Replicated)
+    }
+}
+
+/// A port on a functional block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name, unique among the host block's ports of the same direction.
+    pub name: String,
+    /// Whether the port receives or sends.
+    pub direction: Direction,
+    /// Data type carried by the port.
+    pub data_type: DataType,
+    /// Striping convention for multi-threaded host functions.
+    pub striping: Striping,
+}
+
+impl Port {
+    /// Creates an incoming port.
+    pub fn input(name: impl Into<String>, data_type: DataType, striping: Striping) -> Port {
+        Port {
+            name: name.into(),
+            direction: Direction::In,
+            data_type,
+            striping,
+        }
+    }
+
+    /// Creates an outgoing port.
+    pub fn output(name: impl Into<String>, data_type: DataType, striping: Striping) -> Port {
+        Port {
+            name: name.into(),
+            direction: Direction::Out,
+            data_type,
+            striping,
+        }
+    }
+
+    /// Checks that this port's striping is realizable for `threads` host
+    /// threads: replicated ports always are; striped ports need the sliced
+    /// dimension to divide evenly.
+    pub fn striping_valid_for(&self, threads: usize) -> bool {
+        match self.striping {
+            Striping::Replicated => threads > 0,
+            Striping::Striped { dim } => self.data_type.stripeable(dim, threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    #[test]
+    fn constructors_set_direction() {
+        let p = Port::input("in", DataType::Complex, Striping::Replicated);
+        assert_eq!(p.direction, Direction::In);
+        let q = Port::output("out", DataType::Complex, Striping::Replicated);
+        assert_eq!(q.direction, Direction::Out);
+    }
+
+    #[test]
+    fn replicated_valid_for_any_positive_threads() {
+        let p = Port::input("in", DataType::Complex, Striping::Replicated);
+        assert!(p.striping_valid_for(1));
+        assert!(p.striping_valid_for(16));
+        assert!(!p.striping_valid_for(0));
+    }
+
+    #[test]
+    fn striped_requires_even_division() {
+        let p = Port::input(
+            "m",
+            DataType::complex_matrix(8, 4),
+            Striping::BY_ROWS,
+        );
+        assert!(p.striping_valid_for(2));
+        assert!(p.striping_valid_for(8));
+        assert!(!p.striping_valid_for(3));
+        let q = Port::input("m", DataType::complex_matrix(8, 4), Striping::BY_COLS);
+        assert!(q.striping_valid_for(4));
+        assert!(!q.striping_valid_for(8));
+    }
+
+    #[test]
+    fn striping_shorthands() {
+        assert_eq!(Striping::BY_ROWS, Striping::Striped { dim: 0 });
+        assert!(Striping::Replicated.is_replicated());
+        assert!(!Striping::BY_COLS.is_replicated());
+    }
+}

@@ -1,0 +1,290 @@
+//! Software and hardware **shelves**: reusable component libraries.
+//!
+//! Paper §1.1: "All primitive and hierarchical blocks are stored on software
+//! and hardware shelves for later reuse. Items on the hardware shelf include
+//! workstations, other embedded computers, CPU chips, memory, ASICs, FPGAs,
+//! etc." and §3.2: porting SAGE to a platform means "capturing of all
+//! knowledge associated with programming to the CSPI hardware ... the ISSPL
+//! function libraries on to the appropriate shelves".
+
+use crate::block::CostModel;
+use crate::hardware::{FabricSpec, HardwareSpec, Processor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A shelf entry describing a reusable library function and its measured
+/// per-target cost characteristics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShelfFunction {
+    /// Registry name, e.g. `"isspl.fft_rows"` — the string the run-time's
+    /// function registry resolves.
+    pub name: String,
+    /// Human description shown in the Designer.
+    pub description: String,
+    /// Cost per invocation, keyed by target platform name; the key `"*"` is
+    /// the portable default.
+    pub costs: BTreeMap<String, CostModel>,
+}
+
+impl ShelfFunction {
+    /// Creates an entry with a portable default cost.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        default_cost: CostModel,
+    ) -> ShelfFunction {
+        let mut costs = BTreeMap::new();
+        costs.insert("*".to_string(), default_cost);
+        ShelfFunction {
+            name: name.into(),
+            description: description.into(),
+            costs,
+        }
+    }
+
+    /// Adds a target-specific measured cost (hand-tuned library variants).
+    pub fn with_target_cost(mut self, target: impl Into<String>, cost: CostModel) -> Self {
+        self.costs.insert(target.into(), cost);
+        self
+    }
+
+    /// The cost on `target`, falling back to the portable default.
+    pub fn cost_on(&self, target: &str) -> CostModel {
+        self.costs
+            .get(target)
+            .or_else(|| self.costs.get("*"))
+            .copied()
+            .unwrap_or(CostModel::ZERO)
+    }
+}
+
+/// The software shelf: a name-indexed library of functions.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareShelf {
+    entries: BTreeMap<String, ShelfFunction>,
+}
+
+impl SoftwareShelf {
+    /// Creates an empty shelf.
+    pub fn new() -> SoftwareShelf {
+        SoftwareShelf::default()
+    }
+
+    /// Adds or replaces an entry.
+    pub fn add(&mut self, f: ShelfFunction) {
+        self.entries.insert(f.name.clone(), f);
+    }
+
+    /// Looks up an entry by registry name.
+    pub fn get(&self, name: &str) -> Option<&ShelfFunction> {
+        self.entries.get(name)
+    }
+
+    /// All entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ShelfFunction> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the shelf has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The hardware shelf: named, parameterized platform templates.
+///
+/// The four presets model the vendors of the paper's MITRE cross-vendor
+/// comparison (reference [2]). Parameters are plausible late-1990s values
+/// chosen to reproduce the comparison's *shape*; see `EXPERIMENTS.md`.
+#[derive(Clone, Debug, Default)]
+pub struct HardwareShelf;
+
+impl HardwareShelf {
+    /// The paper's testbed: two quad-PowerPC-603e (200 MHz) boards behind a
+    /// 160 MB/s Myrinet fabric, in one VME chassis.
+    pub fn cspi_testbed() -> HardwareSpec {
+        Self::cspi_with_nodes(8)
+    }
+
+    /// A CSPI-style machine with `nodes` processors (4 per board).
+    pub fn cspi_with_nodes(nodes: usize) -> HardwareSpec {
+        let proc = Processor {
+            name: "PowerPC 603e".into(),
+            clock_mhz: 200.0,
+            flops_per_cycle: 1.0,
+            mem_mb: 64.0,
+            mem_bw_mbps: 640.0,
+        };
+        let myrinet = FabricSpec {
+            bandwidth_mbps: 160.0,
+            latency_us: 20.0,
+        };
+        Self::packed("CSPI", proc, nodes, 4, myrinet, myrinet)
+    }
+
+    /// A Mercury-style machine: faster RACEway-like fabric, PowerPC nodes.
+    pub fn mercury_with_nodes(nodes: usize) -> HardwareSpec {
+        let proc = Processor {
+            name: "PowerPC 750".into(),
+            clock_mhz: 366.0,
+            flops_per_cycle: 1.0,
+            mem_mb: 64.0,
+            mem_bw_mbps: 900.0,
+        };
+        let race = FabricSpec {
+            bandwidth_mbps: 267.0,
+            latency_us: 8.0,
+        };
+        Self::packed("Mercury", proc, nodes, 4, race, race)
+    }
+
+    /// A SKY-style machine: SHARC-like DSP nodes, moderate fabric.
+    pub fn sky_with_nodes(nodes: usize) -> HardwareSpec {
+        let proc = Processor {
+            name: "SKY PPC".into(),
+            clock_mhz: 300.0,
+            flops_per_cycle: 1.0,
+            mem_mb: 64.0,
+            mem_bw_mbps: 800.0,
+        };
+        let fabric = FabricSpec {
+            bandwidth_mbps: 200.0,
+            latency_us: 12.0,
+        };
+        Self::packed("SKY", proc, nodes, 4, fabric, fabric)
+    }
+
+    /// A SIGI-style machine: slower nodes, slower shared bus.
+    pub fn sigi_with_nodes(nodes: usize) -> HardwareSpec {
+        let proc = Processor {
+            name: "SIGI PPC".into(),
+            clock_mhz: 166.0,
+            flops_per_cycle: 1.0,
+            mem_mb: 32.0,
+            mem_bw_mbps: 500.0,
+        };
+        let fabric = FabricSpec {
+            bandwidth_mbps: 100.0,
+            latency_us: 30.0,
+        };
+        Self::packed("SIGI", proc, nodes, 4, fabric, fabric)
+    }
+
+    /// Builds a platform by name (`"CSPI"`, `"Mercury"`, `"SKY"`, `"SIGI"`).
+    pub fn by_name(name: &str, nodes: usize) -> Option<HardwareSpec> {
+        match name {
+            "CSPI" => Some(Self::cspi_with_nodes(nodes)),
+            "Mercury" => Some(Self::mercury_with_nodes(nodes)),
+            "SKY" => Some(Self::sky_with_nodes(nodes)),
+            "SIGI" => Some(Self::sigi_with_nodes(nodes)),
+            _ => None,
+        }
+    }
+
+    fn packed(
+        name: &str,
+        proc: Processor,
+        nodes: usize,
+        per_board: usize,
+        intra: FabricSpec,
+        fabric: FabricSpec,
+    ) -> HardwareSpec {
+        assert!(nodes > 0);
+        let full_boards = nodes / per_board;
+        let rem = nodes % per_board;
+        let mut hw = HardwareSpec::homogeneous(
+            name,
+            proc.clone(),
+            full_boards.max(if rem > 0 || full_boards == 0 { 0 } else { full_boards }),
+            per_board,
+            intra,
+            fabric,
+        );
+        // `homogeneous` built the full boards; append the partial board.
+        if full_boards == 0 {
+            hw.chassis[0].boards.clear();
+        } else {
+            hw.chassis[0].boards.truncate(full_boards);
+        }
+        if rem > 0 {
+            hw.chassis[0].boards.push(crate::hardware::Board {
+                name: format!("board{full_boards}"),
+                processors: vec![proc; rem],
+                intra,
+            });
+        }
+        hw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shelf_function_cost_fallback() {
+        let f = ShelfFunction::new("isspl.fft_rows", "row FFTs", CostModel::new(10.0, 20.0))
+            .with_target_cost("CSPI", CostModel::new(8.0, 16.0));
+        assert_eq!(f.cost_on("CSPI").flops, 8.0);
+        assert_eq!(f.cost_on("Mercury").flops, 10.0);
+    }
+
+    #[test]
+    fn software_shelf_lookup() {
+        let mut shelf = SoftwareShelf::new();
+        assert!(shelf.is_empty());
+        shelf.add(ShelfFunction::new("a", "", CostModel::ZERO));
+        shelf.add(ShelfFunction::new("b", "", CostModel::ZERO));
+        assert_eq!(shelf.len(), 2);
+        assert!(shelf.get("a").is_some());
+        assert!(shelf.get("c").is_none());
+    }
+
+    #[test]
+    fn cspi_testbed_matches_paper() {
+        let hw = HardwareShelf::cspi_testbed();
+        assert_eq!(hw.node_count(), 8);
+        assert_eq!(hw.chassis[0].boards.len(), 2);
+        assert_eq!(hw.chassis[0].fabric.bandwidth_mbps, 160.0);
+        let flat = hw.flatten();
+        assert_eq!(flat[0].proc.clock_mhz, 200.0);
+    }
+
+    #[test]
+    fn node_counts_pack_onto_boards() {
+        for n in [1usize, 2, 3, 4, 5, 8, 16] {
+            let hw = HardwareShelf::cspi_with_nodes(n);
+            assert_eq!(hw.node_count(), n, "n={n}");
+        }
+        // 6 nodes = one full quad board + one 2-proc board.
+        let hw = HardwareShelf::cspi_with_nodes(6);
+        assert_eq!(hw.chassis[0].boards.len(), 2);
+        assert_eq!(hw.chassis[0].boards[1].processors.len(), 2);
+    }
+
+    #[test]
+    fn vendor_presets_exist() {
+        for v in ["CSPI", "Mercury", "SKY", "SIGI"] {
+            let hw = HardwareShelf::by_name(v, 4).unwrap();
+            assert_eq!(hw.node_count(), 4);
+            assert_eq!(hw.name, v);
+        }
+        assert!(HardwareShelf::by_name("Cray", 4).is_none());
+    }
+
+    #[test]
+    fn mercury_is_faster_than_sigi() {
+        let m = HardwareShelf::mercury_with_nodes(4).flatten()[0]
+            .proc
+            .flops_per_sec();
+        let s = HardwareShelf::sigi_with_nodes(4).flatten()[0]
+            .proc
+            .flops_per_sec();
+        assert!(m > s);
+    }
+}

@@ -1,0 +1,292 @@
+//! Model validation: the checks the Designer performs before handing a model
+//! to AToT and the glue-code generator.
+
+use crate::block::BlockKind;
+use crate::graph::{AppGraph, Endpoint};
+use crate::port::Direction;
+use std::fmt;
+
+/// Everything that can be wrong with a SAGE model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A named port does not exist on the named block.
+    NoSuchPort {
+        /// Block instance name.
+        block: String,
+        /// Missing port name.
+        port: String,
+    },
+    /// An endpoint's block or port index is out of range.
+    BadEndpoint,
+    /// A connection was attempted from a non-output or to a non-input.
+    DirectionMismatch {
+        /// Source port name.
+        from: String,
+        /// Destination port name.
+        to: String,
+    },
+    /// The two ends of a connection carry different data types.
+    TypeMismatch {
+        /// Rendered source endpoint.
+        from: String,
+        /// Rendered destination endpoint.
+        to: String,
+    },
+    /// An input port already has a producer.
+    MultipleWriters {
+        /// Block instance name.
+        block: String,
+        /// Port name.
+        port: String,
+    },
+    /// The dataflow graph has a cycle.
+    Cycle,
+    /// A hierarchical block's boundary port has no unique internal binding.
+    UnboundBoundary {
+        /// Hierarchical block name.
+        block: String,
+        /// Boundary port name.
+        port: String,
+    },
+    /// A boundary port matched more than one internal port.
+    AmbiguousBoundary {
+        /// Hierarchical block name.
+        block: String,
+        /// Boundary port name.
+        port: String,
+    },
+    /// An input port is left unconnected.
+    UnconnectedInput {
+        /// Block instance name.
+        block: String,
+        /// Port name.
+        port: String,
+    },
+    /// A striped port cannot be divided evenly among its host's threads.
+    BadStriping {
+        /// Block instance name.
+        block: String,
+        /// Port name.
+        port: String,
+        /// Host thread count.
+        threads: usize,
+    },
+    /// Two blocks share an instance name.
+    DuplicateName(String),
+    /// A mapping does not cover the graph.
+    MappingSize {
+        /// Blocks in the graph.
+        expected: usize,
+        /// Entries in the mapping.
+        actual: usize,
+    },
+    /// A mapping references a node outside the hardware model.
+    MappingNode {
+        /// Block instance name.
+        block: String,
+        /// Offending node index.
+        node: usize,
+        /// Node count of the hardware model.
+        nodes: usize,
+    },
+    /// A primitive block references a shelf function that is not registered.
+    UnknownFunction {
+        /// Block instance name.
+        block: String,
+        /// Unresolved registry name.
+        function: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoSuchPort { block, port } => {
+                write!(f, "block `{block}` has no port `{port}`")
+            }
+            ModelError::BadEndpoint => write!(f, "endpoint out of range"),
+            ModelError::DirectionMismatch { from, to } => {
+                write!(f, "connection must run Out->In (got `{from}` -> `{to}`)")
+            }
+            ModelError::TypeMismatch { from, to } => {
+                write!(f, "type mismatch: `{from}` -> `{to}`")
+            }
+            ModelError::MultipleWriters { block, port } => {
+                write!(f, "input `{block}.{port}` already has a producer")
+            }
+            ModelError::Cycle => write!(f, "dataflow graph has a cycle"),
+            ModelError::UnboundBoundary { block, port } => {
+                write!(f, "boundary port `{block}.{port}` has no internal binding")
+            }
+            ModelError::AmbiguousBoundary { block, port } => {
+                write!(f, "boundary port `{block}.{port}` matches several internal ports")
+            }
+            ModelError::UnconnectedInput { block, port } => {
+                write!(f, "input `{block}.{port}` is unconnected")
+            }
+            ModelError::BadStriping {
+                block,
+                port,
+                threads,
+            } => write!(
+                f,
+                "port `{block}.{port}` cannot be striped over {threads} threads"
+            ),
+            ModelError::DuplicateName(n) => write!(f, "duplicate block name `{n}`"),
+            ModelError::MappingSize { expected, actual } => {
+                write!(f, "mapping covers {actual} blocks, graph has {expected}")
+            }
+            ModelError::MappingNode { block, node, nodes } => {
+                write!(f, "block `{block}` mapped to node {node}, hardware has {nodes}")
+            }
+            ModelError::UnknownFunction { block, function } => {
+                write!(f, "block `{block}` uses unregistered function `{function}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validates a (typically flattened) application graph:
+///
+/// * block instance names are unique;
+/// * every input port of every non-source block is connected;
+/// * every port's striping divides evenly over its host's threads;
+/// * the graph is acyclic.
+pub fn validate(graph: &AppGraph) -> Result<(), ModelError> {
+    let mut seen = std::collections::HashSet::new();
+    for b in graph.blocks() {
+        if !seen.insert(b.name.as_str()) {
+            return Err(ModelError::DuplicateName(b.name.clone()));
+        }
+    }
+    for (bi, b) in graph.blocks().iter().enumerate() {
+        let threads = b.threads();
+        for (pi, p) in b.ports.iter().enumerate() {
+            if !p.striping_valid_for(threads) {
+                return Err(ModelError::BadStriping {
+                    block: b.name.clone(),
+                    port: p.name.clone(),
+                    threads,
+                });
+            }
+            if p.direction == Direction::In && !matches!(b.kind, BlockKind::Source { .. }) {
+                let ep = Endpoint {
+                    block: crate::ids::BlockId::from_index(bi),
+                    port: pi,
+                };
+                if graph.incoming(ep).is_none() {
+                    return Err(ModelError::UnconnectedInput {
+                        block: b.name.clone(),
+                        port: p.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    graph.toposort().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, CostModel};
+    use crate::datatype::DataType;
+    use crate::port::{Port, Striping};
+
+    fn valid_graph() -> AppGraph {
+        let mut g = AppGraph::new("g");
+        let s = g.add_block(Block::source(
+            "src",
+            vec![Port::output(
+                "out",
+                DataType::complex_matrix(8, 8),
+                Striping::Replicated,
+            )],
+        ));
+        let f = g.add_block(Block::primitive(
+            "fft",
+            "isspl.fft_rows",
+            4,
+            CostModel::ZERO,
+            vec![
+                Port::input("in", DataType::complex_matrix(8, 8), Striping::BY_ROWS),
+                Port::output("out", DataType::complex_matrix(8, 8), Striping::BY_ROWS),
+            ],
+        ));
+        let k = g.add_block(Block::sink(
+            "snk",
+            vec![Port::input(
+                "in",
+                DataType::complex_matrix(8, 8),
+                Striping::Replicated,
+            )],
+        ));
+        g.connect(s, "out", f, "in").unwrap();
+        g.connect(f, "out", k, "in").unwrap();
+        g
+    }
+
+    #[test]
+    fn valid_model_passes() {
+        assert_eq!(validate(&valid_graph()), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = AppGraph::new("g");
+        g.add_block(Block::source("x", vec![]));
+        g.add_block(Block::sink("x", vec![]));
+        assert!(matches!(validate(&g), Err(ModelError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn unconnected_input_rejected() {
+        let mut g = AppGraph::new("g");
+        g.add_block(Block::sink(
+            "snk",
+            vec![Port::input("in", DataType::Complex, Striping::Replicated)],
+        ));
+        assert!(matches!(
+            validate(&g),
+            Err(ModelError::UnconnectedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_striping_rejected() {
+        let mut g = AppGraph::new("g");
+        let s = g.add_block(Block::source(
+            "src",
+            vec![Port::output(
+                "out",
+                DataType::complex_matrix(9, 9),
+                Striping::Replicated,
+            )],
+        ));
+        let f = g.add_block(Block::primitive(
+            "f",
+            "id",
+            4, // 9 rows cannot stripe over 4 threads
+            CostModel::ZERO,
+            vec![Port::input(
+                "in",
+                DataType::complex_matrix(9, 9),
+                Striping::BY_ROWS,
+            )],
+        ));
+        g.connect(s, "out", f, "in").unwrap();
+        assert!(matches!(validate(&g), Err(ModelError::BadStriping { .. })));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ModelError::NoSuchPort {
+            block: "b".into(),
+            port: "p".into(),
+        };
+        assert!(e.to_string().contains("no port"));
+        assert!(ModelError::Cycle.to_string().contains("cycle"));
+    }
+}

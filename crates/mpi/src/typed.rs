@@ -1,0 +1,72 @@
+//! Typed payload helpers: `f32` vectors as little-endian byte buffers.
+
+/// Serializes an `f32` slice to little-endian bytes.
+pub fn f32_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for x in data {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes little-endian bytes back into `f32`s.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 4.
+pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
+    assert_eq!(bytes.len() % 4, 0, "not a whole number of f32s");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Serializes interleaved complex samples (`re, im, re, im, ...`).
+pub fn complex_to_bytes(data: &[(f32, f32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for (re, im) in data {
+        out.extend_from_slice(&re.to_le_bytes());
+        out.extend_from_slice(&im.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes interleaved complex samples.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8.
+pub fn bytes_to_complex(bytes: &[u8]) -> Vec<(f32, f32)> {
+    assert_eq!(bytes.len() % 8, 0, "not a whole number of complex samples");
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip() {
+        let v = vec![0.0f32, -1.5, f32::MAX, f32::MIN_POSITIVE];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn complex_round_trip() {
+        let v = vec![(1.0f32, -2.0f32), (0.5, 0.25)];
+        assert_eq!(bytes_to_complex(&complex_to_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_bytes_panic() {
+        bytes_to_f32(&[0, 1, 2]);
+    }
+}

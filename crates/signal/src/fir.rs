@@ -1,0 +1,104 @@
+//! Finite-impulse-response filtering (part of the ISSPL-like shelf; used by
+//! the STAP-like example pipeline).
+
+use crate::complex::Complex32;
+
+/// A direct-form FIR filter with complex taps.
+#[derive(Clone, Debug)]
+pub struct FirFilter {
+    taps: Vec<Complex32>,
+}
+
+impl FirFilter {
+    /// Creates a filter from its tap coefficients.
+    ///
+    /// # Panics
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<Complex32>) -> Self {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        FirFilter { taps }
+    }
+
+    /// Creates a length-`n` moving-average (boxcar) filter.
+    pub fn moving_average(n: usize) -> Self {
+        assert!(n > 0);
+        FirFilter::new(vec![Complex32::new(1.0 / n as f32, 0.0); n])
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `true` if the filter has no taps (unreachable by construction).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Filters `input`, producing `input.len()` outputs with zero-padded
+    /// history (`y[n] = sum_k h[k] x[n-k]`, `x[<0] = 0`).
+    pub fn filter(&self, input: &[Complex32]) -> Vec<Complex32> {
+        let mut out = vec![Complex32::ZERO; input.len()];
+        for (n, slot) in out.iter_mut().enumerate() {
+            let mut acc = Complex32::ZERO;
+            for (k, &h) in self.taps.iter().enumerate() {
+                if n >= k {
+                    acc += h * input[n - k];
+                }
+            }
+            *slot = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_passes_through() {
+        let f = FirFilter::new(vec![Complex32::ONE]);
+        let x: Vec<Complex32> = (0..5).map(|i| Complex32::new(i as f32, 1.0)).collect();
+        assert_eq!(f.filter(&x), x);
+    }
+
+    #[test]
+    fn delay_filter_shifts() {
+        let f = FirFilter::new(vec![Complex32::ZERO, Complex32::ONE]);
+        let x: Vec<Complex32> = (1..=4).map(|i| Complex32::new(i as f32, 0.0)).collect();
+        let y = f.filter(&x);
+        assert_eq!(y[0], Complex32::ZERO);
+        assert_eq!(y[1], x[0]);
+        assert_eq!(y[3], x[2]);
+    }
+
+    #[test]
+    fn moving_average_smooths_step() {
+        let f = FirFilter::moving_average(4);
+        let x = vec![Complex32::ONE; 8];
+        let y = f.filter(&x);
+        assert!((y[0].re - 0.25).abs() < 1e-6);
+        assert!((y[3].re - 1.0).abs() < 1e-6);
+        assert!((y[7].re - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impulse_response_recovers_taps() {
+        let taps = vec![
+            Complex32::new(0.5, 0.0),
+            Complex32::new(-0.25, 0.1),
+            Complex32::new(0.0, 1.0),
+        ];
+        let f = FirFilter::new(taps.clone());
+        let mut x = vec![Complex32::ZERO; 3];
+        x[0] = Complex32::ONE;
+        assert_eq!(f.filter(&x), taps);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_rejected() {
+        FirFilter::new(Vec::new());
+    }
+}

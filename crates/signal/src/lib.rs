@@ -1,0 +1,29 @@
+//! # sage-signal
+//!
+//! Signal-processing function library for the SAGE reproduction.
+//!
+//! This crate plays the role of the **CSPI ISSPL functional library** that the
+//! paper's experiments link against: a shelf of reusable, high-performance
+//! kernels (FFTs, corner turns, windows, filters, vector operations) that both
+//! the hand-coded benchmark applications and the SAGE run-time invoke.
+//!
+//! Every kernel comes with an analytic **flop-cost model** ([`cost`]) so that
+//! the virtual-time execution mode of `sage-fabric` can charge deterministic
+//! compute time for it, exactly as the AToT optimizer estimates task costs
+//! from shelf metadata in the paper.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod cost;
+pub mod fft;
+pub mod fir;
+pub mod matrix;
+pub mod transpose;
+pub mod vecops;
+pub mod window;
+
+pub use complex::Complex32;
+pub use fft::{fft_1d, fft_2d_rows, fft_inverse_1d, Fft1d, FftDirection};
+pub use matrix::Matrix;
+pub use transpose::{transpose, transpose_blocked, transpose_in_place_square};

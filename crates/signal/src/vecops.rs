@@ -1,0 +1,111 @@
+//! Element-wise vector operations (part of the ISSPL-like shelf).
+
+use crate::complex::Complex32;
+
+/// `dst[i] += src[i]`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn add_assign(dst: &mut [Complex32], src: &[Complex32]) {
+    assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s;
+    }
+}
+
+/// `dst[i] *= src[i]` (element-wise complex product).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn mul_assign(dst: &mut [Complex32], src: &[Complex32]) {
+    assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d *= *s;
+    }
+}
+
+/// Scales every element by a real constant.
+pub fn scale(data: &mut [Complex32], k: f32) {
+    for z in data.iter_mut() {
+        *z = z.scale(k);
+    }
+}
+
+/// Element-wise magnitudes.
+pub fn magnitude(data: &[Complex32]) -> Vec<f32> {
+    data.iter().map(|z| z.abs()).collect()
+}
+
+/// Element-wise squared magnitudes (detection power).
+pub fn power(data: &[Complex32]) -> Vec<f32> {
+    data.iter().map(|z| z.norm_sqr()).collect()
+}
+
+/// Complex inner product `sum_i a[i] * conj(b[i])`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot(a: &[Complex32], b: &[Complex32]) -> Complex32 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| *x * y.conj()).sum()
+}
+
+/// Index and value of the element with the largest magnitude, or `None` for
+/// an empty slice.
+pub fn peak(data: &[Complex32]) -> Option<(usize, f32)> {
+    data.iter()
+        .enumerate()
+        .map(|(i, z)| (i, z.norm_sqr()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, p)| (i, p.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_mul() {
+        let mut a = vec![Complex32::new(1.0, 1.0); 3];
+        let b = vec![Complex32::new(2.0, 0.0); 3];
+        add_assign(&mut a, &b);
+        assert_eq!(a[0], Complex32::new(3.0, 1.0));
+        mul_assign(&mut a, &b);
+        assert_eq!(a[0], Complex32::new(6.0, 2.0));
+    }
+
+    #[test]
+    fn scale_all() {
+        let mut a = vec![Complex32::new(2.0, -4.0); 2];
+        scale(&mut a, 0.5);
+        assert_eq!(a[1], Complex32::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn magnitude_and_power() {
+        let a = vec![Complex32::new(3.0, 4.0)];
+        assert_eq!(magnitude(&a), vec![5.0]);
+        assert_eq!(power(&a), vec![25.0]);
+    }
+
+    #[test]
+    fn dot_is_hermitian_norm() {
+        let a = vec![Complex32::new(1.0, 2.0), Complex32::new(-1.0, 0.5)];
+        let d = dot(&a, &a);
+        let n: f32 = a.iter().map(|z| z.norm_sqr()).sum();
+        assert!((d.re - n).abs() < 1e-5 && d.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_finds_max() {
+        let a = vec![
+            Complex32::new(1.0, 0.0),
+            Complex32::new(0.0, 7.0),
+            Complex32::new(2.0, 2.0),
+        ];
+        let (i, v) = peak(&a).unwrap();
+        assert_eq!(i, 1);
+        assert!((v - 7.0).abs() < 1e-6);
+        assert!(peak(&[]).is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! Window functions for spectral analysis (part of the ISSPL-like shelf).
+
+use crate::complex::Complex32;
+use std::f32::consts::PI;
+
+/// Supported window shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All-ones (no weighting).
+    Rectangular,
+    /// `0.5 - 0.5 cos(2 pi n / (N-1))`
+    Hann,
+    /// `0.54 - 0.46 cos(2 pi n / (N-1))`
+    Hamming,
+    /// 3-term Blackman window.
+    Blackman,
+}
+
+/// Generates the coefficient vector for a window of length `n`.
+pub fn window_coefficients(kind: WindowKind, n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let denom = (n - 1) as f32;
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * PI * i as f32 / denom;
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * x.cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
+                WindowKind::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+            }
+        })
+        .collect()
+}
+
+/// Applies window `coeffs` to `data` element-wise in place.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn apply_window(data: &mut [Complex32], coeffs: &[f32]) {
+    assert_eq!(data.len(), coeffs.len(), "window length mismatch");
+    for (z, &w) in data.iter_mut().zip(coeffs) {
+        *z = z.scale(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(window_coefficients(WindowKind::Rectangular, 8)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_symmetric() {
+        let w = window_coefficients(WindowKind::Hann, 9);
+        assert!(w[0].abs() < 1e-6 && w[8].abs() < 1e-6);
+        assert!((w[4] - 1.0).abs() < 1e-6);
+        for i in 0..9 {
+            assert!((w[i] - w[8 - i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = window_coefficients(WindowKind::Hamming, 5);
+        assert!((w[0] - 0.08).abs() < 1e-5);
+        assert!((w[4] - 0.08).abs() < 1e-5);
+    }
+
+    #[test]
+    fn blackman_peak_is_one() {
+        let w = window_coefficients(WindowKind::Blackman, 101);
+        let peak = w.iter().cloned().fold(0.0f32, f32::max);
+        assert!((peak - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_scales_samples() {
+        let mut d = vec![Complex32::new(2.0, 2.0); 3];
+        apply_window(&mut d, &[0.0, 0.5, 1.0]);
+        assert_eq!(d[0], Complex32::ZERO);
+        assert_eq!(d[1], Complex32::new(1.0, 1.0));
+        assert_eq!(d[2], Complex32::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(window_coefficients(WindowKind::Hann, 0).is_empty());
+        assert_eq!(window_coefficients(WindowKind::Hann, 1), vec![1.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Trace analyses: the paper's period/latency metrics, utilization,
+//! bottleneck ranking, and latency-threshold violations.
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+
+/// A ranked bottleneck candidate: the function whose cumulative execution
+/// time dominates a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bottleneck {
+    /// Node id.
+    pub node: u32,
+    /// Function-table index.
+    pub fn_id: u32,
+    /// Total seconds spent in this function on this node.
+    pub busy_secs: f64,
+    /// Fraction of the trace span this represents.
+    pub share: f64,
+}
+
+/// One iteration whose latency exceeded the configured threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyViolation {
+    /// Iteration number.
+    pub iteration: u32,
+    /// Measured latency, seconds.
+    pub latency: f64,
+    /// The threshold that was violated.
+    pub threshold: f64,
+}
+
+/// Computed performance summary of a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Analysis {
+    /// Per-iteration latency: source emit → sink absorb (paper §3.3).
+    pub latencies: Vec<f64>,
+    /// Periods between consecutive source emissions (paper §3.3).
+    pub periods: Vec<f64>,
+    /// Per-node busy fraction over the trace span, as `(node, utilization)`.
+    pub utilization: Vec<(u32, f64)>,
+    /// Function/node pairs ranked by cumulative busy time, descending.
+    pub bottlenecks: Vec<Bottleneck>,
+}
+
+impl Analysis {
+    /// Analyzes a trace.
+    pub fn of(trace: &Trace) -> Analysis {
+        let mut a = Analysis::default();
+        // Latency per iteration: first SourceEmit to last SinkAbsorb.
+        let mut emits: Vec<(u32, f64)> = trace
+            .of_kind(EventKind::SourceEmit)
+            .map(|e| (e.iteration, e.time))
+            .collect();
+        emits.sort_by_key(|(it, _)| *it);
+        emits.dedup_by_key(|(it, _)| *it); // first emit per iteration
+        for (it, start) in &emits {
+            let end = trace
+                .of_kind(EventKind::SinkAbsorb)
+                .filter(|e| e.iteration == *it)
+                .map(|e| e.time)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if end.is_finite() {
+                a.latencies.push(end - start);
+            }
+        }
+        // Period: gaps between consecutive iterations' first emissions.
+        for w in emits.windows(2) {
+            a.periods.push(w[1].1 - w[0].1);
+        }
+        // Utilization + bottlenecks.
+        let span = trace.span().map(|(s, e)| e - s).unwrap_or(0.0);
+        for node in trace.nodes() {
+            let busy = trace.busy_time(node);
+            a.utilization
+                .push((node, if span > 0.0 { busy / span } else { 0.0 }));
+            // Busy time per function on this node.
+            let mut fn_ids: Vec<u32> = trace
+                .events()
+                .iter()
+                .filter(|e| e.node == node && e.kind == EventKind::FnStart)
+                .map(|e| e.id)
+                .collect();
+            fn_ids.sort_unstable();
+            fn_ids.dedup();
+            for f in fn_ids {
+                let busy_secs: f64 = trace
+                    .fn_intervals(node, f)
+                    .iter()
+                    .map(|(s, e)| e - s)
+                    .sum();
+                a.bottlenecks.push(Bottleneck {
+                    node,
+                    fn_id: f,
+                    busy_secs,
+                    share: if span > 0.0 { busy_secs / span } else { 0.0 },
+                });
+            }
+        }
+        a.bottlenecks
+            .sort_by(|x, y| y.busy_secs.total_cmp(&x.busy_secs));
+        a
+    }
+
+    /// Mean latency, or 0 for an empty trace.
+    pub fn mean_latency(&self) -> f64 {
+        mean(&self.latencies)
+    }
+
+    /// Mean period, or 0 when fewer than two iterations were traced.
+    pub fn mean_period(&self) -> f64 {
+        mean(&self.periods)
+    }
+
+    /// Worst-case (maximum) latency over the traced iterations.
+    pub fn max_latency(&self) -> f64 {
+        self.latencies.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Latency jitter: the standard deviation over iterations — the number
+    /// a real-time engineer checks against the deadline margin.
+    pub fn latency_jitter(&self) -> f64 {
+        if self.latencies.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean_latency();
+        let var = self
+            .latencies
+            .iter()
+            .map(|l| (l - m) * (l - m))
+            .sum::<f64>()
+            / (self.latencies.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Iterations whose latency exceeds `threshold` — the Visualizer's
+    /// "violated latency thresholds" search.
+    pub fn latency_violations(&self, threshold: f64) -> Vec<LatencyViolation> {
+        self.latencies
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > threshold)
+            .map(|(i, &l)| LatencyViolation {
+                iteration: i as u32,
+                latency: l,
+                threshold,
+            })
+            .collect()
+    }
+
+    /// The single worst bottleneck, if any function executed.
+    pub fn top_bottleneck(&self) -> Option<&Bottleneck> {
+        self.bottlenecks.first()
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProbeEvent;
+
+    fn two_iteration_trace() -> Trace {
+        Trace::new(vec![
+            ProbeEvent::new(0.0, 0, EventKind::SourceEmit, 0, 0),
+            ProbeEvent::new(0.5, 0, EventKind::FnStart, 1, 0),
+            ProbeEvent::new(2.5, 0, EventKind::FnEnd, 1, 0),
+            ProbeEvent::new(3.0, 1, EventKind::SinkAbsorb, 0, 0),
+            ProbeEvent::new(4.0, 0, EventKind::SourceEmit, 1, 1),
+            ProbeEvent::new(4.5, 0, EventKind::FnStart, 1, 1),
+            ProbeEvent::new(5.0, 0, EventKind::FnEnd, 1, 1),
+            ProbeEvent::new(9.0, 1, EventKind::SinkAbsorb, 1, 1),
+        ])
+    }
+
+    #[test]
+    fn latency_and_period_follow_paper_definitions() {
+        let a = Analysis::of(&two_iteration_trace());
+        assert_eq!(a.latencies, vec![3.0, 5.0]);
+        assert_eq!(a.periods, vec![4.0]);
+        assert_eq!(a.mean_latency(), 4.0);
+        assert_eq!(a.mean_period(), 4.0);
+    }
+
+    #[test]
+    fn violations_flag_only_over_threshold() {
+        let a = Analysis::of(&two_iteration_trace());
+        let v = a.latency_violations(4.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].iteration, 1);
+        assert_eq!(v[0].latency, 5.0);
+        assert!(a.latency_violations(10.0).is_empty());
+    }
+
+    #[test]
+    fn utilization_and_bottlenecks() {
+        let a = Analysis::of(&two_iteration_trace());
+        // Node 0 busy 2.0 + 0.5 = 2.5 over span 9.0.
+        let u0 = a.utilization.iter().find(|(n, _)| *n == 0).unwrap().1;
+        assert!((u0 - 2.5 / 9.0).abs() < 1e-12);
+        let top = a.top_bottleneck().unwrap();
+        assert_eq!((top.node, top.fn_id), (0, 1));
+        assert!((top.busy_secs - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_and_max() {
+        let a = Analysis::of(&two_iteration_trace());
+        assert_eq!(a.max_latency(), 5.0);
+        // Sample stddev of [3, 5] = sqrt(2).
+        assert!((a.latency_jitter() - 2.0f64.sqrt()).abs() < 1e-12);
+        let single = Analysis {
+            latencies: vec![1.0],
+            ..Analysis::default()
+        };
+        assert_eq!(single.latency_jitter(), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let a = Analysis::of(&Trace::default());
+        assert_eq!(a.mean_latency(), 0.0);
+        assert!(a.top_bottleneck().is_none());
+    }
+}

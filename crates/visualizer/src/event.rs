@@ -1,0 +1,65 @@
+//! Probe events: the raw samples instrumentation produces.
+
+use serde::{Deserialize, Serialize};
+
+/// What a probe observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A function invocation began (`id` = function-table index).
+    FnStart,
+    /// A function invocation completed.
+    FnEnd,
+    /// A message transfer was initiated (`id` = logical buffer id).
+    XferStart,
+    /// A message transfer was fully received.
+    XferEnd,
+    /// An input data set left the data source (`id` = iteration).
+    SourceEmit,
+    /// A final result reached the data sink (`id` = iteration).
+    SinkAbsorb,
+    /// A physical buffer was allocated (`id` = logical buffer id).
+    BufAlloc,
+}
+
+/// One timestamped observation from a probe.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProbeEvent {
+    /// Time in seconds (virtual or wall, per the run's clock policy).
+    pub time: f64,
+    /// Node that recorded the event.
+    pub node: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Kind-specific id (function index, buffer id, or iteration).
+    pub id: u32,
+    /// Iteration number the event belongs to.
+    pub iteration: u32,
+}
+
+impl ProbeEvent {
+    /// Creates an event.
+    pub fn new(time: f64, node: u32, kind: EventKind, id: u32, iteration: u32) -> ProbeEvent {
+        ProbeEvent {
+            time,
+            node,
+            kind,
+            id,
+            iteration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let e = ProbeEvent::new(1.5, 2, EventKind::FnStart, 7, 3);
+        assert_eq!(e.time, 1.5);
+        assert_eq!(e.node, 2);
+        assert_eq!(e.kind, EventKind::FnStart);
+        assert_eq!(e.id, 7);
+        assert_eq!(e.iteration, 3);
+    }
+}

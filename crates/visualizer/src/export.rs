@@ -1,0 +1,43 @@
+//! CSV export of traces for offline analysis.
+
+use crate::trace::Trace;
+use std::fmt::Write;
+
+/// Renders the trace as CSV with header
+/// `time,node,kind,id,iteration`.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut s = String::from("time,node,kind,id,iteration\n");
+    for e in trace.events() {
+        let _ = writeln!(
+            s,
+            "{:.9},{},{:?},{},{}",
+            e.time, e.node, e.kind, e.id, e.iteration
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, ProbeEvent};
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = Trace::new(vec![
+            ProbeEvent::new(0.5, 1, EventKind::FnStart, 3, 2),
+            ProbeEvent::new(1.5, 1, EventKind::FnEnd, 3, 2),
+        ]);
+        let csv = to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,node,kind,id,iteration");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.5") && lines[1].contains("FnStart"));
+        assert!(lines[2].contains("FnEnd"));
+    }
+
+    #[test]
+    fn empty_trace_only_header() {
+        assert_eq!(to_csv(&Trace::default()).lines().count(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Textual performance reports — the tabular "displays" of the Visualizer.
+
+use crate::analysis::Analysis;
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::fmt::Write;
+
+/// Per-function execution statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnStats {
+    /// Function-table index.
+    pub fn_id: u32,
+    /// Completed invocations across all nodes.
+    pub invocations: usize,
+    /// Total busy seconds across all nodes.
+    pub total_secs: f64,
+    /// Mean seconds per invocation.
+    pub mean_secs: f64,
+    /// Maximum seconds over invocations.
+    pub max_secs: f64,
+}
+
+/// Computes per-function statistics from a trace.
+pub fn function_stats(trace: &Trace) -> Vec<FnStats> {
+    let mut fn_ids: Vec<u32> = trace
+        .of_kind(EventKind::FnStart)
+        .map(|e| e.id)
+        .collect();
+    fn_ids.sort_unstable();
+    fn_ids.dedup();
+    let mut out = Vec::with_capacity(fn_ids.len());
+    for f in fn_ids {
+        let mut durations = Vec::new();
+        for node in trace.nodes() {
+            for (s, e) in trace.fn_intervals(node, f) {
+                durations.push(e - s);
+            }
+        }
+        if durations.is_empty() {
+            continue;
+        }
+        let total: f64 = durations.iter().sum();
+        out.push(FnStats {
+            fn_id: f,
+            invocations: durations.len(),
+            total_secs: total,
+            mean_secs: total / durations.len() as f64,
+            max_secs: durations.iter().cloned().fold(0.0, f64::max),
+        });
+    }
+    out.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
+    out
+}
+
+/// Renders a full performance report: period/latency summary, per-node
+/// utilization, and the per-function table, busiest first.
+pub fn render(trace: &Trace) -> String {
+    let analysis = Analysis::of(trace);
+    let mut s = String::new();
+    let _ = writeln!(s, "=== SAGE Visualizer report ===");
+    let _ = writeln!(
+        s,
+        "iterations traced: {} | mean latency: {:.6} s | mean period: {:.6} s",
+        analysis.latencies.len(),
+        analysis.mean_latency(),
+        analysis.mean_period()
+    );
+    let _ = writeln!(
+        s,
+        "worst latency: {:.6} s | latency jitter (stddev): {:.6} s",
+        analysis.max_latency(),
+        analysis.latency_jitter()
+    );
+    let _ = writeln!(s, "\nnode utilization:");
+    for (node, u) in &analysis.utilization {
+        let bars = (u * 40.0).round() as usize;
+        let _ = writeln!(
+            s,
+            "  node {node:>3} [{:<40}] {:5.1}%",
+            "#".repeat(bars.min(40)),
+            u * 100.0
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\n{:<8} {:>12} {:>14} {:>14} {:>14}",
+        "function", "invocations", "total (ms)", "mean (ms)", "max (ms)"
+    );
+    for f in function_stats(trace) {
+        let _ = writeln!(
+            s,
+            "F{:<7} {:>12} {:>14.4} {:>14.4} {:>14.4}",
+            f.fn_id,
+            f.invocations,
+            f.total_secs * 1e3,
+            f.mean_secs * 1e3,
+            f.max_secs * 1e3
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProbeEvent;
+
+    fn trace() -> Trace {
+        Trace::new(vec![
+            ProbeEvent::new(0.0, 0, EventKind::SourceEmit, 0, 0),
+            ProbeEvent::new(0.0, 0, EventKind::FnStart, 1, 0),
+            ProbeEvent::new(2.0, 0, EventKind::FnEnd, 1, 0),
+            ProbeEvent::new(2.0, 1, EventKind::FnStart, 1, 0),
+            ProbeEvent::new(3.0, 1, EventKind::FnEnd, 1, 0),
+            ProbeEvent::new(3.0, 1, EventKind::FnStart, 2, 0),
+            ProbeEvent::new(7.0, 1, EventKind::FnEnd, 2, 0),
+            ProbeEvent::new(7.0, 1, EventKind::SinkAbsorb, 0, 0),
+        ])
+    }
+
+    #[test]
+    fn stats_aggregate_across_nodes() {
+        let stats = function_stats(&trace());
+        assert_eq!(stats.len(), 2);
+        // F2 (4 s) ranks above F1 (2 + 1 s).
+        assert_eq!(stats[0].fn_id, 2);
+        assert_eq!(stats[0].invocations, 1);
+        assert_eq!(stats[1].fn_id, 1);
+        assert_eq!(stats[1].invocations, 2);
+        assert!((stats[1].total_secs - 3.0).abs() < 1e-12);
+        assert!((stats[1].mean_secs - 1.5).abs() < 1e-12);
+        assert!((stats[1].max_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let r = render(&trace());
+        assert!(r.contains("Visualizer report"));
+        assert!(r.contains("node utilization"));
+        assert!(r.contains("node   0"));
+        assert!(r.contains("F2"));
+        assert!(r.contains("mean latency: 7.000000 s"));
+        assert!(r.contains("worst latency: 7.000000 s"));
+    }
+
+    #[test]
+    fn empty_trace_report_is_safe() {
+        let r = render(&Trace::default());
+        assert!(r.contains("iterations traced: 0"));
+    }
+}

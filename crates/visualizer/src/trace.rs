@@ -1,0 +1,143 @@
+//! Merged, time-ordered event traces.
+
+use crate::event::{EventKind, ProbeEvent};
+use serde::{Deserialize, Serialize};
+
+/// A complete, time-sorted trace of one run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<ProbeEvent>,
+}
+
+impl Trace {
+    /// Wraps a pre-sorted event list.
+    pub fn new(events: Vec<ProbeEvent>) -> Trace {
+        debug_assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        Trace { events }
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[ProbeEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, in time order.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &ProbeEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The distinct node ids that appear, sorted.
+    pub fn nodes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.events.iter().map(|e| e.node).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The time span `(first, last)` of the trace, or `None` if empty.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        Some((self.events.first()?.time, self.events.last()?.time))
+    }
+
+    /// Matched `(start, end)` intervals for one function id on one node.
+    pub fn fn_intervals(&self, node: u32, fn_id: u32) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut open: Option<f64> = None;
+        for e in &self.events {
+            if e.node != node || e.id != fn_id {
+                continue;
+            }
+            match e.kind {
+                EventKind::FnStart => open = Some(e.time),
+                EventKind::FnEnd => {
+                    if let Some(s) = open.take() {
+                        out.push((s, e.time));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total busy (function-executing) time per node id.
+    pub fn busy_time(&self, node: u32) -> f64 {
+        let mut total = 0.0;
+        let mut opens: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for e in &self.events {
+            if e.node != node {
+                continue;
+            }
+            match e.kind {
+                EventKind::FnStart => {
+                    opens.insert(e.id, e.time);
+                }
+                EventKind::FnEnd => {
+                    if let Some(s) = opens.remove(&e.id) {
+                        total += e.time - s;
+                    }
+                }
+                _ => {}
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Trace {
+        Trace::new(vec![
+            ProbeEvent::new(0.0, 0, EventKind::SourceEmit, 0, 0),
+            ProbeEvent::new(1.0, 0, EventKind::FnStart, 5, 0),
+            ProbeEvent::new(3.0, 0, EventKind::FnEnd, 5, 0),
+            ProbeEvent::new(4.0, 1, EventKind::FnStart, 6, 0),
+            ProbeEvent::new(9.0, 1, EventKind::FnEnd, 6, 0),
+            ProbeEvent::new(10.0, 1, EventKind::SinkAbsorb, 0, 0),
+        ])
+    }
+
+    #[test]
+    fn spans_and_nodes() {
+        let t = demo();
+        assert_eq!(t.span(), Some((0.0, 10.0)));
+        assert_eq!(t.nodes(), vec![0, 1]);
+        assert_eq!(t.len(), 6);
+        assert!(Trace::default().span().is_none());
+    }
+
+    #[test]
+    fn intervals_matched() {
+        let t = demo();
+        assert_eq!(t.fn_intervals(0, 5), vec![(1.0, 3.0)]);
+        assert_eq!(t.fn_intervals(1, 6), vec![(4.0, 9.0)]);
+        assert!(t.fn_intervals(0, 6).is_empty());
+    }
+
+    #[test]
+    fn busy_time_sums_intervals() {
+        let t = demo();
+        assert_eq!(t.busy_time(0), 2.0);
+        assert_eq!(t.busy_time(1), 5.0);
+        assert_eq!(t.busy_time(9), 0.0);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let t = demo();
+        assert_eq!(t.of_kind(EventKind::FnStart).count(), 2);
+        assert_eq!(t.of_kind(EventKind::SinkAbsorb).count(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! A tour of the glue-code generator (the paper's Figure 1.0 pipeline):
+//! the Designer model of the 2D FFT, the DOT view, the Alter-script-driven
+//! generator's output, and the native run-time tables.
+//!
+//! Run with: `cargo run --release --example codegen_tour`
+
+use sage::prelude::*;
+use sage_apps::fft2d;
+use sage_core::alter_gen;
+
+use sage_core::model_io;
+
+fn main() {
+    let model = fft2d::sage_model(256, 8);
+
+    println!("=== Designer model file (s-expression persistence) ===\n");
+    let saved = model_io::model_to_sexpr(&model);
+    println!("{saved}");
+    let reloaded = model_io::model_from_sexpr(&saved).expect("model file parses");
+    assert_eq!(model, reloaded);
+    println!("(reloaded model is identical to the original)\n");
+
+    println!("=== Designer model (DOT) ===\n");
+    println!("{}", sage::model::dot::to_dot(&model));
+
+    println!("=== Alter glue-code generator ===\n");
+    println!("script:\n{}", alter_gen::GLUE_SCRIPT);
+    println!("output:\n{}", alter_gen::generate_via_alter(&model).unwrap());
+
+    println!("=== Native generator: executable run-time tables ===\n");
+    let project = fft2d::sage_project(256, 8);
+    let (program, source) = project.generate(&Placement::Aligned).unwrap();
+    println!("{source}");
+    println!(
+        "program: {} functions, {} logical buffers, schedules for {} nodes",
+        program.functions.len(),
+        program.buffers.len(),
+        program.node_count()
+    );
+}

@@ -1,0 +1,199 @@
+//! `sage` — command-line driver for the tool suite.
+//!
+//! ```console
+//! $ sage inspect  model.sexpr                 # validate + DOT view
+//! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
+//! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
+//! $ sage export   fft2d|corner_turn|stap|image_filter --size 256 --threads 8 > model.sexpr
+//! ```
+//!
+//! Models are the s-expression files written by `sage_core::model_io`
+//! (`export` produces ready-made ones for the built-in applications).
+//! `run` registers the ISSPL kernel library, so any model whose blocks
+//! reference those kernels executes end to end.
+
+use sage::prelude::*;
+use sage_core::{model_from_sexpr, model_io, Project};
+use sage_visualizer::{gantt, report, Analysis};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
+         sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n  \
+         sage export <fft2d|corner_turn|stap|image_filter> [--size S] [--threads T]"
+    );
+    ExitCode::from(2)
+}
+
+/// Tiny flag parser: `--key value` pairs plus boolean switches.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn load_model(path: &str) -> Result<AppGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    model_from_sexpr(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("inspect needs a model file")?;
+    let model = load_model(path)?;
+    let flat = model.flatten().map_err(|e| e.to_string())?;
+    sage_model::validate(&flat).map_err(|e| e.to_string())?;
+    println!(
+        "model `{}`: {} blocks ({} after flattening), {} connections — valid",
+        model.name,
+        model.block_count(),
+        flat.block_count(),
+        flat.connections().len()
+    );
+    print!("{}", sage::model::dot::to_dot(&flat));
+    Ok(())
+}
+
+fn cmd_codegen(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("codegen needs a model file")?;
+    let model = load_model(path)?;
+    let nodes = args.usize_or("nodes", 4);
+    let project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
+    let (_, source) = project
+        .generate(&Placement::Aligned)
+        .map_err(|e| e.to_string())?;
+    println!("{source}");
+    println!("; Alter-generated view:");
+    let alter = sage::core::alter_gen::generate_via_alter(&project.app)
+        .map_err(|e| e.to_string())?;
+    for line in alter.lines() {
+        println!("; {line}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("run needs a model file")?;
+    let model = load_model(path)?;
+    let nodes = args.usize_or("nodes", 4);
+    let iters = args.usize_or("iters", 3) as u32;
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
+    sage::apps::kernels::register_kernels(&mut project.registry);
+    let options = if args.has("optimized") {
+        RuntimeOptions::optimized()
+    } else {
+        RuntimeOptions::paper_faithful()
+    }
+    .with_probes(true);
+    let policy = if args.has("real") {
+        TimePolicy::Real
+    } else {
+        TimePolicy::Virtual
+    };
+    let placement = if args.has("ga") {
+        Placement::Tasks(
+            project
+                .auto_map(&GaConfig::default())
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        Placement::Aligned
+    };
+    let (exec, _) = project
+        .run(&placement, policy, &options, iters)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "ran `{}` on {nodes} nodes for {iters} iterations: {:.3} ms/data set \
+         ({:?} clock), {} messages, {} KB moved\n",
+        project.app.name,
+        exec.secs_per_iteration() * 1e3,
+        policy,
+        exec.report.metrics.total_messages(),
+        exec.report.metrics.total_bytes() / 1024
+    );
+    println!("{}", report::render(&exec.trace));
+    let analysis = Analysis::of(&exec.trace);
+    if let Some(b) = analysis.top_bottleneck() {
+        println!(
+            "top bottleneck: F{} on node {} ({:.1}% of the run)\n",
+            b.fn_id,
+            b.node,
+            b.share * 100.0
+        );
+    }
+    print!("{}", gantt::render(&exec.trace, 72));
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let which = args.positional.first().ok_or("export needs an app name")?;
+    let size = args.usize_or("size", 256);
+    let threads = args.usize_or("threads", 8);
+    let model = match which.as_str() {
+        "fft2d" => sage::apps::fft2d::sage_model(size, threads),
+        "corner_turn" => sage::apps::corner_turn::sage_model(size, threads),
+        "stap" => sage::apps::stap::sage_model(size, threads),
+        "image_filter" => sage::apps::image_filter::sage_model(size, threads, size / 8),
+        other => return Err(format!("unknown app `{other}`")),
+    };
+    print!("{}", model_io::model_to_sexpr(&model));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    let result = match cmd.as_str() {
+        "inspect" => cmd_inspect(&args),
+        "codegen" => cmd_codegen(&args),
+        "run" => cmd_run(&args),
+        "export" => cmd_export(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # sage
+//!
+//! A full reproduction of *"Auto Source Code Generation and Run-Time
+//! Infrastructure and Environment for High Performance, Distributed
+//! Computing Systems"* (Patel, Jordan, Clark, Bhatt — Honeywell, IPPS
+//! 2000): the **SAGE** tool suite, rebuilt as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace so applications can depend on
+//! a single crate:
+//!
+//! ```
+//! use sage::prelude::*;
+//!
+//! // Model a tiny application in the Designer...
+//! let mut app = AppGraph::new("hello");
+//! let dt = DataType::complex_matrix(8, 8);
+//! let src = app.add_block(
+//!     Block::source_threaded("src", 2, vec![Port::output("out", dt.clone(), Striping::BY_ROWS)])
+//!         .with_prop("kernel", PropValue::Str("source.zero".into())),
+//! );
+//! let snk = app.add_block(Block::sink_threaded(
+//!     "snk", 2, vec![Port::input("in", dt, Striping::BY_ROWS)],
+//! ));
+//! app.connect(src, "out", snk, "in").unwrap();
+//!
+//! // ...generate glue code and execute it on a modeled CSPI machine.
+//! let project = Project::new(app, HardwareShelf::cspi_with_nodes(2));
+//! let (exec, glue_source) = project
+//!     .run(&Placement::Aligned, TimePolicy::Virtual, &RuntimeOptions::paper_faithful(), 1)
+//!     .unwrap();
+//! assert!(glue_source.contains("sage_function_table"));
+//! assert_eq!(exec.iterations, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sage_alter as alter;
+pub use sage_apps as apps;
+pub use sage_atot as atot;
+pub use sage_core as core;
+pub use sage_fabric as fabric;
+pub use sage_model as model;
+pub use sage_mpi as mpi;
+pub use sage_runtime as runtime;
+pub use sage_signal as signal;
+pub use sage_visualizer as visualizer;
+
+/// The most common imports for building and running SAGE projects.
+pub mod prelude {
+    pub use sage_atot::{GaConfig, TaskGraph, TaskMapping};
+    pub use sage_core::{Placement, Project};
+    pub use sage_fabric::{MachineSpec, TimePolicy};
+    pub use sage_model::{
+        AppGraph, Block, CostModel, DataType, HardwareShelf, HardwareSpec, Port, PropValue,
+        Striping,
+    };
+    pub use sage_runtime::{BufferScheme, GlueProgram, Registry, RuntimeOptions};
+    pub use sage_visualizer::Analysis;
+}

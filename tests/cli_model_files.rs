@@ -1,0 +1,49 @@
+//! The committed sample model files stay loadable and runnable (they are
+//! what the `sage` CLI's `export` command produces).
+
+use sage::prelude::*;
+use sage_core::model_from_sexpr;
+
+fn load(name: &str) -> AppGraph {
+    let path = format!("{}/examples/models/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    model_from_sexpr(&text).expect("model file parses")
+}
+
+#[test]
+fn sample_models_validate() {
+    for name in ["corner_turn_256.sexpr", "stap_128.sexpr"] {
+        let model = load(name);
+        let flat = model.flatten().expect("flattens");
+        sage_model::validate(&flat).expect("validates");
+    }
+}
+
+#[test]
+fn sample_corner_turn_runs_end_to_end() {
+    let model = load("corner_turn_256.sexpr");
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(8));
+    sage::apps::kernels::register_kernels(&mut project.registry);
+    let (exec, _) = project
+        .run(
+            &Placement::Aligned,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful(),
+            1,
+        )
+        .expect("runs");
+    assert!(exec.report.makespan > 0.0);
+    assert_eq!(exec.results.len(), 8);
+}
+
+#[test]
+fn sample_files_match_fresh_exports() {
+    use sage_core::model_io::model_to_sexpr;
+    let fresh = model_to_sexpr(&sage::apps::corner_turn::sage_model(256, 8));
+    let committed = std::fs::read_to_string(format!(
+        "{}/examples/models/corner_turn_256.sexpr",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    assert_eq!(fresh, committed, "regenerate with `sage export corner_turn --size 256 --threads 8`");
+}

@@ -1,0 +1,182 @@
+//! Non-pipeline dataflow shapes through the full stack: fan-out, diamond
+//! joins, multi-port functions, and pipelined-iteration behaviour.
+
+use sage::prelude::*;
+use sage_runtime::FnThreadCtx;
+
+fn dt() -> DataType {
+    DataType::complex_matrix(8, 8)
+}
+
+/// src fans out to two branches (scale x2 and x3) which join at a two-input
+/// adder; the result must be 5x the source data.
+fn diamond_app(threads: usize) -> AppGraph {
+    let mut g = AppGraph::new("diamond");
+    let src = g.add_block(
+        Block::source_threaded(
+            "src",
+            threads,
+            vec![Port::output("out", dt(), Striping::BY_ROWS)],
+        )
+        .with_prop("kernel", PropValue::Str("t.fill".into())),
+    );
+    let mk_scale = |name: &str, k: i64| {
+        Block::primitive(
+            name,
+            format!("t.scale{k}"),
+            threads,
+            CostModel::new(64.0, 0.0),
+            vec![
+                Port::input("in", dt(), Striping::BY_ROWS),
+                Port::output("out", dt(), Striping::BY_ROWS),
+            ],
+        )
+    };
+    let a = g.add_block(mk_scale("x2", 2));
+    let b = g.add_block(mk_scale("x3", 3));
+    let add = g.add_block(Block::primitive(
+        "add",
+        "t.add",
+        threads,
+        CostModel::new(64.0, 0.0),
+        vec![
+            Port::input("lhs", dt(), Striping::BY_ROWS),
+            Port::input("rhs", dt(), Striping::BY_ROWS),
+            Port::output("out", dt(), Striping::BY_ROWS),
+        ],
+    ));
+    let snk = g.add_block(Block::sink_threaded(
+        "snk",
+        threads,
+        vec![Port::input("in", dt(), Striping::BY_ROWS)],
+    ));
+    g.connect(src, "out", a, "in").unwrap();
+    g.connect(src, "out", b, "in").unwrap(); // fan-out
+    g.connect(a, "out", add, "lhs").unwrap();
+    g.connect(b, "out", add, "rhs").unwrap(); // join
+    g.connect(add, "out", snk, "in").unwrap();
+    g
+}
+
+fn registry_for_diamond(project: &mut Project) {
+    project.registry.register("t.fill", |ctx: &mut FnThreadCtx<'_>| {
+        for o in ctx.outputs.iter_mut() {
+            for (i, byte) in o.bytes.iter_mut().enumerate() {
+                *byte = ((i % 40) as u8).wrapping_add(ctx.thread as u8);
+            }
+        }
+        Ok(())
+    });
+    for k in [2u8, 3] {
+        project.registry.register(
+            format!("t.scale{k}"),
+            move |ctx: &mut FnThreadCtx<'_>| {
+                for (i, o) in ctx.inputs.iter().zip(ctx.outputs.iter_mut()) {
+                    for (a, b) in i.bytes.iter().zip(o.bytes.iter_mut()) {
+                        *b = a.wrapping_mul(k);
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+    project.registry.register("t.add", |ctx: &mut FnThreadCtx<'_>| {
+        let (lhs, rhs) = (&ctx.inputs[0], &ctx.inputs[1]);
+        for ((a, b), o) in lhs
+            .bytes
+            .iter()
+            .zip(rhs.bytes.iter())
+            .zip(ctx.outputs[0].bytes.iter_mut())
+        {
+            *o = a.wrapping_add(*b);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn diamond_fan_out_and_join_compute_correctly() {
+    for threads in [1usize, 2, 4] {
+        let mut project = Project::new(diamond_app(threads), HardwareShelf::cspi_with_nodes(threads));
+        registry_for_diamond(&mut project);
+        let (program, _) = project.generate(&Placement::Aligned).unwrap();
+        let exec = project
+            .execute(
+                &program,
+                TimePolicy::Virtual,
+                &RuntimeOptions::paper_faithful(),
+                1,
+            )
+            .unwrap();
+        let sink_id = (program.functions.len() - 1) as u32;
+        let out = exec.results.assemble(&program, sink_id, 0).unwrap();
+        for (i, &byte) in out.iter().enumerate() {
+            // Thread that produced this byte: row-striped 8x8x8 bytes.
+            let stripe = 512 / threads;
+            let t = (i / stripe) as u8;
+            let v = ((i % stripe) % 40) as u8 + t;
+            assert_eq!(byte, v.wrapping_mul(5), "threads={threads} index={i}");
+        }
+    }
+}
+
+#[test]
+fn diamond_survives_atot_mapping() {
+    let mut project = Project::new(diamond_app(2), HardwareShelf::cspi_with_nodes(2));
+    registry_for_diamond(&mut project);
+    let mapping = project
+        .auto_map(&GaConfig {
+            population: 12,
+            generations: 8,
+            ..GaConfig::default()
+        })
+        .unwrap();
+    let (program, _) = project.generate(&Placement::Tasks(mapping)).unwrap();
+    let exec = project
+        .execute(
+            &program,
+            TimePolicy::Virtual,
+            &RuntimeOptions::optimized(),
+            2,
+        )
+        .unwrap();
+    assert_eq!(exec.results.len(), 2 * 2); // 2 threads x 2 iterations
+}
+
+#[test]
+fn pipelined_iterations_give_period_below_latency() {
+    // With one stage per node, consecutive iterations overlap: while the
+    // detector crunches data set k, the sensor already emits k+1. The
+    // steady-state period then undercuts the end-to-end latency — exactly
+    // the distinction paper SS3.3 draws between the two metrics.
+    use sage_apps::stap;
+    use sage_atot::TaskMapping;
+    use sage_model::ProcId;
+    let mut project = Project::new(
+        stap::sage_model(64, 1),
+        HardwareShelf::cspi_with_nodes(6),
+    );
+    sage_apps::kernels::register_kernels(&mut project.registry);
+    // Six single-threaded functions, one per node (tasks in flattened
+    // block-insertion order).
+    let mapping = TaskMapping {
+        nodes: (0..6).map(|i| ProcId(i as u32)).collect(),
+    };
+    let (program, _) = project.generate(&Placement::Tasks(mapping)).unwrap();
+    let exec = project
+        .execute(
+            &program,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful().with_probes(true),
+            8,
+        )
+        .unwrap();
+    let analysis = Analysis::of(&exec.trace);
+    assert_eq!(analysis.latencies.len(), 8);
+    assert!(
+        analysis.mean_period() < 0.9 * analysis.mean_latency(),
+        "expected pipelining: period {} vs latency {}",
+        analysis.mean_period(),
+        analysis.mean_latency()
+    );
+}

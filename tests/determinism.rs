@@ -1,0 +1,89 @@
+//! Determinism guarantees: virtual-time runs, code generation, and AToT are
+//! all bit-reproducible — the property that lets the Table 1.0 harness run
+//! with reduced averaging.
+
+use sage::prelude::*;
+use sage_apps::{corner_turn, fft2d};
+
+#[test]
+fn virtual_time_is_bit_reproducible() {
+    let run = || {
+        let r = fft2d::run_sage(
+            64,
+            4,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful(),
+            2,
+        );
+        (r.makespan, r.per_iter_secs)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hand_coded_virtual_time_is_bit_reproducible() {
+    let a = corner_turn::run_hand_coded(64, 8, TimePolicy::Virtual, 3).makespan;
+    let b = corner_turn::run_hand_coded(64, 8, TimePolicy::Virtual, 3).makespan;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn codegen_is_deterministic() {
+    let gen = || {
+        let p = fft2d::sage_project(64, 4);
+        p.generate(&Placement::Aligned).unwrap()
+    };
+    let (prog_a, src_a) = gen();
+    let (prog_b, src_b) = gen();
+    assert_eq!(prog_a, prog_b);
+    assert_eq!(src_a, src_b);
+}
+
+#[test]
+fn atot_ga_is_deterministic_under_seed() {
+    let map = || {
+        fft2d::sage_project(64, 4)
+            .auto_map(&GaConfig {
+                population: 16,
+                generations: 12,
+                seed: 99,
+                ..GaConfig::default()
+            })
+            .unwrap()
+    };
+    assert_eq!(map(), map());
+}
+
+#[test]
+fn results_identical_across_time_policies() {
+    let opts = RuntimeOptions::paper_faithful();
+    let v = corner_turn::run_sage(32, 4, TimePolicy::Virtual, &opts, 1);
+    let r = corner_turn::run_sage(32, 4, TimePolicy::Real, &opts, 1);
+    assert_eq!(v.result.max_abs_diff(&r.result), 0.0);
+}
+
+#[test]
+fn iterations_scale_makespan_linearly() {
+    // Steady-state pipelining: per-iteration virtual time must be stable.
+    let one = corner_turn::run_sage(
+        64,
+        4,
+        TimePolicy::Virtual,
+        &RuntimeOptions::paper_faithful(),
+        1,
+    );
+    let five = corner_turn::run_sage(
+        64,
+        4,
+        TimePolicy::Virtual,
+        &RuntimeOptions::paper_faithful(),
+        5,
+    );
+    let ratio = five.makespan / one.makespan;
+    assert!(
+        (4.0..=6.0).contains(&ratio),
+        "5 iterations should take ~5x one ({ratio})"
+    );
+}

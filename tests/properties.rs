@@ -1,0 +1,224 @@
+//! Workspace-level property-based tests (proptest) on the core invariants:
+//! striping, redistribution, FFT, transpose, collectives, and Alter.
+
+use proptest::prelude::*;
+use sage::prelude::*;
+use sage_runtime::{Layout, Redistribution};
+use sage_signal::complex::{as_bytes, from_bytes};
+use sage_signal::{fft_1d, fft_inverse_1d, transpose, Complex32};
+
+/// Striping specs the Designer can express for a 2-D matrix.
+fn striping_strategy() -> impl Strategy<Value = Striping> {
+    prop_oneof![
+        Just(Striping::Replicated),
+        Just(Striping::BY_ROWS),
+        Just(Striping::BY_COLS),
+    ]
+}
+
+/// (rows, cols, threads) with threads dividing both dims.
+fn shape_threads() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=4, 1usize..=4, 1usize..=8).prop_map(|(a, b, t)| (a * t * 2, b * t, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn striped_layouts_partition_the_payload(
+        (rows, cols, threads) in shape_threads(),
+        striping in prop_oneof![Just(Striping::BY_ROWS), Just(Striping::BY_COLS)],
+    ) {
+        let shape = [rows, cols];
+        let total = rows * cols * 8;
+        let mut covered = vec![0u32; total];
+        for t in 0..threads {
+            let l = Layout::of_thread(&shape, 8, striping, threads, t);
+            prop_assert_eq!(l.len(), total / threads);
+            for &(s, e) in l.runs() {
+                for c in &mut covered[s..e] {
+                    *c += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn redistribution_conserves_every_byte(
+        (rows, cols, tp) in shape_threads(),
+        tc in 1usize..=4,
+        sp in prop_oneof![Just(Striping::BY_ROWS), Just(Striping::BY_COLS)],
+        sc in striping_strategy(),
+    ) {
+        // Consumer thread count must divide the striped dimension.
+        prop_assume!(rows % tc == 0 && cols % tc == 0);
+        let shape = [rows, cols];
+        let r = Redistribution::plan(&shape, 8, sp, tp, sc, tc);
+        // Every consumer thread's layout must be fully covered by incoming
+        // intervals (union over producers).
+        for (j, dst) in r.dst.iter().enumerate() {
+            let incoming: usize = (0..tp)
+                .map(|i| r.pairs[i][j].iter().map(|(s, e)| e - s).sum::<usize>())
+                .sum();
+            prop_assert_eq!(incoming, dst.len(), "consumer {} under-covered", j);
+        }
+    }
+
+    #[test]
+    fn extract_inject_round_trips(
+        (rows, cols, threads) in shape_threads(),
+        payload_seed in 0u8..=255,
+    ) {
+        // Row-striped producer to col-striped consumer: pushing all
+        // messages through extract/inject reconstructs the payload exactly.
+        let shape = [rows, cols];
+        let total = rows * cols * 8;
+        let full: Vec<u8> = (0..total).map(|i| (i as u8).wrapping_add(payload_seed)).collect();
+        let r = Redistribution::plan(&shape, 8, Striping::BY_ROWS, threads, Striping::BY_COLS, threads);
+        // Producer locals are contiguous row stripes.
+        let mut reconstructed = vec![0u8; total];
+        let mut dst_locals: Vec<Vec<u8>> = r.dst.iter().map(|d| vec![0u8; d.len()]).collect();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..threads {
+            let src = &r.src[i];
+            let lo = src.runs()[0].0;
+            let hi = src.runs().last().unwrap().1;
+            let local = &full[lo..hi];
+            for (j, dst_local) in dst_locals.iter_mut().enumerate() {
+                let intervals = &r.pairs[i][j];
+                if intervals.is_empty() { continue; }
+                let msg = src.extract(local, intervals);
+                r.dst[j].inject(dst_local, intervals, &msg);
+            }
+        }
+        for (j, d) in r.dst.iter().enumerate() {
+            let mut cursor = 0;
+            for &(s, e) in d.runs() {
+                reconstructed[s..e].copy_from_slice(&dst_locals[j][cursor..cursor + (e - s)]);
+                cursor += e - s;
+            }
+        }
+        prop_assert_eq!(reconstructed, full);
+    }
+
+    #[test]
+    fn fft_round_trip(re in proptest::collection::vec(-100.0f32..100.0, 64)) {
+        let input: Vec<Complex32> = re.iter().map(|&x| Complex32::new(x, -x * 0.5)).collect();
+        let mut v = input.clone();
+        fft_1d(&mut v);
+        fft_inverse_1d(&mut v);
+        let err = v.iter().zip(&input).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
+        let scale = input.iter().map(|z| z.abs()).fold(1.0f32, f32::max);
+        prop_assert!(err / scale < 1e-4, "relative error {}", err / scale);
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..12, cols in 1usize..12, seed in 0u8..=255) {
+        let data: Vec<Complex32> = (0..rows * cols)
+            .map(|i| Complex32::new((i as u8 ^ seed) as f32, i as f32))
+            .collect();
+        let mut once = vec![Complex32::ZERO; rows * cols];
+        let mut twice = vec![Complex32::ZERO; rows * cols];
+        transpose(&data, &mut once, rows, cols);
+        transpose(&once, &mut twice, cols, rows);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn complex_bytes_round_trip(vals in proptest::collection::vec((-1e6f32..1e6, -1e6f32..1e6), 0..64)) {
+        let data: Vec<Complex32> = vals.iter().map(|&(r, i)| Complex32::new(r, i)).collect();
+        prop_assert_eq!(from_bytes(as_bytes(&data)), data);
+    }
+
+    #[test]
+    fn alter_arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..100) {
+        let mut interp = sage::alter::Interpreter::new();
+        let v = interp
+            .eval_str(&format!("(+ (* {a} {b}) (/ {b} {c}) (- {a}))"))
+            .unwrap();
+        prop_assert_eq!(v.to_string(), (a * b + b / c - a).to_string());
+    }
+
+    #[test]
+    fn datatype_stripe_bytes_consistent(
+        rows in 1usize..64,
+        cols in 1usize..64,
+        parts in 1usize..16,
+    ) {
+        let dt = DataType::complex_matrix(rows, cols);
+        if dt.stripeable(0, parts) {
+            prop_assert_eq!(dt.stripe_bytes(0, parts) * parts, dt.size_bytes());
+        }
+        if dt.stripeable(1, parts) {
+            prop_assert_eq!(dt.stripe_bytes(1, parts) * parts, dt.size_bytes());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn alltoall_is_a_transpose_for_any_size(n in 1usize..7, payload in 1usize..64) {
+        use sage::fabric::{Cluster, LinkSpec, MachineSpec, NodeSpec};
+        use sage::mpi::{Communicator, MpiConfig};
+        let machine = MachineSpec::uniform(
+            "p",
+            n,
+            NodeSpec { flops_per_sec: 1e9, mem_bw: 1e9 },
+            LinkSpec { bandwidth: 1e8, latency: 1e-6 },
+        );
+        let cluster = Cluster::new(machine, TimePolicy::Virtual);
+        cluster.run(|ctx| {
+            let me = ctx.id();
+            let n = ctx.nodes();
+            let mut comm = Communicator::new(ctx, MpiConfig::generic());
+            let blocks: Vec<Vec<u8>> = (0..n)
+                .map(|d| vec![(me * 31 + d) as u8; payload])
+                .collect();
+            let out = comm.alltoall(&blocks);
+            for (src, b) in out.iter().enumerate() {
+                assert_eq!(b, &vec![(src * 31 + me) as u8; payload]);
+            }
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bcast_gather_scatter_round_trip(n in 1usize..8, root_pick in 0usize..8, len in 0usize..32) {
+        use sage::fabric::{Cluster, LinkSpec, MachineSpec, NodeSpec};
+        use sage::mpi::{Communicator, MpiConfig};
+        let root = root_pick % n;
+        let machine = MachineSpec::uniform(
+            "p",
+            n,
+            NodeSpec { flops_per_sec: 1e9, mem_bw: 1e9 },
+            LinkSpec { bandwidth: 1e8, latency: 1e-6 },
+        );
+        let cluster = Cluster::new(machine, TimePolicy::Virtual);
+        cluster.run(|ctx| {
+            let me = ctx.id();
+            let n = ctx.nodes();
+            let mut comm = Communicator::new(ctx, MpiConfig::vendor_tuned());
+            // bcast: root's payload reaches everyone.
+            let mut data = if me == root { vec![9u8; len] } else { Vec::new() };
+            comm.bcast(root, &mut data);
+            assert_eq!(data, vec![9u8; len]);
+            // gather -> scatter is the identity on per-rank payloads.
+            let mine = vec![me as u8; len + 1];
+            let gathered = comm.gather(root, &mine);
+            let back = if me == root {
+                let parts = gathered.unwrap();
+                assert_eq!(parts.len(), n);
+                comm.scatter(root, Some(&parts))
+            } else {
+                comm.scatter(root, None)
+            };
+            assert_eq!(back, mine);
+        });
+    }
+}
