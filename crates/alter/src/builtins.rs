@@ -12,10 +12,10 @@ use std::rc::Rc;
 /// Installs all standard builtins into `env`.
 pub fn install(env: &Rc<RefCell<Env>>) {
     let mut e = env.borrow_mut();
-    let mut def = |name: &'static str,
-                   f: fn(&mut Interpreter, &[Value]) -> Result<Value, AlterError>| {
-        e.define(name, Value::Proc(Callable::Builtin(name, f)));
-    };
+    let mut def =
+        |name: &'static str, f: fn(&mut Interpreter, &[Value]) -> Result<Value, AlterError>| {
+            e.define(name, Value::Proc(Callable::Builtin(name, f)));
+        };
     def("+", b_add);
     def("-", b_sub);
     def("*", b_mul);
@@ -206,7 +206,12 @@ fn b_nth(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
 }
 
 fn b_null(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
-    Ok(Value::Bool(one(args, "null?")?.as_list().map(|l| l.is_empty()).unwrap_or(false)))
+    Ok(Value::Bool(
+        one(args, "null?")?
+            .as_list()
+            .map(|l| l.is_empty())
+            .unwrap_or(false),
+    ))
 }
 
 fn b_append(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
@@ -309,7 +314,9 @@ fn b_str(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
 }
 
 fn b_string_length(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
-    Ok(Value::Int(one(args, "string-length")?.as_str()?.chars().count() as i64))
+    Ok(Value::Int(
+        one(args, "string-length")?.as_str()?.chars().count() as i64,
+    ))
 }
 
 fn b_num_to_string(_: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
@@ -402,7 +409,8 @@ mod tests {
     #[test]
     fn emit_accumulates_output() {
         let mut i = Interpreter::new();
-        i.eval_str("(emit \"a\" 1) (emitln \"b\") (emit \"c\")").unwrap();
+        i.eval_str("(emit \"a\" 1) (emitln \"b\") (emit \"c\")")
+            .unwrap();
         assert_eq!(i.output(), "a1b\nc");
         assert_eq!(i.take_output(), "a1b\nc");
         assert_eq!(i.output(), "");

@@ -93,10 +93,16 @@ impl Interpreter {
             return Err(AlterError::Budget(format!("{STEP_BUDGET} steps")));
         }
         match form {
-            Value::Nil | Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Str(_)
-            | Value::Proc(_) | Value::Obj(_) => Ok(form.clone()),
-            Value::Symbol(name) => Env::lookup(env, name)
-                .ok_or_else(|| AlterError::Unbound(name.to_string())),
+            Value::Nil
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Str(_)
+            | Value::Proc(_)
+            | Value::Obj(_) => Ok(form.clone()),
+            Value::Symbol(name) => {
+                Env::lookup(env, name).ok_or_else(|| AlterError::Unbound(name.to_string()))
+            }
             Value::List(items) => {
                 if items.is_empty() {
                     return Ok(Value::Nil);
@@ -155,13 +161,10 @@ impl Interpreter {
     }
 
     fn sf_quote(&mut self, items: &[Value]) -> Result<Value, AlterError> {
-        items
-            .get(1)
-            .cloned()
-            .ok_or_else(|| AlterError::BadArgs {
-                form: "quote".into(),
-                message: "needs one argument".into(),
-            })
+        items.get(1).cloned().ok_or_else(|| AlterError::BadArgs {
+            form: "quote".into(),
+            message: "needs one argument".into(),
+        })
     }
 
     fn sf_if(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
@@ -255,10 +258,15 @@ impl Interpreter {
     }
 
     fn sf_lambda(&mut self, items: &[Value], env: &Rc<RefCell<Env>>) -> Result<Value, AlterError> {
-        let params = param_names(items.get(1).ok_or_else(|| AlterError::BadArgs {
-            form: "lambda".into(),
-            message: "missing parameter list".into(),
-        })?.as_list()?)?;
+        let params = param_names(
+            items
+                .get(1)
+                .ok_or_else(|| AlterError::BadArgs {
+                    form: "lambda".into(),
+                    message: "missing parameter list".into(),
+                })?
+                .as_list()?,
+        )?;
         Ok(Value::Proc(Callable::Lambda {
             params: Rc::new(params),
             body: Rc::new(items[2..].to_vec()),
@@ -445,9 +453,7 @@ mod tests {
 
     #[test]
     fn arity_mismatch_errors() {
-        assert!(Interpreter::new()
-            .eval_str("((lambda (x) x) 1 2)")
-            .is_err());
+        assert!(Interpreter::new().eval_str("((lambda (x) x) 1 2)").is_err());
     }
 
     #[test]

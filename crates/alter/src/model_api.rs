@@ -53,10 +53,10 @@ impl ModelContext {
 /// Installs the model-access builtins into `env`.
 pub fn install(env: &Rc<RefCell<Env>>) {
     let mut e = env.borrow_mut();
-    let mut def = |name: &'static str,
-                   f: fn(&mut Interpreter, &[Value]) -> Result<Value, AlterError>| {
-        e.define(name, Value::Proc(Callable::Builtin(name, f)));
-    };
+    let mut def =
+        |name: &'static str, f: fn(&mut Interpreter, &[Value]) -> Result<Value, AlterError>| {
+            e.define(name, Value::Proc(Callable::Builtin(name, f)));
+        };
     def("model-name", m_model_name);
     def("blocks", m_blocks);
     def("block-name", m_block_name);
@@ -165,7 +165,9 @@ fn m_block_function(interp: &mut Interpreter, args: &[Value]) -> Result<Value, A
 
 fn m_block_threads(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
     let i = block_arg(interp, args, "block-threads")?;
-    Ok(Value::Int(interp.model()?.graph.blocks()[i].threads() as i64))
+    Ok(Value::Int(
+        interp.model()?.graph.blocks()[i].threads() as i64
+    ))
 }
 
 fn m_block_flops(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
@@ -227,7 +229,9 @@ fn m_port_direction(interp: &mut Interpreter, args: &[Value]) -> Result<Value, A
 fn m_port_bytes(interp: &mut Interpreter, args: &[Value]) -> Result<Value, AlterError> {
     let (b, p) = port_arg(args, "port-bytes")?;
     Ok(Value::Int(
-        interp.model()?.graph.blocks()[b].ports[p].data_type.size_bytes() as i64,
+        interp.model()?.graph.blocks()[b].ports[p]
+            .data_type
+            .size_bytes() as i64,
     ))
 }
 
@@ -380,7 +384,10 @@ mod tests {
             run("(port-direction (car (block-ports (nth 1 (blocks)))))"),
             "in"
         );
-        assert_eq!(run("(port-bytes (car (block-ports (nth 1 (blocks)))))"), "128");
+        assert_eq!(
+            run("(port-bytes (car (block-ports (nth 1 (blocks)))))"),
+            "128"
+        );
         assert_eq!(
             run("(port-striping (car (block-ports (nth 1 (blocks)))))"),
             "(striped 0)"
@@ -394,8 +401,14 @@ mod tests {
     #[test]
     fn traverses_connections() {
         assert_eq!(run("(length (connections))"), "2");
-        assert_eq!(run("(block-name (conn-from-block (nth 0 (connections))))"), "src");
-        assert_eq!(run("(block-name (conn-to-block (nth 0 (connections))))"), "fft");
+        assert_eq!(
+            run("(block-name (conn-from-block (nth 0 (connections))))"),
+            "src"
+        );
+        assert_eq!(
+            run("(block-name (conn-to-block (nth 0 (connections))))"),
+            "fft"
+        );
         assert_eq!(run("(conn-bytes (nth 0 (connections)))"), "128");
         assert_eq!(
             run("(port-name (conn-to-port (nth 1 (connections))))"),
@@ -436,10 +449,7 @@ mod tests {
     #[test]
     fn model_calls_error_without_model() {
         let mut i = Interpreter::new();
-        assert!(matches!(
-            i.eval_str("(blocks)"),
-            Err(AlterError::Model(_))
-        ));
+        assert!(matches!(i.eval_str("(blocks)"), Err(AlterError::Model(_))));
     }
 
     #[test]

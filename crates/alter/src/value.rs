@@ -140,9 +140,7 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Symbol(a), Value::Symbol(b)) => a == b,
             (Value::Obj(a), Value::Obj(b)) => a == b,
@@ -221,7 +219,10 @@ mod tests {
 
     #[test]
     fn display_round_trip_shapes() {
-        assert_eq!(Value::list(vec![Value::Int(1), Value::sym("a")]).to_string(), "(1 a)");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::sym("a")]).to_string(),
+            "(1 a)"
+        );
         assert_eq!(Value::Bool(true).to_string(), "#t");
         assert_eq!(Value::Float(2.0).to_string(), "2.0");
     }

@@ -12,11 +12,9 @@ use crate::dist::{pack_tiles, unpack_transpose};
 use crate::fft2d::{DistRun, SEED};
 use crate::kernels::register_kernels;
 use crate::workload;
-use sage_core::{Placement, Project};
+use sage_core::{Placement, Project, ProjectError};
 use sage_fabric::{Cluster, MachineSpec, TimePolicy, Work};
-use sage_model::{
-    AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping,
-};
+use sage_model::{AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping};
 use sage_mpi::{Communicator, MpiConfig};
 use sage_runtime::RuntimeOptions;
 use sage_signal::complex::{as_bytes, from_bytes};
@@ -61,7 +59,10 @@ pub fn sage_model(size: usize, threads: usize) -> AppGraph {
 
 /// Builds the full project for `nodes` CSPI nodes.
 pub fn sage_project(size: usize, nodes: usize) -> Project {
-    let mut p = Project::new(sage_model(size, nodes), HardwareShelf::cspi_with_nodes(nodes));
+    let mut p = Project::new(
+        sage_model(size, nodes),
+        HardwareShelf::cspi_with_nodes(nodes),
+    );
     register_kernels(&mut p.registry);
     p
 }
@@ -74,31 +75,37 @@ pub fn run_sage(
     options: &RuntimeOptions,
     iterations: u32,
 ) -> DistRun {
+    try_run_sage(size, nodes, policy, options, iterations).expect("execution")
+}
+
+/// Fallible variant of [`run_sage`]: surfaces injected-fault failures as
+/// structured [`ProjectError`]s instead of panicking.
+pub fn try_run_sage(
+    size: usize,
+    nodes: usize,
+    policy: TimePolicy,
+    options: &RuntimeOptions,
+    iterations: u32,
+) -> Result<DistRun, ProjectError> {
     let project = sage_project(size, nodes);
-    let (program, _src) = project.generate(&Placement::Aligned).expect("codegen");
-    let exec = project
-        .execute(&program, policy, options, iterations)
-        .expect("execution");
+    let (program, _src) = project.generate(&Placement::Aligned)?;
+    let exec = project.execute(&program, policy, options, iterations)?;
     let sink_id = (program.functions.len() - 1) as u32;
     let bytes = exec
         .results
         .assemble(&program, sink_id, iterations - 1)
         .expect("sink result");
-    DistRun {
+    Ok(DistRun {
         per_iter_secs: exec.secs_per_iteration(),
         makespan: exec.report.makespan,
         wall: exec.report.wall,
         result: Matrix::from_vec(size, size, from_bytes(&bytes)),
-    }
+        metrics: exec.report.metrics,
+    })
 }
 
 /// Runs the hand-coded MPI form.
-pub fn run_hand_coded(
-    size: usize,
-    nodes: usize,
-    policy: TimePolicy,
-    iterations: u32,
-) -> DistRun {
+pub fn run_hand_coded(size: usize, nodes: usize, policy: TimePolicy, iterations: u32) -> DistRun {
     assert_eq!(size % nodes, 0);
     let machine = MachineSpec::from_hardware(&HardwareShelf::cspi_with_nodes(nodes));
     let cluster = Cluster::new(machine, policy);
@@ -141,6 +148,7 @@ pub fn run_hand_coded(
         makespan: report.makespan,
         wall: report.wall,
         result: Matrix::from_vec(size, size, full),
+        metrics: report.metrics,
     }
 }
 
@@ -205,7 +213,10 @@ mod tests {
         };
         let two = pct(2);
         let eight = pct(8);
-        assert!(two < eight, "2-node pct {two} should be below 8-node {eight}");
+        assert!(
+            two < eight,
+            "2-node pct {two} should be below 8-node {eight}"
+        );
     }
 
     #[test]
@@ -217,13 +228,7 @@ mod tests {
             &RuntimeOptions::paper_faithful(),
             2,
         );
-        let improved = run_sage(
-            64,
-            4,
-            TimePolicy::Virtual,
-            &RuntimeOptions::optimized(),
-            2,
-        );
+        let improved = run_sage(64, 4, TimePolicy::Virtual, &RuntimeOptions::optimized(), 2);
         assert!(improved.per_iter_secs < paper.per_iter_secs);
     }
 }

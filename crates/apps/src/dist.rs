@@ -59,10 +59,8 @@ mod tests {
         let stripes: Vec<Vec<Complex32>> = (0..n)
             .map(|me| workload::input_stripe(3, size, me * rl, rl))
             .collect();
-        let packed: Vec<Vec<Vec<u8>>> = stripes
-            .iter()
-            .map(|s| pack_tiles(s, rl, size, n))
-            .collect();
+        let packed: Vec<Vec<Vec<u8>>> =
+            stripes.iter().map(|s| pack_tiles(s, rl, size, n)).collect();
         // "alltoall": rank me receives packed[j][me] from each j.
         #[allow(clippy::needless_range_loop)]
         for me in 0..n {

@@ -9,11 +9,9 @@
 use crate::dist::{pack_tiles, unpack_transpose};
 use crate::kernels::register_kernels;
 use crate::workload;
-use sage_core::{Placement, Project};
-use sage_fabric::{Cluster, MachineSpec, TimePolicy, Work};
-use sage_model::{
-    AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping,
-};
+use sage_core::{Placement, Project, ProjectError};
+use sage_fabric::{Cluster, FabricMetrics, MachineSpec, TimePolicy, Work};
+use sage_model::{AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping};
 use sage_mpi::{Communicator, MpiConfig};
 use sage_runtime::RuntimeOptions;
 use sage_signal::complex::{as_bytes, from_bytes};
@@ -33,6 +31,8 @@ pub struct DistRun {
     pub wall: Duration,
     /// Assembled result of the final iteration (the transposed 2D FFT).
     pub result: Matrix,
+    /// Per-node fabric counters (traffic, faults, retries, lost time).
+    pub metrics: FabricMetrics,
 }
 
 /// Default workload seed (the benchmark data set identity).
@@ -91,7 +91,10 @@ pub fn sage_model(size: usize, threads: usize) -> AppGraph {
 /// Builds the full project (model + CSPI hardware + kernels) for `nodes`
 /// nodes.
 pub fn sage_project(size: usize, nodes: usize) -> Project {
-    let mut p = Project::new(sage_model(size, nodes), HardwareShelf::cspi_with_nodes(nodes));
+    let mut p = Project::new(
+        sage_model(size, nodes),
+        HardwareShelf::cspi_with_nodes(nodes),
+    );
     register_kernels(&mut p.registry);
     p
 }
@@ -104,32 +107,40 @@ pub fn run_sage(
     options: &RuntimeOptions,
     iterations: u32,
 ) -> DistRun {
+    try_run_sage(size, nodes, policy, options, iterations).expect("execution")
+}
+
+/// Fallible variant of [`run_sage`]: surfaces injected-fault failures (via
+/// `RuntimeOptions::with_faults`) as structured [`ProjectError`]s instead of
+/// panicking, so chaos tests can distinguish a typed failure from silent
+/// corruption.
+pub fn try_run_sage(
+    size: usize,
+    nodes: usize,
+    policy: TimePolicy,
+    options: &RuntimeOptions,
+    iterations: u32,
+) -> Result<DistRun, ProjectError> {
     let project = sage_project(size, nodes);
-    let (program, _src) = project.generate(&Placement::Aligned).expect("codegen");
-    let exec = project
-        .execute(&program, policy, options, iterations)
-        .expect("execution");
+    let (program, _src) = project.generate(&Placement::Aligned)?;
+    let exec = project.execute(&program, policy, options, iterations)?;
     // The sink is the last function in topological order.
     let sink_id = (program.functions.len() - 1) as u32;
     let bytes = exec
         .results
         .assemble(&program, sink_id, iterations - 1)
         .expect("sink result");
-    DistRun {
+    Ok(DistRun {
         per_iter_secs: exec.secs_per_iteration(),
         makespan: exec.report.makespan,
         wall: exec.report.wall,
         result: Matrix::from_vec(size, size, from_bytes(&bytes)),
-    }
+        metrics: exec.report.metrics,
+    })
 }
 
 /// Runs the hand-coded MPI form on the same machine model.
-pub fn run_hand_coded(
-    size: usize,
-    nodes: usize,
-    policy: TimePolicy,
-    iterations: u32,
-) -> DistRun {
+pub fn run_hand_coded(size: usize, nodes: usize, policy: TimePolicy, iterations: u32) -> DistRun {
     assert_eq!(size % nodes, 0);
     let machine = MachineSpec::from_hardware(&HardwareShelf::cspi_with_nodes(nodes));
     let cluster = Cluster::new(machine, policy);
@@ -194,6 +205,7 @@ pub fn run_hand_coded(
         makespan: report.makespan,
         wall: report.wall,
         result: Matrix::from_vec(size, size, full),
+        metrics: report.metrics,
     }
 }
 

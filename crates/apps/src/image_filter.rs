@@ -17,9 +17,7 @@ use crate::kernels::register_kernels;
 use crate::workload;
 use sage_core::{Placement, Project};
 use sage_fabric::TimePolicy;
-use sage_model::{
-    AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping,
-};
+use sage_model::{AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping};
 use sage_runtime::RuntimeOptions;
 use sage_signal::cost;
 use sage_signal::fft::{Fft1d, FftDirection};

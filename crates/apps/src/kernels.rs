@@ -3,12 +3,12 @@
 
 use crate::workload;
 use sage_model::{CostModel, ShelfFunction, SoftwareShelf};
+use sage_runtime::{FnThreadCtx, Registry};
 use sage_signal::complex::{as_bytes, from_bytes};
 use sage_signal::cost;
 use sage_signal::fft::{Fft1d, FftDirection};
 use sage_signal::transpose::transpose_blocked;
 use sage_signal::window::{apply_window, window_coefficients, WindowKind};
-use sage_runtime::{FnThreadCtx, Registry};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -337,14 +337,21 @@ mod tests {
             inputs: std::slice::from_ref(&input),
             outputs: &mut bad,
         };
-        assert!(reg.get("isspl.transpose").unwrap().invoke(&mut ctx).is_err());
+        assert!(reg
+            .get("isspl.transpose")
+            .unwrap()
+            .invoke(&mut ctx)
+            .is_err());
     }
 
     #[test]
     fn shelf_has_cost_models() {
         let shelf = isspl_shelf(256);
         assert!(shelf.get("isspl.fft_rows").unwrap().cost_on("CSPI").flops > 0.0);
-        assert_eq!(shelf.get("isspl.transpose").unwrap().cost_on("*").flops, 0.0);
+        assert_eq!(
+            shelf.get("isspl.transpose").unwrap().cost_on("*").flops,
+            0.0
+        );
         assert!(shelf.get("isspl.transpose").unwrap().cost_on("*").mem_bytes > 0.0);
         assert_eq!(shelf.len(), 8);
     }

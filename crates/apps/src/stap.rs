@@ -10,9 +10,7 @@
 use crate::fft2d::SEED;
 use crate::kernels::register_kernels;
 use sage_core::Project;
-use sage_model::{
-    AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping,
-};
+use sage_model::{AppGraph, Block, CostModel, DataType, HardwareShelf, Port, PropValue, Striping};
 use sage_signal::cost;
 
 /// Builds the STAP-like Designer model: a hierarchical `front_end` block
@@ -100,7 +98,10 @@ pub fn sage_model(size: usize, threads: usize) -> AppGraph {
 
 /// Builds the project on a CSPI machine.
 pub fn sage_project(size: usize, nodes: usize) -> Project {
-    let mut p = Project::new(sage_model(size, nodes), HardwareShelf::cspi_with_nodes(nodes));
+    let mut p = Project::new(
+        sage_model(size, nodes),
+        HardwareShelf::cspi_with_nodes(nodes),
+    );
     register_kernels(&mut p.registry);
     p
 }

@@ -89,7 +89,14 @@ mod tests {
         let m = round_robin(&g, 3);
         assert_eq!(
             m.nodes,
-            vec![ProcId(0), ProcId(1), ProcId(2), ProcId(0), ProcId(1), ProcId(2)]
+            vec![
+                ProcId(0),
+                ProcId(1),
+                ProcId(2),
+                ProcId(0),
+                ProcId(1),
+                ProcId(2)
+            ]
         );
     }
 
@@ -222,7 +229,10 @@ mod sa_tests {
         let sa = simulated_annealing(&graph, &s, 2, 400, 11);
         let sa_cost = s.estimate(&graph, &sa).makespan;
         assert!(sa_cost < rr_cost, "sa {sa_cost} vs rr {rr_cost}");
-        assert!((sa_cost - 0.9).abs() < 1e-9, "optimum is 0.9 s, got {sa_cost}");
+        assert!(
+            (sa_cost - 0.9).abs() < 1e-9,
+            "optimum is 0.9 s, got {sa_cost}"
+        );
     }
 
     #[test]

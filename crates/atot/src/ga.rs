@@ -157,11 +157,7 @@ pub fn optimize(graph: &TaskGraph, scheduler: &Scheduler, config: &GaConfig) -> 
     }
 }
 
-fn tournament(
-    scored: &[(f64, f64, Vec<ProcId>)],
-    k: usize,
-    rng: &mut StdRng,
-) -> usize {
+fn tournament(scored: &[(f64, f64, Vec<ProcId>)], k: usize, rng: &mut StdRng) -> usize {
     let mut best = rng.random_range(0..scored.len());
     for _ in 1..k.max(1) {
         let c = rng.random_range(0..scored.len());
@@ -287,7 +283,9 @@ mod tests {
     fn ga_beats_or_matches_random_baseline() {
         // Pipeline of unequal tasks with edges.
         let graph = TaskGraph {
-            tasks: (0..12).map(|i| task(1e7 * (1.0 + (i % 4) as f64))).collect(),
+            tasks: (0..12)
+                .map(|i| task(1e7 * (1.0 + (i % 4) as f64)))
+                .collect(),
             edges: (0..11)
                 .map(|i| TaskEdge {
                     from: i,

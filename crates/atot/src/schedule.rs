@@ -148,11 +148,7 @@ impl Scheduler {
     /// Like [`Scheduler::estimate`], but outgoing transfers serialize
     /// through the sending node's bus: a transfer cannot start before both
     /// the producing task has finished and the sender's bus is free.
-    pub fn estimate_with_bus(
-        &self,
-        graph: &TaskGraph,
-        mapping: &TaskMapping,
-    ) -> ScheduleEstimate {
+    pub fn estimate_with_bus(&self, graph: &TaskGraph, mapping: &TaskMapping) -> ScheduleEstimate {
         let nodes = self.node_count();
         let mut node_free = vec![0.0f64; nodes];
         let mut bus_free = vec![0.0f64; nodes];
@@ -381,8 +377,16 @@ mod bus_tests {
         let graph = TaskGraph {
             tasks: vec![task(0.0), task(0.0), task(0.0)],
             edges: vec![
-                TaskEdge { from: 0, to: 1, bytes: 1e7 },
-                TaskEdge { from: 0, to: 2, bytes: 1e7 },
+                TaskEdge {
+                    from: 0,
+                    to: 1,
+                    bytes: 1e7,
+                },
+                TaskEdge {
+                    from: 0,
+                    to: 2,
+                    bytes: 1e7,
+                },
             ],
         };
         let s = Scheduler::new(&graph, &hw(3));
@@ -399,7 +403,11 @@ mod bus_tests {
     fn bus_and_free_agree_without_contention() {
         let graph = TaskGraph {
             tasks: vec![task(1e8), task(1e8)],
-            edges: vec![TaskEdge { from: 0, to: 1, bytes: 1e6 }],
+            edges: vec![TaskEdge {
+                from: 0,
+                to: 1,
+                bytes: 1e6,
+            }],
         };
         let s = Scheduler::new(&graph, &hw(2));
         let m = TaskMapping {

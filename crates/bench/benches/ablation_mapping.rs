@@ -2,8 +2,8 @@
 //! cost and the schedule quality of GA vs baseline mappers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sage_atot::{baselines, ga, GaConfig, Scheduler, TaskGraph};
 use sage_apps::stap;
+use sage_atot::{baselines, ga, GaConfig, Scheduler, TaskGraph};
 use sage_model::HardwareShelf;
 use std::hint::black_box;
 

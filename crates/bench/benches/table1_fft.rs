@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("hand_coded", format!("{size}x{size}/{nodes}n")),
             &(size, nodes),
             |b, &(size, nodes)| {
-                b.iter(|| {
-                    black_box(fft2d::run_hand_coded(size, nodes, TimePolicy::Virtual, 1))
-                })
+                b.iter(|| black_box(fft2d::run_hand_coded(size, nodes, TimePolicy::Virtual, 1)))
             },
         );
         g.bench_with_input(
@@ -29,9 +27,7 @@ fn bench(c: &mut Criterion) {
             &(size, nodes),
             |b, &(size, nodes)| {
                 let opts = RuntimeOptions::paper_faithful();
-                b.iter(|| {
-                    black_box(fft2d::run_sage(size, nodes, TimePolicy::Virtual, &opts, 1))
-                })
+                b.iter(|| black_box(fft2d::run_sage(size, nodes, TimePolicy::Virtual, &opts, 1)))
             },
         );
     }

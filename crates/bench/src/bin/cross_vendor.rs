@@ -102,7 +102,11 @@ fn main() {
     for app in ["fft", "corner_turn"] {
         println!(
             "\nCross-vendor {} — {size}x{size}, hand-coded, virtual time (ms/data set)",
-            if app == "fft" { "Parallel 2D FFT" } else { "Distributed Corner Turn" }
+            if app == "fft" {
+                "Parallel 2D FFT"
+            } else {
+                "Distributed Corner Turn"
+            }
         );
         print!("{:<10}", "vendor");
         for n in node_counts {

@@ -2,8 +2,8 @@
 //! baseline mappers on the STAP-like pipeline, plus an architecture trade
 //! study across the vendor platforms.
 
-use sage_atot::{baselines, ga, GaConfig, Scheduler, TaskGraph, TradeStudy};
 use sage_apps::stap;
+use sage_atot::{baselines, ga, GaConfig, Scheduler, TaskGraph, TradeStudy};
 use sage_model::HardwareShelf;
 
 fn main() {

@@ -13,9 +13,7 @@ use sage_runtime::RuntimeOptions;
 
 fn main() {
     let sizes = sweep_sizes();
-    println!(
-        "Table 1.0 — hand-coded vs SAGE auto-generated on the CSPI platform model"
-    );
+    println!("Table 1.0 — hand-coded vs SAGE auto-generated on the CSPI platform model");
     println!(
         "(virtual-time execution; sizes {:?}; nodes {:?}; paper-faithful run-time)\n",
         sizes, PAPER_NODES

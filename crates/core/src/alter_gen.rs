@@ -128,14 +128,8 @@ mod tests {
         let hw = sage_model::HardwareShelf::cspi_with_nodes(2);
         let program = generate(&app, &hw, &Placement::Aligned).unwrap();
         let alter_src = generate_via_alter(&app).unwrap();
-        assert!(alter_src.contains(&format!(
-            "sage_function_table[{}]",
-            program.functions.len()
-        )));
-        assert!(alter_src.contains(&format!(
-            "sage_logical_buffers[{}]",
-            program.buffers.len()
-        )));
+        assert!(alter_src.contains(&format!("sage_function_table[{}]", program.functions.len())));
+        assert!(alter_src.contains(&format!("sage_logical_buffers[{}]", program.buffers.len())));
     }
 
     #[test]

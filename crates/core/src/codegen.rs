@@ -153,10 +153,7 @@ pub fn generate(
     for (id, bid) in order.iter().enumerate() {
         let b = &flat.blocks()[bid.index()];
         let (role, function) = match &b.kind {
-            BlockKind::Source { .. } => (
-                FnRole::Source,
-                prop_kernel(b, "source.zero"),
-            ),
+            BlockKind::Source { .. } => (FnRole::Source, prop_kernel(b, "source.zero")),
             BlockKind::Sink { .. } => (FnRole::Sink, prop_kernel(b, "sink.null")),
             BlockKind::Primitive { function, .. } => (FnRole::Compute, function.clone()),
             BlockKind::Hierarchical { .. } => {

@@ -27,4 +27,4 @@ pub mod project;
 pub use codegen::{generate, CodegenError, Placement};
 pub use emit::render_glue_source;
 pub use model_io::{model_from_sexpr, model_to_sexpr};
-pub use project::Project;
+pub use project::{Project, ProjectError};

@@ -89,7 +89,10 @@ fn block_sexpr(b: &Block, indent: usize) -> String {
             cost.mem_bytes
         ),
         BlockKind::Hierarchical { subgraph } => {
-            format!("(hierarchical\n{})", model_sexpr_indented(subgraph, indent + 4))
+            format!(
+                "(hierarchical\n{})",
+                model_sexpr_indented(subgraph, indent + 4)
+            )
         }
     };
     let mut s = format!("{pad}(block {} {kind}", quote(&b.name));
@@ -173,7 +176,10 @@ fn parse_type(v: &Value) -> Result<DataType, ModelIoError> {
     match items.first().map(|h| as_sym(h, "type head")).transpose()? {
         Some("complex") => Ok(DataType::Complex),
         Some("scalar") => {
-            let k = as_sym(items.get(1).ok_or(ModelIoError("scalar kind".into()))?, "kind")?;
+            let k = as_sym(
+                items.get(1).ok_or(ModelIoError("scalar kind".into()))?,
+                "kind",
+            )?;
             let kind = match k {
                 "f32" => ScalarKind::F32,
                 "f64" => ScalarKind::F64,
@@ -214,7 +220,8 @@ fn parse_striping(v: &Value) -> Result<Striping, ModelIoError> {
     match v {
         Value::Symbol(s) if s.as_str() == "replicated" => Ok(Striping::Replicated),
         Value::List(items)
-            if items.len() == 2 && matches!(&items[0], Value::Symbol(s) if s.as_str() == "striped") =>
+            if items.len() == 2
+                && matches!(&items[0], Value::Symbol(s) if s.as_str() == "striped") =>
         {
             Ok(Striping::Striped {
                 dim: as_usize(&items[1], "striping dim")?,
@@ -226,7 +233,9 @@ fn parse_striping(v: &Value) -> Result<Striping, ModelIoError> {
 
 fn parse_props(items: &[Value], props: &mut sage_model::Properties) -> Result<(), ModelIoError> {
     for entry in items {
-        let pair = entry.as_list().map_err(|_| ModelIoError("prop pair".into()))?;
+        let pair = entry
+            .as_list()
+            .map_err(|_| ModelIoError("prop pair".into()))?;
         if pair.len() != 2 {
             return err("props entries are (\"key\" value)");
         }
@@ -245,7 +254,10 @@ fn parse_props(items: &[Value], props: &mut sage_model::Properties) -> Result<()
 
 fn parse_block(items: &[Value]) -> Result<Block, ModelIoError> {
     // (block "name" <kind> (port ...)* (props ...)?)
-    let name = as_str(items.get(1).ok_or(ModelIoError("block name".into()))?, "block name")?;
+    let name = as_str(
+        items.get(1).ok_or(ModelIoError("block name".into()))?,
+        "block name",
+    )?;
     let kind_form = items
         .get(2)
         .ok_or(ModelIoError("block kind".into()))?
@@ -293,7 +305,9 @@ fn parse_block(items: &[Value]) -> Result<Block, ModelIoError> {
     let mut ports = Vec::new();
     let mut props = sage_model::Properties::new();
     for form in &items[3..] {
-        let f = form.as_list().map_err(|_| ModelIoError("block body".into()))?;
+        let f = form
+            .as_list()
+            .map_err(|_| ModelIoError("block body".into()))?;
         match f.first().map(|h| as_sym(h, "block body")).transpose()? {
             Some("port") => {
                 let direction = match as_sym(&f[1], "direction")? {
@@ -325,11 +339,16 @@ fn parse_model_form(v: &Value) -> Result<AppGraph, ModelIoError> {
     if items.is_empty() || as_sym(&items[0], "model head")? != "model" {
         return err("file must start with (model \"name\" ...)");
     }
-    let name = as_str(items.get(1).ok_or(ModelIoError("model name".into()))?, "model name")?;
+    let name = as_str(
+        items.get(1).ok_or(ModelIoError("model name".into()))?,
+        "model name",
+    )?;
     let mut app = AppGraph::new(name);
     let mut pending_connects = Vec::new();
     for form in &items[2..] {
-        let f = form.as_list().map_err(|_| ModelIoError("model body".into()))?;
+        let f = form
+            .as_list()
+            .map_err(|_| ModelIoError("model body".into()))?;
         match f.first().map(|h| as_sym(h, "model body")).transpose()? {
             Some("props") => parse_props(&f[1..], &mut app.props)?,
             Some("block") => {
@@ -470,10 +489,7 @@ mod tests {
         assert!(model_from_sexpr("(not-a-model)").is_err());
         assert!(model_from_sexpr("(model)").is_err());
         assert!(model_from_sexpr("(model \"x\" (block))").is_err());
-        assert!(model_from_sexpr(
-            "(model \"x\" (connect \"a\" \"out\" \"b\" \"in\"))"
-        )
-        .is_err());
+        assert!(model_from_sexpr("(model \"x\" (connect \"a\" \"out\" \"b\" \"in\"))").is_err());
         // Unbalanced parens surface the parser error.
         assert!(model_from_sexpr("(model \"x\"").is_err());
     }

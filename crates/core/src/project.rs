@@ -70,10 +70,7 @@ impl Project {
     }
 
     /// Step 3: auto-generate the glue program and its source rendering.
-    pub fn generate(
-        &self,
-        placement: &Placement,
-    ) -> Result<(GlueProgram, String), CodegenError> {
+    pub fn generate(&self, placement: &Placement) -> Result<(GlueProgram, String), CodegenError> {
         let program = generate(&self.app, &self.hardware, placement)?;
         let source = render_glue_source(&program);
         Ok((program, source))

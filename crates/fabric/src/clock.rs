@@ -1,9 +1,7 @@
 //! Time policies: real wall-clock or deterministic virtual time.
 
-use serde::{Deserialize, Serialize};
-
 /// How node clocks advance during a cluster run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TimePolicy {
     /// Nodes report wall-clock time since the cluster epoch; compute charges
     /// are the actual execution times of the kernels.

@@ -1,12 +1,13 @@
 //! The threaded cluster: one OS thread per node, mailbox message passing,
-//! pluggable time policy.
+//! pluggable time policy, deterministic fault injection.
 
 use crate::clock::TimePolicy;
+use crate::fault::{FabricError, FaultPlan, NodeFaultKind};
 use crate::machine::{MachineSpec, Work};
 use crate::metrics::{FabricMetrics, NodeMetrics};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A message in flight: payload plus its virtual arrival time at the
@@ -30,6 +31,23 @@ struct Shared {
     mailboxes: Vec<Mailbox>,
     epoch: Instant,
     recv_timeout: Duration,
+    plan: FaultPlan,
+    /// Per-node "hit its scheduled failure" flags.
+    failed: Vec<AtomicBool>,
+    /// Per-node "program returned (or unwound)" flags.
+    done: Vec<AtomicBool>,
+}
+
+impl Shared {
+    /// Wakes every blocked receiver so it can re-check the failure/done
+    /// flags. Taking each mailbox lock before notifying closes the window
+    /// between a receiver's flag check and its wait.
+    fn wake_all(&self) {
+        for mbox in &self.mailboxes {
+            let _guard = mbox.queues.lock().expect("mailbox poisoned");
+            mbox.cv.notify_all();
+        }
+    }
 }
 
 /// The per-node execution context handed to node programs.
@@ -44,6 +62,15 @@ pub struct NodeCtx {
     nic_free: f64,
     metrics: NodeMetrics,
     shared: Arc<Shared>,
+    /// Program-order counter over non-self sends; feeds the seeded drop
+    /// decision so faults are independent of thread interleaving.
+    send_seq: u64,
+    /// This node's scheduled stalls as `(at_secs, stall_secs, fired)`.
+    stalls: Vec<(f64, f64, bool)>,
+    /// Earliest scheduled failure time for this node, if any.
+    fail_at: Option<f64>,
+    /// Set once the scheduled failure has fired.
+    failed_self: bool,
 }
 
 impl NodeCtx {
@@ -67,12 +94,58 @@ impl NodeCtx {
         self.shared.policy
     }
 
+    /// The fault plan this cluster runs under (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.shared.plan
+    }
+
     /// Current time in seconds: the virtual clock, or wall time since the
     /// cluster epoch in real mode.
     pub fn now(&self) -> f64 {
         match self.shared.policy {
             TimePolicy::Virtual => self.clock,
             TimePolicy::Real => self.shared.epoch.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Fires any scheduled time faults the virtual clock has crossed:
+    /// stalls freeze the node (charged as lost time), a crossed failure
+    /// time marks the node failed and wakes all peers.
+    fn apply_time_faults(&mut self) {
+        if self.failed_self || !self.shared.policy.is_virtual() {
+            return;
+        }
+        for (at, dur, fired) in &mut self.stalls {
+            if !*fired && self.clock >= *at {
+                *fired = true;
+                self.clock += *dur;
+                self.metrics.lost_secs += *dur;
+                self.metrics.faults_observed += 1;
+            }
+        }
+        if let Some(t) = self.fail_at {
+            if self.clock >= t {
+                self.failed_self = true;
+                self.metrics.faults_observed += 1;
+                self.shared.failed[self.id].store(true, Ordering::SeqCst);
+                self.shared.wake_all();
+            }
+        }
+    }
+
+    /// Returns this node's scheduled-failure error if it has fired.
+    ///
+    /// Node programs that want typed fault handling call this at task
+    /// boundaries; [`NodeCtx::try_send`] and [`NodeCtx::try_recv`] check
+    /// it implicitly.
+    pub fn check_failed(&mut self) -> Result<(), FabricError> {
+        self.apply_time_faults();
+        if self.failed_self {
+            Err(FabricError::NodeFailed {
+                node: self.id as u32,
+            })
+        } else {
+            Ok(())
         }
     }
 
@@ -83,6 +156,7 @@ impl NodeCtx {
             let dt = self.shared.machine.work_secs(self.id, work);
             self.clock += dt;
             self.metrics.compute_secs += dt;
+            self.apply_time_faults();
         }
     }
 
@@ -91,7 +165,30 @@ impl NodeCtx {
         if self.shared.policy.is_virtual() {
             self.clock += secs;
             self.metrics.compute_secs += secs;
+            self.apply_time_faults();
         }
+    }
+
+    /// Advances the virtual clock by raw seconds charged as *lost* time
+    /// (retry backoff, fault recovery) rather than compute (no-op in real
+    /// mode).
+    pub fn advance_lost(&mut self, secs: f64) {
+        if self.shared.policy.is_virtual() {
+            self.clock += secs;
+            self.metrics.lost_secs += secs;
+            self.apply_time_faults();
+        }
+    }
+
+    /// Records one retry of a dropped transfer in this node's metrics.
+    pub fn note_retry(&mut self) {
+        self.metrics.retries += 1;
+    }
+
+    /// Records an injected fault observed by an upper layer (e.g. a
+    /// kernel-error injection interpreted by the run-time).
+    pub fn note_fault(&mut self) {
+        self.metrics.faults_observed += 1;
     }
 
     /// Sends `payload` to node `dst` with matching `tag`.
@@ -101,23 +198,69 @@ impl NodeCtx {
     /// with this node's earlier sends) and arrives after the link latency.
     /// The sender is busy until injection completes. Self-sends are free
     /// buffer hand-offs.
+    ///
+    /// # Panics
+    /// Panics on an injected fabric fault; fault-aware callers use
+    /// [`NodeCtx::try_send`].
     pub fn send(&mut self, dst: usize, tag: u64, payload: &[u8]) {
+        if let Err(e) = self.try_send(dst, tag, payload) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fault-aware send: like [`NodeCtx::send`] but surfaces injected
+    /// faults as [`FabricError`] instead of panicking.
+    ///
+    /// A dropped transfer still charges the sender's NIC serialization
+    /// time (recorded as lost time): the bytes went out, nobody heard
+    /// them. The payload is untouched, so callers may retry with the
+    /// identical bytes.
+    pub fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
         assert!(dst < self.nodes(), "send to node {dst} of {}", self.nodes());
+        self.check_failed()?;
         let bytes = payload.len();
+        let mut dropped = false;
+        let mut busy = 0.0;
         let arrival = if !self.shared.policy.is_virtual() || dst == self.id {
+            if dst != self.id {
+                let seq = self.send_seq;
+                self.send_seq += 1;
+                dropped = self
+                    .shared
+                    .plan
+                    .drops_transfer(self.id as u32, dst as u32, seq);
+            }
             self.clock
         } else {
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            dropped = self
+                .shared
+                .plan
+                .drops_transfer(self.id as u32, dst as u32, seq);
             let link = self.shared.machine.link(self.id, dst);
+            let factor = self.shared.plan.link_factor(self.id as u32, dst as u32);
             let inject_start = self.clock.max(self.nic_free);
-            let busy = bytes as f64 / link.bandwidth;
+            busy = bytes as f64 / link.bandwidth * factor;
             self.nic_free = inject_start + busy;
             self.clock = self.nic_free;
             self.nic_free + link.latency
         };
+        if dropped {
+            self.metrics.transfers_dropped += 1;
+            self.metrics.faults_observed += 1;
+            self.metrics.lost_secs += busy;
+            self.apply_time_faults();
+            return Err(FabricError::TransferDropped {
+                src: self.id as u32,
+                dst: dst as u32,
+                tag,
+            });
+        }
         self.metrics.messages_sent += 1;
         self.metrics.bytes_sent += bytes as u64;
         let mbox = &self.shared.mailboxes[dst];
-        let mut queues = mbox.queues.lock();
+        let mut queues = mbox.queues.lock().expect("mailbox poisoned");
         queues
             .entry((self.id as u32, tag))
             .or_default()
@@ -126,6 +269,9 @@ impl NodeCtx {
                 arrival,
             });
         mbox.cv.notify_all();
+        drop(queues);
+        self.apply_time_faults();
+        Ok(())
     }
 
     /// Receives the next message from node `src` with matching `tag`,
@@ -136,28 +282,61 @@ impl NodeCtx {
     ///
     /// # Panics
     /// Panics after the cluster's receive timeout (default 120 s of real
-    /// time) — the standard symptom of a mismatched communication schedule.
+    /// time) — the standard symptom of a mismatched communication
+    /// schedule — or on an injected fabric fault; fault-aware callers use
+    /// [`NodeCtx::try_recv`].
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
-        assert!(src < self.nodes(), "recv from node {src} of {}", self.nodes());
+        match self.try_recv(src, tag) {
+            Ok(payload) => payload,
+            Err(FabricError::RecvTimeout { node, src, tag }) => {
+                panic!("node {node} timed out waiting for (src={src}, tag={tag})")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fault-aware receive: like [`NodeCtx::recv`] but surfaces timeouts,
+    /// dead peers, and this node's own scheduled failure as
+    /// [`FabricError`] instead of panicking.
+    pub fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError> {
+        assert!(
+            src < self.nodes(),
+            "recv from node {src} of {}",
+            self.nodes()
+        );
+        self.check_failed()?;
         let mbox = &self.shared.mailboxes[self.id];
         let deadline = Instant::now() + self.shared.recv_timeout;
-        let mut queues = mbox.queues.lock();
+        let mut queues = mbox.queues.lock().expect("mailbox poisoned");
         let msg = loop {
             if let Some(q) = queues.get_mut(&(src as u32, tag)) {
                 if let Some(m) = q.pop_front() {
                     break m;
                 }
             }
-            if mbox
-                .cv
-                .wait_until(&mut queues, deadline)
-                .timed_out()
+            // Queue empty: a dead or departed peer can never satisfy us.
+            if src != self.id
+                && (self.shared.failed[src].load(Ordering::SeqCst)
+                    || self.shared.done[src].load(Ordering::SeqCst))
             {
-                panic!(
-                    "node {} timed out waiting for (src={src}, tag={tag})",
-                    self.id
-                );
+                return Err(FabricError::PeerFailed {
+                    node: self.id as u32,
+                    peer: src as u32,
+                });
             }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(FabricError::RecvTimeout {
+                    node: self.id as u32,
+                    src: src as u32,
+                    tag,
+                });
+            }
+            let (guard, _timeout) = mbox
+                .cv
+                .wait_timeout(queues, deadline - now)
+                .expect("mailbox poisoned");
+            queues = guard;
         };
         drop(queues);
         if self.shared.policy.is_virtual() && msg.arrival > self.clock {
@@ -166,7 +345,8 @@ impl NodeCtx {
         }
         self.metrics.messages_received += 1;
         self.metrics.bytes_received += msg.payload.len() as u64;
-        msg.payload
+        self.apply_time_faults();
+        Ok(msg.payload)
     }
 
     /// Combined send-then-receive (both directions may proceed concurrently
@@ -176,9 +356,34 @@ impl NodeCtx {
         self.recv(peer, tag)
     }
 
+    /// Fault-aware [`NodeCtx::sendrecv`].
+    pub fn try_sendrecv(
+        &mut self,
+        peer: usize,
+        tag: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FabricError> {
+        self.try_send(peer, tag, payload)?;
+        self.try_recv(peer, tag)
+    }
+
     /// The node's current virtual clock (0-based; meaningless in real mode).
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+}
+
+/// Marks a node done (even on unwind) and wakes blocked peers so they
+/// observe [`FabricError::PeerFailed`] instead of timing out.
+struct DoneGuard<'a> {
+    shared: &'a Shared,
+    id: usize,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.done[self.id].store(true, Ordering::SeqCst);
+        self.shared.wake_all();
     }
 }
 
@@ -198,6 +403,7 @@ pub struct Cluster {
     machine: MachineSpec,
     policy: TimePolicy,
     recv_timeout: Duration,
+    faults: FaultPlan,
 }
 
 impl Cluster {
@@ -207,12 +413,20 @@ impl Cluster {
             machine,
             policy,
             recv_timeout: Duration::from_secs(120),
+            faults: FaultPlan::default(),
         }
     }
 
     /// Overrides the receive deadlock timeout (tests use short values).
     pub fn with_recv_timeout(mut self, t: Duration) -> Cluster {
         self.recv_timeout = t;
+        self
+    }
+
+    /// Attaches a fault plan; an empty plan leaves every run bit-identical
+    /// to a fault-free cluster.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Cluster {
+        self.faults = plan;
         self
     }
 
@@ -239,6 +453,9 @@ impl Cluster {
             mailboxes: (0..n).map(|_| Mailbox::default()).collect(),
             epoch: Instant::now(),
             recv_timeout: self.recv_timeout,
+            plan: self.faults.clone(),
+            failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
         let start = Instant::now();
         let mut results: Vec<Option<(R, NodeMetrics)>> = (0..n).map(|_| None).collect();
@@ -248,15 +465,42 @@ impl Cluster {
                 let shared = shared.clone();
                 let program = &program;
                 handles.push(scope.spawn(move || {
+                    let mut stalls = Vec::new();
+                    let mut fail_at: Option<f64> = None;
+                    for f in &shared.plan.node_faults {
+                        if f.node as usize != id {
+                            continue;
+                        }
+                        match f.kind {
+                            NodeFaultKind::StallAt {
+                                at_secs,
+                                stall_secs,
+                            } => {
+                                stalls.push((at_secs, stall_secs, false));
+                            }
+                            NodeFaultKind::FailAt { at_secs } => {
+                                fail_at = Some(fail_at.map_or(at_secs, |t: f64| t.min(at_secs)));
+                            }
+                        }
+                    }
+                    let guard = DoneGuard {
+                        shared: &shared,
+                        id,
+                    };
                     let mut ctx = NodeCtx {
                         id,
                         clock: 0.0,
                         nic_free: 0.0,
                         metrics: NodeMetrics::default(),
-                        shared,
+                        shared: shared.clone(),
+                        send_seq: 0,
+                        stalls,
+                        fail_at,
+                        failed_self: false,
                     };
                     let r = program(&mut ctx);
                     ctx.metrics.final_clock = ctx.clock;
+                    drop(guard);
                     (r, ctx.metrics)
                 }));
             }
@@ -446,8 +690,8 @@ mod tests {
 
     #[test]
     fn recv_timeout_panics() {
-        let cluster = Cluster::new(machine(1), TimePolicy::Real)
-            .with_recv_timeout(Duration::from_millis(50));
+        let cluster =
+            Cluster::new(machine(1), TimePolicy::Real).with_recv_timeout(Duration::from_millis(50));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cluster.run(|ctx| {
                 ctx.recv(0, 42);
@@ -468,5 +712,182 @@ mod tests {
             }
         });
         assert!(report.metrics.nodes[1].wait_secs > 0.9);
+    }
+
+    // ---- fault injection ----
+
+    /// The baseline all-to-all program used by the fault tests.
+    fn exchange(ctx: &mut NodeCtx) -> f64 {
+        let me = ctx.id();
+        let n = ctx.nodes();
+        for p in 0..n {
+            if p != me {
+                ctx.send(p, me as u64, &vec![me as u8; 65536]);
+            }
+        }
+        for p in 0..n {
+            if p != me {
+                let m = ctx.recv(p, p as u64);
+                assert_eq!(m[0], p as u8);
+            }
+        }
+        ctx.clock()
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let plain = Cluster::new(machine(4), TimePolicy::Virtual);
+        let with_empty =
+            Cluster::new(machine(4), TimePolicy::Virtual).with_faults(FaultPlan::new(1234));
+        let (_, a) = plain.run(exchange);
+        let (_, b) = with_empty.run(exchange);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+
+    #[test]
+    fn dropped_send_charges_sender_and_errors() {
+        let plan = FaultPlan::new(0).with_drop_prob(1.0); // every transfer drops
+        let cluster = Cluster::new(machine(2), TimePolicy::Virtual).with_faults(plan);
+        let (_, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                let err = ctx.try_send(1, 0, &vec![0u8; 1_000_000]).unwrap_err();
+                assert_eq!(
+                    err,
+                    FabricError::TransferDropped {
+                        src: 0,
+                        dst: 1,
+                        tag: 0
+                    }
+                );
+            }
+        });
+        let m = &report.metrics.nodes[0];
+        assert_eq!(m.transfers_dropped, 1);
+        assert_eq!(m.messages_sent, 0);
+        // NIC still serialized the doomed bytes: 1 MB at 100 MB/s = 10 ms.
+        assert!((m.lost_secs - 0.01).abs() < 1e-9, "lost {}", m.lost_secs);
+        assert!((m.final_clock - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_sends_never_drop() {
+        let plan = FaultPlan::new(0).with_drop_prob(1.0);
+        let cluster = Cluster::new(machine(1), TimePolicy::Virtual).with_faults(plan);
+        cluster.run(|ctx| {
+            ctx.try_send(0, 1, b"loop")
+                .expect("self-send must not drop");
+            assert_eq!(ctx.try_recv(0, 1).unwrap(), b"loop");
+        });
+    }
+
+    #[test]
+    fn degraded_link_slows_transfer() {
+        let plan = FaultPlan::new(0).degrade_link(0, 1, 4.0);
+        let cluster = Cluster::new(machine(2), TimePolicy::Virtual).with_faults(plan);
+        let (_, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.send(1, 0, &vec![0u8; 1_000_000]);
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        // 4x degradation: 40 ms serialization + latency.
+        let expected = 4.0 * 1.0e6 / 1.0e8 + 10.0e-6;
+        let got = report.metrics.nodes[1].final_clock;
+        assert!((got - expected).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn failed_node_errors_and_peers_see_peer_failed() {
+        let plan = FaultPlan::new(0).fail_node(0, 0.5);
+        let cluster = Cluster::new(machine(2), TimePolicy::Virtual).with_faults(plan);
+        let (results, report) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                ctx.compute(Work::flops(1.0e9)); // crosses fail-at = 0.5 s
+                ctx.try_send(1, 0, b"never").map(|_| Vec::new())
+            } else {
+                ctx.try_recv(0, 0)
+            }
+        });
+        assert_eq!(results[0], Err(FabricError::NodeFailed { node: 0 }));
+        assert_eq!(
+            results[1],
+            Err(FabricError::PeerFailed { node: 1, peer: 0 })
+        );
+        assert_eq!(report.metrics.nodes[0].faults_observed, 1);
+    }
+
+    #[test]
+    fn stall_charges_lost_time_once() {
+        let plan = FaultPlan::new(0).stall_node(0, 0.5, 2.0);
+        let cluster = Cluster::new(machine(1), TimePolicy::Virtual).with_faults(plan);
+        let (_, report) = cluster.run(|ctx| {
+            ctx.compute(Work::flops(1.0e9)); // 1 s, crosses the stall point
+            ctx.compute(Work::flops(1.0e9)); // stall must not re-fire
+        });
+        let m = &report.metrics.nodes[0];
+        assert!((m.lost_secs - 2.0).abs() < 1e-9, "lost {}", m.lost_secs);
+        assert!(
+            (m.final_clock - 4.0).abs() < 1e-9,
+            "clock {}",
+            m.final_clock
+        );
+        assert_eq!(m.faults_observed, 1);
+    }
+
+    #[test]
+    fn done_peer_turns_missing_recv_into_typed_error() {
+        let cluster = Cluster::new(machine(2), TimePolicy::Real);
+        let (results, _) = cluster.run(|ctx| {
+            if ctx.id() == 0 {
+                Ok(Vec::new()) // exits immediately without sending
+            } else {
+                ctx.try_recv(0, 99)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Err(FabricError::PeerFailed { node: 1, peer: 0 })
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let run_once = || {
+            let plan = FaultPlan::new(42)
+                .with_drop_prob(0.3)
+                .degrade_link(0, 1, 2.0)
+                .stall_node(2, 0.001, 0.01);
+            let cluster = Cluster::new(machine(4), TimePolicy::Virtual).with_faults(plan);
+            let (_, report) = cluster.run(|ctx| {
+                let me = ctx.id();
+                let n = ctx.nodes();
+                for p in 0..n {
+                    if p != me {
+                        // Retry dropped sends until they get through.
+                        while ctx.try_send(p, me as u64, &vec![me as u8; 65536]).is_err() {
+                            ctx.note_retry();
+                            ctx.advance_lost(1.0e-4);
+                        }
+                    }
+                }
+                for p in 0..n {
+                    if p != me {
+                        let m = ctx.try_recv(p, p as u64).expect("peer alive");
+                        assert_eq!(m[0], p as u8);
+                    }
+                }
+            });
+            report
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        let dropped: u64 = a.metrics.nodes.iter().map(|n| n.transfers_dropped).sum();
+        let retries: u64 = a.metrics.nodes.iter().map(|n| n.retries).sum();
+        assert!(dropped > 0, "p=0.3 over 12 transfers should drop something");
+        assert_eq!(dropped, retries);
     }
 }

@@ -50,10 +50,12 @@
 
 pub mod clock;
 pub mod cluster;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 
 pub use clock::TimePolicy;
 pub use cluster::{Cluster, NodeCtx, RunReport};
+pub use fault::{FabricError, FaultPlan, KernelFault, LinkDegradation, NodeFault, NodeFaultKind};
 pub use machine::{LinkSpec, MachineSpec, NodeSpec, Work};
 pub use metrics::{FabricMetrics, NodeMetrics};

@@ -1,10 +1,9 @@
 //! Machine characterization: node compute rates and link cost parameters.
 
 use sage_model::HardwareSpec;
-use serde::{Deserialize, Serialize};
 
 /// One compute node's rates.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeSpec {
     /// Sustainable floating-point rate, flops/second.
     pub flops_per_sec: f64,
@@ -13,7 +12,7 @@ pub struct NodeSpec {
 }
 
 /// One directed link's wire characteristics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkSpec {
     /// Bandwidth in bytes/second.
     pub bandwidth: f64,
@@ -76,7 +75,7 @@ impl Work {
 }
 
 /// The complete machine: nodes plus a dense pairwise link matrix.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineSpec {
     /// Machine name (platform profile).
     pub name: String,
@@ -209,7 +208,9 @@ mod tests {
         assert_eq!(Work::copy(100).mem_bytes, 200.0);
         assert_eq!(Work::flops(5.0).flops, 5.0);
         assert_eq!(Work::overhead(0.1).overhead_secs, 0.1);
-        let s = Work::flops(1.0).plus(Work::copy(1)).plus(Work::overhead(2.0));
+        let s = Work::flops(1.0)
+            .plus(Work::copy(1))
+            .plus(Work::overhead(2.0));
         assert_eq!((s.flops, s.mem_bytes, s.overhead_secs), (1.0, 2.0, 2.0));
     }
 

@@ -1,9 +1,7 @@
 //! Per-run traffic and timing metrics.
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic counters for one node.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NodeMetrics {
     /// Messages sent by this node.
     pub messages_sent: u64,
@@ -19,10 +17,19 @@ pub struct NodeMetrics {
     pub compute_secs: f64,
     /// Accumulated virtual time blocked in receives (seconds); 0 in real mode.
     pub wait_secs: f64,
+    /// Transfers dropped on the wire by fault injection.
+    pub transfers_dropped: u64,
+    /// Retries of dropped transfers recorded by upper layers.
+    pub retries: u64,
+    /// Injected faults this node observed (drops, stalls, failures).
+    pub faults_observed: u64,
+    /// Virtual time lost to faults: wasted injections, stalls, retry
+    /// backoff (seconds); 0 in real mode.
+    pub lost_secs: f64,
 }
 
 /// Aggregated metrics for a whole run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FabricMetrics {
     /// Per-node counters, indexed by node id.
     pub nodes: Vec<NodeMetrics>,
@@ -42,6 +49,26 @@ impl FabricMetrics {
     /// The largest final virtual clock — the virtual makespan.
     pub fn makespan(&self) -> f64 {
         self.nodes.iter().map(|n| n.final_clock).fold(0.0, f64::max)
+    }
+
+    /// Total transfers dropped on the wire across all nodes.
+    pub fn total_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.transfers_dropped).sum()
+    }
+
+    /// Total transfer retries across all nodes.
+    pub fn total_retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retries).sum()
+    }
+
+    /// Total injected faults observed across all nodes.
+    pub fn total_faults(&self) -> u64 {
+        self.nodes.iter().map(|n| n.faults_observed).sum()
+    }
+
+    /// Total virtual time lost to faults across all nodes (seconds).
+    pub fn total_lost_secs(&self) -> f64 {
+        self.nodes.iter().map(|n| n.lost_secs).sum()
     }
 
     /// Node compute utilization: compute time over makespan, per node.

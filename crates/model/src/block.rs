@@ -10,12 +10,11 @@
 
 use crate::graph::AppGraph;
 use crate::port::{Direction, Port};
-use crate::{Properties, PropValue};
-use serde::{Deserialize, Serialize};
+use crate::{PropValue, Properties};
 
 /// Estimated execution cost of one block invocation, taken from shelf
 /// metadata (the paper's AToT derives task costs the same way).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Floating-point operations per invocation.
     pub flops: f64,
@@ -37,7 +36,7 @@ impl CostModel {
 }
 
 /// The behavioural kind of a block.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BlockKind {
     /// Produces an input data set each iteration ("the time from when the
     /// first data leaves the data source ..."). Multi-threaded sources model
@@ -70,7 +69,7 @@ pub enum BlockKind {
 }
 
 /// A functional block instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Block {
     /// Instance name (unique within its graph).
     pub name: String,
@@ -247,13 +246,7 @@ mod tests {
 
     #[test]
     fn port_lookup_respects_direction() {
-        let b = Block::primitive(
-            "f",
-            "id",
-            1,
-            CostModel::ZERO,
-            vec![p_in("x"), p_out("x")],
-        );
+        let b = Block::primitive("f", "id", 1, CostModel::ZERO, vec![p_in("x"), p_out("x")]);
         assert_eq!(b.port_index("x", Direction::In), Some(0));
         assert_eq!(b.port_index("x", Direction::Out), Some(1));
         assert_eq!(b.port_index("y", Direction::In), None);

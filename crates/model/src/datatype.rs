@@ -6,11 +6,10 @@
 //! relationship lives on the ports ([`crate::port::Striping`]) and is
 //! interpreted against the type's shape.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Primitive scalar kinds.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ScalarKind {
     /// 32-bit IEEE float.
     F32,
@@ -37,7 +36,7 @@ impl ScalarKind {
 }
 
 /// A data type definable in the data type editor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DataType {
     /// A primitive scalar.
     Scalar(ScalarKind),
@@ -77,9 +76,7 @@ impl DataType {
         match self {
             DataType::Scalar(k) => k.size_bytes(),
             DataType::Complex => 8,
-            DataType::Array { elem, shape } => {
-                elem.size_bytes() * shape.iter().product::<usize>()
-            }
+            DataType::Array { elem, shape } => elem.size_bytes() * shape.iter().product::<usize>(),
             DataType::Record(fields) => fields.iter().map(|(_, t)| t.size_bytes()).sum(),
         }
     }

@@ -11,11 +11,10 @@ use crate::ids::{BlockId, ConnId};
 use crate::port::{Direction, Port};
 use crate::validate::ModelError;
 use crate::Properties;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One end of a connection: a port (by declaration index) on a block.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// Host block.
     pub block: BlockId,
@@ -24,7 +23,7 @@ pub struct Endpoint {
 }
 
 /// A data-flow arc from an output port to an input port.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Connection {
     /// Dense id (index into the graph's connection list).
     pub id: ConnId,
@@ -35,7 +34,7 @@ pub struct Connection {
 }
 
 /// A dataflow application model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppGraph {
     /// Model name (appears in generated glue code).
     pub name: String,
@@ -150,8 +149,18 @@ impl AppGraph {
         }
         if fport.data_type != tport.data_type {
             return Err(ModelError::TypeMismatch {
-                from: format!("{}.{} : {}", self.block(from.block).name, fport.name, fport.data_type),
-                to: format!("{}.{} : {}", self.block(to.block).name, tport.name, tport.data_type),
+                from: format!(
+                    "{}.{} : {}",
+                    self.block(from.block).name,
+                    fport.name,
+                    fport.data_type
+                ),
+                to: format!(
+                    "{}.{} : {}",
+                    self.block(to.block).name,
+                    tport.name,
+                    tport.data_type
+                ),
             });
         }
         if self.incoming(to).is_some() {
@@ -316,10 +325,7 @@ impl AppGraph {
                         }
                         match matches.len() {
                             1 => {
-                                bound.insert(
-                                    (port.direction, port.name.clone()),
-                                    matches[0],
-                                );
+                                bound.insert((port.direction, port.name.clone()), matches[0]);
                             }
                             0 => {
                                 return Err(ModelError::UnboundBoundary {
@@ -354,13 +360,12 @@ impl AppGraph {
                     }),
                     Lowered::Hier(bound) => {
                         let pname = self.blocks[ep.block.index()].ports[ep.port].name.clone();
-                        bound
-                            .get(&(dir, pname.clone()))
-                            .copied()
-                            .ok_or(ModelError::UnboundBoundary {
+                        bound.get(&(dir, pname.clone())).copied().ok_or(
+                            ModelError::UnboundBoundary {
                                 block: self.blocks[ep.block.index()].name.clone(),
                                 port: pname,
-                            })
+                            },
+                        )
                     }
                 }
             };
@@ -383,7 +388,9 @@ impl AppGraph {
 
     /// Total bytes flowing along connection `c` per iteration.
     pub fn connection_bytes(&self, c: &Connection) -> usize {
-        self.port_at(c.from).map(|p| p.data_type.size_bytes()).unwrap_or(0)
+        self.port_at(c.from)
+            .map(|p| p.data_type.size_bytes())
+            .unwrap_or(0)
     }
 }
 
@@ -503,9 +510,7 @@ mod tests {
         let mut inner = AppGraph::new("inner");
         let f = inner.add_block(leaf("f", &["in"], &["mid"]));
         let gg = inner.add_block(leaf("g", &["mid_in"], &["out"]));
-        inner
-            .connect(f, "mid", gg, "mid_in")
-            .unwrap();
+        inner.connect(f, "mid", gg, "mid_in").unwrap();
 
         let mut outer = AppGraph::new("outer");
         let src = outer.add_block(leaf("src", &[], &["out"]));

@@ -13,10 +13,9 @@
 
 use crate::ids::ProcId;
 use crate::Properties;
-use serde::{Deserialize, Serialize};
 
 /// A processor type, captured on the hardware shelf.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Processor {
     /// Model name, e.g. `"PowerPC 603e"`.
     pub name: String,
@@ -38,7 +37,7 @@ impl Processor {
 }
 
 /// A point-to-point or fabric link characterization.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FabricSpec {
     /// Bandwidth in MB/s (the paper's Myrinet: 160 MB/s).
     pub bandwidth_mbps: f64,
@@ -54,7 +53,7 @@ impl FabricSpec {
 }
 
 /// A board: a set of processors sharing an intra-board interconnect.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Board {
     /// Board name, e.g. `"quad-PPC"`.
     pub name: String,
@@ -65,7 +64,7 @@ pub struct Board {
 }
 
 /// A chassis: boards joined by a system fabric.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Chassis {
     /// Chassis name, e.g. `"21-slot VME"`.
     pub name: String,
@@ -76,7 +75,7 @@ pub struct Chassis {
 }
 
 /// A complete target hardware model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HardwareSpec {
     /// System name, e.g. `"CSPI testbed"`.
     pub name: String,
@@ -88,7 +87,7 @@ pub struct HardwareSpec {
 
 /// A flattened compute node: one processor with its location in the
 /// hierarchy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProcessorInstance {
     /// Dense node id, `P0..P(N-1)`.
     pub id: ProcId,

@@ -5,14 +5,13 @@
 //! which is the index of this descriptor into the function table." We keep
 //! that convention: ids are dense indices into the owning collection.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! index_id {
     ($(#[$doc:meta])* $name:ident, $tag:literal) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 

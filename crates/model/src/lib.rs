@@ -46,7 +46,7 @@ pub use validate::{validate, ModelError};
 use std::collections::BTreeMap;
 
 /// A property value attached to a model object (readable from Alter).
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PropValue {
     /// String property.
     Str(String),

@@ -9,10 +9,9 @@ use crate::graph::AppGraph;
 use crate::hardware::HardwareSpec;
 use crate::ids::{BlockId, ProcId};
 use crate::validate::ModelError;
-use serde::{Deserialize, Serialize};
 
 /// A total assignment of blocks to processors, indexed by block id.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Mapping {
     assignment: Vec<ProcId>,
 }
@@ -156,7 +155,10 @@ mod tests {
         assert_eq!(m.node_of(BlockId(0)), ProcId(0));
         assert_eq!(m.node_of(BlockId(1)), ProcId(1));
         assert_eq!(m.node_of(BlockId(4)), ProcId(0));
-        assert_eq!(m.blocks_on(ProcId(0)), vec![BlockId(0), BlockId(2), BlockId(4)]);
+        assert_eq!(
+            m.blocks_on(ProcId(0)),
+            vec![BlockId(0), BlockId(2), BlockId(4)]
+        );
     }
 
     #[test]

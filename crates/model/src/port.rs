@@ -12,10 +12,9 @@
 //! receiving (incoming) ports."
 
 use crate::datatype::DataType;
-use serde::{Deserialize, Serialize};
 
 /// Data-flow direction of a port relative to its host block.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Receiving (incoming) port.
     In,
@@ -24,7 +23,7 @@ pub enum Direction {
 }
 
 /// Port striping convention (paper §2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Striping {
     /// The full datum is replicated for each thread of the host function.
     Replicated,
@@ -50,7 +49,7 @@ impl Striping {
 }
 
 /// A port on a functional block.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Port {
     /// Port name, unique among the host block's ports of the same direction.
     pub name: String,
@@ -117,11 +116,7 @@ mod tests {
 
     #[test]
     fn striped_requires_even_division() {
-        let p = Port::input(
-            "m",
-            DataType::complex_matrix(8, 4),
-            Striping::BY_ROWS,
-        );
+        let p = Port::input("m", DataType::complex_matrix(8, 4), Striping::BY_ROWS);
         assert!(p.striping_valid_for(2));
         assert!(p.striping_valid_for(8));
         assert!(!p.striping_valid_for(3));

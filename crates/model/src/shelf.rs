@@ -9,12 +9,11 @@
 
 use crate::block::CostModel;
 use crate::hardware::{FabricSpec, HardwareSpec, Processor};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A shelf entry describing a reusable library function and its measured
 /// per-target cost characteristics.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShelfFunction {
     /// Registry name, e.g. `"isspl.fft_rows"` — the string the run-time's
     /// function registry resolves.
@@ -59,7 +58,7 @@ impl ShelfFunction {
 }
 
 /// The software shelf: a name-indexed library of functions.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SoftwareShelf {
     entries: BTreeMap<String, ShelfFunction>,
 }
@@ -200,7 +199,11 @@ impl HardwareShelf {
         let mut hw = HardwareSpec::homogeneous(
             name,
             proc.clone(),
-            full_boards.max(if rem > 0 || full_boards == 0 { 0 } else { full_boards }),
+            full_boards.max(if rem > 0 || full_boards == 0 {
+                0
+            } else {
+                full_boards
+            }),
             per_board,
             intra,
             fabric,

@@ -119,7 +119,10 @@ impl fmt::Display for ModelError {
                 write!(f, "boundary port `{block}.{port}` has no internal binding")
             }
             ModelError::AmbiguousBoundary { block, port } => {
-                write!(f, "boundary port `{block}.{port}` matches several internal ports")
+                write!(
+                    f,
+                    "boundary port `{block}.{port}` matches several internal ports"
+                )
             }
             ModelError::UnconnectedInput { block, port } => {
                 write!(f, "input `{block}.{port}` is unconnected")
@@ -137,7 +140,10 @@ impl fmt::Display for ModelError {
                 write!(f, "mapping covers {actual} blocks, graph has {expected}")
             }
             ModelError::MappingNode { block, node, nodes } => {
-                write!(f, "block `{block}` mapped to node {node}, hardware has {nodes}")
+                write!(
+                    f,
+                    "block `{block}` mapped to node {node}, hardware has {nodes}"
+                )
             }
             ModelError::UnknownFunction { block, function } => {
                 write!(f, "block `{block}` uses unregistered function `{function}`")

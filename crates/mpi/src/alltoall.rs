@@ -17,6 +17,7 @@
 //!   modelling the DMA gather/scatter implementations vendors shipped.
 
 use crate::comm::{Communicator, MpiConfig};
+use crate::error::MpiError;
 
 const OP_ALLTOALL: u64 = 7;
 
@@ -25,8 +26,14 @@ impl Communicator<'_> {
     /// result's index `r` holds the block received from rank `r`.
     ///
     /// # Panics
-    /// Panics if `blocks.len() != size()`.
+    /// Panics if `blocks.len() != size()`, or on an unrecoverable injected
+    /// fault (fault-aware callers use [`Communicator::try_alltoall`]).
     pub fn alltoall(&mut self, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        self.try_alltoall(blocks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::alltoall`].
+    pub fn try_alltoall(&mut self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, MpiError> {
         let zero_copy = self.config().zero_copy_collectives;
         self.alltoall_impl(blocks, zero_copy)
     }
@@ -34,23 +41,52 @@ impl Communicator<'_> {
     /// Vendor-tuned all-to-all: identical exchange schedule, but with the
     /// vendor per-message overheads and no packing copies, regardless of the
     /// communicator's base configuration.
+    ///
+    /// # Panics
+    /// Panics if `blocks.len() != size()`, or on an unrecoverable injected
+    /// fault (fault-aware callers use
+    /// [`Communicator::try_alltoall_tuned`]).
     pub fn alltoall_tuned(&mut self, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        self.try_alltoall_tuned(blocks)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::alltoall_tuned`].
+    pub fn try_alltoall_tuned(&mut self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, MpiError> {
         self.alltoall_impl(blocks, true)
     }
 
-    fn alltoall_impl(&mut self, blocks: &[Vec<u8>], zero_copy: bool) -> Vec<Vec<u8>> {
-        let n = self.size();
-        let me = self.rank();
-        assert_eq!(blocks.len(), n, "alltoall needs one block per rank");
-        let tag = self.next_coll_tag(OP_ALLTOALL);
+    fn alltoall_impl(
+        &mut self,
+        blocks: &[Vec<u8>],
+        zero_copy: bool,
+    ) -> Result<Vec<Vec<u8>>, MpiError> {
         let saved = self.config();
-        if zero_copy && !saved.zero_copy_collectives {
+        let swapped = zero_copy && !saved.zero_copy_collectives;
+        if swapped {
             // Temporarily use the tuned characterization.
             self.set_config(MpiConfig {
                 zero_copy_collectives: true,
                 ..MpiConfig::vendor_tuned()
             });
         }
+        let result = self.alltoall_rounds(blocks, zero_copy);
+        if swapped {
+            // Restore even when a round errored out.
+            self.set_config(saved);
+        }
+        result
+    }
+
+    fn alltoall_rounds(
+        &mut self,
+        blocks: &[Vec<u8>],
+        zero_copy: bool,
+    ) -> Result<Vec<Vec<u8>>, MpiError> {
+        let n = self.size();
+        let me = self.rank();
+        assert_eq!(blocks.len(), n, "alltoall needs one block per rank");
+        let tag = self.next_coll_tag(OP_ALLTOALL);
 
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         // Own block: local hand-off (a copy unless zero-copy DMA).
@@ -74,18 +110,14 @@ impl Communicator<'_> {
                 self.charge_pack(blocks[to].len());
             }
             let round_tag = tag | ((r as u64) << 32);
-            self.csend(to, round_tag, &blocks[to]);
-            let received = self.crecv(from, round_tag);
+            self.csend(to, round_tag, &blocks[to])?;
+            let received = self.crecv(from, round_tag)?;
             if !zero_copy {
                 self.charge_pack(received.len());
             }
             out[from] = received;
         }
-
-        if zero_copy && !saved.zero_copy_collectives {
-            self.set_config(saved);
-        }
-        out
+        Ok(out)
     }
 
     /// Replaces the communicator's configuration (used by the tuned paths).
@@ -116,13 +148,19 @@ mod tests {
 
     fn blocks_for(me: usize, n: usize) -> Vec<Vec<u8>> {
         // Block sent from `me` to `dst` is [me, dst] repeated.
-        (0..n).map(|dst| vec![me as u8, dst as u8, me as u8]).collect()
+        (0..n)
+            .map(|dst| vec![me as u8, dst as u8, me as u8])
+            .collect()
     }
 
     fn check_result(me: usize, n: usize, out: &[Vec<u8>]) {
         assert_eq!(out.len(), n);
         for (src, block) in out.iter().enumerate() {
-            assert_eq!(block, &vec![src as u8, me as u8, src as u8], "me={me} src={src}");
+            assert_eq!(
+                block,
+                &vec![src as u8, me as u8, src as u8],
+                "me={me} src={src}"
+            );
         }
     }
 
@@ -211,8 +249,16 @@ impl Communicator<'_> {
     /// communicator is large.
     ///
     /// # Panics
-    /// Panics if `blocks.len() != size()`.
+    /// Panics if `blocks.len() != size()`, or on an unrecoverable injected
+    /// fault (fault-aware callers use
+    /// [`Communicator::try_alltoall_bruck`]).
     pub fn alltoall_bruck(&mut self, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        self.try_alltoall_bruck(blocks)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::alltoall_bruck`].
+    pub fn try_alltoall_bruck(&mut self, blocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, MpiError> {
         let n = self.size();
         let me = self.rank();
         assert_eq!(blocks.len(), n, "alltoall needs one block per rank");
@@ -240,8 +286,8 @@ impl Communicator<'_> {
             }
             self.charge_pack(payload.len());
             let round_tag = tag | (round << 32);
-            self.csend(to, round_tag, &payload);
-            let incoming = self.crecv(from, round_tag);
+            self.csend(to, round_tag, &payload)?;
+            let incoming = self.crecv(from, round_tag)?;
             self.charge_pack(incoming.len());
             let mut cur = 0usize;
             while cur < incoming.len() {
@@ -262,7 +308,7 @@ impl Communicator<'_> {
             out[(me + n - r) % n] = slot;
         }
         self.charge_pack(out.iter().map(Vec::len).sum());
-        out
+        Ok(out)
     }
 }
 
@@ -296,8 +342,7 @@ mod bruck_tests {
                 let me = ctx.id();
                 let n = ctx.nodes();
                 let mut comm = Communicator::new(ctx, MpiConfig::generic());
-                let blocks: Vec<Vec<u8>> =
-                    (0..n).map(|d| vec![me as u8, d as u8]).collect();
+                let blocks: Vec<Vec<u8>> = (0..n).map(|d| vec![me as u8, d as u8]).collect();
                 let a = comm.alltoall(&blocks);
                 let b = comm.alltoall_bruck(&blocks);
                 assert_eq!(a, b, "n={n} me={me}");

@@ -6,6 +6,7 @@
 //! gather/scatter rooted at `root`, ring allgather.
 
 use crate::comm::{Communicator, ReduceOp};
+use crate::error::MpiError;
 use crate::typed;
 
 /// Collective op codes for the tag space.
@@ -20,7 +21,16 @@ mod op {
 
 impl Communicator<'_> {
     /// Dissemination barrier: `ceil(log2 n)` rounds of pairwise exchange.
+    ///
+    /// # Panics
+    /// Panics on an unrecoverable injected fault; fault-aware callers use
+    /// [`Communicator::try_barrier`].
     pub fn barrier(&mut self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fault-aware [`Communicator::barrier`].
+    pub fn try_barrier(&mut self) -> Result<(), MpiError> {
         let n = self.size();
         let me = self.rank();
         let tag = self.next_coll_tag(op::BARRIER);
@@ -28,18 +38,28 @@ impl Communicator<'_> {
         while k < n {
             let to = (me + k) % n;
             let from = (me + n - k % n) % n;
-            self.csend(to, tag | ((k as u64) << 32), &[]);
-            self.crecv(from, tag | ((k as u64) << 32));
+            self.csend(to, tag | ((k as u64) << 32), &[])?;
+            self.crecv(from, tag | ((k as u64) << 32))?;
             k <<= 1;
         }
+        Ok(())
     }
 
     /// Binomial-tree broadcast from `root`. On non-root ranks `data` is
     /// replaced by the received buffer.
+    ///
+    /// # Panics
+    /// Panics on an unrecoverable injected fault; fault-aware callers use
+    /// [`Communicator::try_bcast`].
     pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) {
+        self.try_bcast(root, data).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fault-aware [`Communicator::bcast`].
+    pub fn try_bcast(&mut self, root: usize, data: &mut Vec<u8>) -> Result<(), MpiError> {
         let n = self.size();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let me = self.rank();
         let tag = self.next_coll_tag(op::BCAST);
@@ -50,22 +70,41 @@ impl Communicator<'_> {
             // Parent: clear the lowest set bit.
             let parent_v = vrank & (vrank - 1);
             let parent = (parent_v + root) % n;
-            *data = self.crecv(parent, tag);
+            *data = self.crecv(parent, tag)?;
         }
         // Forward to children: set bits above the lowest set bit.
-        let lowest = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut k = 1;
         while k < lowest && vrank + k < n {
             let child = (vrank + k + root) % n;
-            self.csend(child, tag, data);
+            self.csend(child, tag, data)?;
             k <<= 1;
         }
+        Ok(())
     }
 
     /// Linear gather to `root`: returns `Some(per-rank buffers)` on the root
     /// (index = source rank, including the root's own contribution), `None`
     /// elsewhere.
+    ///
+    /// # Panics
+    /// Panics on an unrecoverable injected fault; fault-aware callers use
+    /// [`Communicator::try_gather`].
     pub fn gather(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        self.try_gather(root, data)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::gather`].
+    pub fn try_gather(
+        &mut self,
+        root: usize,
+        data: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>, MpiError> {
         let n = self.size();
         let me = self.rank();
         let tag = self.next_coll_tag(op::GATHER);
@@ -75,13 +114,13 @@ impl Communicator<'_> {
             self.charge_pack(data.len());
             for (r, slot) in out.iter_mut().enumerate() {
                 if r != me {
-                    *slot = self.crecv(r, tag);
+                    *slot = self.crecv(r, tag)?;
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            self.csend(root, tag, data);
-            None
+            self.csend(root, tag, data)?;
+            Ok(None)
         }
     }
 
@@ -90,8 +129,22 @@ impl Communicator<'_> {
     ///
     /// # Panics
     /// Panics if the root does not supply exactly `size()` parts, or a
-    /// non-root supplies parts.
+    /// non-root supplies parts, or on an unrecoverable injected fault
+    /// (fault-aware callers use [`Communicator::try_scatter`]).
     pub fn scatter(&mut self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+        self.try_scatter(root, parts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::scatter`].
+    ///
+    /// # Panics
+    /// Still panics on caller errors (wrong number of parts).
+    pub fn try_scatter(
+        &mut self,
+        root: usize,
+        parts: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>, MpiError> {
         let n = self.size();
         let me = self.rank();
         let tag = self.next_coll_tag(op::SCATTER);
@@ -100,11 +153,11 @@ impl Communicator<'_> {
             assert_eq!(parts.len(), n, "scatter needs one part per rank");
             for (r, part) in parts.iter().enumerate() {
                 if r != me {
-                    self.csend(r, tag, part);
+                    self.csend(r, tag, part)?;
                 }
             }
             self.charge_pack(parts[me].len());
-            parts[me].clone()
+            Ok(parts[me].clone())
         } else {
             assert!(parts.is_none(), "non-root ranks supply no parts");
             self.crecv(root, tag)
@@ -113,7 +166,16 @@ impl Communicator<'_> {
 
     /// Ring allgather: every rank ends with all ranks' buffers, indexed by
     /// source rank.
+    ///
+    /// # Panics
+    /// Panics on an unrecoverable injected fault; fault-aware callers use
+    /// [`Communicator::try_allgather`].
     pub fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.try_allgather(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::allgather`].
+    pub fn try_allgather(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, MpiError> {
         let n = self.size();
         let me = self.rank();
         let tag = self.next_coll_tag(op::ALLGATHER);
@@ -125,27 +187,44 @@ impl Communicator<'_> {
         // In round r we forward the buffer that originated r hops to the left.
         let mut carry = data.to_vec();
         for r in 0..n.saturating_sub(1) {
-            self.csend(right, tag | ((r as u64) << 32), &carry);
-            carry = self.crecv(left, tag | ((r as u64) << 32));
+            self.csend(right, tag | ((r as u64) << 32), &carry)?;
+            carry = self.crecv(left, tag | ((r as u64) << 32))?;
             let origin = (me + n - (r + 1)) % n;
             out[origin] = carry.clone();
         }
-        out
+        Ok(out)
     }
 
     /// Binomial-tree reduction of an `f32` vector to `root`; returns
     /// `Some(result)` on the root.
     ///
     /// # Panics
-    /// Panics if ranks supply different lengths.
+    /// Panics if ranks supply different lengths, or on an unrecoverable
+    /// injected fault (fault-aware callers use
+    /// [`Communicator::try_reduce_f32`]).
     pub fn reduce_f32(&mut self, root: usize, data: &[f32], op_: ReduceOp) -> Option<Vec<f32>> {
+        self.try_reduce_f32(root, data, op_)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::reduce_f32`].
+    pub fn try_reduce_f32(
+        &mut self,
+        root: usize,
+        data: &[f32],
+        op_: ReduceOp,
+    ) -> Result<Option<Vec<f32>>, MpiError> {
         let n = self.size();
         let me = self.rank();
         let tag = self.next_coll_tag(op::REDUCE);
         let vrank = (me + n - root) % n;
         let mut acc = data.to_vec();
         // Receive from children (highest offset first mirrors bcast).
-        let lowest = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut offsets = Vec::new();
         let mut k = 1;
         while k < lowest && vrank + k < n {
@@ -154,30 +233,40 @@ impl Communicator<'_> {
         }
         for k in offsets.into_iter().rev() {
             let child = (vrank + k + root) % n;
-            let m = self.crecv(child, tag);
+            let m = self.crecv(child, tag)?;
             let x = typed::bytes_to_f32(&m);
             assert_eq!(x.len(), acc.len(), "reduce length mismatch");
             op_.fold(&mut acc, &x);
         }
         if vrank == 0 {
-            Some(acc)
+            Ok(Some(acc))
         } else {
             let parent_v = vrank & (vrank - 1);
             let parent = (parent_v + root) % n;
-            self.csend(parent, tag, &typed::f32_to_bytes(&acc));
-            None
+            self.csend(parent, tag, &typed::f32_to_bytes(&acc))?;
+            Ok(None)
         }
     }
 
     /// Allreduce = reduce to rank 0 + broadcast.
+    ///
+    /// # Panics
+    /// Panics on an unrecoverable injected fault; fault-aware callers use
+    /// [`Communicator::try_allreduce_f32`].
     pub fn allreduce_f32(&mut self, data: &[f32], op_: ReduceOp) -> Vec<f32> {
-        let reduced = self.reduce_f32(0, data, op_);
+        self.try_allreduce_f32(data, op_)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-aware [`Communicator::allreduce_f32`].
+    pub fn try_allreduce_f32(&mut self, data: &[f32], op_: ReduceOp) -> Result<Vec<f32>, MpiError> {
+        let reduced = self.try_reduce_f32(0, data, op_)?;
         let mut buf = match reduced {
             Some(v) => typed::f32_to_bytes(&v),
             None => Vec::new(),
         };
-        self.bcast(0, &mut buf);
-        typed::bytes_to_f32(&buf)
+        self.try_bcast(0, &mut buf)?;
+        Ok(typed::bytes_to_f32(&buf))
     }
 }
 
@@ -202,10 +291,7 @@ mod tests {
         )
     }
 
-    fn on_cluster<R: Send>(
-        n: usize,
-        f: impl Fn(&mut Communicator) -> R + Sync,
-    ) -> Vec<R> {
+    fn on_cluster<R: Send>(n: usize, f: impl Fn(&mut Communicator) -> R + Sync) -> Vec<R> {
         let cluster = Cluster::new(machine(n), TimePolicy::Virtual);
         let (r, _) = cluster.run(|ctx| {
             let mut comm = Communicator::new(ctx, MpiConfig::generic());
@@ -293,7 +379,10 @@ mod tests {
             let mine = vec![c.rank() as f32, 1.0];
             c.reduce_f32(0, &mine, ReduceOp::Sum)
         });
-        assert_eq!(r[0].as_ref().unwrap(), &vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]);
+        assert_eq!(
+            r[0].as_ref().unwrap(),
+            &vec![0.0 + 1.0 + 2.0 + 3.0 + 4.0, 5.0]
+        );
         let r = on_cluster(5, |c| {
             let mine = vec![c.rank() as f32];
             c.reduce_f32(3, &mine, ReduceOp::Max)
@@ -367,8 +456,7 @@ mod variable_size_tests {
                     assert_eq!(p, &vec![r as u8; r + 1]);
                 }
                 // Scatter back doubled-size parts.
-                let doubled: Vec<Vec<u8>> =
-                    (0..4).map(|r| vec![r as u8; 2 * (r + 1)]).collect();
+                let doubled: Vec<Vec<u8>> = (0..4).map(|r| vec![r as u8; 2 * (r + 1)]).collect();
                 comm.scatter(0, Some(&doubled))
             } else {
                 comm.scatter(0, None)

@@ -1,0 +1,71 @@
+//! Typed MPI-layer errors: fabric faults that survived the retry policy.
+
+use sage_fabric::FabricError;
+
+/// Why an MPI operation could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// An unrecoverable fabric fault (node/peer failure, timeout).
+    Fabric(FabricError),
+    /// A transfer kept dropping until the retry budget was exhausted.
+    RetriesExhausted {
+        /// Sending rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Fabric tag of the doomed transfer.
+        tag: u64,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Fabric(e) => write!(f, "{e}"),
+            MpiError::RetriesExhausted {
+                src,
+                dst,
+                tag,
+                attempts,
+            } => write!(
+                f,
+                "transfer {src} -> {dst} (tag {tag}) still dropped after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpiError::Fabric(e) => Some(e),
+            MpiError::RetriesExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<FabricError> for MpiError {
+    fn from(e: FabricError) -> Self {
+        MpiError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = MpiError::RetriesExhausted {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("4 attempts"));
+        let e = MpiError::from(FabricError::NodeFailed { node: 3 });
+        assert_eq!(e.to_string(), "node 3 failed");
+    }
+}

@@ -42,6 +42,8 @@
 pub mod alltoall;
 pub mod collective;
 pub mod comm;
+pub mod error;
 pub mod typed;
 
-pub use comm::{Communicator, MpiConfig, ReduceOp};
+pub use comm::{Communicator, MpiConfig, ReduceOp, RetryPolicy};
+pub use error::MpiError;

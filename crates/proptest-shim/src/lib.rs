@@ -1,0 +1,235 @@
+//! A self-contained property-based testing harness exposing the *subset* of
+//! the `proptest` crate API this workspace uses: the [`Strategy`] trait with
+//! ranges / tuples / `prop_map` / `prop_oneof!` / `collection::vec`, and the
+//! `proptest!` / `prop_assert!` / `prop_assume!` macro family.
+//!
+//! The workspace aliases this crate as `proptest` (see
+//! `[workspace.dependencies]`), so tests keep the idiomatic proptest
+//! spelling while builds stay fully offline / air-gapped.
+//!
+//! Two deliberate departures from upstream proptest:
+//!
+//! 1. **Deterministic by default.** Case seeds are derived from a hash of
+//!    the fully-qualified test name and the case index, so a given test
+//!    binary explores the same inputs on every run and on every machine.
+//!    There is no persistence file and no wall-clock entropy.
+//! 2. **No shrinking.** On failure the harness prints the case seed;
+//!    re-running with `PROPTEST_CASE_SEED=<seed>` replays exactly that
+//!    case, which is what shrinking is mostly used for in practice.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (an exact `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The most common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..100, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = { $crate::test_runner::ProptestConfig::default() };
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = { $cfg:expr };) => {};
+    (cfg = { $cfg:expr };
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(&mut |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::sample(&($strat), __proptest_rng);
+                )+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_tests! { cfg = { $cfg }; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with the
+/// reproduction seed) rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (without counting it towards the case budget)
+/// when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            (a, b) in pair(),
+            scaled in (0usize..5).prop_map(|x| x * 3),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(scaled % 3 == 0 && scaled < 15);
+            prop_assert!(choice == 1 || choice == 2, "choice was {}", choice);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            fixed in crate::collection::vec(0u8..=255, 7),
+            ranged in crate::collection::vec((0i64..4, 0i64..4), 2..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..5).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn assume_discards_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        let draw = |_: ()| {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "fixed::name");
+            runner.run(&mut |rng| {
+                out.push(Strategy::sample(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(draw(()), draw(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_CASE_SEED")]
+    fn failures_print_reproduction_seed() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4), "failing::test");
+        runner.run(&mut |_rng| Err(TestCaseError::fail("boom".to_string())));
+    }
+}

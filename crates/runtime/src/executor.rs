@@ -24,7 +24,8 @@ use crate::function::{FnThreadCtx, Registry, RuntimeError, StripePayload};
 use crate::glue::{xfer_tag, FnRole, GlueProgram};
 use crate::options::{BufferScheme, RuntimeOptions};
 use crate::striping::{Layout, Redistribution};
-use sage_fabric::{Cluster, MachineSpec, NodeCtx, RunReport, TimePolicy, Work};
+use sage_fabric::{Cluster, FabricError, MachineSpec, NodeCtx, RunReport, TimePolicy, Work};
+use sage_mpi::MpiConfig;
 use sage_visualizer::{Collector, Probe, Trace};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -46,12 +47,7 @@ impl SinkResults {
     /// Reassembles the full payload a sink absorbed on `iteration` by
     /// stitching its threads' stripes back together via the sink's input
     /// striping.
-    pub fn assemble(
-        &self,
-        program: &GlueProgram,
-        fn_id: u32,
-        iteration: u32,
-    ) -> Option<Vec<u8>> {
+    pub fn assemble(&self, program: &GlueProgram, fn_id: u32, iteration: u32) -> Option<Vec<u8>> {
         let f = program.functions.get(fn_id as usize)?;
         let bid = *f.inputs.first()?;
         let desc = &program.buffers[bid as usize];
@@ -187,17 +183,36 @@ pub fn execute(
         .collect();
 
     let collector = Arc::new(Collector::new(machine.node_count(), options.probes));
-    let cluster = Cluster::new(machine.clone(), policy);
+    let cluster = Cluster::new(machine.clone(), policy).with_faults(options.faults.clone());
 
     let (node_deposits, report) = cluster.run(|ctx| {
-        run_node(ctx, program, &plans, &kernels, options, iterations, &collector)
+        run_node(
+            ctx, program, &plans, &kernels, options, iterations, &collector,
+        )
     });
 
+    // Surface the root-cause error, deterministically: a node that failed
+    // outright (kernel fault, fail-at-time, exhausted retries) beats a node
+    // that merely noticed a dead or silent peer, and ties break by node
+    // order. Without the priority, node 0's secondary `PeerFailed` would
+    // always mask the real fault on a higher-numbered node.
     let mut results = SinkResults::default();
+    let mut secondary: Option<RuntimeError> = None;
     for deposits in node_deposits {
-        for (k, v) in deposits {
-            results.deposits.insert(k, v);
+        match deposits {
+            Ok(deposits) => {
+                for (k, v) in deposits {
+                    results.deposits.insert(k, v);
+                }
+            }
+            Err(e @ (RuntimeError::PeerFailed { .. } | RuntimeError::Timeout { .. })) => {
+                secondary.get_or_insert(e);
+            }
+            Err(e) => return Err(e),
         }
+    }
+    if let Some(e) = secondary {
+        return Err(e);
     }
     let trace = Arc::into_inner(collector)
         .expect("collector still shared")
@@ -210,7 +225,67 @@ pub fn execute(
     })
 }
 
+/// Translates an unrecoverable fabric fault into the executor's error
+/// vocabulary.
+fn fabric_to_runtime(e: FabricError) -> RuntimeError {
+    match e {
+        FabricError::NodeFailed { node } => RuntimeError::NodeFailed { node },
+        FabricError::PeerFailed { node, peer } => RuntimeError::PeerFailed { node, peer },
+        FabricError::RecvTimeout { node, src, .. } => RuntimeError::Timeout { node, peer: src },
+        // A drop that reaches here escaped the retry loop: report one
+        // attempt.
+        FabricError::TransferDropped { src, dst, .. } => RuntimeError::TransferFailed {
+            node: src,
+            peer: dst,
+            attempts: 1,
+        },
+    }
+}
+
+/// Sends one redistribution message, retrying dropped transfers per the
+/// MPI retry policy (backoff charged as lost time, each retry recorded in
+/// the node metrics and trace).
+#[allow(clippy::too_many_arguments)]
+fn send_with_retry(
+    ctx: &mut NodeCtx,
+    probe: &Probe,
+    dst: usize,
+    tag: u64,
+    payload: &[u8],
+    mpi: &MpiConfig,
+    bid: u32,
+    iter: u32,
+) -> Result<(), RuntimeError> {
+    ctx.advance(mpi.send_overhead);
+    let rp = mpi.retry;
+    let mut backoff = rp.backoff_secs;
+    for attempt in 0..=rp.max_retries {
+        if attempt > 0 {
+            ctx.note_retry();
+            probe.xfer_retry(ctx.now(), bid, iter);
+            ctx.advance_lost(backoff);
+            backoff *= rp.backoff_factor;
+        }
+        match ctx.try_send(dst, tag, payload) {
+            Ok(()) => return Ok(()),
+            Err(FabricError::TransferDropped { .. }) => continue,
+            Err(e) => return Err(fabric_to_runtime(e)),
+        }
+    }
+    Err(RuntimeError::TransferFailed {
+        node: ctx.id() as u32,
+        peer: dst as u32,
+        attempts: rp.max_retries + 1,
+    })
+}
+
+/// A sink deposit: `(fn_id, iteration, thread)` -> absorbed stripe.
+type Deposit = ((u32, u32, u32), Vec<u8>);
+
 /// One node's program: walk the schedule for every iteration.
+///
+/// Unrecoverable injected faults surface as `Err(RuntimeError)` instead of
+/// panics; the fault site is also recorded in the trace when probes are on.
 #[allow(clippy::too_many_arguments)]
 fn run_node(
     ctx: &mut NodeCtx,
@@ -220,7 +295,7 @@ fn run_node(
     options: &RuntimeOptions,
     iterations: u32,
     collector: &Arc<Collector>,
-) -> Vec<((u32, u32, u32), Vec<u8>)> {
+) -> Result<Vec<Deposit>, RuntimeError> {
     let node = ctx.id() as u32;
     let probe = Probe::new(collector.clone(), node);
     // Node-local hand-off store: tag -> payload.
@@ -264,7 +339,10 @@ fn run_node(
                             )
                         })
                     } else {
-                        let m = ctx.recv(src_node as usize, tag);
+                        let m = ctx.try_recv(src_node as usize, tag).map_err(|e| {
+                            probe.fault(ctx.now(), bid, iter);
+                            fabric_to_runtime(e)
+                        })?;
                         ctx.advance(options.mpi.recv_overhead);
                         m
                     };
@@ -281,9 +359,7 @@ fn run_node(
                         // reads directly (DMA-style).
                         ctx.advance(options.per_run_overhead * intervals.len() as f64);
                         match options.buffer_scheme {
-                            BufferScheme::UniquePerFunction => {
-                                ctx.compute(Work::copy(msg.len()))
-                            }
+                            BufferScheme::UniquePerFunction => ctx.compute(Work::copy(msg.len())),
                             BufferScheme::Shared => ctx.compute(Work {
                                 flops: 0.0,
                                 mem_bytes: msg.len() as f64,
@@ -332,17 +408,36 @@ fn run_node(
                 overhead_secs: 0.0,
             });
             {
-                let mut fctx = FnThreadCtx {
-                    fn_name: &f.name,
-                    thread: tid,
-                    threads,
-                    iteration: iter,
-                    params: &f.params,
-                    inputs: &inputs,
-                    outputs: &mut outputs,
+                // Fault injection: a plan entry matching (block, iteration,
+                // thread) overrides the kernel with its injected error.
+                let injected = ctx
+                    .fault_plan()
+                    .kernel_fault(&f.name, iter, task.thread)
+                    .map(|k| k.message.clone());
+                let invocation = match injected {
+                    Some(message) => {
+                        ctx.note_fault();
+                        Err(message)
+                    }
+                    None => {
+                        let mut fctx = FnThreadCtx {
+                            fn_name: &f.name,
+                            thread: tid,
+                            threads,
+                            iteration: iter,
+                            params: &f.params,
+                            inputs: &inputs,
+                            outputs: &mut outputs,
+                        };
+                        kernels[task.fn_id as usize].invoke(&mut fctx)
+                    }
                 };
-                if let Err(message) = kernels[task.fn_id as usize].invoke(&mut fctx) {
-                    panic!("kernel error in `{}` (thread {tid}): {message}", f.name);
+                if let Err(message) = invocation {
+                    probe.fault(ctx.now(), f.id, iter);
+                    return Err(RuntimeError::Kernel {
+                        block: f.name.clone(),
+                        message: format!("(thread {tid}): {message}"),
+                    });
                 }
             }
 
@@ -379,15 +474,23 @@ fn run_node(
                     if dst_node == node {
                         local_store.insert(tag, msg);
                     } else {
-                        ctx.advance(options.mpi.send_overhead);
-                        ctx.send(dst_node as usize, tag, &msg);
+                        send_with_retry(
+                            ctx,
+                            &probe,
+                            dst_node as usize,
+                            tag,
+                            &msg,
+                            &options.mpi,
+                            bid,
+                            iter,
+                        )?;
                     }
                 }
             }
             probe.fn_end(ctx.now(), f.id, iter);
         }
     }
-    deposits
+    Ok(deposits)
 }
 
 #[cfg(test)]
@@ -457,9 +560,18 @@ mod tests {
             schedules: (0..n)
                 .map(|t| {
                     vec![
-                        Task { fn_id: 0, thread: t },
-                        Task { fn_id: 1, thread: t },
-                        Task { fn_id: 2, thread: t },
+                        Task {
+                            fn_id: 0,
+                            thread: t,
+                        },
+                        Task {
+                            fn_id: 1,
+                            thread: t,
+                        },
+                        Task {
+                            fn_id: 2,
+                            thread: t,
+                        },
                     ]
                 })
                 .collect(),
@@ -648,8 +760,26 @@ mod tests {
                 recv_striping: Striping::BY_COLS,
             }],
             schedules: vec![
-                vec![Task { fn_id: 0, thread: 0 }, Task { fn_id: 1, thread: 0 }],
-                vec![Task { fn_id: 0, thread: 1 }, Task { fn_id: 1, thread: 1 }],
+                vec![
+                    Task {
+                        fn_id: 0,
+                        thread: 0,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 0,
+                    },
+                ],
+                vec![
+                    Task {
+                        fn_id: 0,
+                        thread: 1,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 1,
+                    },
+                ],
             ],
         };
         let exec = execute(
@@ -707,18 +837,21 @@ mod replicated_tests {
             Ok(())
         });
         // Sink kernel that asserts it received the FULL payload.
-        reg.register("expect_full", |ctx: &mut crate::function::FnThreadCtx<'_>| {
-            let input = &ctx.inputs[0];
-            if input.shape != [4, 4] {
-                return Err(format!("expected full 4x4 shape, got {:?}", input.shape));
-            }
-            for (i, &b) in input.bytes.iter().enumerate() {
-                if b != (i as u8).wrapping_add(7) {
-                    return Err(format!("byte {i} was {b}"));
+        reg.register(
+            "expect_full",
+            |ctx: &mut crate::function::FnThreadCtx<'_>| {
+                let input = &ctx.inputs[0];
+                if input.shape != [4, 4] {
+                    return Err(format!("expected full 4x4 shape, got {:?}", input.shape));
                 }
-            }
-            Ok(())
-        });
+                for (i, &b) in input.bytes.iter().enumerate() {
+                    if b != (i as u8).wrapping_add(7) {
+                        return Err(format!("byte {i} was {b}"));
+                    }
+                }
+                Ok(())
+            },
+        );
         reg
     }
 
@@ -768,9 +901,24 @@ mod replicated_tests {
                 recv_striping: Striping::Replicated,
             }],
             schedules: vec![
-                vec![Task { fn_id: 0, thread: 0 }, Task { fn_id: 1, thread: 0 }],
-                vec![Task { fn_id: 1, thread: 1 }],
-                vec![Task { fn_id: 1, thread: 2 }],
+                vec![
+                    Task {
+                        fn_id: 0,
+                        thread: 0,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 0,
+                    },
+                ],
+                vec![Task {
+                    fn_id: 1,
+                    thread: 1,
+                }],
+                vec![Task {
+                    fn_id: 1,
+                    thread: 2,
+                }],
             ],
         };
         let exec = execute(
@@ -835,8 +983,26 @@ mod replicated_tests {
                 recv_striping: Striping::BY_ROWS,
             }],
             schedules: vec![
-                vec![Task { fn_id: 0, thread: 0 }, Task { fn_id: 1, thread: 0 }],
-                vec![Task { fn_id: 0, thread: 1 }, Task { fn_id: 1, thread: 1 }],
+                vec![
+                    Task {
+                        fn_id: 0,
+                        thread: 0,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 0,
+                    },
+                ],
+                vec![
+                    Task {
+                        fn_id: 0,
+                        thread: 1,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 1,
+                    },
+                ],
             ],
         };
         let exec = execute(

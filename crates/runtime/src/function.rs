@@ -86,6 +86,36 @@ pub enum RuntimeError {
     },
     /// The glue program failed validation.
     BadProgram(String),
+    /// A node hit its scheduled failure (fault injection).
+    NodeFailed {
+        /// The failed node.
+        node: u32,
+    },
+    /// A node's transfer can never complete because the peer failed or
+    /// exited early.
+    PeerFailed {
+        /// The waiting node.
+        node: u32,
+        /// The dead peer.
+        peer: u32,
+    },
+    /// A redistribution transfer kept dropping until the retry budget ran
+    /// out.
+    TransferFailed {
+        /// The sending node.
+        node: u32,
+        /// The destination node.
+        peer: u32,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+    },
+    /// A receive exceeded the fabric's real-time deadlock timeout.
+    Timeout {
+        /// The waiting node.
+        node: u32,
+        /// The expected source node.
+        peer: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -98,6 +128,21 @@ impl fmt::Display for RuntimeError {
                 write!(f, "kernel error in `{block}`: {message}")
             }
             RuntimeError::BadProgram(m) => write!(f, "invalid glue program: {m}"),
+            RuntimeError::NodeFailed { node } => write!(f, "node {node} failed mid-run"),
+            RuntimeError::PeerFailed { node, peer } => {
+                write!(f, "node {node} lost contact with failed peer {peer}")
+            }
+            RuntimeError::TransferFailed {
+                node,
+                peer,
+                attempts,
+            } => write!(
+                f,
+                "node {node}: transfer to {peer} still dropped after {attempts} attempts"
+            ),
+            RuntimeError::Timeout { node, peer } => {
+                write!(f, "node {node} timed out waiting on node {peer}")
+            }
         }
     }
 }

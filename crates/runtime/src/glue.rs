@@ -15,10 +15,9 @@
 //! Designer model, alongside a human-readable source rendering.
 
 use sage_model::Striping;
-use serde::{Deserialize, Serialize};
 
 /// Role of a function-table entry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FnRole {
     /// Produces the input data set each iteration.
     Source,
@@ -29,7 +28,7 @@ pub enum FnRole {
 }
 
 /// One entry of the function table.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FunctionDescriptor {
     /// Function ID: the index of this descriptor in the table.
     pub id: u32,
@@ -56,7 +55,7 @@ pub struct FunctionDescriptor {
 }
 
 /// One entry of the logical buffer table.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LogicalBufferDesc {
     /// Buffer ID (index into the table); one per data-flow arc.
     pub id: u32,
@@ -86,7 +85,7 @@ impl LogicalBufferDesc {
 }
 
 /// A task is one thread of one function instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Task {
     /// Function-table index.
     pub fn_id: u32,
@@ -95,7 +94,7 @@ pub struct Task {
 }
 
 /// The complete generated program.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GlueProgram {
     /// Application model name.
     pub app_name: String,
@@ -236,12 +235,24 @@ mod tests {
             }],
             schedules: vec![
                 vec![
-                    Task { fn_id: 0, thread: 0 },
-                    Task { fn_id: 1, thread: 0 },
+                    Task {
+                        fn_id: 0,
+                        thread: 0,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 0,
+                    },
                 ],
                 vec![
-                    Task { fn_id: 0, thread: 1 },
-                    Task { fn_id: 1, thread: 1 },
+                    Task {
+                        fn_id: 0,
+                        thread: 1,
+                    },
+                    Task {
+                        fn_id: 1,
+                        thread: 1,
+                    },
                 ],
             ],
         }
@@ -260,7 +271,10 @@ mod tests {
     #[test]
     fn misplaced_task_rejected() {
         let mut p = tiny_program();
-        p.schedules[0].push(Task { fn_id: 0, thread: 1 }); // belongs to node 1
+        p.schedules[0].push(Task {
+            fn_id: 0,
+            thread: 1,
+        }); // belongs to node 1
         assert!(p.validate().is_err());
     }
 

@@ -1,5 +1,6 @@
 //! Run-time configuration: buffer-management scheme and overhead knobs.
 
+use sage_fabric::FaultPlan;
 use sage_mpi::MpiConfig;
 
 /// Logical-buffer management scheme.
@@ -21,7 +22,7 @@ pub enum BufferScheme {
 }
 
 /// Run-time kernel options.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RuntimeOptions {
     /// Buffer-management scheme.
     pub buffer_scheme: BufferScheme,
@@ -37,6 +38,8 @@ pub struct RuntimeOptions {
     pub per_run_overhead: f64,
     /// Whether Visualizer probes record events.
     pub probes: bool,
+    /// Deterministic fault plan for the run (empty = fault-free).
+    pub faults: FaultPlan,
 }
 
 impl RuntimeOptions {
@@ -53,6 +56,7 @@ impl RuntimeOptions {
             dispatch_overhead: 25.0e-6,
             per_run_overhead: 0.25e-6,
             probes: false,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -65,6 +69,7 @@ impl RuntimeOptions {
             dispatch_overhead: 8.0e-6,
             per_run_overhead: 0.1e-6,
             probes: false,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -77,6 +82,12 @@ impl RuntimeOptions {
     /// Builder: override the buffer scheme.
     pub fn with_scheme(mut self, scheme: BufferScheme) -> RuntimeOptions {
         self.buffer_scheme = scheme;
+        self
+    }
+
+    /// Builder: attach a fault plan for the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> RuntimeOptions {
+        self.faults = plan;
         self
     }
 }

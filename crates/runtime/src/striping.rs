@@ -67,7 +67,11 @@ impl Layout {
         let total: usize = shape.iter().product::<usize>() * elem;
         match striping {
             Striping::Replicated => Layout {
-                runs: if total == 0 { Vec::new() } else { vec![(0, total)] },
+                runs: if total == 0 {
+                    Vec::new()
+                } else {
+                    vec![(0, total)]
+                },
             },
             Striping::Striped { dim } => {
                 assert!(dim < shape.len(), "striping dim {dim} of {shape:?}");
@@ -377,14 +381,7 @@ mod tests {
 
     #[test]
     fn redistribution_row_to_col_is_all_to_all() {
-        let r = Redistribution::plan(
-            &[8, 8],
-            ELEM,
-            Striping::BY_ROWS,
-            4,
-            Striping::BY_COLS,
-            4,
-        );
+        let r = Redistribution::plan(&[8, 8], ELEM, Striping::BY_ROWS, 4, Striping::BY_COLS, 4);
         // Every pair exchanges a 2x2-element tile = 4 elems.
         for i in 0..4 {
             for j in 0..4 {
@@ -397,14 +394,7 @@ mod tests {
 
     #[test]
     fn redistribution_same_striping_is_diagonal() {
-        let r = Redistribution::plan(
-            &[8, 4],
-            ELEM,
-            Striping::BY_ROWS,
-            4,
-            Striping::BY_ROWS,
-            4,
-        );
+        let r = Redistribution::plan(&[8, 4], ELEM, Striping::BY_ROWS, 4, Striping::BY_ROWS, 4);
         for i in 0..4 {
             for j in 0..4 {
                 let bytes: usize = r.pairs[i][j].iter().map(|(s, e)| e - s).sum();
@@ -419,14 +409,7 @@ mod tests {
 
     #[test]
     fn replicated_source_sends_from_thread_zero_only() {
-        let r = Redistribution::plan(
-            &[4, 4],
-            ELEM,
-            Striping::Replicated,
-            3,
-            Striping::BY_ROWS,
-            2,
-        );
+        let r = Redistribution::plan(&[4, 4], ELEM, Striping::Replicated, 3, Striping::BY_ROWS, 2);
         for j in 0..2 {
             let from0: usize = r.pairs[0][j].iter().map(|(s, e)| e - s).sum();
             assert_eq!(from0, 4 * 4 * ELEM / 2);
@@ -440,14 +423,7 @@ mod tests {
     fn fan_in_thread_count_mismatch_covered() {
         // 2 producer row-threads -> 4 consumer row-threads: each producer
         // feeds exactly its two nested consumers.
-        let r = Redistribution::plan(
-            &[8, 2],
-            ELEM,
-            Striping::BY_ROWS,
-            2,
-            Striping::BY_ROWS,
-            4,
-        );
+        let r = Redistribution::plan(&[8, 2], ELEM, Striping::BY_ROWS, 2, Striping::BY_ROWS, 4);
         for j in 0..4 {
             let feeder = j / 2;
             for i in 0..2 {

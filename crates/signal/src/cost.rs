@@ -75,10 +75,7 @@ pub fn window_cost(n: usize) -> KernelCost {
 /// Cost of an FIR filter with `taps` taps over `n` samples.
 pub fn fir_cost(n: usize, taps: usize) -> KernelCost {
     // Each output: taps complex MACs, 8 flops each.
-    KernelCost::new(
-        8.0 * n as f64 * taps as f64,
-        2.0 * n as f64 * COMPLEX_BYTES,
-    )
+    KernelCost::new(8.0 * n as f64 * taps as f64, 2.0 * n as f64 * COMPLEX_BYTES)
 }
 
 /// Cost of element-wise magnitude over `n` samples (~4 flops incl. sqrt

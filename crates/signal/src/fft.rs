@@ -8,7 +8,6 @@
 //! the 100-iteration benchmark loops of the paper do not recompute tables.
 
 use crate::complex::Complex32;
-use rayon::prelude::*;
 
 /// Transform direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,14 +136,33 @@ impl Fft1d {
         }
     }
 
-    /// Like [`Fft1d::process_rows`] but parallelized over rows with rayon.
+    /// Like [`Fft1d::process_rows`] but parallelized over rows with scoped
+    /// OS threads (one worker per available core, rows dealt in contiguous
+    /// batches).
     ///
     /// Used by the real-time execution mode where a SAGE function instance
     /// runs with multiple threads on one node.
     pub fn process_rows_parallel(&self, data: &mut [Complex32]) {
         assert_eq!(data.len() % self.n.max(1), 0, "not a whole number of rows");
-        data.par_chunks_exact_mut(self.n)
-            .for_each(|row| self.process(row));
+        let rows = data.len() / self.n.max(1);
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(rows.max(1));
+        if workers <= 1 || rows <= 1 {
+            self.process_rows(data);
+            return;
+        }
+        let rows_per_worker = rows.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for chunk in data.chunks_mut(rows_per_worker * self.n) {
+                scope.spawn(move || {
+                    for row in chunk.chunks_exact_mut(self.n) {
+                        self.process(row);
+                    }
+                });
+            }
+        });
     }
 }
 

@@ -120,11 +120,7 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f32>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f32>().sqrt()
     }
 }
 

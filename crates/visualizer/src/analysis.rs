@@ -83,11 +83,7 @@ impl Analysis {
             fn_ids.sort_unstable();
             fn_ids.dedup();
             for f in fn_ids {
-                let busy_secs: f64 = trace
-                    .fn_intervals(node, f)
-                    .iter()
-                    .map(|(s, e)| e - s)
-                    .sum();
+                let busy_secs: f64 = trace.fn_intervals(node, f).iter().map(|(s, e)| e - s).sum();
                 a.bottlenecks.push(Bottleneck {
                     node,
                     fn_id: f,

@@ -6,7 +6,7 @@
 
 use crate::event::ProbeEvent;
 use crate::trace::Trace;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A shared, thread-safe event collector for one run.
 pub struct Collector {
@@ -40,7 +40,10 @@ impl Collector {
         if !self.enabled {
             return;
         }
-        self.lanes[e.node as usize].lock().push(e);
+        self.lanes[e.node as usize]
+            .lock()
+            .expect("collector lane poisoned")
+            .push(e);
     }
 
     /// Merges all lanes into a single trace sorted by time (stable, so
@@ -48,7 +51,7 @@ impl Collector {
     pub fn into_trace(self) -> Trace {
         let mut events = Vec::new();
         for lane in self.lanes {
-            events.extend(lane.into_inner());
+            events.extend(lane.into_inner().expect("collector lane poisoned"));
         }
         events.sort_by(|a, b| a.time.total_cmp(&b.time));
         Trace::new(events)
@@ -88,13 +91,7 @@ mod tests {
                 let c = c.clone();
                 s.spawn(move || {
                     for i in 0..100 {
-                        c.record(ProbeEvent::new(
-                            i as f64,
-                            node,
-                            EventKind::FnStart,
-                            i,
-                            0,
-                        ));
+                        c.record(ProbeEvent::new(i as f64, node, EventKind::FnStart, i, 0));
                     }
                 });
             }

@@ -1,9 +1,7 @@
 //! Probe events: the raw samples instrumentation produces.
 
-use serde::{Deserialize, Serialize};
-
 /// What a probe observed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// A function invocation began (`id` = function-table index).
     FnStart,
@@ -19,10 +17,15 @@ pub enum EventKind {
     SinkAbsorb,
     /// A physical buffer was allocated (`id` = logical buffer id).
     BufAlloc,
+    /// A dropped transfer was retried (`id` = logical buffer id).
+    XferRetry,
+    /// An injected fault was observed (`id` = function-table index or
+    /// buffer id, depending on the fault site).
+    Fault,
 }
 
 /// One timestamped observation from a probe.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ProbeEvent {
     /// Time in seconds (virtual or wall, per the run's clock policy).
     pub time: f64,

@@ -65,9 +65,15 @@ mod tests {
         assert!(lines[0].starts_with("node   0"));
         // Node 0 busy in the first half, node 1 in the second.
         assert!(lines[0].contains("#"));
-        let row0: String = lines[0].chars().filter(|c| *c == '#' || *c == '.').collect();
+        let row0: String = lines[0]
+            .chars()
+            .filter(|c| *c == '#' || *c == '.')
+            .collect();
         assert!(row0.starts_with('#'));
-        let row1: String = lines[1].chars().filter(|c| *c == '#' || *c == '.').collect();
+        let row1: String = lines[1]
+            .chars()
+            .filter(|c| *c == '#' || *c == '.')
+            .collect();
         assert!(row1.starts_with('.'));
         assert!(row1.ends_with('#'));
     }

@@ -63,6 +63,16 @@ impl Probe {
         self.record(time, EventKind::XferEnd, buf_id, iteration);
     }
 
+    /// A dropped transfer was retried.
+    pub fn xfer_retry(&self, time: f64, buf_id: u32, iteration: u32) {
+        self.record(time, EventKind::XferRetry, buf_id, iteration);
+    }
+
+    /// An injected fault was observed.
+    pub fn fault(&self, time: f64, id: u32, iteration: u32) {
+        self.record(time, EventKind::Fault, id, iteration);
+    }
+
     /// Data set left the source.
     pub fn source_emit(&self, time: f64, iteration: u32) {
         self.record(time, EventKind::SourceEmit, iteration, iteration);

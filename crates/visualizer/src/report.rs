@@ -22,10 +22,7 @@ pub struct FnStats {
 
 /// Computes per-function statistics from a trace.
 pub fn function_stats(trace: &Trace) -> Vec<FnStats> {
-    let mut fn_ids: Vec<u32> = trace
-        .of_kind(EventKind::FnStart)
-        .map(|e| e.id)
-        .collect();
+    let mut fn_ids: Vec<u32> = trace.of_kind(EventKind::FnStart).map(|e| e.id).collect();
     fn_ids.sort_unstable();
     fn_ids.dedup();
     let mut out = Vec::with_capacity(fn_ids.len());

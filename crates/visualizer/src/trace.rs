@@ -1,10 +1,9 @@
 //! Merged, time-ordered event traces.
 
 use crate::event::{EventKind, ProbeEvent};
-use serde::{Deserialize, Serialize};
 
 /// A complete, time-sorted trace of one run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     events: Vec<ProbeEvent>,
 }

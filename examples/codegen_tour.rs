@@ -25,7 +25,10 @@ fn main() {
 
     println!("=== Alter glue-code generator ===\n");
     println!("script:\n{}", alter_gen::GLUE_SCRIPT);
-    println!("output:\n{}", alter_gen::generate_via_alter(&model).unwrap());
+    println!(
+        "output:\n{}",
+        alter_gen::generate_via_alter(&model).unwrap()
+    );
 
     println!("=== Native generator: executable run-time tables ===\n");
     let project = fft2d::sage_project(256, 8);

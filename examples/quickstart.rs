@@ -41,13 +41,15 @@ fn main() {
 
     // --- Step 2: choose the hardware and register kernels ---------------
     let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(4));
-    project.registry.register("demo.ramp", |ctx: &mut FnThreadCtx<'_>| {
-        let out = &mut ctx.outputs[0];
-        for (i, b) in out.bytes.iter_mut().enumerate() {
-            *b = (i as u8).wrapping_add(ctx.thread as u8);
-        }
-        Ok(())
-    });
+    project
+        .registry
+        .register("demo.ramp", |ctx: &mut FnThreadCtx<'_>| {
+            let out = &mut ctx.outputs[0];
+            for (i, b) in out.bytes.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_add(ctx.thread as u8);
+            }
+            Ok(())
+        });
     project
         .registry
         .register("demo.scale2", |ctx: &mut FnThreadCtx<'_>| {

@@ -75,7 +75,10 @@ fn load_model(path: &str) -> Result<AppGraph, String> {
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("inspect needs a model file")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("inspect needs a model file")?;
     let model = load_model(path)?;
     let flat = model.flatten().map_err(|e| e.to_string())?;
     sage_model::validate(&flat).map_err(|e| e.to_string())?;
@@ -91,7 +94,10 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_codegen(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("codegen needs a model file")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("codegen needs a model file")?;
     let model = load_model(path)?;
     let nodes = args.usize_or("nodes", 4);
     let project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
@@ -100,8 +106,8 @@ fn cmd_codegen(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("{source}");
     println!("; Alter-generated view:");
-    let alter = sage::core::alter_gen::generate_via_alter(&project.app)
-        .map_err(|e| e.to_string())?;
+    let alter =
+        sage::core::alter_gen::generate_via_alter(&project.app).map_err(|e| e.to_string())?;
     for line in alter.lines() {
         println!("; {line}");
     }

@@ -48,8 +48,8 @@ pub use sage_visualizer as visualizer;
 /// The most common imports for building and running SAGE projects.
 pub mod prelude {
     pub use sage_atot::{GaConfig, TaskGraph, TaskMapping};
-    pub use sage_core::{Placement, Project};
-    pub use sage_fabric::{MachineSpec, TimePolicy};
+    pub use sage_core::{Placement, Project, ProjectError};
+    pub use sage_fabric::{FaultPlan, MachineSpec, TimePolicy};
     pub use sage_model::{
         AppGraph, Block, CostModel, DataType, HardwareShelf, HardwareSpec, Port, PropValue,
         Striping,

@@ -1,0 +1,241 @@
+//! Chaos harness: random seeded fault plans against the FFT-2D and
+//! corner-turn applications.
+//!
+//! The contract under test is the fault layer's core invariant: injected
+//! faults may slow a run down or kill it with a *typed* error, but they must
+//! never corrupt data. Every case below runs an application under a randomly
+//! generated [`FaultPlan`] and accepts exactly two outcomes:
+//!
+//! 1. the run completes and its sink payload is **bit-identical** to the
+//!    fault-free baseline, or
+//! 2. the run fails with a structured `ProjectError::Runtime` error.
+//!
+//! Anything else — a panic, a codegen error, or a silently different result
+//! — fails the property. A failing case prints its `PROPTEST_CASE_SEED`;
+//! see EXPERIMENTS.md ("Fault injection & chaos testing") for how to replay
+//! it.
+
+use proptest::prelude::*;
+use sage::prelude::*;
+use sage_apps::fft2d::DistRun;
+use sage_apps::{corner_turn, fft2d};
+use std::sync::OnceLock;
+
+const SIZE: usize = 16;
+const NODES: usize = 4;
+const ITERS: u32 = 2;
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions::paper_faithful()
+}
+
+/// Fault-free FFT-2D baseline (computed once).
+fn fft2d_baseline() -> &'static DistRun {
+    static BASE: OnceLock<DistRun> = OnceLock::new();
+    BASE.get_or_init(|| fft2d::run_sage(SIZE, NODES, TimePolicy::Virtual, &options(), ITERS))
+}
+
+/// Fault-free corner-turn baseline (computed once).
+fn corner_turn_baseline() -> &'static DistRun {
+    static BASE: OnceLock<DistRun> = OnceLock::new();
+    BASE.get_or_init(|| corner_turn::run_sage(SIZE, NODES, TimePolicy::Virtual, &options(), ITERS))
+}
+
+/// Bit patterns of a run's result payload (f32 equality would mask a
+/// corrupted-but-close value; the invariant is *bit*-exactness).
+fn result_bits(run: &DistRun) -> Vec<(u32, u32)> {
+    run.result
+        .as_slice()
+        .iter()
+        .map(|c| (c.re.to_bits(), c.im.to_bits()))
+        .collect()
+}
+
+/// Random fault plans over a `NODES`-node cluster running `blocks`.
+///
+/// Mixes every fault class the plan supports: wire drops, degraded links,
+/// stalls, node failures, kernel faults (into both real and nonexistent
+/// blocks), and combinations. Failure times are chosen around the scale of
+/// a small virtual run (~milliseconds) so some fire mid-run and some never
+/// fire at all — both are valid cases.
+fn plan_strategy(blocks: &'static [&'static str]) -> impl Strategy<Value = FaultPlan> {
+    let n = NODES as u32;
+    let drops = (0u64..=u64::MAX, 0.0f64..0.35)
+        .prop_map(|(seed, p)| FaultPlan::new(seed).with_drop_prob(p));
+    let degraded = (0u64..=u64::MAX, 0u32..n, 0u32..n, 1.0f64..8.0)
+        .prop_map(|(seed, src, dst, f)| FaultPlan::new(seed).degrade_link(src, dst, f));
+    let stalls = (0u64..=u64::MAX, 0u32..n, 0.0f64..0.01, 0.0f64..0.005)
+        .prop_map(|(seed, node, at, dur)| FaultPlan::new(seed).stall_node(node, at, dur));
+    let failures = (0u64..=u64::MAX, 0u32..n, 0.0f64..0.02)
+        .prop_map(|(seed, node, at)| FaultPlan::new(seed).fail_node(node, at));
+    let kernels = (
+        0u64..=u64::MAX,
+        0usize..blocks.len() + 1,
+        0u32..ITERS,
+        0u32..n,
+    )
+        .prop_map(move |(seed, b, iter, thread)| {
+            // One index past the end targets a block that does not exist:
+            // the fault must never fire and the run must stay bit-exact.
+            let block = blocks.get(b).copied().unwrap_or("no_such_block");
+            FaultPlan::new(seed).inject_kernel_fault(block, iter, thread, "injected chaos fault")
+        });
+    let mixed = (
+        0u64..=u64::MAX,
+        0.0f64..0.2,
+        0u32..n,
+        0u32..n,
+        1.0f64..4.0,
+        0.0f64..0.01,
+    )
+        .prop_map(move |(seed, p, src, node, f, at)| {
+            FaultPlan::new(seed)
+                .with_drop_prob(p)
+                .degrade_link(src, (src + 1) % n, f)
+                .stall_node(node, at, at / 2.0)
+        });
+    prop_oneof![drops, degraded, stalls, failures, kernels, mixed]
+}
+
+/// Checks the bit-exact-or-typed-error invariant for one app run.
+fn check(
+    run: Result<DistRun, ProjectError>,
+    baseline: &DistRun,
+    plan: &FaultPlan,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    match run {
+        Ok(r) => {
+            prop_assert_eq!(
+                result_bits(&r),
+                result_bits(baseline),
+                "fault plan {:?} corrupted the sink payload",
+                plan
+            );
+        }
+        Err(ProjectError::Runtime(e)) => {
+            // Typed failure: fine, but it must describe a fault, i.e. have
+            // a non-empty rendering (a smoke check that the error survived
+            // the fabric -> runtime translation).
+            prop_assert!(!e.to_string().is_empty());
+        }
+        Err(ProjectError::Codegen(e)) => {
+            prop_assert!(false, "fault plan {:?} broke codegen: {}", plan, e);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn fft2d_faults_never_corrupt(
+        plan in plan_strategy(&["src", "row_fft", "col_fft", "snk"]),
+    ) {
+        let run = fft2d::try_run_sage(
+            SIZE,
+            NODES,
+            TimePolicy::Virtual,
+            &options().with_faults(plan.clone()),
+            ITERS,
+        );
+        check(run, fft2d_baseline(), &plan)?;
+    }
+
+    #[test]
+    fn corner_turn_faults_never_corrupt(
+        plan in plan_strategy(&["src", "corner_turn", "snk"]),
+    ) {
+        let run = corner_turn::try_run_sage(
+            SIZE,
+            NODES,
+            TimePolicy::Virtual,
+            &options().with_faults(plan.clone()),
+            ITERS,
+        );
+        check(run, corner_turn_baseline(), &plan)?;
+    }
+}
+
+/// Same seed + same plan must reproduce the run bit-for-bit: identical
+/// metrics (drops, retries, faults, lost time) and identical makespan bits.
+#[test]
+fn same_plan_same_seed_is_bit_identical() {
+    // Seed 2 drops ~10 transfers of this run's ~24; the stall fires well
+    // inside the ~400 us virtual makespan of a 16x16 run.
+    let plan = FaultPlan::new(2)
+        .with_drop_prob(0.15)
+        .degrade_link(0, 2, 3.0)
+        .stall_node(1, 0.0001, 0.00005);
+    let go = || {
+        fft2d::try_run_sage(
+            SIZE,
+            NODES,
+            TimePolicy::Virtual,
+            &options().with_faults(plan.clone()),
+            ITERS,
+        )
+        .expect("plan is survivable")
+    };
+    let (a, b) = (go(), go());
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(result_bits(&a), result_bits(&b));
+    // The plan must actually have injected something, or this test shows
+    // nothing about fault determinism.
+    assert!(a.metrics.total_faults() > 0, "plan injected no faults");
+}
+
+/// An empty fault plan must reproduce the fault-free run *exactly* — the
+/// fault layer charges nothing when no plan is attached.
+#[test]
+fn empty_plan_reproduces_fault_free_run() {
+    let base = fft2d_baseline();
+    let run = fft2d::try_run_sage(
+        SIZE,
+        NODES,
+        TimePolicy::Virtual,
+        &options().with_faults(FaultPlan::default()),
+        ITERS,
+    )
+    .expect("empty plan cannot fail");
+    assert_eq!(run.makespan.to_bits(), base.makespan.to_bits());
+    assert_eq!(run.metrics, base.metrics);
+    assert_eq!(result_bits(&run), result_bits(base));
+    assert_eq!(run.metrics.total_faults(), 0);
+    assert_eq!(run.metrics.total_dropped(), 0);
+}
+
+/// A node failure at t=0 must surface as a structured error naming a node,
+/// never as a hang or a panic.
+#[test]
+fn immediate_node_failure_is_typed() {
+    let err = corner_turn::try_run_sage(
+        SIZE,
+        NODES,
+        TimePolicy::Virtual,
+        &options().with_faults(FaultPlan::new(7).fail_node(2, 0.0)),
+        ITERS,
+    )
+    .expect_err("a dead node cannot produce the sink payload");
+    let msg = err.to_string();
+    assert!(msg.contains("failed"), "got: {msg}");
+}
+
+/// A kernel fault injected into a real block must surface as a kernel error
+/// naming that block.
+#[test]
+fn injected_kernel_fault_names_its_block() {
+    let plan = FaultPlan::new(11).inject_kernel_fault("row_fft", 1, 2, "chaos kernel fault");
+    let err = fft2d::try_run_sage(
+        SIZE,
+        NODES,
+        TimePolicy::Virtual,
+        &options().with_faults(plan),
+        ITERS,
+    )
+    .expect_err("injected kernel fault must fail the run");
+    let msg = err.to_string();
+    assert!(msg.contains("kernel error in `row_fft`"), "got: {msg}");
+    assert!(msg.contains("chaos kernel fault"), "got: {msg}");
+}

@@ -45,5 +45,8 @@ fn sample_files_match_fresh_exports() {
         env!("CARGO_MANIFEST_DIR")
     ))
     .unwrap();
-    assert_eq!(fresh, committed, "regenerate with `sage export corner_turn --size 256 --threads 8`");
+    assert_eq!(
+        fresh, committed,
+        "regenerate with `sage export corner_turn --size 256 --threads 8`"
+    );
 }

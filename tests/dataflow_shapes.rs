@@ -59,45 +59,51 @@ fn diamond_app(threads: usize) -> AppGraph {
 }
 
 fn registry_for_diamond(project: &mut Project) {
-    project.registry.register("t.fill", |ctx: &mut FnThreadCtx<'_>| {
-        for o in ctx.outputs.iter_mut() {
-            for (i, byte) in o.bytes.iter_mut().enumerate() {
-                *byte = ((i % 40) as u8).wrapping_add(ctx.thread as u8);
+    project
+        .registry
+        .register("t.fill", |ctx: &mut FnThreadCtx<'_>| {
+            for o in ctx.outputs.iter_mut() {
+                for (i, byte) in o.bytes.iter_mut().enumerate() {
+                    *byte = ((i % 40) as u8).wrapping_add(ctx.thread as u8);
+                }
             }
-        }
-        Ok(())
-    });
+            Ok(())
+        });
     for k in [2u8, 3] {
-        project.registry.register(
-            format!("t.scale{k}"),
-            move |ctx: &mut FnThreadCtx<'_>| {
+        project
+            .registry
+            .register(format!("t.scale{k}"), move |ctx: &mut FnThreadCtx<'_>| {
                 for (i, o) in ctx.inputs.iter().zip(ctx.outputs.iter_mut()) {
                     for (a, b) in i.bytes.iter().zip(o.bytes.iter_mut()) {
                         *b = a.wrapping_mul(k);
                     }
                 }
                 Ok(())
-            },
-        );
+            });
     }
-    project.registry.register("t.add", |ctx: &mut FnThreadCtx<'_>| {
-        let (lhs, rhs) = (&ctx.inputs[0], &ctx.inputs[1]);
-        for ((a, b), o) in lhs
-            .bytes
-            .iter()
-            .zip(rhs.bytes.iter())
-            .zip(ctx.outputs[0].bytes.iter_mut())
-        {
-            *o = a.wrapping_add(*b);
-        }
-        Ok(())
-    });
+    project
+        .registry
+        .register("t.add", |ctx: &mut FnThreadCtx<'_>| {
+            let (lhs, rhs) = (&ctx.inputs[0], &ctx.inputs[1]);
+            for ((a, b), o) in lhs
+                .bytes
+                .iter()
+                .zip(rhs.bytes.iter())
+                .zip(ctx.outputs[0].bytes.iter_mut())
+            {
+                *o = a.wrapping_add(*b);
+            }
+            Ok(())
+        });
 }
 
 #[test]
 fn diamond_fan_out_and_join_compute_correctly() {
     for threads in [1usize, 2, 4] {
-        let mut project = Project::new(diamond_app(threads), HardwareShelf::cspi_with_nodes(threads));
+        let mut project = Project::new(
+            diamond_app(threads),
+            HardwareShelf::cspi_with_nodes(threads),
+        );
         registry_for_diamond(&mut project);
         let (program, _) = project.generate(&Placement::Aligned).unwrap();
         let exec = project
@@ -152,10 +158,7 @@ fn pipelined_iterations_give_period_below_latency() {
     use sage_apps::stap;
     use sage_atot::TaskMapping;
     use sage_model::ProcId;
-    let mut project = Project::new(
-        stap::sage_model(64, 1),
-        HardwareShelf::cspi_with_nodes(6),
-    );
+    let mut project = Project::new(stap::sage_model(64, 1), HardwareShelf::cspi_with_nodes(6));
     sage_apps::kernels::register_kernels(&mut project.registry);
     // Six single-threaded functions, one per node (tasks in flattened
     // block-insertion order).

@@ -43,13 +43,8 @@ fn fft2d_hand_vs_sage_identical_results() {
 fn corner_turn_exact_on_all_configs() {
     for (size, nodes) in [(32usize, 1usize), (32, 2), (64, 4), (64, 8)] {
         for policy in [TimePolicy::Virtual, TimePolicy::Real] {
-            let run = corner_turn::run_sage(
-                size,
-                nodes,
-                policy,
-                &RuntimeOptions::paper_faithful(),
-                1,
-            );
+            let run =
+                corner_turn::run_sage(size, nodes, policy, &RuntimeOptions::paper_faithful(), 1);
             assert_eq!(
                 corner_turn::verify(&run, size),
                 0.0,
@@ -68,8 +63,14 @@ fn table1_shape_holds() {
     let opts = RuntimeOptions::paper_faithful();
     let fft = table1_cell(BenchApp::Fft2d, 128, 4, &opts);
     let ct = table1_cell(BenchApp::CornerTurn, 128, 4, &opts);
-    assert!(fft.pct_of_hand() < 100.0 && fft.pct_of_hand() > 60.0, "{fft:?}");
-    assert!(ct.pct_of_hand() < 100.0 && ct.pct_of_hand() > 50.0, "{ct:?}");
+    assert!(
+        fft.pct_of_hand() < 100.0 && fft.pct_of_hand() > 60.0,
+        "{fft:?}"
+    );
+    assert!(
+        ct.pct_of_hand() < 100.0 && ct.pct_of_hand() > 50.0,
+        "{ct:?}"
+    );
     assert!(
         ct.overhead() > fft.overhead(),
         "corner turn should carry relatively more glue overhead"

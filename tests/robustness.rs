@@ -50,26 +50,24 @@ fn unknown_kernel_is_a_preflight_error_not_a_crash() {
 }
 
 #[test]
-fn kernel_runtime_error_panics_with_block_name() {
+fn kernel_runtime_error_is_structured_with_block_name() {
     let mut project = Project::new(tiny_app(2), HardwareShelf::cspi_with_nodes(2));
     project
         .registry
-        .register("boom", |_: &mut FnThreadCtx<'_>| Err("deliberate failure".into()));
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = project.run(
+        .register("boom", |_: &mut FnThreadCtx<'_>| {
+            Err("deliberate failure".into())
+        });
+    let err = project
+        .run(
             &Placement::Aligned,
             TimePolicy::Virtual,
             &RuntimeOptions::paper_faithful(),
             1,
-        );
-    }));
-    let err = result.expect_err("kernel failure must propagate");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+        )
+        .expect_err("kernel failure must propagate as a structured error");
+    let msg = err.to_string();
     assert!(msg.contains("kernel error in `f`"), "got: {msg}");
-    assert!(msg.contains("deliberate failure"));
+    assert!(msg.contains("deliberate failure"), "got: {msg}");
 }
 
 #[test]
