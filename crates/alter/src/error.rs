@@ -13,7 +13,12 @@ pub enum AlterError {
         offset: usize,
     },
     /// Structural parse error (unbalanced parens, stray token).
-    Parse(String),
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the source.
+        offset: usize,
+    },
     /// A symbol had no binding.
     Unbound(String),
     /// Wrong number or kind of arguments to a form or builtin.
@@ -32,21 +37,95 @@ pub enum AlterError {
     Model(String),
     /// Recursion or loop exceeded the interpreter's safety budget.
     Budget(String),
+    /// An error annotated with the 1-based source position of the top-level
+    /// form it surfaced in (attached by [`crate::Interpreter::eval_str`]).
+    At {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based source column.
+        col: usize,
+        /// The underlying error.
+        error: Box<AlterError>,
+    },
+}
+
+impl AlterError {
+    /// Wraps `self` with a source position, unless it is already positioned.
+    pub fn at(self, line: usize, col: usize) -> AlterError {
+        match self {
+            AlterError::At { .. } => self,
+            other => AlterError::At {
+                line,
+                col,
+                error: Box::new(other),
+            },
+        }
+    }
+
+    /// The byte offset this error points at, if it carries one directly
+    /// (lex and parse errors do; evaluation errors are positioned by their
+    /// enclosing top-level form instead).
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            AlterError::Lex { offset, .. } | AlterError::Parse { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+
+    /// The innermost error, stripping any [`AlterError::At`] wrapper.
+    pub fn root(&self) -> &AlterError {
+        match self {
+            AlterError::At { error, .. } => error.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for AlterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AlterError::Lex { message, offset } => write!(f, "lex error at {offset}: {message}"),
-            AlterError::Parse(m) => write!(f, "parse error: {m}"),
+            AlterError::Parse { message, offset } => {
+                write!(f, "parse error at {offset}: {message}")
+            }
             AlterError::Unbound(s) => write!(f, "unbound symbol `{s}`"),
             AlterError::BadArgs { form, message } => write!(f, "`{form}`: {message}"),
             AlterError::NotCallable(v) => write!(f, "not callable: {v}"),
             AlterError::Arith(m) => write!(f, "arithmetic error: {m}"),
             AlterError::Model(m) => write!(f, "model access error: {m}"),
             AlterError::Budget(m) => write!(f, "evaluation budget exceeded: {m}"),
+            AlterError::At { line, col, error } => write!(f, "{line}:{col}: {error}"),
         }
     }
 }
 
 impl std::error::Error for AlterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_wraps_once() {
+        let e = AlterError::Unbound("x".into()).at(3, 7).at(9, 9);
+        match &e {
+            AlterError::At { line, col, .. } => assert_eq!((*line, *col), (3, 7)),
+            other => panic!("expected At, got {other:?}"),
+        }
+        assert_eq!(e.to_string(), "3:7: unbound symbol `x`");
+        assert!(matches!(e.root(), AlterError::Unbound(_)));
+    }
+
+    #[test]
+    fn offsets_only_on_lex_and_parse() {
+        assert_eq!(
+            AlterError::Parse {
+                message: "x".into(),
+                offset: 5
+            }
+            .offset(),
+            Some(5)
+        );
+        assert_eq!(AlterError::Unbound("x".into()).offset(), None);
+    }
+}

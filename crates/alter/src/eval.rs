@@ -4,7 +4,8 @@ use crate::builtins;
 use crate::env::Env;
 use crate::error::AlterError;
 use crate::model_api::{self, ModelContext};
-use crate::parser::parse_program;
+use crate::parser::parse_program_spanned;
+use crate::span::line_col_at;
 use crate::value::{Callable, Value};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -76,12 +77,24 @@ impl Interpreter {
     }
 
     /// Parses and evaluates a program, returning the value of its last form.
+    ///
+    /// Errors are annotated with the 1-based line/column of the top-level
+    /// form they surfaced in ([`AlterError::At`]); lex and parse errors are
+    /// positioned at their own byte offset. Use [`AlterError::root`] to
+    /// match on the underlying error kind.
     pub fn eval_str(&mut self, src: &str) -> Result<Value, AlterError> {
-        let forms = parse_program(src)?;
+        let forms = parse_program_spanned(src).map_err(|e| {
+            let (line, col) = line_col_at(src, e.offset().unwrap_or(0));
+            e.at(line, col)
+        })?;
         let mut last = Value::Nil;
         let env = self.global.clone();
         for f in forms {
-            last = self.eval(&f, &env)?;
+            let value = f.to_value();
+            last = self.eval(&value, &env).map_err(|e| {
+                let (line, col) = f.span.line_col(src);
+                e.at(line, col)
+            })?;
         }
         Ok(last)
     }
@@ -445,10 +458,8 @@ mod tests {
 
     #[test]
     fn unbound_symbol_errors() {
-        assert!(matches!(
-            Interpreter::new().eval_str("nosuch"),
-            Err(AlterError::Unbound(_))
-        ));
+        let err = Interpreter::new().eval_str("nosuch").unwrap_err();
+        assert!(matches!(err.root(), AlterError::Unbound(_)));
     }
 
     #[test]
@@ -458,19 +469,23 @@ mod tests {
 
     #[test]
     fn calling_non_callable_errors() {
-        assert!(matches!(
-            Interpreter::new().eval_str("(1 2 3)"),
-            Err(AlterError::NotCallable(_))
-        ));
+        let err = Interpreter::new().eval_str("(1 2 3)").unwrap_err();
+        assert!(matches!(err.root(), AlterError::NotCallable(_)));
     }
 
     #[test]
     fn infinite_loop_hits_budget() {
         let mut i = Interpreter::new();
-        assert!(matches!(
-            i.eval_str("(while #t 1)"),
-            Err(AlterError::Budget(_))
-        ));
+        let err = i.eval_str("(while #t 1)").unwrap_err();
+        assert!(matches!(err.root(), AlterError::Budget(_)));
+    }
+
+    #[test]
+    fn runtime_errors_point_at_source() {
+        let src = "(define x 1)\n(+ x\n   missing)";
+        let err = Interpreter::new().eval_str(src).unwrap_err();
+        // The offending top-level form starts on line 2, column 1.
+        assert_eq!(err.to_string(), "2:1: unbound symbol `missing`");
     }
 }
 

@@ -1,6 +1,7 @@
 //! Tokenizer for Alter source text.
 
 use crate::error::AlterError;
+use crate::span::Span;
 
 /// A lexical token.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,11 +22,31 @@ pub enum Token {
     Symbol(String),
 }
 
+/// A token together with the byte range it was lexed from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub token: Token,
+    /// Source byte range covered by the token.
+    pub span: Span,
+}
+
 /// Tokenizes `src`, skipping whitespace and `;` line comments.
 pub fn lex(src: &str) -> Result<Vec<Token>, AlterError> {
+    Ok(lex_spanned(src)?.into_iter().map(|t| t.token).collect())
+}
+
+/// Tokenizes `src` keeping the byte span of every token.
+pub fn lex_spanned(src: &str) -> Result<Vec<SpannedToken>, AlterError> {
     let bytes = src.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
+    let mut push = |token: Token, start: usize, end: usize| {
+        out.push(SpannedToken {
+            token,
+            span: Span::new(start, end),
+        });
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
@@ -36,15 +57,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AlterError> {
                 }
             }
             '(' => {
-                out.push(Token::LParen);
+                push(Token::LParen, i, i + 1);
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                push(Token::RParen, i, i + 1);
                 i += 1;
             }
             '\'' => {
-                out.push(Token::Quote);
+                push(Token::Quote, i, i + 1);
                 i += 1;
             }
             '"' => {
@@ -91,7 +112,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AlterError> {
                         }
                     }
                 }
-                out.push(Token::Str(s));
+                push(Token::Str(s), start, i);
             }
             _ => {
                 let start = i;
@@ -103,7 +124,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, AlterError> {
                     i += 1;
                 }
                 let atom = &src[start..i];
-                out.push(classify_atom(atom));
+                push(classify_atom(atom), start, i);
             }
         }
     }
@@ -172,5 +193,24 @@ mod tests {
     fn quote_shorthand() {
         let t = lex("'x").unwrap();
         assert_eq!(t, vec![Token::Quote, Token::Symbol("x".into())]);
+    }
+
+    #[test]
+    fn spans_cover_token_text() {
+        let src = "(add 12 \"ab\")";
+        let t = lex_spanned(src).unwrap();
+        let texts: Vec<&str> = t
+            .iter()
+            .map(|st| &src[st.span.start..st.span.end])
+            .collect();
+        assert_eq!(texts, vec!["(", "add", "12", "\"ab\"", ")"]);
+    }
+
+    #[test]
+    fn spans_skip_comments_and_whitespace() {
+        let src = "; c\n  foo";
+        let t = lex_spanned(src).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].span, Span::new(6, 9));
     }
 }

@@ -36,9 +36,11 @@ pub mod eval;
 pub mod lexer;
 pub mod model_api;
 pub mod parser;
+pub mod span;
 pub mod value;
 
 pub use error::AlterError;
 pub use eval::Interpreter;
-pub use parser::parse_program;
+pub use parser::{parse_program, parse_program_spanned, Ast, AstNode};
+pub use span::{line_col_at, Span};
 pub use value::Value;

@@ -449,7 +449,8 @@ mod tests {
     #[test]
     fn model_calls_error_without_model() {
         let mut i = Interpreter::new();
-        assert!(matches!(i.eval_str("(blocks)"), Err(AlterError::Model(_))));
+        let err = i.eval_str("(blocks)").unwrap_err();
+        assert!(matches!(err.root(), AlterError::Model(_)));
     }
 
     #[test]

@@ -1,57 +1,180 @@
 //! S-expression parser producing [`Value`] trees (code is data).
+//!
+//! Two entry points share one implementation: [`parse_program_spanned`]
+//! keeps the byte span of every form (for diagnostics and static analysis),
+//! while [`parse_program`] lowers the spanned tree to plain [`Value`]s for
+//! evaluation.
 
 use crate::error::AlterError;
-use crate::lexer::{lex, Token};
+use crate::lexer::{lex_spanned, SpannedToken, Token};
+use crate::span::Span;
 use crate::value::Value;
+
+/// A parsed form annotated with its source byte range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ast {
+    /// The form itself.
+    pub node: AstNode,
+    /// Byte range of the whole form, including delimiters.
+    pub span: Span,
+}
+
+/// The shape of a parsed form (mirrors the literal subset of [`Value`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstNode {
+    /// `nil`
+    Nil,
+    /// `#t` / `#f`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Symbol.
+    Symbol(String),
+    /// `( ... )` — also produced by the `'x` quote shorthand.
+    List(Vec<Ast>),
+}
+
+impl Ast {
+    /// The head symbol if this is a non-empty list starting with a symbol.
+    pub fn head_symbol(&self) -> Option<&str> {
+        match &self.node {
+            AstNode::List(items) => match items.first().map(|a| &a.node) {
+                Some(AstNode::Symbol(s)) => Some(s),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Lowers the spanned tree to a plain [`Value`].
+    pub fn to_value(&self) -> Value {
+        match &self.node {
+            AstNode::Nil => Value::Nil,
+            AstNode::Bool(b) => Value::Bool(*b),
+            AstNode::Int(i) => Value::Int(*i),
+            AstNode::Float(x) => Value::Float(*x),
+            AstNode::Str(s) => Value::str(s.clone()),
+            AstNode::Symbol(s) => Value::sym(s.clone()),
+            AstNode::List(items) => Value::list(items.iter().map(Ast::to_value).collect()),
+        }
+    }
+}
 
 /// Parses a whole program: a sequence of top-level forms.
 pub fn parse_program(src: &str) -> Result<Vec<Value>, AlterError> {
-    let tokens = lex(src)?;
+    Ok(parse_program_spanned(src)?
+        .iter()
+        .map(Ast::to_value)
+        .collect())
+}
+
+/// Parses a whole program keeping the byte span of every form.
+pub fn parse_program_spanned(src: &str) -> Result<Vec<Ast>, AlterError> {
+    let tokens = lex_spanned(src)?;
     let mut pos = 0;
     let mut forms = Vec::new();
     while pos < tokens.len() {
-        let (v, next) = parse_form(&tokens, pos)?;
-        forms.push(v);
+        let (a, next) = parse_form(&tokens, pos, src.len())?;
+        forms.push(a);
         pos = next;
     }
     Ok(forms)
 }
 
 /// Parses a single form, returning it and the index of the next token.
-fn parse_form(tokens: &[Token], pos: usize) -> Result<(Value, usize), AlterError> {
-    match tokens.get(pos) {
-        None => Err(AlterError::Parse("unexpected end of input".into())),
-        Some(Token::RParen) => Err(AlterError::Parse("unexpected `)`".into())),
-        Some(Token::Quote) => {
-            let (inner, next) = parse_form(tokens, pos + 1)?;
-            Ok((Value::list(vec![Value::sym("quote"), inner]), next))
+fn parse_form(
+    tokens: &[SpannedToken],
+    pos: usize,
+    src_len: usize,
+) -> Result<(Ast, usize), AlterError> {
+    let Some(st) = tokens.get(pos) else {
+        return Err(AlterError::Parse {
+            message: "unexpected end of input".into(),
+            offset: tokens.last().map(|t| t.span.end).unwrap_or(src_len),
+        });
+    };
+    let span = st.span;
+    match &st.token {
+        Token::RParen => Err(AlterError::Parse {
+            message: "unexpected `)`".into(),
+            offset: span.start,
+        }),
+        Token::Quote => {
+            let (inner, next) = parse_form(tokens, pos + 1, src_len)?;
+            let whole = span.merge(inner.span);
+            let quote_sym = Ast {
+                node: AstNode::Symbol("quote".into()),
+                span,
+            };
+            Ok((
+                Ast {
+                    node: AstNode::List(vec![quote_sym, inner]),
+                    span: whole,
+                },
+                next,
+            ))
         }
-        Some(Token::LParen) => {
+        Token::LParen => {
             let mut items = Vec::new();
             let mut p = pos + 1;
             loop {
                 match tokens.get(p) {
-                    None => return Err(AlterError::Parse("unclosed `(`".into())),
-                    Some(Token::RParen) => return Ok((Value::list(items), p + 1)),
+                    None => {
+                        return Err(AlterError::Parse {
+                            message: "unclosed `(`".into(),
+                            offset: span.start,
+                        })
+                    }
+                    Some(st) if st.token == Token::RParen => {
+                        return Ok((
+                            Ast {
+                                node: AstNode::List(items),
+                                span: span.merge(st.span),
+                            },
+                            p + 1,
+                        ));
+                    }
                     _ => {
-                        let (v, next) = parse_form(tokens, p)?;
-                        items.push(v);
+                        let (a, next) = parse_form(tokens, p, src_len)?;
+                        items.push(a);
                         p = next;
                     }
                 }
             }
         }
-        Some(Token::Int(i)) => Ok((Value::Int(*i), pos + 1)),
-        Some(Token::Float(x)) => Ok((Value::Float(*x), pos + 1)),
-        Some(Token::Str(s)) => Ok((Value::str(s.clone()), pos + 1)),
-        Some(Token::Symbol(s)) => {
-            let v = match s.as_str() {
-                "#t" => Value::Bool(true),
-                "#f" => Value::Bool(false),
-                "nil" => Value::Nil,
-                _ => Value::sym(s.clone()),
+        Token::Int(i) => Ok((
+            Ast {
+                node: AstNode::Int(*i),
+                span,
+            },
+            pos + 1,
+        )),
+        Token::Float(x) => Ok((
+            Ast {
+                node: AstNode::Float(*x),
+                span,
+            },
+            pos + 1,
+        )),
+        Token::Str(s) => Ok((
+            Ast {
+                node: AstNode::Str(s.clone()),
+                span,
+            },
+            pos + 1,
+        )),
+        Token::Symbol(s) => {
+            let node = match s.as_str() {
+                "#t" => AstNode::Bool(true),
+                "#f" => AstNode::Bool(false),
+                "nil" => AstNode::Nil,
+                _ => AstNode::Symbol(s.clone()),
             };
-            Ok((v, pos + 1))
+            Ok((Ast { node, span }, pos + 1))
         }
     }
 }
@@ -92,5 +215,38 @@ mod tests {
         assert!(parse_program("(a (b)").is_err());
         assert!(parse_program(")").is_err());
         assert!(parse_program("'").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        match parse_program("  )") {
+            Err(AlterError::Parse { offset, .. }) => assert_eq!(offset, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse_program("(a (b)") {
+            Err(AlterError::Parse { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_cover_whole_forms() {
+        let src = "(a (b 1))\n42";
+        let forms = parse_program_spanned(src).unwrap();
+        assert_eq!(&src[forms[0].span.start..forms[0].span.end], "(a (b 1))");
+        assert_eq!(&src[forms[1].span.start..forms[1].span.end], "42");
+        // Inner form `(b 1)` keeps its own span.
+        if let AstNode::List(items) = &forms[0].node {
+            assert_eq!(&src[items[1].span.start..items[1].span.end], "(b 1)");
+        } else {
+            panic!("expected list");
+        }
+    }
+
+    #[test]
+    fn quote_shorthand_span_includes_tick() {
+        let src = "'(1 2)";
+        let forms = parse_program_spanned(src).unwrap();
+        assert_eq!(forms[0].span, Span::new(0, 6));
     }
 }

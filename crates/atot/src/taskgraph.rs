@@ -43,6 +43,49 @@ pub struct TaskMapping {
 }
 
 impl TaskMapping {
+    /// Checks this mapping against a task graph and a node count, returning
+    /// every problem found (wrong task coverage, nodes out of range).
+    /// Returns an empty vector when the mapping is serviceable.
+    pub fn check(&self, graph: &TaskGraph, node_count: usize) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.nodes.len() != graph.len() {
+            problems.push(format!(
+                "mapping covers {} tasks, task graph has {}",
+                self.nodes.len(),
+                graph.len()
+            ));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.index() >= node_count {
+                let name = graph
+                    .tasks
+                    .get(i)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|| format!("task {i}"));
+                problems.push(format!(
+                    "{name} mapped to node {}, hardware has {node_count}",
+                    node.index()
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Nodes (below `node_count`) that no task is mapped to.
+    pub fn idle_nodes(&self, node_count: usize) -> Vec<usize> {
+        let mut used = vec![false; node_count];
+        for node in &self.nodes {
+            if node.index() < node_count {
+                used[node.index()] = true;
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| !u)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Total bytes crossing node boundaries under this mapping.
     pub fn cut_bytes(&self, graph: &TaskGraph) -> f64 {
         graph
@@ -271,6 +314,24 @@ mod tests {
             assert_eq!(e.from, 0);
             assert_eq!(e.bytes, TOTAL / 2.0);
         }
+    }
+
+    #[test]
+    fn mapping_check_reports_coverage_and_range() {
+        let tg = TaskGraph::from_model(&two_stage(2, 2, Striping::BY_ROWS, Striping::BY_ROWS));
+        let good = TaskMapping {
+            nodes: vec![ProcId(0), ProcId(1), ProcId(0), ProcId(1)],
+        };
+        assert!(good.check(&tg, 2).is_empty());
+        assert!(good.idle_nodes(2).is_empty());
+        let bad = TaskMapping {
+            nodes: vec![ProcId(0), ProcId(5), ProcId(0)],
+        };
+        let problems = bad.check(&tg, 2);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("covers 3 tasks"));
+        assert!(problems[1].contains("a[1] mapped to node 5"));
+        assert_eq!(bad.idle_nodes(3), vec![1, 2]);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 pub mod alter_gen;
 pub mod codegen;
 pub mod emit;
+pub mod lint;
 pub mod model_io;
 pub mod project;
 
 pub use codegen::{generate, CodegenError, Placement};
 pub use emit::render_glue_source;
+pub use lint::lint_model_source;
 pub use model_io::{model_from_sexpr, model_to_sexpr};
 pub use project::{Project, ProjectError};

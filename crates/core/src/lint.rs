@@ -1,0 +1,110 @@
+//! The whole-model lint driver: composes the `sage-lint` passes over a
+//! Designer model file the way `sage lint` (and the pre-codegen auto-lint)
+//! runs them.
+//!
+//! 1. load the model from s-expression text (`SAGE007` on failure);
+//! 2. run the model/mapping consistency pass with source spans;
+//! 3. if the model is structurally sound, generate the glue program for an
+//!    aligned placement on `nodes` processors and run the
+//!    communication-deadlock detector over the result.
+
+use crate::codegen::{generate, CodegenError, Placement};
+use sage_lint::{lint_program, model_error_diag, Diagnostic, Diagnostics, ModelSpans};
+use sage_model::HardwareShelf;
+
+/// Lints a Designer model file (s-expression source) end to end against a
+/// machine of `nodes` processors.
+pub fn lint_model_source(src: &str, nodes: usize) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let app = match crate::model_io::model_from_sexpr(src) {
+        Ok(app) => app,
+        Err(e) => {
+            diags.push(
+                Diagnostic::error("SAGE007", e.to_string())
+                    .with_note("fix the file syntax before any deeper analysis can run"),
+            );
+            return diags;
+        }
+    };
+    let spans = ModelSpans::index(src);
+    diags.extend(sage_lint::lint_model(&app, nodes, Some(&spans)));
+    if diags.error_count() > 0 {
+        // The generator would reject the model anyway; the structural
+        // findings above are the actionable report.
+        return diags;
+    }
+    let hw = HardwareShelf::cspi_with_nodes(nodes);
+    match generate(&app, &hw, &Placement::Aligned) {
+        Ok(program) => diags.extend(lint_program(&program, Some(&spans))),
+        Err(CodegenError::Model(e)) => diags.push(model_error_diag(&e, Some(&spans))),
+        Err(CodegenError::Placement(m)) => {
+            diags.push(Diagnostic::error("SAGE021", m));
+        }
+        Err(CodegenError::Internal(m)) => {
+            diags.push(Diagnostic::error(
+                "SAGE041",
+                format!("malformed glue program: {m}"),
+            ));
+        }
+    }
+    diags.sort();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_io::model_to_sexpr;
+    use sage_lint::lint_script;
+
+    #[test]
+    fn the_shipped_alter_generators_are_lint_clean() {
+        // Dogfood: the glue and DOT generator scripts this crate ships must
+        // pass the Alter static analyzer, checked against a real model so
+        // property reads are validated too.
+        let model = crate::codegen::tests::demo_app(4).flatten().unwrap();
+        for script in [crate::alter_gen::GLUE_SCRIPT, crate::alter_gen::DOT_SCRIPT] {
+            let d = lint_script(script, Some(&model));
+            assert!(d.is_empty(), "{}", d.render("alter_gen", Some(script)));
+        }
+    }
+
+    #[test]
+    fn clean_model_source_lints_clean() {
+        let src = model_to_sexpr(&crate::codegen::tests::demo_app(4));
+        let d = lint_model_source(&src, 4);
+        assert!(d.is_empty(), "{}", d.render("demo.sexpr", Some(&src)));
+    }
+
+    #[test]
+    fn unloadable_source_reports_sage007() {
+        let d = lint_model_source("(model \"x\"", 4);
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].code, "SAGE007");
+    }
+
+    #[test]
+    fn striping_mismatch_is_caught_with_a_span() {
+        // 8 threads on 3 nodes: the acceptance-case striping/node-count
+        // mismatch, pointed at the offending block in the source.
+        let src = model_to_sexpr(&crate::codegen::tests::demo_app(8));
+        let d = lint_model_source(&src, 3);
+        assert!(d.diags.iter().any(|x| x.code == "SAGE030"), "{:?}", d.diags);
+        let hit = d.diags.iter().find(|x| x.code == "SAGE030").unwrap();
+        let span = hit.span.expect("span resolved from source");
+        assert!(src[span.start..span.end].contains("fft"));
+        assert!(d.fails(true) && !d.fails(false));
+    }
+
+    #[test]
+    fn example_models_in_tree_are_lint_clean() {
+        for path in [
+            "../../examples/models/corner_turn_256.sexpr",
+            "../../examples/models/stap_128.sexpr",
+        ] {
+            let src = std::fs::read_to_string(path).expect(path);
+            let d = lint_model_source(&src, 4);
+            assert!(d.is_empty(), "{path}:\n{}", d.render(path, Some(&src)));
+        }
+    }
+}

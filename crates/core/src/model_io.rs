@@ -379,8 +379,19 @@ fn parse_model_form(v: &Value) -> Result<AppGraph, ModelIoError> {
 }
 
 /// Parses a model file produced by [`model_to_sexpr`].
+///
+/// Syntax errors are reported with `line:column` positions resolved against
+/// the source text.
 pub fn model_from_sexpr(src: &str) -> Result<AppGraph, ModelIoError> {
-    let forms = parse_program(src).map_err(|e| ModelIoError(e.to_string()))?;
+    let forms = parse_program(src).map_err(|e| {
+        let (line, col) = sage_alter::line_col_at(src, e.offset().unwrap_or(0));
+        let what = match &e {
+            sage_alter::AlterError::Lex { message, .. } => format!("lex error: {message}"),
+            sage_alter::AlterError::Parse { message, .. } => format!("parse error: {message}"),
+            other => other.to_string(),
+        };
+        ModelIoError(format!("{line}:{col}: {what}"))
+    })?;
     let model = forms
         .iter()
         .find(|f| matches!(f.as_list().ok().and_then(|l| l.first().cloned()), Some(Value::Symbol(s)) if s.as_str() == "model"))
@@ -492,6 +503,15 @@ mod tests {
         assert!(model_from_sexpr("(model \"x\" (connect \"a\" \"out\" \"b\" \"in\"))").is_err());
         // Unbalanced parens surface the parser error.
         assert!(model_from_sexpr("(model \"x\"").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = model_from_sexpr("(model \"x\"\n  (block").unwrap_err();
+        // The unclosed inner `(` on line 2, column 3.
+        assert!(err.0.contains("2:3: parse error"), "{err}");
+        let err = model_from_sexpr("(model \"x\")\n  )").unwrap_err();
+        assert!(err.0.contains("2:3: parse error"), "{err}");
     }
 
     #[test]

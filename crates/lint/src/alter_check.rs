@@ -1,0 +1,693 @@
+//! Static analysis of Alter scripts: a lexical-scope walk over the spanned
+//! AST that flags, without evaluating anything,
+//!
+//! * unbound symbols (`SAGE001`),
+//! * wrong argument counts to builtins, special forms, and known top-level
+//!   procedures (`SAGE002`),
+//! * unknown model property keys in literal `(prop obj "key")` calls, when
+//!   a model is provided (`SAGE003`),
+//! * bindings that shadow builtins or enclosing definitions (`SAGE004`),
+//! * unreachable branches guarded by literal `#t`/`#f` (`SAGE005`),
+//! * lex/parse errors (`SAGE006`).
+
+use crate::diag::{Diagnostic, Diagnostics};
+use sage_alter::{parse_program_spanned, Ast, AstNode, Span};
+use sage_model::AppGraph;
+use std::collections::{BTreeSet, HashMap};
+
+/// Minimum/maximum argument counts of every builtin the interpreter
+/// installs (`None` max = variadic). This is the arity contract of
+/// `sage_alter::builtins` and `sage_alter::model_api`.
+const BUILTIN_ARITIES: &[(&str, usize, Option<usize>)] = &[
+    // arithmetic / comparison
+    ("+", 0, None),
+    ("-", 1, None),
+    ("*", 0, None),
+    ("/", 1, None),
+    ("mod", 2, Some(2)),
+    ("min", 1, None),
+    ("max", 1, None),
+    ("=", 2, Some(2)),
+    ("equal?", 2, Some(2)),
+    ("<", 2, Some(2)),
+    (">", 2, Some(2)),
+    ("<=", 2, Some(2)),
+    (">=", 2, Some(2)),
+    ("not", 1, Some(1)),
+    // lists
+    ("list", 0, None),
+    ("car", 1, Some(1)),
+    ("cdr", 1, Some(1)),
+    ("cons", 2, Some(2)),
+    ("length", 1, Some(1)),
+    ("nth", 2, Some(2)),
+    ("null?", 1, Some(1)),
+    ("append", 0, None),
+    ("reverse", 1, Some(1)),
+    ("range", 1, Some(2)),
+    ("map", 2, Some(2)),
+    ("filter", 2, Some(2)),
+    ("for-each", 2, Some(2)),
+    ("fold", 3, Some(3)),
+    ("apply", 2, Some(2)),
+    ("assoc", 2, Some(2)),
+    // strings / output
+    ("str", 0, None),
+    ("string-length", 1, Some(1)),
+    ("number->string", 1, Some(1)),
+    ("symbol->string", 1, Some(1)),
+    ("emit", 0, None),
+    ("emitln", 0, None),
+    // model traversal
+    ("model-name", 0, Some(0)),
+    ("blocks", 0, Some(0)),
+    ("block-name", 1, Some(1)),
+    ("block-index", 1, Some(1)),
+    ("block-kind", 1, Some(1)),
+    ("block-function", 1, Some(1)),
+    ("block-threads", 1, Some(1)),
+    ("block-flops", 1, Some(1)),
+    ("block-ports", 1, Some(1)),
+    ("prop", 2, Some(2)),
+    ("port-name", 1, Some(1)),
+    ("port-direction", 1, Some(1)),
+    ("port-bytes", 1, Some(1)),
+    ("port-striping", 1, Some(1)),
+    ("connections", 0, Some(0)),
+    ("conn-from-block", 1, Some(1)),
+    ("conn-to-block", 1, Some(1)),
+    ("conn-from-port", 1, Some(1)),
+    ("conn-to-port", 1, Some(1)),
+    ("conn-bytes", 1, Some(1)),
+    ("mapped-node", 1, Some(1)),
+    ("node-count", 0, Some(0)),
+];
+
+const SPECIAL_FORMS: &[&str] = &[
+    "quote", "if", "cond", "define", "set!", "lambda", "let", "let*", "begin", "while", "and", "or",
+];
+
+fn builtin_arity(name: &str) -> Option<(usize, Option<usize>)> {
+    BUILTIN_ARITIES
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, lo, hi)| (*lo, *hi))
+}
+
+/// What a name in scope refers to.
+#[derive(Clone, Debug)]
+enum Binding {
+    /// An interpreter builtin with its arity contract.
+    Builtin(usize, Option<usize>),
+    /// A user definition; arity is known for `(define (f a b) ...)` and
+    /// `(define f (lambda (a b) ...))` shapes.
+    User(Option<usize>),
+}
+
+/// Statically analyzes an Alter script. When `model` is given, literal
+/// `(prop obj "key")` accesses are checked against the property keys that
+/// actually occur in the model.
+pub fn lint_script(src: &str, model: Option<&AppGraph>) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let forms = match parse_program_spanned(src) {
+        Ok(forms) => forms,
+        Err(e) => {
+            let offset = e.offset().unwrap_or(0);
+            let span = Span::new(offset, (offset + 1).min(src.len().max(offset)));
+            diags.push(Diagnostic::error("SAGE006", e.root().to_string()).with_span(span));
+            return diags;
+        }
+    };
+
+    let mut checker = Checker {
+        diags,
+        scopes: vec![HashMap::new()],
+        prop_keys: model.map(collect_prop_keys),
+    };
+    for (name, lo, hi) in BUILTIN_ARITIES {
+        checker.scopes[0].insert((*name).to_string(), Binding::Builtin(*lo, *hi));
+    }
+    // Pre-seed all top-level defines so forward references and mutual
+    // recursion resolve, as they do at run time (top-level forms execute in
+    // order, but procedure bodies only run after all defines are in place).
+    for f in &forms {
+        if let Some(("define", rest)) = split_head(f) {
+            match rest.first().map(|a| &a.node) {
+                Some(AstNode::Symbol(name)) => {
+                    let arity = rest.get(1).and_then(lambda_arity);
+                    checker.scopes[0].insert(name.clone(), Binding::User(arity));
+                }
+                Some(AstNode::List(sig)) => {
+                    if let Some(AstNode::Symbol(name)) = sig.first().map(|a| &a.node) {
+                        checker.scopes[0].insert(name.clone(), Binding::User(Some(sig.len() - 1)));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for f in &forms {
+        checker.walk(f, true);
+    }
+    checker.diags.sort();
+    checker.diags
+}
+
+/// All property keys appearing anywhere in the model (graph + blocks).
+fn collect_prop_keys(graph: &AppGraph) -> BTreeSet<String> {
+    let mut keys: BTreeSet<String> = graph.props.keys().cloned().collect();
+    for b in graph.blocks() {
+        keys.extend(b.props.keys().cloned());
+    }
+    keys
+}
+
+/// `(head rest...)` when the form is a list starting with a symbol.
+fn split_head(ast: &Ast) -> Option<(&str, &[Ast])> {
+    match &ast.node {
+        AstNode::List(items) => match items.first().map(|a| &a.node) {
+            Some(AstNode::Symbol(s)) => Some((s.as_str(), &items[1..])),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Parameter count of a `(lambda (p...) body)` form.
+fn lambda_arity(ast: &Ast) -> Option<usize> {
+    let ("lambda", rest) = split_head(ast)? else {
+        return None;
+    };
+    match rest.first().map(|a| &a.node) {
+        Some(AstNode::List(params)) => Some(params.len()),
+        _ => None,
+    }
+}
+
+struct Checker {
+    diags: Diagnostics,
+    /// Scope chain, innermost last. `scopes[0]` holds builtins and
+    /// top-level defines.
+    scopes: Vec<HashMap<String, Binding>>,
+    prop_keys: Option<BTreeSet<String>>,
+}
+
+impl Checker {
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn define(&mut self, name: &str, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("scope chain never empty")
+            .insert(name.to_string(), binding);
+    }
+
+    /// Warns when a new binding hides an existing one (SAGE004). Top-level
+    /// defines were pre-seeded, so at top level only builtin collisions are
+    /// reported.
+    fn check_shadow(&mut self, name: &str, span: Span, top_level: bool) {
+        if top_level {
+            if builtin_arity(name).is_some() {
+                self.diags.push(
+                    Diagnostic::warning(
+                        "SAGE004",
+                        format!("definition of `{name}` hides the builtin of the same name"),
+                    )
+                    .with_span(span),
+                );
+            }
+            return;
+        }
+        if let Some(existing) = self.lookup(name) {
+            let what = match existing {
+                Binding::Builtin(..) => "the builtin of the same name",
+                Binding::User(_) => "an enclosing definition",
+            };
+            self.diags.push(
+                Diagnostic::warning("SAGE004", format!("binding `{name}` shadows {what}"))
+                    .with_span(span),
+            );
+        }
+    }
+
+    fn unreachable(&mut self, span: Span, what: &str) {
+        self.diags.push(
+            Diagnostic::warning("SAGE005", format!("unreachable {what}"))
+                .with_span(span)
+                .with_note("the guarding condition is a literal, so this can never run"),
+        );
+    }
+
+    fn bad_arity(&mut self, span: Span, name: &str, lo: usize, hi: Option<usize>, got: usize) {
+        let expected = match hi {
+            Some(hi) if hi == lo => format!("{lo}"),
+            Some(hi) => format!("{lo} to {hi}"),
+            None => format!("at least {lo}"),
+        };
+        let plural = if expected == "1" { "" } else { "s" };
+        self.diags.push(
+            Diagnostic::error(
+                "SAGE002",
+                format!("`{name}` expects {expected} argument{plural}, got {got}"),
+            )
+            .with_span(span),
+        );
+    }
+
+    fn walk(&mut self, ast: &Ast, top_level: bool) {
+        match &ast.node {
+            AstNode::Nil
+            | AstNode::Bool(_)
+            | AstNode::Int(_)
+            | AstNode::Float(_)
+            | AstNode::Str(_) => {}
+            AstNode::Symbol(name) => {
+                if self.lookup(name).is_none() && !SPECIAL_FORMS.contains(&name.as_str()) {
+                    self.diags.push(
+                        Diagnostic::error("SAGE001", format!("unbound symbol `{name}`"))
+                            .with_span(ast.span)
+                            .with_note(
+                                "not defined in this script, the builtin library, \
+                                 or the model API",
+                            ),
+                    );
+                }
+            }
+            AstNode::List(items) => {
+                if items.is_empty() {
+                    return;
+                }
+                if let Some((head, rest)) = split_head(ast) {
+                    match head {
+                        "quote" => return, // quoted data is never evaluated
+                        "if" => return self.walk_if(ast.span, rest),
+                        "cond" => return self.walk_cond(rest),
+                        "define" => return self.walk_define(ast.span, rest, top_level),
+                        "set!" => return self.walk_set(ast.span, rest),
+                        "lambda" => return self.walk_lambda(ast.span, rest),
+                        "let" => return self.walk_let(ast.span, rest, false),
+                        "let*" => return self.walk_let(ast.span, rest, true),
+                        "begin" => {
+                            for f in rest {
+                                self.walk(f, false);
+                            }
+                            return;
+                        }
+                        "while" => return self.walk_while(ast.span, rest),
+                        "and" | "or" => {
+                            for f in rest {
+                                self.walk(f, false);
+                            }
+                            return;
+                        }
+                        _ => {}
+                    }
+                    self.check_application(head, items[0].span, rest);
+                }
+                for f in items {
+                    self.walk(f, false);
+                }
+            }
+        }
+    }
+
+    /// Arity and property-key checks at an application site. The callee
+    /// symbol itself is also walked by the caller, which reports SAGE001 if
+    /// it is unbound.
+    fn check_application(&mut self, head: &str, head_span: Span, args: &[Ast]) {
+        match self.lookup(head) {
+            Some(Binding::Builtin(lo, hi)) => {
+                let (lo, hi) = (*lo, *hi);
+                if args.len() < lo || hi.is_some_and(|h| args.len() > h) {
+                    self.bad_arity(head_span, head, lo, hi, args.len());
+                }
+                if head == "prop" && args.len() == 2 {
+                    self.check_prop_key(&args[1]);
+                }
+            }
+            Some(Binding::User(Some(arity))) => {
+                let arity = *arity;
+                if args.len() != arity {
+                    self.bad_arity(head_span, head, arity, Some(arity), args.len());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn check_prop_key(&mut self, key: &Ast) {
+        let AstNode::Str(k) = &key.node else { return };
+        let Some(keys) = &self.prop_keys else { return };
+        if !keys.contains(k) {
+            let known = if keys.is_empty() {
+                "the model defines no properties".to_string()
+            } else {
+                let list: Vec<&str> = keys.iter().map(String::as_str).take(8).collect();
+                format!("known keys: {}", list.join(", "))
+            };
+            self.diags.push(
+                Diagnostic::warning(
+                    "SAGE003",
+                    format!("property key \"{k}\" does not occur in the model"),
+                )
+                .with_span(key.span)
+                .with_note(known),
+            );
+        }
+    }
+
+    fn walk_if(&mut self, span: Span, rest: &[Ast]) {
+        if rest.len() < 2 || rest.len() > 3 {
+            self.bad_arity(span, "if", 2, Some(3), rest.len());
+        }
+        if let Some(cond) = rest.first() {
+            match cond.node {
+                AstNode::Bool(true) => {
+                    if let Some(els) = rest.get(2) {
+                        self.unreachable(els.span, "else branch");
+                    }
+                }
+                AstNode::Bool(false) => {
+                    if let Some(then) = rest.get(1) {
+                        self.unreachable(then.span, "then branch");
+                    }
+                }
+                _ => {}
+            }
+        }
+        for f in rest {
+            self.walk(f, false);
+        }
+    }
+
+    fn walk_cond(&mut self, clauses: &[Ast]) {
+        let mut terminated = false;
+        for clause in clauses {
+            let AstNode::List(parts) = &clause.node else {
+                self.walk(clause, false);
+                continue;
+            };
+            if parts.is_empty() {
+                continue;
+            }
+            if terminated {
+                self.unreachable(clause.span, "cond clause");
+            }
+            let is_else = matches!(&parts[0].node, AstNode::Symbol(s) if s == "else");
+            if matches!(parts[0].node, AstNode::Bool(false)) {
+                self.unreachable(clause.span, "cond clause");
+            }
+            if is_else || matches!(parts[0].node, AstNode::Bool(true)) {
+                terminated = true;
+            }
+            let body = if is_else { &parts[1..] } else { &parts[..] };
+            for f in body {
+                self.walk(f, false);
+            }
+        }
+    }
+
+    fn walk_define(&mut self, span: Span, rest: &[Ast], top_level: bool) {
+        match rest.first().map(|a| &a.node) {
+            // (define name expr)
+            Some(AstNode::Symbol(name)) => {
+                let name = name.clone();
+                let name_span = rest[0].span;
+                for f in &rest[1..] {
+                    self.walk(f, false);
+                }
+                self.check_shadow(&name, name_span, top_level);
+                if !top_level {
+                    let arity = rest.get(1).and_then(lambda_arity);
+                    self.define(&name, Binding::User(arity));
+                }
+            }
+            // (define (name p1 p2) body...)
+            Some(AstNode::List(sig)) if !sig.is_empty() => {
+                let Some(AstNode::Symbol(name)) = sig.first().map(|a| &a.node) else {
+                    self.bad_define(span);
+                    return;
+                };
+                let name = name.clone();
+                self.check_shadow(&name, sig[0].span, top_level);
+                if !top_level {
+                    self.define(&name, Binding::User(Some(sig.len() - 1)));
+                }
+                self.scopes.push(HashMap::new());
+                for p in &sig[1..] {
+                    if let AstNode::Symbol(pname) = &p.node {
+                        let pname = pname.clone();
+                        self.check_shadow(&pname, p.span, false);
+                        self.define(&pname, Binding::User(None));
+                    }
+                }
+                for f in &rest[1..] {
+                    self.walk(f, false);
+                }
+                self.scopes.pop();
+            }
+            _ => self.bad_define(span),
+        }
+    }
+
+    fn bad_define(&mut self, span: Span) {
+        self.diags.push(
+            Diagnostic::error(
+                "SAGE002",
+                "`define` needs (define name expr) or (define (name args) body)",
+            )
+            .with_span(span),
+        );
+    }
+
+    fn walk_set(&mut self, span: Span, rest: &[Ast]) {
+        match rest.first().map(|a| &a.node) {
+            Some(AstNode::Symbol(name)) => {
+                if self.lookup(name).is_none() {
+                    self.diags.push(
+                        Diagnostic::error("SAGE001", format!("`set!` of unbound symbol `{name}`"))
+                            .with_span(rest[0].span),
+                    );
+                }
+            }
+            _ => {
+                self.diags.push(
+                    Diagnostic::error("SAGE002", "`set!` needs (set! name expr)").with_span(span),
+                );
+            }
+        }
+        for f in &rest[1..] {
+            self.walk(f, false);
+        }
+    }
+
+    fn walk_lambda(&mut self, span: Span, rest: &[Ast]) {
+        let Some(AstNode::List(params)) = rest.first().map(|a| &a.node) else {
+            self.diags.push(
+                Diagnostic::error("SAGE002", "`lambda` needs a parameter list").with_span(span),
+            );
+            return;
+        };
+        self.scopes.push(HashMap::new());
+        for p in params {
+            if let AstNode::Symbol(pname) = &p.node {
+                let pname = pname.clone();
+                self.check_shadow(&pname, p.span, false);
+                self.define(&pname, Binding::User(None));
+            }
+        }
+        for f in &rest[1..] {
+            self.walk(f, false);
+        }
+        self.scopes.pop();
+    }
+
+    fn walk_let(&mut self, span: Span, rest: &[Ast], sequential: bool) {
+        let Some(AstNode::List(bindings)) = rest.first().map(|a| &a.node) else {
+            self.diags
+                .push(Diagnostic::error("SAGE002", "`let` needs a bindings list").with_span(span));
+            return;
+        };
+        // `let` inits see the outer scope; `let*` inits see earlier names.
+        let mut names = Vec::new();
+        if sequential {
+            self.scopes.push(HashMap::new());
+        }
+        for b in bindings {
+            let AstNode::List(pair) = &b.node else {
+                self.diags.push(
+                    Diagnostic::error("SAGE002", "`let` bindings are (name expr) pairs")
+                        .with_span(b.span),
+                );
+                continue;
+            };
+            match (pair.first().map(|a| &a.node), pair.get(1)) {
+                (Some(AstNode::Symbol(n)), Some(init)) => {
+                    self.walk(init, false);
+                    let n = n.clone();
+                    self.check_shadow(&n, pair[0].span, false);
+                    if sequential {
+                        self.define(&n, Binding::User(None));
+                    } else {
+                        names.push((n, pair[0].span));
+                    }
+                }
+                _ => {
+                    self.diags.push(
+                        Diagnostic::error("SAGE002", "`let` bindings are (name expr) pairs")
+                            .with_span(b.span),
+                    );
+                }
+            }
+        }
+        if !sequential {
+            self.scopes.push(HashMap::new());
+            for (n, _) in names {
+                self.define(&n, Binding::User(None));
+            }
+        }
+        for f in &rest[1..] {
+            self.walk(f, false);
+        }
+        self.scopes.pop();
+    }
+
+    fn walk_while(&mut self, span: Span, rest: &[Ast]) {
+        let Some(cond) = rest.first() else {
+            self.bad_arity(span, "while", 1, None, 0);
+            return;
+        };
+        if matches!(cond.node, AstNode::Bool(false)) {
+            if let Some(first_body) = rest.get(1) {
+                let whole = rest[1..]
+                    .iter()
+                    .fold(first_body.span, |acc, f| acc.merge(f.span));
+                self.unreachable(whole, "while body");
+            }
+        }
+        for f in rest {
+            self.walk(f, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint_script(src, None)
+            .diags
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_script_is_clean() {
+        let src = r#"
+            (define (stripe-label b) (str (block-name b) "!"))
+            (define total 0)
+            (for-each (lambda (x) (set! total (+ total x))) (list 1 2 3))
+            (emitln (stripe-label-like total))
+        "#;
+        // one deliberate unbound to prove the fixture is sensitive
+        assert_eq!(codes(src), vec!["SAGE001"]);
+        let clean = src.replace("stripe-label-like", "stripe-label");
+        // stripe-label takes a block handle; this still type-errors at run
+        // time but is statically arity-correct and fully bound.
+        assert!(lint_script(&clean, None).is_empty());
+    }
+
+    #[test]
+    fn unbound_symbol_has_span() {
+        let src = "(emit (frobnicate 1))";
+        let ds = lint_script(src, None);
+        assert_eq!(ds.diags.len(), 1);
+        let d = &ds.diags[0];
+        assert_eq!(d.code, "SAGE001");
+        let span = d.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "frobnicate");
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        assert_eq!(codes("(car)"), vec!["SAGE002"]);
+        assert_eq!(codes("(cons 1)"), vec!["SAGE002"]);
+        assert_eq!(codes("(fold + 0 '(1) 9)"), vec!["SAGE002"]);
+        assert!(codes("(+)").is_empty());
+        assert_eq!(codes("(-)"), vec!["SAGE002"]);
+        assert!(codes("(range 5)").is_empty());
+        assert!(codes("(range 1 5)").is_empty());
+        assert_eq!(codes("(range 1 5 2)"), vec!["SAGE002"]);
+    }
+
+    #[test]
+    fn user_procedure_arity_checked() {
+        let src = "(define (f a b) (+ a b)) (f 1)";
+        assert_eq!(codes(src), vec!["SAGE002"]);
+        let src = "(define g (lambda (a) a)) (g 1 2)";
+        assert_eq!(codes(src), vec!["SAGE002"]);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let src = "(define (f x) (g x)) (define (g x) x) (f 1)";
+        assert!(lint_script(src, None).is_empty());
+    }
+
+    #[test]
+    fn shadowing_warned() {
+        assert_eq!(codes("(define (f list) list)"), vec!["SAGE004"]);
+        assert_eq!(codes("(let ((x 1)) (let ((x 2)) x))"), vec!["SAGE004"]);
+        assert_eq!(codes("(define map 3) map"), vec!["SAGE004"]);
+    }
+
+    #[test]
+    fn unreachable_branches_warned() {
+        assert_eq!(codes("(if #f 1 2)"), vec!["SAGE005"]);
+        assert_eq!(codes("(if #t 1 2)"), vec!["SAGE005"]);
+        assert!(codes("(if (> 1 0) 1 2)").is_empty());
+        assert_eq!(codes("(cond (else 1) ((> 1 0) 2))"), vec!["SAGE005"]);
+        assert_eq!(codes("(while #f (emit 1))"), vec!["SAGE005"]);
+    }
+
+    #[test]
+    fn syntax_error_reported_with_offset() {
+        let ds = lint_script("(a (b)", None);
+        assert_eq!(ds.diags.len(), 1);
+        assert_eq!(ds.diags[0].code, "SAGE006");
+        assert_eq!(ds.diags[0].span.unwrap().start, 0);
+    }
+
+    #[test]
+    fn quoted_data_not_analyzed() {
+        assert!(codes("'(frobnicate (car))").is_empty());
+        assert!(codes("(quote (nope))").is_empty());
+    }
+
+    #[test]
+    fn set_of_unbound_symbol_flagged() {
+        assert_eq!(codes("(set! nope 1)"), vec!["SAGE001"]);
+        assert!(codes("(define x 0) (set! x 1)").is_empty());
+    }
+
+    #[test]
+    fn prop_keys_checked_against_model() {
+        use sage_model::{Block, Port, PropValue};
+        let mut g = AppGraph::new("m");
+        g.add_block(
+            Block::source("src", vec![] as Vec<Port>).with_prop("rate_hz", PropValue::Float(1.0)),
+        );
+        let hit = lint_script("(prop (car (blocks)) \"rate_hz\")", Some(&g));
+        assert!(hit.is_empty(), "{:?}", hit.diags);
+        let miss = lint_script("(prop (car (blocks)) \"rate-hz\")", Some(&g));
+        assert_eq!(miss.diags.len(), 1);
+        assert_eq!(miss.diags[0].code, "SAGE003");
+        assert!(miss.diags[0].notes[0].contains("rate_hz"));
+        // Without a model, no opinion.
+        assert!(lint_script("(prop (car (blocks)) \"rate-hz\")", None).is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Communication-deadlock detection over a generated glue program.
+//!
+//! The run-time walks each node's schedule in order; a task blocks until
+//! every remote stripe it consumes has been sent and every same-node
+//! hand-off it reads has already been produced *earlier in the schedule*.
+//! That gives a per-iteration wait-for graph over tasks:
+//!
+//! * **program-order edges** — a task waits for the task scheduled
+//!   immediately before it on the same node;
+//! * **communication edges** — a consumer thread waits for every producer
+//!   thread that sends it a non-empty stripe, per the same
+//!   [`Redistribution::plan`] the executor uses.
+//!
+//! Any cycle in the union means no task on the cycle can ever run: a
+//! communication deadlock (`SAGE040`), reported with the full blocking
+//! chain. Striping that cannot be laid out at all is reported first
+//! (`SAGE019`) since no plan exists for it, and structurally broken
+//! programs short-circuit as `SAGE041`.
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::model_spans::ModelSpans;
+use sage_model::Striping;
+use sage_runtime::{GlueProgram, Redistribution, Task};
+use std::collections::HashMap;
+
+/// Why one task waits for another.
+#[derive(Clone, Copy, Debug)]
+enum Wait {
+    /// Scheduled after the other task on `node`.
+    Program { node: u32 },
+    /// Receives a stripe of logical buffer `buffer` from the other task.
+    Recv { buffer: u32 },
+}
+
+/// Lints a generated glue program for communication deadlocks.
+pub fn lint_program(program: &GlueProgram, spans: Option<&ModelSpans>) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if let Err(e) = program.validate() {
+        diags.push(
+            Diagnostic::error("SAGE041", format!("malformed glue program: {e}"))
+                .with_note("the program fails its structural self-checks; deadlock analysis needs a well-formed schedule"),
+        );
+        return diags;
+    }
+
+    // Vertices: every scheduled task.
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut index: HashMap<(u32, u32), usize> = HashMap::new();
+    for sched in &program.schedules {
+        for &t in sched {
+            index.insert((t.fn_id, t.thread), tasks.len());
+            tasks.push(t);
+        }
+    }
+
+    let mut edges: Vec<Vec<(usize, Wait)>> = vec![Vec::new(); tasks.len()];
+
+    // Program-order edges: each task waits for its predecessor on the node.
+    for (node, sched) in program.schedules.iter().enumerate() {
+        for pair in sched.windows(2) {
+            let earlier = index[&(pair[0].fn_id, pair[0].thread)];
+            let later = index[&(pair[1].fn_id, pair[1].thread)];
+            edges[later].push((earlier, Wait::Program { node: node as u32 }));
+        }
+    }
+
+    // Communication edges from the executor's own redistribution plans.
+    for b in &program.buffers {
+        let pf = &program.functions[b.producer as usize];
+        let cf = &program.functions[b.consumer as usize];
+        let mut layout_ok = true;
+        for (striping, threads, who) in [
+            (b.send_striping, pf.threads as usize, &pf.name),
+            (b.recv_striping, cf.threads as usize, &cf.name),
+        ] {
+            if let Striping::Striped { dim } = striping {
+                let extent = b.shape.get(dim).copied().unwrap_or(0);
+                if threads == 0 || extent % threads != 0 {
+                    diags.push(
+                        Diagnostic::error(
+                            "SAGE019",
+                            format!(
+                                "buffer {} (`{}` -> `{}`): dimension {dim} of \
+                                 extent {extent} cannot stripe over `{who}`'s \
+                                 {threads} threads",
+                                b.id, pf.name, cf.name
+                            ),
+                        )
+                        .with_span_opt(spans.and_then(|s| s.block(who))),
+                    );
+                    layout_ok = false;
+                }
+            }
+        }
+        if !layout_ok {
+            continue; // no layout exists, so no plan (and no edges) either
+        }
+        let plan = Redistribution::plan(
+            &b.shape,
+            b.elem_bytes,
+            b.send_striping,
+            pf.threads as usize,
+            b.recv_striping,
+            cf.threads as usize,
+        );
+        for (i, row) in plan.pairs.iter().enumerate() {
+            for (j, intervals) in row.iter().enumerate() {
+                if intervals.is_empty() {
+                    continue;
+                }
+                let producer = index[&(b.producer, i as u32)];
+                let consumer = index[&(b.consumer, j as u32)];
+                edges[consumer].push((producer, Wait::Recv { buffer: b.id }));
+            }
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&edges) {
+        diags.push(cycle_diag(program, &tasks, &cycle, spans));
+    }
+    diags
+}
+
+/// Finds one cycle in the wait-for graph: returns the chain
+/// `[(task, wait), ...]` where each entry waits for the *next* entry (and
+/// the last waits for the first).
+fn find_cycle(edges: &[Vec<(usize, Wait)>]) -> Option<Vec<(usize, Wait)>> {
+    let n = edges.len();
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Stack frames: (vertex, next out-edge, wait that led here).
+        let mut stack: Vec<(usize, usize, Option<Wait>)> = vec![(start, 0, None)];
+        color[start] = 1;
+        while let Some(&mut (u, ref mut next, _)) = stack.last_mut() {
+            if *next < edges[u].len() {
+                let (v, wait) = edges[u][*next];
+                *next += 1;
+                match color[v] {
+                    0 => {
+                        color[v] = 1;
+                        stack.push((v, 0, Some(wait)));
+                    }
+                    1 => {
+                        // Back edge u -> v: the cycle is v..=u on the stack
+                        // plus this edge. Frame k+1's stored wait labels the
+                        // edge from frame k, so `plain[k]` waits for
+                        // `plain[k+1]` via `inner[k]`, and the back edge
+                        // closes `u` -> `v` via `wait`.
+                        let pos = stack.iter().position(|&(w, _, _)| w == v).unwrap();
+                        let plain: Vec<usize> = stack[pos..].iter().map(|&(w, _, _)| w).collect();
+                        let inner: Vec<Wait> = stack[pos + 1..]
+                            .iter()
+                            .map(|&(_, _, w)| w.unwrap())
+                            .collect();
+                        let mut result = Vec::with_capacity(plain.len());
+                        for (k, &vtx) in plain.iter().enumerate() {
+                            let w = if k < inner.len() { inner[k] } else { wait };
+                            result.push((vtx, w));
+                        }
+                        return Some(result);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+fn task_name(program: &GlueProgram, t: Task) -> String {
+    format!("{}[{}]", program.functions[t.fn_id as usize].name, t.thread)
+}
+
+fn cycle_diag(
+    program: &GlueProgram,
+    tasks: &[Task],
+    cycle: &[(usize, Wait)],
+    spans: Option<&ModelSpans>,
+) -> Diagnostic {
+    let names: Vec<String> = cycle
+        .iter()
+        .map(|&(v, _)| task_name(program, tasks[v]))
+        .collect();
+    let mut d = Diagnostic::error(
+        "SAGE040",
+        format!(
+            "communication deadlock: {} tasks wait on each other in a cycle \
+             ({})",
+            cycle.len(),
+            names.join(" -> "),
+        ),
+    );
+    for (k, &(v, wait)) in cycle.iter().enumerate() {
+        let waiter = &names[k];
+        let waited = &names[(k + 1) % names.len()];
+        let note = match wait {
+            Wait::Program { node } => format!(
+                "`{waiter}` cannot start until `{waited}` finishes: it is \
+                 scheduled after `{waited}` on node {node}"
+            ),
+            Wait::Recv { buffer } => {
+                let b = &program.buffers[buffer as usize];
+                format!(
+                    "`{waiter}` blocks receiving logical buffer {buffer} \
+                     (`{}` -> `{}`) from `{waited}`",
+                    b.producer_port, b.consumer_port
+                )
+            }
+        };
+        d = d.with_note(note);
+        let _ = v;
+    }
+    d = d.with_note(
+        "every task on the cycle waits forever; reorder the schedule or \
+         change the mapping so producers run before their consumers",
+    );
+    let first = &program.functions[tasks[cycle[0].0].fn_id as usize].name;
+    d.with_span_opt(spans.and_then(|s| s.block(first)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_model::Properties;
+    use sage_runtime::{FnRole, FunctionDescriptor, LogicalBufferDesc};
+
+    /// src (2 threads on nodes 0/1) -> snk (2 threads on nodes 0/1), one
+    /// 4x4 complex buffer striped by rows on both sides. `order(node)`
+    /// controls the schedule on each node: tasks listed producer-first when
+    /// `true`.
+    fn two_stage(order: [bool; 2]) -> GlueProgram {
+        let functions = vec![
+            FunctionDescriptor {
+                id: 0,
+                name: "src".into(),
+                function: "test.fill".into(),
+                role: FnRole::Source,
+                threads: 2,
+                placement: vec![0, 1],
+                flops: 0.0,
+                mem_bytes: 0.0,
+                inputs: vec![],
+                outputs: vec![0],
+                params: Properties::new(),
+            },
+            FunctionDescriptor {
+                id: 1,
+                name: "snk".into(),
+                function: "sink.null".into(),
+                role: FnRole::Sink,
+                threads: 2,
+                placement: vec![0, 1],
+                flops: 0.0,
+                mem_bytes: 0.0,
+                inputs: vec![0],
+                outputs: vec![],
+                params: Properties::new(),
+            },
+        ];
+        let buffers = vec![LogicalBufferDesc {
+            id: 0,
+            producer: 0,
+            producer_port: "out".into(),
+            consumer: 1,
+            consumer_port: "in".into(),
+            shape: vec![4, 4],
+            elem_bytes: 8,
+            send_striping: Striping::BY_ROWS,
+            recv_striping: Striping::BY_ROWS,
+        }];
+        let sched = |t: usize, producer_first: bool| {
+            let p = Task {
+                fn_id: 0,
+                thread: t as u32,
+            };
+            let c = Task {
+                fn_id: 1,
+                thread: t as u32,
+            };
+            if producer_first {
+                vec![p, c]
+            } else {
+                vec![c, p]
+            }
+        };
+        GlueProgram {
+            app_name: "t".into(),
+            functions,
+            buffers,
+            schedules: vec![sched(0, order[0]), sched(1, order[1])],
+        }
+    }
+
+    #[test]
+    fn well_ordered_program_is_clean() {
+        let d = lint_program(&two_stage([true, true]), None);
+        assert!(d.is_empty(), "{:?}", d.diags);
+    }
+
+    #[test]
+    fn reversed_schedule_deadlocks() {
+        let d = lint_program(&two_stage([true, false]), None);
+        assert_eq!(d.diags.len(), 1, "{:?}", d.diags);
+        let diag = &d.diags[0];
+        assert_eq!(diag.code, "SAGE040");
+        assert!(diag.message.contains("snk[1]"), "{}", diag.message);
+        assert!(diag.message.contains("src[1]"), "{}", diag.message);
+        // The blocking chain names both the recv and the schedule ordering.
+        let all_notes = diag.notes.join("\n");
+        assert!(
+            all_notes.contains("blocks receiving logical buffer 0"),
+            "{all_notes}"
+        );
+        assert!(all_notes.contains("scheduled after"), "{all_notes}");
+    }
+
+    #[test]
+    fn corner_turn_cross_node_deadlock() {
+        // BY_ROWS -> BY_COLS is all-to-all: every consumer thread waits on
+        // every producer thread, so a single reversed node deadlocks the
+        // whole machine.
+        let mut p = two_stage([true, false]);
+        p.buffers[0].recv_striping = Striping::BY_COLS;
+        let d = lint_program(&p, None);
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].code, "SAGE040");
+    }
+
+    #[test]
+    fn unstripeable_buffer_reports_sage019_not_a_panic() {
+        let mut p = two_stage([true, true]);
+        p.buffers[0].shape = vec![5, 4]; // 5 rows over 2 threads
+        let d = lint_program(&p, None);
+        assert_eq!(d.diags.len(), 2, "{:?}", d.diags); // send and recv side
+        assert!(d.diags.iter().all(|x| x.code == "SAGE019"));
+    }
+
+    #[test]
+    fn malformed_program_reports_sage041() {
+        let mut p = two_stage([true, true]);
+        p.schedules[0].clear(); // schedules no longer cover the task set
+        let d = lint_program(&p, None);
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].code, "SAGE041");
+    }
+
+    #[test]
+    fn replicated_producer_only_blocks_on_thread_zero() {
+        let mut p = two_stage([true, true]);
+        p.buffers[0].send_striping = Striping::Replicated;
+        p.buffers[0].recv_striping = Striping::BY_ROWS;
+        // Reverse node 1's schedule: snk[1] runs before src[1]. With a
+        // replicated producer only src[0] transmits, so snk[1] never waits
+        // on src[1] and nothing deadlocks.
+        p.schedules[1].reverse();
+        let d = lint_program(&p, None);
+        assert!(d.is_empty(), "{:?}", d.diags);
+    }
+}

@@ -1,0 +1,430 @@
+//! The unified diagnostics engine: stable `SAGE0xx` codes, severities,
+//! source spans, rustc-style rendered output, and machine-readable JSON.
+//!
+//! Every analysis pass in this crate reports through [`Diagnostics`], so the
+//! Designer-era model checks, the Alter script analyzer, and the
+//! communication-deadlock detector all speak one language.
+
+use sage_alter::Span;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily fatal; `--deny-warnings` promotes.
+    Warning,
+    /// The model/script/program cannot work as written.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable diagnostic-code registry: `(code, default severity, summary)`.
+///
+/// Codes are append-only: once published they keep their meaning forever so
+/// tooling can match on them. 00x = Alter script analysis, 01x/02x = model
+/// and mapping validity (the Designer-era `ModelError` checks), 03x =
+/// model/hardware consistency, 04x = generated-program analysis.
+pub const CODE_TABLE: &[(&str, Severity, &str)] = &[
+    ("SAGE001", Severity::Error, "unbound symbol in Alter script"),
+    ("SAGE002", Severity::Error, "wrong number of arguments"),
+    ("SAGE003", Severity::Warning, "unknown model property key"),
+    (
+        "SAGE004",
+        Severity::Warning,
+        "binding shadows another definition",
+    ),
+    ("SAGE005", Severity::Warning, "unreachable branch"),
+    ("SAGE006", Severity::Error, "Alter syntax error"),
+    ("SAGE007", Severity::Error, "model file cannot be loaded"),
+    ("SAGE010", Severity::Error, "duplicate block name"),
+    ("SAGE011", Severity::Error, "no such port"),
+    ("SAGE012", Severity::Error, "connection direction mismatch"),
+    ("SAGE013", Severity::Error, "connection type mismatch"),
+    (
+        "SAGE014",
+        Severity::Error,
+        "input port has multiple writers",
+    ),
+    ("SAGE015", Severity::Error, "dataflow cycle"),
+    (
+        "SAGE016",
+        Severity::Error,
+        "boundary port has no internal binding",
+    ),
+    ("SAGE017", Severity::Error, "ambiguous boundary port"),
+    ("SAGE018", Severity::Error, "unconnected input port"),
+    (
+        "SAGE019",
+        Severity::Error,
+        "striping does not divide the thread count",
+    ),
+    (
+        "SAGE020",
+        Severity::Error,
+        "mapping does not cover the task graph",
+    ),
+    (
+        "SAGE021",
+        Severity::Error,
+        "mapping references a node outside the hardware",
+    ),
+    ("SAGE022", Severity::Error, "unregistered shelf function"),
+    ("SAGE023", Severity::Error, "endpoint out of range"),
+    (
+        "SAGE030",
+        Severity::Warning,
+        "striping factor does not divide the node count",
+    ),
+    (
+        "SAGE031",
+        Severity::Warning,
+        "idle nodes under the chosen placement",
+    ),
+    (
+        "SAGE032",
+        Severity::Warning,
+        "large fan-out replicates a bulky payload",
+    ),
+    (
+        "SAGE040",
+        Severity::Error,
+        "communication deadlock in the generated schedule",
+    ),
+    ("SAGE041", Severity::Error, "malformed glue program"),
+];
+
+/// Looks up the registry summary for a code (`None` for unknown codes).
+pub fn code_summary(code: &str) -> Option<&'static str> {
+    CODE_TABLE
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, _, s)| *s)
+}
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code from [`CODE_TABLE`], e.g. `"SAGE001"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// One-line human description of this specific finding.
+    pub message: String,
+    /// Byte range in the source file the finding points at, if known.
+    pub span: Option<Span>,
+    /// Additional context lines (the deadlock blocking chain, suggestions).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a source span if one is provided (no-op on `None`).
+    pub fn with_span_opt(mut self, span: Option<Span>) -> Diagnostic {
+        if let Some(s) = span {
+            self.span = Some(s);
+        }
+        self
+    }
+
+    /// Appends a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// An ordered collection of findings for one source file / artifact.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Diagnostics {
+    /// The findings, in discovery order (see [`Diagnostics::sort`]).
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Merges another collection into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.diags.extend(other.diags);
+    }
+
+    /// `true` when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether this collection should fail the lint run.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.error_count() > 0 || (deny_warnings && self.warning_count() > 0)
+    }
+
+    /// `"2 errors, 1 warning"` — for CLI exit messages.
+    pub fn summary(&self) -> String {
+        let e = self.error_count();
+        let w = self.warning_count();
+        let plural = |n: usize, word: &str| format!("{n} {word}{}", if n == 1 { "" } else { "s" });
+        match (e, w) {
+            (0, 0) => "no findings".into(),
+            (0, w) => plural(w, "warning"),
+            (e, 0) => plural(e, "error"),
+            (e, w) => format!("{}, {}", plural(e, "error"), plural(w, "warning")),
+        }
+    }
+
+    /// Orders findings by source position (spanless findings first, keeping
+    /// their discovery order), then by code.
+    pub fn sort(&mut self) {
+        self.diags.sort_by_key(|d| {
+            (
+                d.span.map(|s| s.start + 1).unwrap_or(0),
+                d.code,
+                d.message.clone(),
+            )
+        });
+    }
+
+    /// Renders all findings rustc-style against `file` (and its `source`
+    /// text, when available, for caret snippets).
+    ///
+    /// ```text
+    /// error[SAGE001]: unbound symbol `frobnicate`
+    ///   --> glue.alt:3:9
+    ///    |
+    ///  3 |   (emit (frobnicate x))
+    ///    |          ^^^^^^^^^^
+    ///    = note: ...
+    /// ```
+    pub fn render(&self, file: &str, source: Option<&str>) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            render_one(&mut out, d, file, source);
+        }
+        out
+    }
+
+    /// Machine-readable JSON: one object per finding, with resolved
+    /// line/column when the source text is available.
+    pub fn to_json(&self, file: &str, source: Option<&str>) -> String {
+        let mut out = String::from("{\"file\":");
+        json_string(&mut out, file);
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":");
+            json_string(&mut out, d.code);
+            out.push_str(",\"severity\":");
+            json_string(&mut out, &d.severity.to_string());
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            if let Some(span) = d.span {
+                out.push_str(&format!(
+                    ",\"span\":{{\"start\":{},\"end\":{}}}",
+                    span.start, span.end
+                ));
+                if let Some(src) = source {
+                    let (line, col) = span.line_col(src);
+                    out.push_str(&format!(",\"line\":{line},\"column\":{col}"));
+                }
+            }
+            out.push_str(",\"notes\":[");
+            for (j, n) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, n);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn render_one(out: &mut String, d: &Diagnostic, file: &str, source: Option<&str>) {
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    match (d.span, source) {
+        (Some(span), Some(src)) => {
+            let (line, col) = span.line_col(src);
+            let gutter = line.to_string().len().max(2);
+            out.push_str(&format!("{:gutter$}--> {file}:{line}:{col}\n", ""));
+            let line_start = src[..span.start.min(src.len())]
+                .rfind('\n')
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let line_text: &str = src[line_start..].lines().next().unwrap_or("");
+            let width = if span.end > span.start {
+                src[span.start.min(src.len())..span.end.min(src.len())]
+                    .lines()
+                    .next()
+                    .unwrap_or("")
+                    .chars()
+                    .count()
+                    .max(1)
+            } else {
+                1
+            };
+            out.push_str(&format!("{:gutter$} |\n", ""));
+            out.push_str(&format!("{line:>gutter$} | {line_text}\n"));
+            out.push_str(&format!(
+                "{:gutter$} | {:pad$}{}\n",
+                "",
+                "",
+                "^".repeat(width),
+                pad = col - 1
+            ));
+            for n in &d.notes {
+                out.push_str(&format!("{:gutter$} = note: {n}\n", ""));
+            }
+        }
+        _ => {
+            out.push_str(&format!("  --> {file}\n"));
+            for n in &d.notes {
+                out.push_str(&format!("   = note: {n}\n"));
+            }
+        }
+    }
+    out.push('\n');
+}
+
+/// Appends `s` to `out` as a JSON string literal.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for (code, _, summary) in CODE_TABLE {
+            assert!(seen.insert(*code), "duplicate code {code}");
+            assert!(code.starts_with("SAGE") && code.len() == 7, "{code}");
+            assert!(!summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn render_with_span_shows_caret() {
+        let src = "(define x 1)\n(emit (frobnicate x))\n";
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::error("SAGE001", "unbound symbol `frobnicate`")
+                .with_span(Span::new(20, 30))
+                .with_note("not defined in this script or the builtin library"),
+        );
+        let r = ds.render("glue.alt", Some(src));
+        assert!(r.contains("error[SAGE001]: unbound symbol `frobnicate`"));
+        assert!(r.contains("--> glue.alt:2:8"));
+        assert!(r.contains("(emit (frobnicate x))"));
+        assert!(r.contains("^^^^^^^^^^"));
+        assert!(r.contains("= note: not defined"));
+    }
+
+    #[test]
+    fn render_without_span_still_names_the_file() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::warning("SAGE031", "nodes 2..3 are idle"));
+        let r = ds.render("model.sexpr", None);
+        assert!(r.contains("warning[SAGE031]: nodes 2..3 are idle"));
+        assert!(r.contains("--> model.sexpr"));
+    }
+
+    #[test]
+    fn json_escapes_and_resolves_positions() {
+        let src = "bad \"line\"";
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::error("SAGE006", "quote \"trouble\"").with_span(Span::new(4, 10)));
+        let j = ds.to_json("a\"b.alt", Some(src));
+        assert!(j.contains("\"file\":\"a\\\"b.alt\""));
+        assert!(j.contains("\"message\":\"quote \\\"trouble\\\"\""));
+        assert!(j.contains("\"line\":1,\"column\":5"));
+        assert!(j.contains("\"span\":{\"start\":4,\"end\":10}"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut ds = Diagnostics::new();
+        assert_eq!(ds.summary(), "no findings");
+        ds.push(Diagnostic::error("SAGE001", "a"));
+        ds.push(Diagnostic::error("SAGE002", "b"));
+        ds.push(Diagnostic::warning("SAGE004", "c"));
+        assert_eq!(ds.summary(), "2 errors, 1 warning");
+        assert!(ds.fails(false));
+        let mut warn_only = Diagnostics::new();
+        warn_only.push(Diagnostic::warning("SAGE004", "c"));
+        assert!(!warn_only.fails(false));
+        assert!(warn_only.fails(true));
+    }
+}

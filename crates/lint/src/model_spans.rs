@@ -1,0 +1,145 @@
+//! Maps model entities back to source locations.
+//!
+//! Model files are s-expressions parsed by the same front end as Alter, so
+//! the spanned parser gives us byte ranges for every block and port name.
+//! The index keys blocks by their *flattened* dotted name (`stage.fft`),
+//! matching the names the model checks and the glue program report.
+
+use sage_alter::{parse_program_spanned, Ast, AstNode, Span};
+use std::collections::HashMap;
+
+/// Source spans of the names declared in a model file.
+#[derive(Clone, Debug, Default)]
+pub struct ModelSpans {
+    /// Flattened block name → span of the name literal.
+    pub blocks: HashMap<String, Span>,
+    /// (flattened block name, port name) → span of the port-name literal.
+    pub ports: HashMap<(String, String), Span>,
+}
+
+impl ModelSpans {
+    /// Indexes a model source file. Returns an empty index when the file
+    /// does not parse (the loader reports that separately).
+    pub fn index(src: &str) -> ModelSpans {
+        let mut spans = ModelSpans::default();
+        if let Ok(forms) = parse_program_spanned(src) {
+            for f in &forms {
+                if head_is(f, "model") {
+                    spans.walk_model(f, "");
+                }
+            }
+        }
+        spans
+    }
+
+    /// Span of a block name, falling back through dotted prefixes so that
+    /// `stage.fft[3]`-style task names still resolve to `stage.fft`.
+    pub fn block(&self, name: &str) -> Option<Span> {
+        let base = name.split('[').next().unwrap_or(name);
+        self.blocks.get(base).copied()
+    }
+
+    /// Span of a port name on a (flattened) block.
+    pub fn port(&self, block: &str, port: &str) -> Option<Span> {
+        self.ports
+            .get(&(block.to_string(), port.to_string()))
+            .copied()
+    }
+
+    fn walk_model(&mut self, model: &Ast, prefix: &str) {
+        let AstNode::List(items) = &model.node else {
+            return;
+        };
+        for form in items.iter().skip(2) {
+            if head_is(form, "block") {
+                self.walk_block(form, prefix);
+            }
+        }
+    }
+
+    fn walk_block(&mut self, block: &Ast, prefix: &str) {
+        let AstNode::List(items) = &block.node else {
+            return;
+        };
+        let Some(name_ast) = items.get(1) else {
+            return;
+        };
+        let AstNode::Str(name) = &name_ast.node else {
+            return;
+        };
+        let full = if prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{prefix}.{name}")
+        };
+        // A hierarchical block disappears during flattening, but record its
+        // own span too: boundary-port errors name the hierarchical block.
+        self.blocks.insert(full.clone(), name_ast.span);
+        for form in items.iter().skip(2) {
+            let AstNode::List(parts) = &form.node else {
+                continue;
+            };
+            match parts.first().map(|a| &a.node) {
+                Some(AstNode::Symbol(s)) if s == "port" => {
+                    if let Some(pn) = parts.get(2) {
+                        if let AstNode::Str(pname) = &pn.node {
+                            self.ports.insert((full.clone(), pname.clone()), pn.span);
+                        }
+                    }
+                }
+                Some(AstNode::Symbol(s)) if s == "hierarchical" => {
+                    if let Some(sub) = parts.get(1) {
+                        if head_is(sub, "model") {
+                            self.walk_model(sub, &full);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn head_is(ast: &Ast, sym: &str) -> bool {
+    matches!(&ast.node, AstNode::List(items)
+        if matches!(items.first().map(|a| &a.node), Some(AstNode::Symbol(s)) if s == sym))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"; model
+(model "m"
+  (block "src" (source 4)
+    (port out "out" (array (complex) 8 8) (striped 0)))
+  (block "stage" (hierarchical
+      (model "impl"
+        (block "fft" (primitive "isspl.fft_rows" 4 (cost 1.0 2.0))
+          (port in "in" (array (complex) 8 8) (striped 0))
+          (port out "out" (array (complex) 8 8) (striped 0)))))
+    (port in "in" (array (complex) 8 8) (striped 0))
+    (port out "out" (array (complex) 8 8) (striped 0)))
+  (connect "src" "out" "stage" "in"))
+"#;
+
+    #[test]
+    fn indexes_flat_and_nested_blocks() {
+        let spans = ModelSpans::index(SRC);
+        let b = spans.block("src").unwrap();
+        assert_eq!(&SRC[b.start..b.end], "\"src\"");
+        let nested = spans.block("stage.fft").unwrap();
+        assert_eq!(&SRC[nested.start..nested.end], "\"fft\"");
+        // Task names resolve through the bracket suffix.
+        assert_eq!(spans.block("stage.fft[3]"), Some(nested));
+        let p = spans.port("stage.fft", "in").unwrap();
+        assert_eq!(&SRC[p.start..p.end], "\"in\"");
+        assert!(spans.block("nope").is_none());
+    }
+
+    #[test]
+    fn unparseable_source_yields_empty_index() {
+        let spans = ModelSpans::index("(model \"x\"");
+        assert!(spans.blocks.is_empty() && spans.ports.is_empty());
+    }
+}

@@ -41,7 +41,7 @@ pub use ids::{BlockId, ConnId, ProcId};
 pub use mapping::Mapping;
 pub use port::{Direction, Port, Striping};
 pub use shelf::{HardwareShelf, ShelfFunction, SoftwareShelf};
-pub use validate::{validate, ModelError};
+pub use validate::{validate, validate_all, ModelError};
 
 use std::collections::BTreeMap;
 

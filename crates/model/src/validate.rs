@@ -160,18 +160,33 @@ impl std::error::Error for ModelError {}
 /// * every input port of every non-source block is connected;
 /// * every port's striping divides evenly over its host's threads;
 /// * the graph is acyclic.
+///
+/// Stops at the first problem. Tooling that wants a complete report (the
+/// `sage-lint` static analyzer) should use [`validate_all`] instead.
 pub fn validate(graph: &AppGraph) -> Result<(), ModelError> {
+    match validate_all(graph).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Runs every [`validate`] check and returns *all* problems found, in the
+/// same deterministic order `validate` discovers them (duplicate names
+/// first, then per-block striping and connectivity, then acyclicity).
+/// Returns an empty vector for a valid graph.
+pub fn validate_all(graph: &AppGraph) -> Vec<ModelError> {
+    let mut errors = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for b in graph.blocks() {
         if !seen.insert(b.name.as_str()) {
-            return Err(ModelError::DuplicateName(b.name.clone()));
+            errors.push(ModelError::DuplicateName(b.name.clone()));
         }
     }
     for (bi, b) in graph.blocks().iter().enumerate() {
         let threads = b.threads();
         for (pi, p) in b.ports.iter().enumerate() {
             if !p.striping_valid_for(threads) {
-                return Err(ModelError::BadStriping {
+                errors.push(ModelError::BadStriping {
                     block: b.name.clone(),
                     port: p.name.clone(),
                     threads,
@@ -183,7 +198,7 @@ pub fn validate(graph: &AppGraph) -> Result<(), ModelError> {
                     port: pi,
                 };
                 if graph.incoming(ep).is_none() {
-                    return Err(ModelError::UnconnectedInput {
+                    errors.push(ModelError::UnconnectedInput {
                         block: b.name.clone(),
                         port: p.name.clone(),
                     });
@@ -191,7 +206,10 @@ pub fn validate(graph: &AppGraph) -> Result<(), ModelError> {
             }
         }
     }
-    graph.toposort().map(|_| ())
+    if let Err(e) = graph.toposort() {
+        errors.push(e);
+    }
+    errors
 }
 
 #[cfg(test)]
@@ -284,6 +302,31 @@ mod tests {
         ));
         g.connect(s, "out", f, "in").unwrap();
         assert!(matches!(validate(&g), Err(ModelError::BadStriping { .. })));
+    }
+
+    #[test]
+    fn validate_all_accumulates_every_error() {
+        // Duplicate name + bad striping + unconnected input in one graph.
+        let mut g = AppGraph::new("g");
+        g.add_block(Block::source("x", vec![]));
+        g.add_block(Block::primitive(
+            "x",
+            "id",
+            4,
+            CostModel::ZERO,
+            vec![Port::input(
+                "in",
+                DataType::complex_matrix(9, 9),
+                Striping::BY_ROWS, // 9 rows over 4 threads: bad striping
+            )],
+        ));
+        let errors = validate_all(&g);
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(matches!(errors[0], ModelError::DuplicateName(_)));
+        assert!(matches!(errors[1], ModelError::BadStriping { .. }));
+        assert!(matches!(errors[2], ModelError::UnconnectedInput { .. }));
+        // First-error-wins façade agrees with the accumulating pass.
+        assert_eq!(validate(&g), Err(errors[0].clone()));
     }
 
     #[test]

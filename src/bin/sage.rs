@@ -1,6 +1,7 @@
 //! `sage` — command-line driver for the tool suite.
 //!
 //! ```console
+//! $ sage lint     model.sexpr --nodes 8 [--deny-warnings] [--format json]
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
@@ -10,16 +11,18 @@
 //! Models are the s-expression files written by `sage_core::model_io`
 //! (`export` produces ready-made ones for the built-in applications).
 //! `run` registers the ISSPL kernel library, so any model whose blocks
-//! reference those kernels executes end to end.
+//! reference those kernels executes end to end. `codegen` and `run` lint
+//! the model first and refuse to proceed past error-severity findings.
 
 use sage::prelude::*;
-use sage_core::{model_from_sexpr, model_io, Project};
+use sage_core::{lint_model_source, model_from_sexpr, model_io, Project};
 use sage_visualizer::{gantt, report, Analysis};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
+        "usage:\n  sage lint <model.sexpr>... [--nodes N] [--deny-warnings] [--format json]\n  \
+         sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
          sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n  \
          sage export <fft2d|corner_turn|stap|image_filter> [--size S] [--threads T]"
     );
@@ -74,6 +77,63 @@ fn load_model(path: &str) -> Result<AppGraph, String> {
     model_from_sexpr(&text).map_err(|e| e.to_string())
 }
 
+/// `sage lint`: run the full static-analysis suite over one or more model
+/// files. Errors (and warnings under `--deny-warnings`) fail the run.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("lint needs at least one model file".into());
+    }
+    let nodes = args.usize_or("nodes", 4);
+    let deny_warnings = args.has("deny-warnings");
+    let json = match args.get("format") {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --format `{other}` (text|json)")),
+    };
+    let mut failed = 0usize;
+    for path in &args.positional {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let diags = lint_model_source(&source, nodes);
+        if json {
+            println!("{}", diags.to_json(path, Some(&source)));
+        } else if diags.is_empty() {
+            eprintln!("{path}: clean");
+        } else {
+            eprint!("{}", diags.render(path, Some(&source)));
+            eprintln!("{path}: {}", diags.summary());
+        }
+        if diags.fails(deny_warnings) {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "lint failed for {failed} of {} file(s)",
+            args.positional.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Pre-flight lint before `codegen`/`run`: errors abort, warnings print to
+/// stderr and execution proceeds.
+fn auto_lint(path: &str, source: &str, nodes: usize) -> Result<(), String> {
+    let diags = lint_model_source(source, nodes);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    eprint!("{}", diags.render(path, Some(source)));
+    if diags.error_count() > 0 {
+        return Err(format!(
+            "model fails lint ({}); fix the findings above or run `sage lint {path}` for details",
+            diags.summary()
+        ));
+    }
+    eprintln!("warning: continuing despite {}", diags.summary());
+    Ok(())
+}
+
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -98,8 +158,10 @@ fn cmd_codegen(args: &Args) -> Result<(), String> {
         .positional
         .first()
         .ok_or("codegen needs a model file")?;
-    let model = load_model(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let nodes = args.usize_or("nodes", 4);
+    auto_lint(path, &text, nodes)?;
+    let model = model_from_sexpr(&text).map_err(|e| e.to_string())?;
     let project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
     let (_, source) = project
         .generate(&Placement::Aligned)
@@ -116,8 +178,10 @@ fn cmd_codegen(args: &Args) -> Result<(), String> {
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("run needs a model file")?;
-    let model = load_model(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let nodes = args.usize_or("nodes", 4);
+    auto_lint(path, &text, nodes)?;
+    let model = model_from_sexpr(&text).map_err(|e| e.to_string())?;
     let iters = args.usize_or("iters", 3) as u32;
     let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
     sage::apps::kernels::register_kernels(&mut project.registry);
@@ -189,6 +253,7 @@ fn main() -> ExitCode {
     };
     let args = Args::parse(&raw[1..]);
     let result = match cmd.as_str() {
+        "lint" => cmd_lint(&args),
         "inspect" => cmd_inspect(&args),
         "codegen" => cmd_codegen(&args),
         "run" => cmd_run(&args),

@@ -39,6 +39,7 @@ pub use sage_apps as apps;
 pub use sage_atot as atot;
 pub use sage_core as core;
 pub use sage_fabric as fabric;
+pub use sage_lint as lint;
 pub use sage_model as model;
 pub use sage_mpi as mpi;
 pub use sage_runtime as runtime;

@@ -1,0 +1,70 @@
+//! Golden-file tests for whole-model-source lint: the front end in
+//! `sage_core::lint_model_source` ties the s-expression loader, the model
+//! checks, and the program-level deadlock analysis together, so the
+//! rendered output here covers spans resolved against the model file.
+//!
+//! Script- and program-level goldens live in `crates/lint/tests/golden.rs`.
+//! Regenerate after an intentional rendering change with
+//! `UPDATE_GOLDEN=1 cargo test --test lint_golden`.
+
+use sage_core::lint_model_source;
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(&format!("{name}.expected"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDEN=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "rendered output for `{name}` drifted from its golden file; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn sage030_striping_factor_vs_node_count() {
+    let src = std::fs::read_to_string(fixture_path("striping_mismatch.sexpr")).unwrap();
+    // Eight threads per block on three nodes: neither divides the other.
+    let diags = lint_model_source(&src, 3);
+    assert!(
+        diags.diags.iter().any(|d| d.code == "SAGE030"),
+        "{:?}",
+        diags.diags
+    );
+    // A mapping hazard, not a hard error: plain lint passes, strict fails.
+    assert!(!diags.fails(false));
+    assert!(diags.fails(true));
+    check_golden(
+        "striping_mismatch",
+        &diags.render("striping_mismatch.sexpr", Some(&src)),
+    );
+}
+
+#[test]
+fn sage030_clears_when_the_counts_align() {
+    let src = std::fs::read_to_string(fixture_path("striping_mismatch.sexpr")).unwrap();
+    for nodes in [1usize, 2, 4, 8] {
+        let diags = lint_model_source(&src, nodes);
+        assert!(diags.is_empty(), "nodes={nodes}: {:?}", diags.diags);
+    }
+}
+
+#[test]
+fn sage007_unloadable_source_golden() {
+    let src = "(model \"broken\"\n  (block \"x\"";
+    let diags = lint_model_source(src, 4);
+    assert!(
+        diags.diags.iter().any(|d| d.code == "SAGE007"),
+        "{:?}",
+        diags.diags
+    );
+    assert!(diags.fails(false));
+    check_golden("unloadable_model", &diags.render("broken.sexpr", Some(src)));
+}

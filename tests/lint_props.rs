@@ -1,0 +1,143 @@
+//! Property test tying the linter to the executor: a randomly generated
+//! layered dataflow model that lints clean (no `SAGE0xx` findings, which
+//! includes the communication-deadlock pass over the generated schedule)
+//! must also generate and execute to completion under the real runtime.
+
+use proptest::prelude::*;
+use sage::prelude::*;
+use sage_core::{lint_model_source, model_io};
+
+/// All blocks move the same 8x8 complex matrix, so every power-of-two
+/// thread count stripes it evenly along either dimension.
+fn dt() -> DataType {
+    DataType::complex_matrix(8, 8)
+}
+
+fn threads_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]
+}
+
+fn striping_strategy() -> impl Strategy<Value = Striping> {
+    prop_oneof![Just(Striping::BY_ROWS), Just(Striping::BY_COLS)]
+}
+
+/// One middle layer: per-block (threads, input striping, output striping).
+type Layer = Vec<(usize, Striping, Striping)>;
+
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    proptest::collection::vec(
+        (threads_strategy(), striping_strategy(), striping_strategy()),
+        1..=2,
+    )
+}
+
+/// A random layered DAG: one source, 1-3 middle layers of 1-2 `id` blocks
+/// each, and a sink with one input port per final-layer block. Block `j`
+/// of each layer reads from block `j % prev_width` of the previous layer,
+/// so every producer output feeds at least one consumer whenever widths
+/// are non-decreasing; widths of 1-2 keep that true often enough, and the
+/// sink always drains the whole final layer.
+fn build_model(
+    src_threads: usize,
+    src_striping: Striping,
+    layers: &[Layer],
+    sink_threads: usize,
+    sink_striping: Striping,
+) -> AppGraph {
+    let mut g = AppGraph::new("random_layered");
+    let src = g.add_block(Block::source_threaded(
+        "src",
+        src_threads,
+        vec![Port::output("out", dt(), src_striping)],
+    ));
+    let mut prev: Vec<sage_model::BlockId> = vec![src];
+    for (li, layer) in layers.iter().enumerate() {
+        let mut current = Vec::with_capacity(layer.len());
+        for (bi, &(threads, in_striping, out_striping)) in layer.iter().enumerate() {
+            let b = g.add_block(Block::primitive(
+                format!("l{li}b{bi}"),
+                "t.pass",
+                threads,
+                CostModel::new(64.0, 0.0),
+                vec![
+                    Port::input("in", dt(), in_striping),
+                    Port::output("out", dt(), out_striping),
+                ],
+            ));
+            g.connect(prev[bi % prev.len()], "out", b, "in").unwrap();
+            current.push(b);
+        }
+        prev = current;
+    }
+    let sink_ports: Vec<Port> = (0..prev.len())
+        .map(|i| Port::input(format!("in{i}"), dt(), sink_striping))
+        .collect();
+    let snk = g.add_block(Block::sink_threaded("snk", sink_threads, sink_ports));
+    for (i, &b) in prev.iter().enumerate() {
+        g.connect(b, "out", snk, &format!("in{i}")).unwrap();
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lint_clean_random_graphs_execute_without_deadlock(
+        src_threads in threads_strategy(),
+        src_striping in striping_strategy(),
+        layers in proptest::collection::vec(layer_strategy(), 1..=3),
+        sink_threads in threads_strategy(),
+        sink_striping in prop_oneof![
+            Just(Striping::BY_ROWS),
+            Just(Striping::BY_COLS),
+            Just(Striping::Replicated),
+        ],
+        nodes in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        // A machine wider than the widest block leaves nodes idle (SAGE031),
+        // so clamp; powers of two keep every divisibility check happy.
+        let max_threads = layers
+            .iter()
+            .flatten()
+            .map(|&(t, _, _)| t)
+            .chain([src_threads, sink_threads])
+            .max()
+            .unwrap();
+        let nodes = nodes.min(max_threads);
+        let app = build_model(src_threads, src_striping, &layers, sink_threads, sink_striping);
+
+        // The whole-source lint path: sexpr round-trip, model checks, and
+        // the deadlock pass over the generated schedule.
+        let source = model_io::model_to_sexpr(&app);
+        let diags = lint_model_source(&source, nodes);
+        prop_assert!(
+            diags.is_empty(),
+            "generator should be lint-clean by construction:\n{}",
+            diags.render("random_layered.sexpr", Some(&source))
+        );
+
+        // Lint-clean must mean runnable: the executor finishes instead of
+        // blocking forever on an out-of-order hand-off.
+        let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(nodes));
+        // A pass-through that tolerates fan-out (one output buffer per
+        // consumer) — the built-in `id` insists on matching port counts.
+        project.registry.register("t.pass", |ctx: &mut sage_runtime::FnThreadCtx<'_>| {
+            let input = &ctx.inputs[0];
+            for o in ctx.outputs.iter_mut() {
+                let n = o.bytes.len().min(input.bytes.len());
+                o.bytes[..n].copy_from_slice(&input.bytes[..n]);
+            }
+            Ok(())
+        });
+        let (exec, _) = project
+            .run(
+                &Placement::Aligned,
+                TimePolicy::Virtual,
+                &RuntimeOptions::paper_faithful(),
+                1,
+            )
+            .unwrap();
+        prop_assert_eq!(exec.iterations, 1);
+    }
+}
