@@ -53,9 +53,11 @@ pub mod cluster;
 pub mod fault;
 pub mod machine;
 pub mod metrics;
+pub mod transport;
 
 pub use clock::TimePolicy;
 pub use cluster::{Cluster, NodeCtx, RunReport};
 pub use fault::{FabricError, FaultPlan, KernelFault, LinkDegradation, NodeFault, NodeFaultKind};
 pub use machine::{LinkSpec, MachineSpec, NodeSpec, Work};
-pub use metrics::{FabricMetrics, NodeMetrics};
+pub use metrics::{FabricMetrics, LinkMetrics, NodeMetrics};
+pub use transport::Transport;

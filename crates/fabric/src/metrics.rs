@@ -1,5 +1,23 @@
 //! Per-run traffic and timing metrics.
 
+/// Wire-level counters for one directed link (`src -> dst`).
+///
+/// The in-process backend moves payloads by pointer, so it leaves these
+/// empty; real transports (`sage-net`'s TCP backend) count every framed
+/// message and payload byte that crossed each link, giving the
+/// bytes-on-wire view the paper's Myrinet counters would have.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Data messages sent over this link.
+    pub messages: u64,
+    /// Payload bytes sent over this link (framing overhead excluded).
+    pub bytes: u64,
+}
+
 /// Traffic counters for one node.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NodeMetrics {
@@ -33,6 +51,8 @@ pub struct NodeMetrics {
 pub struct FabricMetrics {
     /// Per-node counters, indexed by node id.
     pub nodes: Vec<NodeMetrics>,
+    /// Per-link wire counters (empty for in-process backends).
+    pub links: Vec<LinkMetrics>,
 }
 
 impl FabricMetrics {
@@ -71,6 +91,17 @@ impl FabricMetrics {
         self.nodes.iter().map(|n| n.lost_secs).sum()
     }
 
+    /// Total payload bytes that crossed a real wire (sum over link
+    /// counters; 0 for in-process backends).
+    pub fn wire_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Total framed data messages that crossed a real wire.
+    pub fn wire_messages(&self) -> u64 {
+        self.links.iter().map(|l| l.messages).sum()
+    }
+
     /// Node compute utilization: compute time over makespan, per node.
     pub fn utilization(&self) -> Vec<f64> {
         let ms = self.makespan();
@@ -104,7 +135,23 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            links: vec![
+                LinkMetrics {
+                    src: 0,
+                    dst: 1,
+                    messages: 2,
+                    bytes: 10,
+                },
+                LinkMetrics {
+                    src: 1,
+                    dst: 0,
+                    messages: 1,
+                    bytes: 5,
+                },
+            ],
         };
+        assert_eq!(m.wire_bytes(), 15);
+        assert_eq!(m.wire_messages(), 3);
         assert_eq!(m.total_bytes(), 15);
         assert_eq!(m.total_messages(), 3);
         assert_eq!(m.makespan(), 2.0);

@@ -1,0 +1,186 @@
+//! The transport abstraction: what the upper layers (`sage-mpi`,
+//! `sage-runtime`) need from a communication backend.
+//!
+//! The paper's run-time kernel ran over whatever fabric the target machine
+//! provided (Myrinet on the CSPI testbed, RACEway on Mercury, ...); the
+//! generated glue code never named the wire. [`Transport`] captures that
+//! seam in this reproduction: point-to-point tagged messaging between
+//! ranks, plus the timing/fault-accounting hooks the virtual-clock backend
+//! uses. Two backends implement it:
+//!
+//! * **local** — [`crate::cluster::NodeCtx`]: one OS thread per rank inside
+//!   one process, with the deterministic virtual clock and fault injection;
+//! * **tcp** — `sage_net::TcpTransport`: one OS *process* per rank,
+//!   length-prefixed framed messages over real sockets.
+//!
+//! The timing hooks ([`Transport::compute`], [`Transport::advance`], ...)
+//! default to no-ops so real-time backends only implement the messaging
+//! core; cost accounting then comes from the hardware itself, exactly as on
+//! the original testbeds.
+
+use crate::fault::FabricError;
+use crate::machine::Work;
+
+/// A communication backend connecting one rank to its peers.
+///
+/// Semantics every backend must honour (they are what the executor's
+/// correctness proofs lean on):
+///
+/// * messages between a `(src, dst)` pair with the same tag arrive in send
+///   order (per-key FIFO);
+/// * [`Transport::try_recv`] blocks until a matching message arrives, the
+///   peer is known dead/done (→ [`FabricError::PeerFailed`]), or the
+///   backend's receive deadline passes (→ [`FabricError::RecvTimeout`]);
+/// * self-sends (`dst == rank()`) always succeed and are delivered locally.
+pub trait Transport {
+    /// This rank, `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the job.
+    fn size(&self) -> usize;
+
+    /// Sends `payload` to rank `dst` under `tag`, surfacing faults as
+    /// typed errors.
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError>;
+
+    /// Receives the next message from rank `src` with matching `tag`.
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError>;
+
+    /// Combined send-then-receive with one peer.
+    fn try_sendrecv(
+        &mut self,
+        peer: usize,
+        tag: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FabricError> {
+        self.try_send(peer, tag, payload)?;
+        self.try_recv(peer, tag)
+    }
+
+    /// Current time in seconds (virtual clock, or wall time since the
+    /// backend's epoch).
+    fn now(&self) -> f64 {
+        0.0
+    }
+
+    /// Charges modelled work against the rank's clock (no-op on real-time
+    /// backends, where the work itself is the charge).
+    fn compute(&mut self, _work: Work) {}
+
+    /// Advances the clock by raw seconds (no-op on real-time backends).
+    fn advance(&mut self, _secs: f64) {}
+
+    /// Advances the clock by raw seconds charged as *lost* time — retry
+    /// backoff, fault recovery (no-op on real-time backends).
+    fn advance_lost(&mut self, _secs: f64) {}
+
+    /// Records one retry of a failed transfer in the rank's metrics.
+    fn note_retry(&mut self) {}
+
+    /// Records a fault observed by an upper layer.
+    fn note_fault(&mut self) {}
+
+    /// Returns this rank's own scheduled-failure error if it has fired
+    /// (fault injection; real backends fail by actually failing).
+    fn check_failed(&mut self) -> Result<(), FabricError> {
+        Ok(())
+    }
+
+    /// The injected kernel error (if any) for `(block, iteration, thread)`
+    /// — the run-time's fault-injection hook. Real backends inject nothing.
+    fn kernel_fault(&self, _block: &str, _iteration: u32, _thread: u32) -> Option<String> {
+        None
+    }
+}
+
+impl Transport for crate::cluster::NodeCtx {
+    fn rank(&self) -> usize {
+        self.id()
+    }
+
+    fn size(&self) -> usize {
+        self.nodes()
+    }
+
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
+        crate::cluster::NodeCtx::try_send(self, dst, tag, payload)
+    }
+
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError> {
+        crate::cluster::NodeCtx::try_recv(self, src, tag)
+    }
+
+    fn now(&self) -> f64 {
+        crate::cluster::NodeCtx::now(self)
+    }
+
+    fn compute(&mut self, work: Work) {
+        crate::cluster::NodeCtx::compute(self, work)
+    }
+
+    fn advance(&mut self, secs: f64) {
+        crate::cluster::NodeCtx::advance(self, secs)
+    }
+
+    fn advance_lost(&mut self, secs: f64) {
+        crate::cluster::NodeCtx::advance_lost(self, secs)
+    }
+
+    fn note_retry(&mut self) {
+        crate::cluster::NodeCtx::note_retry(self)
+    }
+
+    fn note_fault(&mut self) {
+        crate::cluster::NodeCtx::note_fault(self)
+    }
+
+    fn check_failed(&mut self) -> Result<(), FabricError> {
+        crate::cluster::NodeCtx::check_failed(self)
+    }
+
+    fn kernel_fault(&self, block: &str, iteration: u32, thread: u32) -> Option<String> {
+        self.fault_plan()
+            .kernel_fault(block, iteration, thread)
+            .map(|k| k.message.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TimePolicy;
+    use crate::cluster::Cluster;
+    use crate::machine::{LinkSpec, MachineSpec, NodeSpec};
+
+    /// A program written purely against the trait, run on the local backend.
+    fn ping_pong<T: Transport>(t: &mut T) -> Vec<u8> {
+        if t.rank() == 0 {
+            t.try_send(1, 7, b"ping").unwrap();
+            t.try_recv(1, 8).unwrap()
+        } else {
+            let m = t.try_recv(0, 7).unwrap();
+            t.try_send(0, 8, b"pong").unwrap();
+            m
+        }
+    }
+
+    #[test]
+    fn node_ctx_implements_transport() {
+        let machine = MachineSpec::uniform(
+            "t",
+            2,
+            NodeSpec {
+                flops_per_sec: 1.0e9,
+                mem_bw: 1.0e9,
+            },
+            LinkSpec {
+                bandwidth: 1.0e8,
+                latency: 10.0e-6,
+            },
+        );
+        let cluster = Cluster::new(machine, TimePolicy::Real);
+        let (r, _) = cluster.run(ping_pong);
+        assert_eq!(r[0], b"pong");
+        assert_eq!(r[1], b"ping");
+    }
+}

@@ -18,10 +18,11 @@
 
 use crate::comm::{Communicator, MpiConfig};
 use crate::error::MpiError;
+use sage_fabric::Transport;
 
 const OP_ALLTOALL: u64 = 7;
 
-impl Communicator<'_> {
+impl<T: Transport> Communicator<'_, T> {
     /// Pairwise-exchange all-to-all: `blocks[r]` is sent to rank `r`; the
     /// result's index `r` holds the block received from rank `r`.
     ///
@@ -243,7 +244,7 @@ mod tests {
 ///
 /// Round `k` sends every block whose destination's relative rank has bit
 /// `k` set to rank `me + 2^k`, accumulating blocks toward their targets.
-impl Communicator<'_> {
+impl<T: Transport> Communicator<'_, T> {
     /// All-to-all via Bruck's algorithm. Semantically identical to
     /// [`Communicator::alltoall`]; preferable when blocks are small and the
     /// communicator is large.

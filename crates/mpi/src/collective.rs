@@ -8,6 +8,7 @@
 use crate::comm::{Communicator, ReduceOp};
 use crate::error::MpiError;
 use crate::typed;
+use sage_fabric::Transport;
 
 /// Collective op codes for the tag space.
 mod op {
@@ -19,7 +20,7 @@ mod op {
     pub const REDUCE: u64 = 6;
 }
 
-impl Communicator<'_> {
+impl<T: Transport> Communicator<'_, T> {
     /// Dissemination barrier: `ceil(log2 n)` rounds of pairwise exchange.
     ///
     /// # Panics

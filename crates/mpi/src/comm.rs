@@ -1,7 +1,7 @@
 //! The communicator: point-to-point operations and configuration.
 
 use crate::error::MpiError;
-use sage_fabric::{FabricError, NodeCtx, Work};
+use sage_fabric::{FabricError, NodeCtx, Transport, Work};
 
 /// How the MPI layer retries transfers the fabric drops.
 ///
@@ -101,18 +101,22 @@ impl ReduceOp {
 /// collective sequence space.
 const USER_TAG_BIT: u64 = 1 << 63;
 
-/// An MPI-like communicator bound to one node of a fabric cluster.
-pub struct Communicator<'a> {
-    ctx: &'a mut NodeCtx,
+/// An MPI-like communicator bound to one rank of a communication backend.
+///
+/// Generic over the [`Transport`] backend: the default is the in-process
+/// threaded cluster ([`NodeCtx`]); `sage-net`'s `TcpTransport` plugs in the
+/// multi-process TCP backend with no changes to calling code.
+pub struct Communicator<'a, T: Transport = NodeCtx> {
+    ctx: &'a mut T,
     config: MpiConfig,
     /// Collective sequence number; identical across ranks because SPMD
     /// programs issue collectives in the same order.
     coll_seq: u64,
 }
 
-impl<'a> Communicator<'a> {
-    /// Wraps a node context with the given MPI characterization.
-    pub fn new(ctx: &'a mut NodeCtx, config: MpiConfig) -> Communicator<'a> {
+impl<'a, T: Transport> Communicator<'a, T> {
+    /// Wraps a transport rank with the given MPI characterization.
+    pub fn new(ctx: &'a mut T, config: MpiConfig) -> Communicator<'a, T> {
         Communicator {
             ctx,
             config,
@@ -122,12 +126,12 @@ impl<'a> Communicator<'a> {
 
     /// This rank.
     pub fn rank(&self) -> usize {
-        self.ctx.id()
+        self.ctx.rank()
     }
 
     /// Communicator size.
     pub fn size(&self) -> usize {
-        self.ctx.nodes()
+        self.ctx.size()
     }
 
     /// The active configuration.
@@ -135,8 +139,8 @@ impl<'a> Communicator<'a> {
         self.config
     }
 
-    /// Borrows the underlying fabric context (for compute charging).
-    pub fn ctx(&mut self) -> &mut NodeCtx {
+    /// Borrows the underlying transport (for compute charging).
+    pub fn ctx(&mut self) -> &mut T {
         self.ctx
     }
 

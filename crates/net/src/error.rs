@@ -1,0 +1,56 @@
+//! Typed errors for the network subsystem.
+
+use crate::wire::WireError;
+use sage_runtime::RuntimeError;
+
+/// An error from the distributed transport, worker, or launcher.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetError {
+    /// A socket operation failed (message carries the OS detail).
+    Io(String),
+    /// A frame failed to decode (bad magic/version/kind, checksum
+    /// mismatch, oversized payload, truncation).
+    Wire(WireError),
+    /// A peer violated the connection protocol (wrong handshake, frame out
+    /// of sequence, unexpected kind).
+    Protocol(String),
+    /// A worker process died or dropped its control connection before
+    /// reporting a result.
+    WorkerDied {
+        /// The rank whose process is gone.
+        rank: u32,
+    },
+    /// The run itself failed on some rank; carries the merged root cause.
+    Runtime(RuntimeError),
+    /// The job description was unusable (model parse/lint/codegen failure).
+    BadJob(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(m) => write!(f, "socket error: {m}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::WorkerDied { rank } => {
+                write!(f, "worker for rank {rank} died before reporting")
+            }
+            NetError::Runtime(e) => write!(f, "distributed run failed: {e}"),
+            NetError::BadJob(m) => write!(f, "bad job: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,47 @@
+//! # sage-net
+//!
+//! Real multi-process distribution for the SAGE run-time kernel: each rank
+//! of a generated glue program runs in its own OS process, communicating
+//! over TCP instead of in-process channels.
+//!
+//! The paper's run-time executed across physically distributed CSPI nodes
+//! on a Myrinet fabric; the in-process cluster (`sage-fabric`) reproduces
+//! the *semantics* of that on one host. This crate reproduces the
+//! *distribution*: the same executor (`sage_runtime::execute_rank`), the
+//! same MPI layer, the same generated schedules — over real sockets, via
+//! the [`sage_fabric::Transport`] seam.
+//!
+//! * [`wire`] — the framed wire protocol: 40-byte header (magic, version,
+//!   kind, tag, src/dst rank, sequence number, length) plus an FNV-1a-32
+//!   whole-frame checksum; every decode failure is a typed [`WireError`].
+//! * [`transport`] — [`TcpTransport`]: full-mesh connection establishment
+//!   with retry/backoff, per-peer reader threads feeding a tagged mailbox,
+//!   heartbeat liveness (a silent peer is declared dead after
+//!   `max_retries + 2` missed beats), and per-link byte/message counters
+//!   feeding [`sage_fabric::LinkMetrics`].
+//! * [`proto`] — the control plane: [`JobSpec`] (launcher → worker) and
+//!   [`RankReport`] (worker → launcher).
+//! * [`worker`] — the `sage worker` daemon body: host one rank, report
+//!   in-band.
+//! * [`launch`] — the `sage launch` body: spawn workers, ship the job,
+//!   merge deposits/metrics/traces, surface the root-cause error.
+//!
+//! Parity bar: a model executed over TCP produces sink output bit-identical
+//! to the in-process backend — kernels compute the same bytes either way;
+//! only the wire underneath changes.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod launch;
+pub mod proto;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use error::NetError;
+pub use launch::{launch, LaunchOptions, LaunchOutcome, Spawner};
+pub use proto::{JobSpec, RankReport};
+pub use transport::{NetConfig, TcpTransport};
+pub use wire::{Frame, FrameKind, WireError};
+pub use worker::{serve, CHAOS_EXIT_ENV};

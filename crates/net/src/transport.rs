@@ -1,0 +1,639 @@
+//! The TCP backend: one OS process per rank, a full mesh of framed
+//! connections, background reader threads feeding a tagged mailbox, and
+//! heartbeat-based liveness.
+//!
+//! Semantics mirror the in-process cluster so the executor cannot tell the
+//! backends apart: per-`(src, tag)` FIFO ordering (TCP ordering + one
+//! reader thread per peer), `PeerFailed` when a peer is gone and its queue
+//! is drained, `RecvTimeout` when a receive outlives the configured
+//! deadline.
+
+use crate::error::NetError;
+use crate::wire::{Frame, FrameKind};
+use sage_fabric::{FabricError, LinkMetrics, NodeMetrics, Transport};
+use sage_mpi::RetryPolicy;
+use sage_visualizer::Probe;
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the TCP backend.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Retry policy for mesh-establishment connects (worker processes come
+    /// up in arbitrary order) — and the heartbeat-miss allowance: a silent
+    /// peer is declared dead after `max_retries + 2` missed beats.
+    pub retry: RetryPolicy,
+    /// Heartbeat transmission interval.
+    pub heartbeat: Duration,
+    /// Deadline for one blocking receive.
+    pub recv_timeout: Duration,
+    /// Deadline for the whole mesh establishment.
+    pub mesh_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            retry: RetryPolicy {
+                max_retries: 10,
+                backoff_secs: 0.025,
+                backoff_factor: 1.5,
+            },
+            heartbeat: Duration::from_millis(200),
+            recv_timeout: Duration::from_secs(30),
+            mesh_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl NetConfig {
+    /// How long a peer may stay silent before it is declared dead.
+    fn stale_after(&self) -> Duration {
+        self.heartbeat * (self.retry.max_retries + 2)
+    }
+}
+
+/// Liveness state of one peer.
+struct PeerState {
+    /// Peer sent `Goodbye`: it will transmit nothing further, but already
+    /// queued messages remain receivable.
+    done: bool,
+    /// Connection dropped without `Goodbye`, protocol violation, or
+    /// heartbeat silence: the peer is presumed crashed.
+    dead: bool,
+    last_seen: Instant,
+}
+
+/// Shared between the transport, its reader threads, and the heartbeater.
+struct MailboxInner {
+    queues: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
+    peers: Vec<PeerState>,
+    recv_messages: u64,
+    recv_bytes: u64,
+}
+
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn mark_dead(&self, peer: usize) {
+        let mut m = self.inner.lock().expect("mailbox poisoned");
+        m.peers[peer].dead = true;
+        drop(m);
+        self.cv.notify_all();
+    }
+}
+
+/// The write half of one established link.
+struct PeerLink {
+    writer: Mutex<TcpStream>,
+    seq: AtomicU64,
+    sent_messages: AtomicU64,
+    sent_bytes: AtomicU64,
+}
+
+impl PeerLink {
+    /// Frames and transmits; returns `false` if the stream is broken.
+    fn send(&self, kind: FrameKind, src: u32, dst: u32, tag: u64, payload: &[u8]) -> bool {
+        let mut w = self.writer.lock().expect("writer poisoned");
+        // Sequence assignment under the write lock, so frames hit the wire
+        // in seq order even when the heartbeater races a data send.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame {
+            kind,
+            tag,
+            src,
+            dst,
+            seq,
+            payload: payload.to_vec(),
+        };
+        frame.write_to(&mut *w).is_ok()
+    }
+}
+
+/// The multi-process TCP [`Transport`] for one rank.
+pub struct TcpTransport {
+    rank: usize,
+    size: usize,
+    links: Vec<Option<Arc<PeerLink>>>,
+    mailbox: Arc<Mailbox>,
+    probe: Probe,
+    start: Instant,
+    config: NetConfig,
+    stop: Arc<AtomicBool>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    heartbeater: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Establishes the full mesh for `rank` out of `peers` (one data-plane
+    /// listen address per rank, indexed by rank).
+    ///
+    /// Rank `i` actively connects to every rank below it (retrying with
+    /// backoff while those processes come up) and accepts one connection
+    /// from every rank above it on `listener`; a `Hello` exchange binds
+    /// each accepted socket to its rank.
+    pub fn connect(
+        rank: usize,
+        peers: &[String],
+        listener: &TcpListener,
+        config: NetConfig,
+        probe: Probe,
+    ) -> Result<TcpTransport, NetError> {
+        let size = peers.len();
+        if rank >= size {
+            return Err(NetError::Protocol(format!(
+                "rank {rank} out of range for {size} peers"
+            )));
+        }
+        let start = Instant::now();
+        let mailbox = Arc::new(Mailbox {
+            inner: Mutex::new(MailboxInner {
+                queues: HashMap::new(),
+                peers: (0..size)
+                    .map(|_| PeerState {
+                        done: false,
+                        dead: false,
+                        last_seen: start,
+                    })
+                    .collect(),
+                recv_messages: 0,
+                recv_bytes: 0,
+            }),
+            cv: Condvar::new(),
+        });
+
+        let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        // Connect downward, with backoff: lower ranks may still be binding.
+        for (j, addr) in peers.iter().enumerate().take(rank) {
+            let stream = connect_with_retry(addr, &config.retry, &probe, start)
+                .map_err(|e| NetError::Io(format!("connecting to rank {j} at {addr}: {e}")))?;
+            stream.set_nodelay(true)?;
+            Frame::control(FrameKind::Hello, rank as u32, j as u32, 0)
+                .write_to(&mut &stream)
+                .map_err(NetError::Wire)?;
+            probe.net_connect(start.elapsed().as_secs_f64(), j as u32);
+            streams[j] = Some(stream);
+        }
+        // Accept upward: higher ranks dial us; `Hello` tells us who called.
+        let deadline = Instant::now() + config.mesh_timeout;
+        listener.set_nonblocking(true)?;
+        let mut pending = size - rank - 1;
+        while pending > 0 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+                    let hello = Frame::read_from(&mut &stream).map_err(NetError::Wire)?;
+                    stream.set_read_timeout(None)?;
+                    let j = hello.src as usize;
+                    if hello.kind != FrameKind::Hello
+                        || hello.dst as usize != rank
+                        || j <= rank
+                        || j >= size
+                        || streams[j].is_some()
+                    {
+                        return Err(NetError::Protocol(format!(
+                            "bad hello from rank {j} (kind {:?}, dst {})",
+                            hello.kind, hello.dst
+                        )));
+                    }
+                    probe.net_connect(start.elapsed().as_secs_f64(), j as u32);
+                    streams[j] = Some(stream);
+                    pending -= 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(NetError::Io(format!(
+                            "mesh establishment timed out with {pending} peer(s) missing"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        listener.set_nonblocking(false)?;
+
+        // Spin up one reader per link and the heartbeat loop.
+        let mut links: Vec<Option<Arc<PeerLink>>> = (0..size).map(|_| None).collect();
+        let mut readers = Vec::new();
+        for (j, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let read_half = stream.try_clone()?;
+            links[j] = Some(Arc::new(PeerLink {
+                writer: Mutex::new(stream),
+                seq: AtomicU64::new(1),
+                sent_messages: AtomicU64::new(0),
+                sent_bytes: AtomicU64::new(0),
+            }));
+            let mb = mailbox.clone();
+            let pr = probe.clone();
+            readers.push(std::thread::spawn(move || {
+                read_loop(read_half, j, mb, pr, start);
+            }));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeater = {
+            let links: Vec<(usize, Arc<PeerLink>)> = links
+                .iter()
+                .enumerate()
+                .filter_map(|(j, l)| l.as_ref().map(|l| (j, l.clone())))
+                .collect();
+            let stop = stop.clone();
+            let mb = mailbox.clone();
+            let interval = config.heartbeat;
+            let rank = rank as u32;
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    for (j, link) in &links {
+                        if !link.send(FrameKind::Heartbeat, rank, *j as u32, 0, &[]) {
+                            mb.mark_dead(*j);
+                        }
+                    }
+                }
+            }))
+        };
+        Ok(TcpTransport {
+            rank,
+            size,
+            links,
+            mailbox,
+            probe,
+            start,
+            config,
+            stop,
+            readers,
+            heartbeater,
+        })
+    }
+
+    /// Clean shutdown: tell every peer we are done and return this rank's
+    /// traffic counters.
+    ///
+    /// Reader threads are detached, not joined — they run until the peer's
+    /// own goodbye or EOF, which may be long after this rank finishes
+    /// (ranks complete their schedules at different times; joining here
+    /// would deadlock two ranks that finish back-to-back). Already-written
+    /// frames stay deliverable to peers through normal TCP buffering.
+    pub fn finish(mut self) -> (NodeMetrics, Vec<LinkMetrics>) {
+        for (j, link) in self.links.iter().enumerate() {
+            if let Some(link) = link {
+                link.send(FrameKind::Goodbye, self.rank as u32, j as u32, 0, &[]);
+            }
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.heartbeater.take() {
+            let _ = h.join();
+        }
+        self.readers.clear();
+        let links: Vec<LinkMetrics> = self
+            .links
+            .iter()
+            .enumerate()
+            .filter_map(|(j, l)| {
+                l.as_ref().map(|l| LinkMetrics {
+                    src: self.rank as u32,
+                    dst: j as u32,
+                    messages: l.sent_messages.load(Ordering::Relaxed),
+                    bytes: l.sent_bytes.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
+        let m = self.mailbox.inner.lock().expect("mailbox poisoned");
+        let metrics = NodeMetrics {
+            messages_sent: links.iter().map(|l| l.messages).sum(),
+            bytes_sent: links.iter().map(|l| l.bytes).sum(),
+            messages_received: m.recv_messages,
+            bytes_received: m.recv_bytes,
+            ..NodeMetrics::default()
+        };
+        drop(m);
+        (metrics, links)
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Error-path drop: stop heartbeating and detach readers (they end
+        // on peer EOF; the process is about to exit anyway). `finish`
+        // drains both vectors, so this is a no-op after a clean shutdown.
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
+        if dst == self.rank {
+            let mut m = self.mailbox.inner.lock().expect("mailbox poisoned");
+            m.queues
+                .entry((dst as u32, tag))
+                .or_default()
+                .push_back(payload.to_vec());
+            drop(m);
+            self.mailbox.cv.notify_all();
+            return Ok(());
+        }
+        let link = self.links[dst].as_ref().expect("no link to peer");
+        {
+            let m = self.mailbox.inner.lock().expect("mailbox poisoned");
+            if m.peers[dst].dead {
+                return Err(FabricError::PeerFailed {
+                    node: self.rank as u32,
+                    peer: dst as u32,
+                });
+            }
+        }
+        if !link.send(FrameKind::Data, self.rank as u32, dst as u32, tag, payload) {
+            self.mailbox.mark_dead(dst);
+            return Err(FabricError::PeerFailed {
+                node: self.rank as u32,
+                peer: dst as u32,
+            });
+        }
+        link.sent_messages.fetch_add(1, Ordering::Relaxed);
+        link.sent_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.probe
+            .net_send(self.start.elapsed().as_secs_f64(), dst as u32, 0);
+        Ok(())
+    }
+
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError> {
+        let key = (src as u32, tag);
+        let deadline = Instant::now() + self.config.recv_timeout;
+        let stale_after = self.config.stale_after();
+        let mut m = self.mailbox.inner.lock().expect("mailbox poisoned");
+        loop {
+            if let Some(q) = m.queues.get_mut(&key) {
+                if let Some(payload) = q.pop_front() {
+                    return Ok(payload);
+                }
+            }
+            if src != self.rank {
+                let p = &m.peers[src];
+                if p.dead || p.done {
+                    // Mirrors the local cluster: a finished peer with an
+                    // empty queue can never satisfy this receive.
+                    return Err(FabricError::PeerFailed {
+                        node: self.rank as u32,
+                        peer: src as u32,
+                    });
+                }
+                if p.last_seen.elapsed() > stale_after {
+                    m.peers[src].dead = true;
+                    self.probe
+                        .net_timeout(self.start.elapsed().as_secs_f64(), src as u32);
+                    return Err(FabricError::PeerFailed {
+                        node: self.rank as u32,
+                        peer: src as u32,
+                    });
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.probe
+                    .net_timeout(self.start.elapsed().as_secs_f64(), src as u32);
+                return Err(FabricError::RecvTimeout {
+                    node: self.rank as u32,
+                    src: src as u32,
+                    tag,
+                });
+            }
+            // Wake at least every heartbeat to re-check staleness.
+            let wait = (deadline - now).min(self.config.heartbeat);
+            let (guard, _) = self
+                .mailbox
+                .cv
+                .wait_timeout(m, wait)
+                .expect("mailbox poisoned");
+            m = guard;
+        }
+    }
+}
+
+/// Dials `addr`, retrying with exponential backoff while the peer process
+/// comes up.
+fn connect_with_retry(
+    addr: &str,
+    retry: &RetryPolicy,
+    probe: &Probe,
+    start: Instant,
+) -> std::io::Result<TcpStream> {
+    let mut backoff = retry.backoff_secs;
+    let mut last_err = None;
+    for attempt in 0..=retry.max_retries {
+        if attempt > 0 {
+            probe.net_retry(start.elapsed().as_secs_f64(), 0);
+            std::thread::sleep(Duration::from_secs_f64(backoff));
+            backoff *= retry.backoff_factor;
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+/// One peer's reader: drains frames into the mailbox until goodbye, EOF,
+/// or a protocol violation.
+fn read_loop(stream: TcpStream, peer: usize, mailbox: Arc<Mailbox>, probe: Probe, start: Instant) {
+    let mut stream = stream;
+    let mut last_seq: Option<u64> = None;
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(frame) => {
+                if frame.src as usize != peer || last_seq.is_some_and(|s| frame.seq <= s) {
+                    // Misattributed or replayed frame: distrust the link.
+                    mailbox.mark_dead(peer);
+                    return;
+                }
+                last_seq = Some(frame.seq);
+                match frame.kind {
+                    FrameKind::Data => {
+                        let mut m = mailbox.inner.lock().expect("mailbox poisoned");
+                        m.recv_messages += 1;
+                        m.recv_bytes += frame.payload.len() as u64;
+                        m.peers[peer].last_seen = Instant::now();
+                        m.queues
+                            .entry((frame.src, frame.tag))
+                            .or_default()
+                            .push_back(frame.payload);
+                        drop(m);
+                        probe.net_recv(start.elapsed().as_secs_f64(), peer as u32, 0);
+                        mailbox.cv.notify_all();
+                    }
+                    FrameKind::Heartbeat => {
+                        let mut m = mailbox.inner.lock().expect("mailbox poisoned");
+                        m.peers[peer].last_seen = Instant::now();
+                        drop(m);
+                        mailbox.cv.notify_all();
+                    }
+                    FrameKind::Goodbye => {
+                        let mut m = mailbox.inner.lock().expect("mailbox poisoned");
+                        m.peers[peer].done = true;
+                        drop(m);
+                        mailbox.cv.notify_all();
+                        return;
+                    }
+                    _ => {
+                        mailbox.mark_dead(peer);
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                // EOF without goodbye, or garbage on the wire: the peer
+                // crashed (or the link is corrupt — same remedy).
+                mailbox.mark_dead(peer);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an N-rank loopback mesh, one transport per thread.
+    fn mesh(n: usize) -> Vec<TcpTransport> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        let peers: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr").to_string())
+            .collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let peers = peers.clone();
+                std::thread::spawn(move || {
+                    TcpTransport::connect(
+                        rank,
+                        &peers,
+                        &listener,
+                        NetConfig::default(),
+                        Probe::disabled(),
+                    )
+                    .expect("mesh")
+                })
+            })
+            .collect();
+        let mut out: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        out.sort_by_key(|t| t.rank());
+        out
+    }
+
+    #[test]
+    fn two_rank_ping_pong_over_loopback() {
+        let mut ts = mesh(2);
+        let mut t1 = ts.pop().expect("rank 1");
+        let mut t0 = ts.pop().expect("rank 0");
+        let h = std::thread::spawn(move || {
+            let m = t1.try_recv(0, 7).expect("recv ping");
+            t1.try_send(0, 8, &m).expect("send pong");
+            t1.finish()
+        });
+        t0.try_send(1, 7, b"ping").expect("send ping");
+        assert_eq!(t0.try_recv(1, 8).expect("recv pong"), b"ping");
+        let (m0, l0) = t0.finish();
+        let (m1, _) = h.join().expect("join");
+        assert_eq!(m0.messages_sent, 1);
+        assert_eq!(m0.bytes_sent, 4);
+        assert_eq!(m1.messages_received, 1);
+        assert_eq!(
+            l0,
+            vec![LinkMetrics {
+                src: 0,
+                dst: 1,
+                messages: 1,
+                bytes: 4,
+            }]
+        );
+    }
+
+    #[test]
+    fn four_rank_all_to_all_fifo() {
+        let ts = mesh(4);
+        let handles: Vec<_> = ts
+            .into_iter()
+            .map(|mut t| {
+                std::thread::spawn(move || {
+                    let me = t.rank();
+                    for dst in 0..t.size() {
+                        for k in 0..3u8 {
+                            t.try_send(dst, 5, &[me as u8, k]).expect("send");
+                        }
+                    }
+                    for src in 0..t.size() {
+                        for k in 0..3u8 {
+                            let m = t.try_recv(src, 5).expect("recv");
+                            assert_eq!(m, vec![src as u8, k], "fifo order per (src, tag)");
+                        }
+                    }
+                    t.finish();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("join");
+        }
+    }
+
+    #[test]
+    fn dead_peer_surfaces_peer_failed_not_hang() {
+        let mut ts = mesh(2);
+        let t1 = ts.pop().expect("rank 1");
+        let mut t0 = ts.pop().expect("rank 0");
+        drop(t1); // rank 1 "crashes": connections drop without goodbye
+        let err = t0.try_recv(1, 3).expect_err("peer is gone");
+        assert_eq!(err, FabricError::PeerFailed { node: 0, peer: 1 });
+    }
+
+    #[test]
+    fn finished_peer_with_drained_queue_is_peer_failed() {
+        let mut ts = mesh(2);
+        let mut t1 = ts.pop().expect("rank 1");
+        let mut t0 = ts.pop().expect("rank 0");
+        t1.try_send(0, 9, b"last").expect("send");
+        t1.finish();
+        // The queued message is still deliverable after the goodbye...
+        assert_eq!(t0.try_recv(1, 9).expect("queued"), b"last");
+        // ...but the next receive can never complete.
+        let err = t0.try_recv(1, 9).expect_err("peer done");
+        assert_eq!(err, FabricError::PeerFailed { node: 0, peer: 1 });
+    }
+
+    #[test]
+    fn self_send_delivers_locally() {
+        let mut ts = mesh(1);
+        let mut t = ts.pop().expect("rank 0");
+        t.try_send(0, 2, b"loop").expect("send");
+        assert_eq!(t.try_recv(0, 2).expect("recv"), b"loop");
+        let (m, links) = t.finish();
+        assert_eq!(m.messages_sent, 0, "self-sends never hit the wire");
+        assert!(links.is_empty());
+    }
+}

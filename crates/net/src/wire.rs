@@ -1,0 +1,367 @@
+//! The framed wire protocol.
+//!
+//! Every message on a SAGE TCP link is one length-prefixed frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic      0x53414745 ("SAGE"), big-endian
+//!      4     1  version    protocol version (currently 1)
+//!      5     1  kind       frame kind (Hello/Data/Heartbeat/Job/Result/Goodbye)
+//!      6     2  reserved   zero
+//!      8     8  tag        message tag (Data) or kind-specific
+//!     16     4  src        sending rank
+//!     20     4  dst        receiving rank
+//!     24     8  seq        per-link sequence number, strictly increasing
+//!     32     4  len        payload length in bytes
+//!     36     4  checksum   FNV-1a-32 over header (checksum field zeroed)
+//!                          then payload
+//!     40   len  payload
+//! ```
+//!
+//! The checksum covers the whole frame, so any single corrupted byte —
+//! header or payload — is detected (FNV-1a's xor-then-odd-multiply step is
+//! bijective mod 2^32, so two frames differing in one byte cannot collide
+//! at the same offset). Decoding failures are typed ([`WireError`]), never
+//! panics, and never read past `len`.
+
+use std::io::{Read, Write};
+
+/// Frame magic: "SAGE" in ASCII.
+pub const MAGIC: u32 = 0x5341_4745;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 40;
+/// Maximum accepted payload (256 MiB) — bounds allocation on decode.
+pub const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Data-plane handshake: identifies the connecting rank.
+    Hello = 1,
+    /// A tagged run-time message between ranks.
+    Data = 2,
+    /// Periodic liveness beacon.
+    Heartbeat = 3,
+    /// Launcher -> worker: the serialized job description.
+    Job = 4,
+    /// Worker -> launcher: the serialized rank report.
+    Result = 5,
+    /// Clean shutdown: the sender will transmit nothing further.
+    Goodbye = 6,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Data,
+            3 => FrameKind::Heartbeat,
+            4 => FrameKind::Job,
+            5 => FrameKind::Result,
+            6 => FrameKind::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// One wire frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Message tag (meaningful for `Data`; 0 otherwise).
+    pub tag: u64,
+    /// Sending rank.
+    pub src: u32,
+    /// Receiving rank.
+    pub dst: u32,
+    /// Per-link sequence number.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A typed frame-decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The magic bytes were wrong — not a SAGE frame.
+    BadMagic(u32),
+    /// The protocol version is not one we speak.
+    BadVersion(u8),
+    /// The kind byte names no known frame kind.
+    BadKind(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The frame checksum did not match the received bytes.
+    Checksum {
+        /// Checksum declared in the header.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// The input ended before the declared frame did.
+    Truncated,
+    /// The underlying reader/writer failed.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            WireError::Checksum { expected, computed } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#010x}, bytes hash to {computed:#010x}"
+            ),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Io(m) => write!(f, "frame i/o failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 32-bit over `chunks` in order.
+fn fnv1a_32(chunks: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+fn header_bytes(frame: &Frame, checksum: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&MAGIC.to_be_bytes());
+    h[4] = VERSION;
+    h[5] = frame.kind as u8;
+    // 6..8 reserved, zero.
+    h[8..16].copy_from_slice(&frame.tag.to_be_bytes());
+    h[16..20].copy_from_slice(&frame.src.to_be_bytes());
+    h[20..24].copy_from_slice(&frame.dst.to_be_bytes());
+    h[24..32].copy_from_slice(&frame.seq.to_be_bytes());
+    h[32..36].copy_from_slice(&(frame.payload.len() as u32).to_be_bytes());
+    h[36..40].copy_from_slice(&checksum.to_be_bytes());
+    h
+}
+
+impl Frame {
+    /// A data frame.
+    pub fn data(src: u32, dst: u32, tag: u64, seq: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            tag,
+            src,
+            dst,
+            seq,
+            payload,
+        }
+    }
+
+    /// A payload-less control frame.
+    pub fn control(kind: FrameKind, src: u32, dst: u32, seq: u64) -> Frame {
+        Frame {
+            kind,
+            tag: 0,
+            src,
+            dst,
+            seq,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The frame's checksum: FNV-1a-32 over the header with the checksum
+    /// field zeroed, then the payload.
+    pub fn checksum(&self) -> u32 {
+        let h = header_bytes(self, 0);
+        fnv1a_32(&[&h, &self.payload])
+    }
+
+    /// Serializes the frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let h = header_bytes(self, self.checksum());
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&h);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the frame and
+    /// the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let magic = u32::from_be_bytes(buf[0..4].try_into().expect("4-byte slice"));
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = buf[4];
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = FrameKind::from_u8(buf[5]).ok_or(WireError::BadKind(buf[5]))?;
+        let tag = u64::from_be_bytes(buf[8..16].try_into().expect("8-byte slice"));
+        let src = u32::from_be_bytes(buf[16..20].try_into().expect("4-byte slice"));
+        let dst = u32::from_be_bytes(buf[20..24].try_into().expect("4-byte slice"));
+        let seq = u64::from_be_bytes(buf[24..32].try_into().expect("8-byte slice"));
+        let len = u32::from_be_bytes(buf[32..36].try_into().expect("4-byte slice"));
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let expected = u32::from_be_bytes(buf[36..40].try_into().expect("4-byte slice"));
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        // Hash the received bytes themselves (checksum field zeroed), not a
+        // re-serialization of the parsed fields — otherwise corruption in
+        // bytes no field covers (e.g. reserved) would go unnoticed.
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&buf[..HEADER_LEN]);
+        header[36..40].fill(0);
+        let computed = fnv1a_32(&[&header, &buf[HEADER_LEN..total]]);
+        if computed != expected {
+            return Err(WireError::Checksum { expected, computed });
+        }
+        let frame = Frame {
+            kind,
+            tag,
+            src,
+            dst,
+            seq,
+            payload: buf[HEADER_LEN..total].to_vec(),
+        };
+        Ok((frame, total))
+    }
+
+    /// Writes the frame to a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
+        w.write_all(&self.encode())
+            .and_then(|()| w.flush())
+            .map_err(|e| WireError::Io(e.to_string()))
+    }
+
+    /// Reads exactly one frame from a stream.
+    ///
+    /// A clean EOF before the first header byte returns `Truncated`; so
+    /// does an EOF mid-frame (the reader can distinguish via the stream
+    /// state if it needs to).
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        read_exact(r, &mut header)?;
+        // Parse the header alone first so we size the payload read.
+        let magic = u32::from_be_bytes(header[0..4].try_into().expect("4-byte slice"));
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let len = u32::from_be_bytes(header[32..36].try_into().expect("4-byte slice"));
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let mut buf = Vec::with_capacity(HEADER_LEN + len as usize);
+        buf.extend_from_slice(&header);
+        buf.resize(HEADER_LEN + len as usize, 0);
+        read_exact(r, &mut buf[HEADER_LEN..])?;
+        Frame::decode(&buf).map(|(f, _)| f)
+    }
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::data(2, 5, 0xdead_beef, 42, vec![1, 2, 3, 4, 5])
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = sample();
+        let bytes = f.encode();
+        let (g, n) = Frame::decode(&bytes).unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let f = Frame::control(FrameKind::Heartbeat, 0, 1, 7);
+        let (g, n) = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(n, HEADER_LEN);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                assert!(
+                    Frame::decode(&bad).is_err(),
+                    "corruption at byte {i} (xor {flip:#x}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().encode();
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            assert_eq!(
+                Frame::decode(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_rejected_before_allocation() {
+        let mut bytes = sample().encode();
+        bytes[32..36].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes).unwrap_err(),
+            WireError::Oversized(_)
+        ));
+    }
+
+    #[test]
+    fn stream_read_write() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        Frame::control(FrameKind::Goodbye, 1, 0, 9)
+            .write_to(&mut buf)
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), sample());
+        assert_eq!(
+            Frame::read_from(&mut cursor).unwrap().kind,
+            FrameKind::Goodbye
+        );
+        assert_eq!(
+            Frame::read_from(&mut cursor).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

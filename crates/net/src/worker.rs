@@ -1,0 +1,202 @@
+//! The worker daemon: hosts one rank of a distributed job.
+//!
+//! Protocol, from the worker's side:
+//!
+//! 1. bind the listen address, print `sage-worker listening on <addr>` so
+//!    the launcher (or an operator) can collect the bound port;
+//! 2. accept the control connection and read one `Job` frame;
+//! 3. regenerate the glue program from the shipped model text (the
+//!    generation pipeline is deterministic, so every rank derives identical
+//!    tables and schedules), build the TCP mesh with the peer ranks, and run
+//!    this rank's schedule;
+//! 4. send one `Result` frame back with deposits, counters, and trace
+//!    events — run failures travel in-band as typed `RuntimeError`s.
+//!
+//! Set `SAGE_NET_CHAOS_EXIT_MS=<millis>` to make the worker kill its own
+//! process that long after accepting a job — the chaos hook the
+//! kill-a-worker-mid-run tests use.
+
+use crate::error::NetError;
+use crate::proto::{JobSpec, RankReport};
+use crate::transport::{NetConfig, TcpTransport};
+use crate::wire::{Frame, FrameKind};
+use sage_core::{model_from_sexpr, Placement, Project};
+use sage_fabric::NodeMetrics;
+use sage_model::HardwareShelf;
+use sage_runtime::{execute_rank, prepare, Registry, RuntimeError};
+use sage_visualizer::{Collector, Probe};
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment variable: if set to a millisecond count, the worker exits
+/// the whole process that long after accepting a job (fault-injection for
+/// the distributed layer: a real crash, not a simulated one).
+pub const CHAOS_EXIT_ENV: &str = "SAGE_NET_CHAOS_EXIT_MS";
+
+/// Runs one worker: binds `listen`, serves exactly one job, and returns.
+///
+/// `register` installs the kernel library into each job's registry (the
+/// binary passes the ISSPL shelf; tests can pass their own).
+pub fn serve(listen: &str, register: &dyn Fn(&mut Registry)) -> Result<(), NetError> {
+    let listener = TcpListener::bind(listen)
+        .map_err(|e| NetError::Io(format!("cannot bind {listen}: {e}")))?;
+    let addr = listener.local_addr()?;
+    println!("sage-worker listening on {addr}");
+    std::io::stdout().flush()?;
+
+    let (control, _) = listener.accept()?;
+    control.set_nodelay(true)?;
+    let job = Frame::read_from(&mut &control)?;
+    if job.kind != FrameKind::Job {
+        return Err(NetError::Protocol(format!(
+            "expected job frame, got {:?}",
+            job.kind
+        )));
+    }
+    let spec = JobSpec::decode(&job.payload)?;
+
+    if let Some(ms) = std::env::var(CHAOS_EXIT_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            eprintln!("sage-worker: chaos exit after {ms} ms");
+            std::process::exit(101);
+        });
+    }
+
+    let report = run_job(&spec, &listener, register);
+    Frame {
+        kind: FrameKind::Result,
+        tag: 0,
+        src: spec.rank,
+        dst: u32::MAX,
+        seq: 1,
+        payload: report.encode(),
+    }
+    .write_to(&mut &control)?;
+    Frame::control(FrameKind::Goodbye, spec.rank, u32::MAX, 2).write_to(&mut &control)?;
+    Ok(())
+}
+
+/// Failure report scaffold: everything zeroed except the error.
+fn failed(rank: u32, error: RuntimeError) -> RankReport {
+    RankReport {
+        rank,
+        error: Some(error),
+        deposits: Vec::new(),
+        wall_secs: 0.0,
+        metrics: NodeMetrics::default(),
+        links: Vec::new(),
+        events: Vec::new(),
+    }
+}
+
+/// Executes this rank of the job; all failures come back in-band.
+fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Registry)) -> RankReport {
+    let rank = spec.rank;
+    let model = match model_from_sexpr(&spec.model) {
+        Ok(m) => m,
+        Err(e) => return failed(rank, RuntimeError::BadProgram(format!("model: {e}"))),
+    };
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(spec.ranks as usize));
+    register(&mut project.registry);
+    let (program, _) = match project.generate(&Placement::Aligned) {
+        Ok(p) => p,
+        Err(e) => return failed(rank, RuntimeError::BadProgram(format!("codegen: {e}"))),
+    };
+    if program.node_count() != spec.ranks as usize {
+        return failed(
+            rank,
+            RuntimeError::BadProgram(format!(
+                "program wants {} nodes, job has {} ranks",
+                program.node_count(),
+                spec.ranks
+            )),
+        );
+    }
+    let prepared = match prepare(&program, &project.registry) {
+        Ok(p) => p,
+        Err(e) => return failed(rank, e),
+    };
+    let options = if spec.optimized {
+        sage_runtime::RuntimeOptions::optimized()
+    } else {
+        sage_runtime::RuntimeOptions::paper_faithful()
+    }
+    .with_probes(spec.probes);
+
+    let collector = Arc::new(Collector::new(spec.ranks as usize, spec.probes));
+    let probe = Probe::new(collector.clone(), rank);
+    let mut transport = match TcpTransport::connect(
+        rank as usize,
+        &spec.peers,
+        listener,
+        NetConfig::default(),
+        probe.clone(),
+    ) {
+        Ok(t) => t,
+        // A peer that never came up is indistinguishable from a dead one.
+        Err(_) => return failed(rank, RuntimeError::NodeFailed { node: rank }),
+    };
+
+    let t0 = Instant::now();
+    let outcome = execute_rank(
+        &mut transport,
+        &program,
+        &prepared,
+        &options,
+        spec.iterations,
+        &probe,
+    );
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let (error, deposits, metrics, links) = match outcome {
+        Ok(deposits) => {
+            let (metrics, links) = transport.finish();
+            (None, deposits, metrics, links)
+        }
+        Err(e) => {
+            // Error path: drop the mesh (peers see EOF and fail over) and
+            // report the typed cause.
+            drop(transport);
+            (Some(e), Vec::new(), NodeMetrics::default(), Vec::new())
+        }
+    };
+    drop(probe);
+    let events = Arc::into_inner(collector)
+        .map(|c| c.into_trace().events().to_vec())
+        .unwrap_or_default();
+    RankReport {
+        rank,
+        error,
+        deposits,
+        wall_secs,
+        metrics,
+        links,
+        events,
+    }
+}
+
+/// Reads the `sage-worker listening on <addr>` banner off a worker's
+/// stdout line.
+pub fn parse_banner(line: &str) -> Option<&str> {
+    line.trim().strip_prefix("sage-worker listening on ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_round_trip() {
+        assert_eq!(
+            parse_banner("sage-worker listening on 127.0.0.1:4099\n"),
+            Some("127.0.0.1:4099")
+        );
+        assert_eq!(parse_banner("something else"), None);
+    }
+}

@@ -24,7 +24,7 @@ use crate::function::{FnThreadCtx, Registry, RuntimeError, StripePayload};
 use crate::glue::{xfer_tag, FnRole, GlueProgram};
 use crate::options::{BufferScheme, RuntimeOptions};
 use crate::striping::{Layout, Redistribution};
-use sage_fabric::{Cluster, FabricError, MachineSpec, NodeCtx, RunReport, TimePolicy, Work};
+use sage_fabric::{Cluster, FabricError, MachineSpec, RunReport, TimePolicy, Transport, Work};
 use sage_mpi::MpiConfig;
 use sage_visualizer::{Collector, Probe, Trace};
 use std::collections::HashMap;
@@ -69,6 +69,12 @@ impl SinkResults {
             }
         }
         Some(full)
+    }
+
+    /// Records a deposited stripe. Distributed launchers use this to merge
+    /// per-rank deposits back into one result set.
+    pub fn insert(&mut self, fn_id: u32, iteration: u32, thread: u32, bytes: Vec<u8>) {
+        self.deposits.insert((fn_id, iteration, thread), bytes);
     }
 
     /// Number of deposited stripes.
@@ -117,26 +123,18 @@ struct BufferPlan {
     src_local_shape: Vec<usize>,
 }
 
-/// Executes `program` on `machine` with the given time policy.
-///
-/// Kernels actually compute in both time policies (so results are always
-/// verifiable); virtual mode additionally charges the cost models.
-pub fn execute(
-    program: &GlueProgram,
-    machine: &MachineSpec,
-    policy: TimePolicy,
-    registry: &Registry,
-    options: &RuntimeOptions,
-    iterations: u32,
-) -> Result<Execution, RuntimeError> {
+/// Kernel resolution and buffer-redistribution planning, done once per
+/// program and shared by every rank — the same `Prepared` drives the
+/// in-process cluster and `sage-net`'s one-process-per-rank backend.
+pub struct Prepared {
+    plans: Vec<BufferPlan>,
+    kernels: Vec<Arc<dyn crate::function::Kernel>>,
+}
+
+/// Validates `program`, resolves every kernel through `registry`, and plans
+/// every buffer's redistribution.
+pub fn prepare(program: &GlueProgram, registry: &Registry) -> Result<Prepared, RuntimeError> {
     program.validate().map_err(RuntimeError::BadProgram)?;
-    if program.node_count() != machine.node_count() {
-        return Err(RuntimeError::BadProgram(format!(
-            "program generated for {} nodes, machine has {}",
-            program.node_count(),
-            machine.node_count()
-        )));
-    }
     // Resolve every kernel up front.
     let mut kernels = Vec::with_capacity(program.functions.len());
     for f in &program.functions {
@@ -181,14 +179,36 @@ pub fn execute(
             }
         })
         .collect();
+    Ok(Prepared { plans, kernels })
+}
+
+/// Executes `program` on `machine` with the given time policy.
+///
+/// Kernels actually compute in both time policies (so results are always
+/// verifiable); virtual mode additionally charges the cost models.
+pub fn execute(
+    program: &GlueProgram,
+    machine: &MachineSpec,
+    policy: TimePolicy,
+    registry: &Registry,
+    options: &RuntimeOptions,
+    iterations: u32,
+) -> Result<Execution, RuntimeError> {
+    let prepared = prepare(program, registry)?;
+    if program.node_count() != machine.node_count() {
+        return Err(RuntimeError::BadProgram(format!(
+            "program generated for {} nodes, machine has {}",
+            program.node_count(),
+            machine.node_count()
+        )));
+    }
 
     let collector = Arc::new(Collector::new(machine.node_count(), options.probes));
     let cluster = Cluster::new(machine.clone(), policy).with_faults(options.faults.clone());
 
     let (node_deposits, report) = cluster.run(|ctx| {
-        run_node(
-            ctx, program, &plans, &kernels, options, iterations, &collector,
-        )
+        let probe = Probe::new(collector.clone(), ctx.id() as u32);
+        execute_rank(ctx, program, &prepared, options, iterations, &probe)
     });
 
     // Surface the root-cause error, deterministically: a node that failed
@@ -227,7 +247,7 @@ pub fn execute(
 
 /// Translates an unrecoverable fabric fault into the executor's error
 /// vocabulary.
-fn fabric_to_runtime(e: FabricError) -> RuntimeError {
+pub fn fabric_to_runtime(e: FabricError) -> RuntimeError {
     match e {
         FabricError::NodeFailed { node } => RuntimeError::NodeFailed { node },
         FabricError::PeerFailed { node, peer } => RuntimeError::PeerFailed { node, peer },
@@ -246,8 +266,8 @@ fn fabric_to_runtime(e: FabricError) -> RuntimeError {
 /// MPI retry policy (backoff charged as lost time, each retry recorded in
 /// the node metrics and trace).
 #[allow(clippy::too_many_arguments)]
-fn send_with_retry(
-    ctx: &mut NodeCtx,
+fn send_with_retry<T: Transport>(
+    ctx: &mut T,
     probe: &Probe,
     dst: usize,
     tag: u64,
@@ -273,31 +293,33 @@ fn send_with_retry(
         }
     }
     Err(RuntimeError::TransferFailed {
-        node: ctx.id() as u32,
+        node: ctx.rank() as u32,
         peer: dst as u32,
         attempts: rp.max_retries + 1,
     })
 }
 
 /// A sink deposit: `(fn_id, iteration, thread)` -> absorbed stripe.
-type Deposit = ((u32, u32, u32), Vec<u8>);
+pub type Deposit = ((u32, u32, u32), Vec<u8>);
 
-/// One node's program: walk the schedule for every iteration.
+/// One rank's program: walk the schedule for every iteration, over any
+/// [`Transport`] backend.
 ///
-/// Unrecoverable injected faults surface as `Err(RuntimeError)` instead of
-/// panics; the fault site is also recorded in the trace when probes are on.
-#[allow(clippy::too_many_arguments)]
-fn run_node(
-    ctx: &mut NodeCtx,
+/// The in-process `execute` calls this once per cluster thread; `sage-net`
+/// workers call it once per OS process with a `TcpTransport`. Unrecoverable
+/// injected faults surface as `Err(RuntimeError)` instead of panics; the
+/// fault site is also recorded in the trace when probes are on.
+pub fn execute_rank<T: Transport>(
+    ctx: &mut T,
     program: &GlueProgram,
-    plans: &[BufferPlan],
-    kernels: &[Arc<dyn crate::function::Kernel>],
+    prepared: &Prepared,
     options: &RuntimeOptions,
     iterations: u32,
-    collector: &Arc<Collector>,
+    probe: &Probe,
 ) -> Result<Vec<Deposit>, RuntimeError> {
-    let node = ctx.id() as u32;
-    let probe = Probe::new(collector.clone(), node);
+    let node = ctx.rank() as u32;
+    let plans = &prepared.plans;
+    let kernels = &prepared.kernels;
     // Node-local hand-off store: tag -> payload.
     let mut local_store: HashMap<u64, Vec<u8>> = HashMap::new();
     let mut deposits = Vec::new();
@@ -410,10 +432,7 @@ fn run_node(
             {
                 // Fault injection: a plan entry matching (block, iteration,
                 // thread) overrides the kernel with its injected error.
-                let injected = ctx
-                    .fault_plan()
-                    .kernel_fault(&f.name, iter, task.thread)
-                    .map(|k| k.message.clone());
+                let injected = ctx.kernel_fault(&f.name, iter, task.thread);
                 let invocation = match injected {
                     Some(message) => {
                         ctx.note_fault();
@@ -476,7 +495,7 @@ fn run_node(
                     } else {
                         send_with_retry(
                             ctx,
-                            &probe,
+                            probe,
                             dst_node as usize,
                             tag,
                             &msg,

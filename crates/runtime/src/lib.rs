@@ -27,7 +27,9 @@ pub mod glue;
 pub mod options;
 pub mod striping;
 
-pub use executor::{execute, Execution, SinkResults};
+pub use executor::{
+    execute, execute_rank, fabric_to_runtime, prepare, Deposit, Execution, Prepared, SinkResults,
+};
 pub use function::{FnThreadCtx, Kernel, Registry, RuntimeError, StripePayload};
 pub use glue::{FnRole, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Task};
 pub use options::{BufferScheme, RuntimeOptions};

@@ -22,6 +22,16 @@ pub enum EventKind {
     /// An injected fault was observed (`id` = function-table index or
     /// buffer id, depending on the fault site).
     Fault,
+    /// A wire connection to a peer rank was established (`id` = peer rank).
+    NetConnect,
+    /// A framed message was put on a real wire (`id` = peer rank).
+    NetSend,
+    /// A framed message arrived off a real wire (`id` = peer rank).
+    NetRecv,
+    /// A wire operation was retried (`id` = peer rank).
+    NetRetry,
+    /// A wire operation timed out (`id` = peer rank).
+    NetTimeout,
 }
 
 /// One timestamped observation from a probe.

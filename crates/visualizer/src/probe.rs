@@ -73,6 +73,31 @@ impl Probe {
         self.record(time, EventKind::Fault, id, iteration);
     }
 
+    /// Wire connection to `peer` established (real transports only).
+    pub fn net_connect(&self, time: f64, peer: u32) {
+        self.record(time, EventKind::NetConnect, peer, 0);
+    }
+
+    /// Framed message sent to `peer` over a real wire.
+    pub fn net_send(&self, time: f64, peer: u32, iteration: u32) {
+        self.record(time, EventKind::NetSend, peer, iteration);
+    }
+
+    /// Framed message received from `peer` off a real wire.
+    pub fn net_recv(&self, time: f64, peer: u32, iteration: u32) {
+        self.record(time, EventKind::NetRecv, peer, iteration);
+    }
+
+    /// Wire operation toward `peer` retried.
+    pub fn net_retry(&self, time: f64, peer: u32) {
+        self.record(time, EventKind::NetRetry, peer, 0);
+    }
+
+    /// Wire operation toward `peer` timed out.
+    pub fn net_timeout(&self, time: f64, peer: u32) {
+        self.record(time, EventKind::NetTimeout, peer, 0);
+    }
+
     /// Data set left the source.
     pub fn source_emit(&self, time: f64, iteration: u32) {
         self.record(time, EventKind::SourceEmit, iteration, iteration);

@@ -5,25 +5,38 @@
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
+//!                 [--transport local|tcp] [--dump-sink F] [--trace F]
+//! $ sage worker   --listen 127.0.0.1:0        # host one rank of a distributed job
+//! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized]
+//!                 [--dump-sink F] [--trace F]
 //! $ sage export   fft2d|corner_turn|stap|image_filter --size 256 --threads 8 > model.sexpr
 //! ```
 //!
 //! Models are the s-expression files written by `sage_core::model_io`
 //! (`export` produces ready-made ones for the built-in applications).
 //! `run` registers the ISSPL kernel library, so any model whose blocks
-//! reference those kernels executes end to end. `codegen` and `run` lint
-//! the model first and refuse to proceed past error-severity findings.
+//! reference those kernels executes end to end. `codegen`, `run`, and
+//! `launch` lint the model first and refuse to proceed past error-severity
+//! findings. `run --transport tcp` and `launch` execute each rank in its
+//! own OS process over loopback TCP; `worker` is the per-rank daemon they
+//! spawn (it can also be started by hand on remote hosts).
 
 use sage::prelude::*;
 use sage_core::{lint_model_source, model_from_sexpr, model_io, Project};
-use sage_visualizer::{gantt, report, Analysis};
+use sage_net::{LaunchOptions, LaunchOutcome};
+use sage_runtime::{FnRole, GlueProgram, SinkResults};
+use sage_visualizer::{export, gantt, report, Analysis, Trace};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sage lint <model.sexpr>... [--nodes N] [--deny-warnings] [--format json]\n  \
          sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
-         sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n  \
+         sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n           \
+         [--transport local|tcp] [--dump-sink FILE] [--trace FILE]\n  \
+         sage worker [--listen ADDR]\n  \
+         sage launch <model.sexpr> [--workers N] [--iters I] [--optimized]\n              \
+         [--dump-sink FILE] [--trace FILE]\n  \
          sage export <fft2d|corner_turn|stap|image_filter> [--size S] [--threads T]"
     );
     ExitCode::from(2)
@@ -176,13 +189,119 @@ fn cmd_codegen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// FNV-1a 64: the sink-output fingerprint printed after every run, so
+/// local and distributed executions can be compared at a glance.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Concatenates every sink's assembled output over all iterations, in
+/// (function id, iteration) order — the canonical byte stream two backends
+/// must agree on bit-for-bit.
+fn sink_bytes(program: &GlueProgram, results: &SinkResults, iterations: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in &program.functions {
+        if f.role != FnRole::Sink {
+            continue;
+        }
+        for iter in 0..iterations {
+            if let Some(full) = results.assemble(program, f.id, iter) {
+                out.extend_from_slice(&full);
+            }
+        }
+    }
+    out
+}
+
+/// Shared `--dump-sink` / `--trace` / checksum tail for run and launch.
+fn finish_run(
+    args: &Args,
+    program: &GlueProgram,
+    results: &SinkResults,
+    trace: &Trace,
+    iterations: u32,
+) -> Result<(), String> {
+    let bytes = sink_bytes(program, results, iterations);
+    println!(
+        "sink output: {} bytes, checksum {:#018x}",
+        bytes.len(),
+        fnv1a_64(&bytes)
+    );
+    if let Some(path) = args.get("dump-sink") {
+        std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote sink output to {path}");
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, export::to_csv(trace))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote trace to {path}");
+    }
+    Ok(())
+}
+
+/// Spawns `sage worker --listen 127.0.0.1:0` child processes out of the
+/// currently running binary.
+fn spawn_local_worker(_rank: usize) -> std::io::Result<std::process::Child> {
+    std::process::Command::new(std::env::current_exe()?)
+        .args(["worker", "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+}
+
+/// Runs a model across worker processes over loopback TCP and prints the
+/// merged summary. Used by both `launch` and `run --transport tcp`.
+fn run_over_tcp(args: &Args, text: &str, workers: usize, iters: u32) -> Result<(), String> {
+    let opts = LaunchOptions {
+        workers,
+        iterations: iters,
+        optimized: args.has("optimized"),
+        probes: true,
+    };
+    let outcome: LaunchOutcome =
+        sage::net::launch(text, &opts, &spawn_local_worker).map_err(|e| e.to_string())?;
+    let m = &outcome.report.metrics;
+    let slowest = outcome.rank_walls.iter().copied().fold(0.0, f64::max);
+    println!(
+        "ran `{}` on {workers} worker processes for {iters} iterations: \
+         {:.3} ms/data set (wall, slowest rank), {} framed messages, {} KB on the wire\n",
+        outcome.program.app_name,
+        slowest * 1e3 / iters.max(1) as f64,
+        m.wire_messages(),
+        m.wire_bytes() / 1024
+    );
+    finish_run(
+        args,
+        &outcome.program,
+        &outcome.results,
+        &outcome.trace,
+        iters,
+    )
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("run needs a model file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let nodes = args.usize_or("nodes", 4);
     auto_lint(path, &text, nodes)?;
-    let model = model_from_sexpr(&text).map_err(|e| e.to_string())?;
     let iters = args.usize_or("iters", 3) as u32;
+    match args.get("transport") {
+        None | Some("local") => {}
+        Some("tcp") => {
+            if args.has("ga") {
+                return Err("--transport tcp supports aligned placement only (no --ga)".into());
+            }
+            // TCP ranks run on real hardware; the virtual clock does not
+            // apply, so --real is implied.
+            return run_over_tcp(args, &text, nodes, iters);
+        }
+        Some(other) => return Err(format!("unknown --transport `{other}` (local|tcp)")),
+    }
+    let model = model_from_sexpr(&text).map_err(|e| e.to_string())?;
     let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
     sage::apps::kernels::register_kernels(&mut project.registry);
     let options = if args.has("optimized") {
@@ -205,8 +324,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     } else {
         Placement::Aligned
     };
-    let (exec, _) = project
-        .run(&placement, policy, &options, iters)
+    let (program, _) = project.generate(&placement).map_err(|e| e.to_string())?;
+    let exec = project
+        .execute(&program, policy, &options, iters)
         .map_err(|e| e.to_string())?;
     println!(
         "ran `{}` on {nodes} nodes for {iters} iterations: {:.3} ms/data set \
@@ -228,7 +348,26 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
     }
     print!("{}", gantt::render(&exec.trace, 72));
-    Ok(())
+    finish_run(args, &program, &exec.results, &exec.trace, iters)
+}
+
+/// `sage worker`: host one rank of a distributed job, then exit.
+fn cmd_worker(args: &Args) -> Result<(), String> {
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+    sage::net::serve(listen, &|reg| {
+        sage::apps::kernels::register_kernels(reg);
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// `sage launch`: spawn local workers and run a model across them.
+fn cmd_launch(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("launch needs a model file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let workers = args.usize_or("workers", 4);
+    auto_lint(path, &text, workers)?;
+    let iters = args.usize_or("iters", 3) as u32;
+    run_over_tcp(args, &text, workers, iters)
 }
 
 fn cmd_export(args: &Args) -> Result<(), String> {
@@ -257,6 +396,8 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args),
         "codegen" => cmd_codegen(&args),
         "run" => cmd_run(&args),
+        "worker" => cmd_worker(&args),
+        "launch" => cmd_launch(&args),
         "export" => cmd_export(&args),
         _ => return usage(),
     };

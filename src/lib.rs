@@ -42,6 +42,7 @@ pub use sage_fabric as fabric;
 pub use sage_lint as lint;
 pub use sage_model as model;
 pub use sage_mpi as mpi;
+pub use sage_net as net;
 pub use sage_runtime as runtime;
 pub use sage_signal as signal;
 pub use sage_visualizer as visualizer;

@@ -1,0 +1,127 @@
+//! Distributed-execution parity: running a model as separate OS processes
+//! over loopback TCP must produce sink output **bit-identical** to the
+//! in-process local backend — same model, same seed, same bytes.
+//!
+//! These tests drive the real `sage` binary (`run --transport local` vs
+//! `launch --workers N`) end to end, including the worker banner handshake,
+//! the framed wire protocol, and the launcher's report merge. A final test
+//! kills one worker mid-run with the `SAGE_NET_CHAOS_EXIT_MS` chaos hook
+//! and requires a *typed* failure, not a hang.
+
+use sage_net::{LaunchOptions, NetError};
+use sage_runtime::RuntimeError;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn sage_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sage")
+}
+
+fn model_path(name: &str) -> String {
+    format!("{}/examples/models/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn out_path(stem: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sage_net_parity_{stem}_{}.bin", std::process::id()));
+    p
+}
+
+/// Runs the CLI, asserts success, and returns the sink dump bytes.
+fn sink_dump(args: &[&str], stem: &str) -> Vec<u8> {
+    let dump = out_path(stem);
+    let output = Command::new(sage_bin())
+        .args(args)
+        .arg("--dump-sink")
+        .arg(&dump)
+        .output()
+        .expect("sage binary runs");
+    assert!(
+        output.status.success(),
+        "sage {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let bytes = std::fs::read(&dump).expect("sink dump written");
+    let _ = std::fs::remove_file(&dump);
+    assert!(!bytes.is_empty(), "sink dump for {stem} is empty");
+    bytes
+}
+
+/// local vs tcp at a given rank count, over the real binary.
+fn assert_parity(model: &str, ranks: usize) {
+    let path = model_path(model);
+    let iters = "2";
+    let n = ranks.to_string();
+    let local = sink_dump(
+        &["run", &path, "--nodes", &n, "--iters", iters],
+        &format!("local_{model}_{ranks}"),
+    );
+    let tcp = sink_dump(
+        &["launch", &path, "--workers", &n, "--iters", iters],
+        &format!("tcp_{model}_{ranks}"),
+    );
+    assert_eq!(
+        local.len(),
+        tcp.len(),
+        "{model} at {ranks} ranks: sink sizes differ"
+    );
+    assert!(
+        local == tcp,
+        "{model} at {ranks} ranks: sink bytes differ between local and tcp"
+    );
+}
+
+#[test]
+fn fft2d_parity_two_ranks() {
+    assert_parity("fft2d_64.sexpr", 2);
+}
+
+#[test]
+fn fft2d_parity_four_ranks() {
+    assert_parity("fft2d_64.sexpr", 4);
+}
+
+#[test]
+fn corner_turn_parity_two_ranks() {
+    assert_parity("corner_turn_256.sexpr", 2);
+}
+
+#[test]
+fn corner_turn_parity_four_ranks() {
+    assert_parity("corner_turn_256.sexpr", 4);
+}
+
+/// Kill rank 1's process shortly after it accepts the job: the launcher
+/// must come back with a typed node/peer failure — never hang, never
+/// report success.
+#[test]
+fn killed_worker_surfaces_typed_failure() {
+    let text = std::fs::read_to_string(model_path("corner_turn_256.sexpr")).unwrap();
+    let opts = LaunchOptions {
+        workers: 2,
+        iterations: 200,
+        optimized: false,
+        probes: false,
+    };
+    let spawn = |rank: usize| {
+        let mut cmd = Command::new(sage_bin());
+        cmd.args(["worker", "--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped());
+        if rank == 1 {
+            cmd.env(sage_net::CHAOS_EXIT_ENV, "5");
+        }
+        cmd.spawn()
+    };
+    let err = sage_net::launch(&text, &opts, &spawn).expect_err("run must fail");
+    match err {
+        NetError::Runtime(
+            RuntimeError::NodeFailed { .. }
+            | RuntimeError::PeerFailed { .. }
+            | RuntimeError::Timeout { .. }
+            | RuntimeError::TransferFailed { .. },
+        )
+        | NetError::WorkerDied { .. } => {}
+        other => panic!("expected a typed node/peer failure, got: {other}"),
+    }
+}
