@@ -1,0 +1,106 @@
+//! # sage-check
+//!
+//! Abstract interpretation of generated glue programs: everything the
+//! model-layer lints cannot see because it only exists *after* code
+//! generation — the function table, the logical buffer table, the per-node
+//! schedules, and the redistribution plans the executor will follow.
+//!
+//! `sage-lint` proves properties of the *input* (the Designer model and the
+//! Alter scripts); this crate proves properties of the *output*, without
+//! executing it. Three passes walk the program exactly the way the run-time
+//! kernel does:
+//!
+//! * [`structure`] — symbolic shape/element-count propagation: degenerate
+//!   or unstripeable [`LogicalBufferDesc`]s, function-table wiring
+//!   (use-before-init `SAGE052`, double-write `SAGE053`), kernel shape and
+//!   dtype contracts (`SAGE054`), and transfer-tag field widths
+//!   (`SAGE057`);
+//! * [`transfers`] — cross-rank transfer matching over the same
+//!   [`Redistribution`] plans the executor uses: every send must have
+//!   exactly one compatible receive (`SAGE050`), with tag collisions and
+//!   byte mismatches as `SAGE051`, each finding naming both endpoints'
+//!   task paths;
+//! * [`memory`] — per-node memory high-water-mark from buffer live ranges
+//!   against the hardware model's DRAM (`SAGE055`) and a per-iteration
+//!   bandwidth-feasibility estimate against the link capacities
+//!   (`SAGE056`).
+//!
+//! Findings render through `sage-lint`'s diagnostics engine (rustc-style
+//! and JSON), with spans back into the model source when a
+//! [`ModelSpans`] index is supplied.
+//!
+//! [`LogicalBufferDesc`]: sage_runtime::LogicalBufferDesc
+//! [`Redistribution`]: sage_runtime::Redistribution
+//! [`ModelSpans`]: sage_lint::ModelSpans
+
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod structure;
+pub mod transfers;
+
+use sage_lint::{Diagnostic, Diagnostics, ModelSpans};
+use sage_model::HardwareSpec;
+use sage_runtime::{GlueProgram, Redistribution};
+
+/// Checks a generated glue program against the hardware model it was
+/// generated for, without executing it.
+///
+/// The program must be structurally sound ([`GlueProgram::validate`]) and
+/// match the hardware's node count; otherwise a single `SAGE041` is
+/// reported and the deeper passes are skipped.
+pub fn check_program(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    spans: Option<&ModelSpans>,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if let Err(e) = program.validate() {
+        diags.push(
+            Diagnostic::error("SAGE041", format!("malformed glue program: {e}")).with_note(
+                "the program fails its structural self-checks; abstract \
+                 interpretation needs a well-formed program",
+            ),
+        );
+        return diags;
+    }
+    if program.node_count() != hw.node_count() {
+        diags.push(
+            Diagnostic::error(
+                "SAGE041",
+                format!(
+                    "program generated for {} nodes, hardware model `{}` has {}",
+                    program.node_count(),
+                    hw.name,
+                    hw.node_count()
+                ),
+            )
+            .with_note("capacity checks need the program and the hardware to agree on the machine"),
+        );
+        return diags;
+    }
+    let plans = structure::plan_buffers(program, spans, &mut diags);
+    let tag_overflow = structure::check_tag_widths(program, spans, &mut diags);
+    structure::check_wiring(program, &plans, spans, &mut diags);
+    structure::check_kernel_contracts(program, &plans, spans, &mut diags);
+    if !tag_overflow {
+        transfers::check(program, &plans, spans, &mut diags);
+    }
+    memory::check(program, hw, &plans, spans, &mut diags);
+    diags
+}
+
+/// A human-readable label for a logical buffer: id and both endpoints.
+pub(crate) fn buffer_label(program: &GlueProgram, bid: u32) -> String {
+    let b = &program.buffers[bid as usize];
+    let pf = &program.functions[b.producer as usize];
+    let cf = &program.functions[b.consumer as usize];
+    format!(
+        "buffer {} (`{}.{}` -> `{}.{}`)",
+        b.id, pf.name, b.producer_port, cf.name, b.consumer_port
+    )
+}
+
+/// Per-buffer redistribution plans; `None` where the descriptor is
+/// degenerate or unstripeable (already reported by the structure pass).
+pub(crate) type BufferPlans = Vec<Option<Redistribution>>;

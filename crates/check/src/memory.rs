@@ -1,0 +1,192 @@
+//! Per-node capacity feasibility: memory high-water-mark and bandwidth.
+//!
+//! Walks each node's schedule over one symbolic iteration under the
+//! shared-buffer scheme (the documented lower bound on any scheme): a
+//! task's working set is its input and output stripes, and a same-node
+//! hand-off stays live from the slot that produces it to the slot that
+//! consumes it. The peak of that walk against the hardware model's DRAM is
+//! `SAGE055`; the per-iteration wire time of a node's off-node
+//! redistribution traffic against the link capacities is `SAGE056`.
+
+use crate::{buffer_label, BufferPlans};
+use sage_lint::{Diagnostic, Diagnostics, ModelSpans};
+use sage_model::HardwareSpec;
+use sage_runtime::{GlueProgram, Layout};
+use std::collections::HashMap;
+
+/// Per-iteration wire-time budget per node. A node whose redistribution
+/// traffic alone takes longer than this per data set cannot meet any
+/// real-time rate the paper's applications run at; the fabric, not
+/// computation, is the bound.
+pub const COMM_FEASIBLE_SECS: f64 = 0.1;
+
+/// Checks per-node memory high-water-marks (`SAGE055`) and bandwidth
+/// feasibility (`SAGE056`) against the hardware model.
+pub fn check(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    plans: &BufferPlans,
+    spans: Option<&ModelSpans>,
+    diags: &mut Diagnostics,
+) {
+    let caps = hw.capacities();
+    let flat = hw.flatten();
+
+    // Same-node hand-off live ranges: node -> (producer slot, consumer
+    // slot, bytes).
+    let mut handoffs: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); program.node_count()];
+    // Cross-node wire seconds and bytes charged to every node the link
+    // touches.
+    let mut wire_secs = vec![0.0f64; program.node_count()];
+    let mut wire_bytes = vec![0usize; program.node_count()];
+
+    let slot_of: HashMap<(u32, u32), (usize, usize)> = program
+        .schedules
+        .iter()
+        .enumerate()
+        .flat_map(|(node, sched)| {
+            sched
+                .iter()
+                .enumerate()
+                .map(move |(slot, t)| ((t.fn_id, t.thread), (node, slot)))
+        })
+        .collect();
+
+    for (bid, plan) in plans.iter().enumerate() {
+        let Some(plan) = plan else { continue };
+        let b = &program.buffers[bid];
+        let pf = &program.functions[b.producer as usize];
+        let cf = &program.functions[b.consumer as usize];
+        for (i, row) in plan.pairs.iter().enumerate() {
+            for (j, intervals) in row.iter().enumerate() {
+                if intervals.is_empty() {
+                    continue;
+                }
+                let bytes: usize = intervals.iter().map(|(s, e)| e - s).sum();
+                let src_node = pf.placement[i] as usize;
+                let dst_node = cf.placement[j] as usize;
+                if src_node == dst_node {
+                    let (Some(&(_, ps)), Some(&(_, cs))) = (
+                        slot_of.get(&(b.producer, i as u32)),
+                        slot_of.get(&(b.consumer, j as u32)),
+                    ) else {
+                        continue;
+                    };
+                    handoffs[src_node].push((ps, cs, bytes));
+                } else {
+                    let secs = hw
+                        .link_between(&flat[src_node], &flat[dst_node])
+                        .transfer_secs(bytes);
+                    for node in [src_node, dst_node] {
+                        wire_secs[node] += secs;
+                        wire_bytes[node] += bytes;
+                    }
+                }
+            }
+        }
+    }
+
+    for (node, sched) in program.schedules.iter().enumerate() {
+        let mut peak = 0usize;
+        let mut peak_slot = 0usize;
+        for (slot, &task) in sched.iter().enumerate() {
+            let f = &program.functions[task.fn_id as usize];
+            let tid = task.thread as usize;
+            let mut live = 0usize;
+            for &bid in f.inputs.iter() {
+                if let Some(plan) = &plans[bid as usize] {
+                    live += plan.dst.get(tid).map(Layout::len).unwrap_or(0);
+                }
+            }
+            for &bid in f.outputs.iter() {
+                if let Some(plan) = &plans[bid as usize] {
+                    live += plan.src.get(tid).map(Layout::len).unwrap_or(0);
+                }
+            }
+            for &(ps, cs, bytes) in &handoffs[node] {
+                if ps < slot && slot < cs {
+                    live += bytes;
+                }
+            }
+            if live > peak {
+                peak = live;
+                peak_slot = slot;
+            }
+        }
+        let cap = caps[node].mem_bytes;
+        if peak as f64 > cap {
+            let at = program.task_path(sched[peak_slot]);
+            let fname = &program.functions[sched[peak_slot].fn_id as usize].name;
+            diags.push(
+                Diagnostic::error(
+                    "SAGE055",
+                    format!(
+                        "node {node}: peak live buffer bytes ({peak}) exceed \
+                         the hardware model's {:.0} bytes of DRAM",
+                        cap
+                    ),
+                )
+                .with_note(format!("high-water mark while executing {at}"))
+                .with_note(
+                    "counted as task working stripes plus pending same-node \
+                     hand-offs over one iteration (a lower bound for any \
+                     buffer scheme)",
+                )
+                .with_span_opt(spans.and_then(|s| s.block(fname))),
+            );
+        }
+    }
+
+    for node in 0..program.node_count() {
+        if wire_secs[node] > COMM_FEASIBLE_SECS {
+            // Name the heaviest buffer through this node to point somewhere
+            // actionable.
+            let heaviest = heaviest_buffer(program, plans, node);
+            let mut d = Diagnostic::warning(
+                "SAGE056",
+                format!(
+                    "node {node}: estimated per-iteration redistribution wire \
+                     time {:.3} s ({} bytes on and off the node) exceeds the \
+                     {COMM_FEASIBLE_SECS} s feasibility budget",
+                    wire_secs[node], wire_bytes[node]
+                ),
+            )
+            .with_note(
+                "the fabric, not computation, bounds the achievable iteration \
+                 rate; restripe or re-place to keep traffic on-node",
+            );
+            if let Some(bid) = heaviest {
+                d = d.with_note(format!(
+                    "largest contributor: {}",
+                    buffer_label(program, bid)
+                ));
+            }
+            diags.push(d);
+        }
+    }
+}
+
+/// The buffer moving the most cross-node bytes through `node`, if any.
+fn heaviest_buffer(program: &GlueProgram, plans: &BufferPlans, node: usize) -> Option<u32> {
+    let mut best: Option<(usize, u32)> = None;
+    for (bid, plan) in plans.iter().enumerate() {
+        let Some(plan) = plan else { continue };
+        let b = &program.buffers[bid];
+        let pf = &program.functions[b.producer as usize];
+        let cf = &program.functions[b.consumer as usize];
+        let mut bytes = 0usize;
+        for (i, row) in plan.pairs.iter().enumerate() {
+            for (j, intervals) in row.iter().enumerate() {
+                let src = pf.placement[i] as usize;
+                let dst = cf.placement[j] as usize;
+                if src != dst && (src == node || dst == node) {
+                    bytes += intervals.iter().map(|(s, e)| e - s).sum::<usize>();
+                }
+            }
+        }
+        if bytes > 0 && best.map(|(b0, _)| bytes > b0).unwrap_or(true) {
+            best = Some((bytes, bid as u32));
+        }
+    }
+    best.map(|(_, bid)| bid)
+}

@@ -1,0 +1,372 @@
+//! Golden-file tests: the exact rendered output for each stable `SAGE05x`
+//! code the abstract interpreter produces on hand-built glue programs.
+//! Model-source-level goldens (driving `sage check` end to end) live in the
+//! workspace-level test suite because they need the `sage-core` front end.
+//!
+//! Regenerate after an intentional rendering change with
+//! `UPDATE_GOLDEN=1 cargo test -p sage-check --test golden`.
+
+use sage_check::check_program;
+use sage_model::{HardwareShelf, Properties, Striping};
+use sage_runtime::{FnRole, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Task};
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Compares `actual` against the committed `<name>.expected`; with
+/// `UPDATE_GOLDEN` set, (re)writes the fixture instead.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(&format!("{name}.expected"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDEN=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "rendered output for `{name}` drifted from its golden file; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Checks `program` against a cspi machine of its own node count and
+/// golden-checks the rendering; every fixture must actually contain
+/// `expect_code`.
+fn check_program_golden(name: &str, program: &GlueProgram, expect_code: &str) {
+    let hw = HardwareShelf::cspi_with_nodes(program.node_count());
+    let mut diags = check_program(program, &hw, None);
+    diags.sort();
+    assert!(
+        diags.diags.iter().any(|d| d.code == expect_code),
+        "{name}: expected {expect_code}, got {:?}",
+        diags.diags
+    );
+    check_golden(name, &diags.render("golden.glue", None));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descriptor(
+    id: u32,
+    name: &str,
+    function: &str,
+    role: FnRole,
+    threads: u32,
+    placement: Vec<u32>,
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+) -> FunctionDescriptor {
+    FunctionDescriptor {
+        id,
+        name: name.into(),
+        function: function.into(),
+        role,
+        threads,
+        placement,
+        flops: 0.0,
+        mem_bytes: 0.0,
+        inputs,
+        outputs,
+        params: Properties::new(),
+    }
+}
+
+fn buffer(id: u32, producer: u32, consumer: u32, shape: Vec<usize>) -> LogicalBufferDesc {
+    LogicalBufferDesc {
+        id,
+        producer,
+        producer_port: "out".into(),
+        consumer,
+        consumer_port: "in".into(),
+        shape,
+        elem_bytes: 8,
+        send_striping: Striping::BY_ROWS,
+        recv_striping: Striping::BY_ROWS,
+    }
+}
+
+fn t(fn_id: u32, thread: u32) -> Task {
+    Task { fn_id, thread }
+}
+
+/// A two-stage pipeline (src -> snk, two threads each, one thread per
+/// node) that checks completely clean: the mutation base for every broken
+/// fixture.
+fn two_stage() -> GlueProgram {
+    GlueProgram {
+        app_name: "golden".into(),
+        functions: vec![
+            descriptor(
+                0,
+                "src",
+                "test.fill",
+                FnRole::Source,
+                2,
+                vec![0, 1],
+                vec![],
+                vec![0],
+            ),
+            descriptor(
+                1,
+                "snk",
+                "sink.null",
+                FnRole::Sink,
+                2,
+                vec![0, 1],
+                vec![0],
+                vec![],
+            ),
+        ],
+        buffers: vec![buffer(0, 0, 1, vec![4, 4])],
+        schedules: vec![vec![t(0, 0), t(1, 0)], vec![t(0, 1), t(1, 1)]],
+    }
+}
+
+#[test]
+fn baseline_two_stage_checks_clean() {
+    let program = two_stage();
+    let hw = HardwareShelf::cspi_with_nodes(2);
+    let diags = check_program(&program, &hw, None);
+    assert!(diags.is_empty(), "{:?}", diags.diags);
+}
+
+#[test]
+fn sage050_handoff_out_of_order() {
+    // Node 1 consumes the same-node hand-off before producing it: the exact
+    // program that dies at run time with TransferFailed (attempts: 0).
+    let mut program = two_stage();
+    program.schedules[1].reverse();
+    check_program_golden("sage050_handoff_out_of_order", &program, "SAGE050");
+}
+
+#[test]
+fn sage050_no_sender() {
+    // The producer no longer emits the buffer; both consumer threads wait
+    // for stripes nothing sends.
+    let mut program = two_stage();
+    program.functions[0].outputs.clear();
+    check_program_golden("sage050_no_sender", &program, "SAGE050");
+}
+
+#[test]
+fn sage051_duplicate_send() {
+    // A second source claims the same output buffer: every stripe tag is
+    // sent twice (SAGE051) and the function table has a double-write
+    // (SAGE053).
+    let mut program = two_stage();
+    program.functions.push(descriptor(
+        2,
+        "src2",
+        "test.fill",
+        FnRole::Source,
+        2,
+        vec![0, 1],
+        vec![],
+        vec![0],
+    ));
+    program.schedules[0].insert(0, t(2, 0));
+    program.schedules[1].insert(0, t(2, 1));
+    check_program_golden("sage051_duplicate_send", &program, "SAGE051");
+}
+
+#[test]
+fn sage052_foreign_input() {
+    // A third function reads a buffer routed to someone else: a
+    // use-before-init (SAGE052), and its receives collide with the real
+    // consumer's transfer tags (SAGE051).
+    let mut program = two_stage();
+    program.functions.push(descriptor(
+        2,
+        "spy",
+        "sink.null",
+        FnRole::Sink,
+        2,
+        vec![0, 1],
+        vec![0],
+        vec![],
+    ));
+    program.schedules[0].push(t(2, 0));
+    program.schedules[1].push(t(2, 1));
+    check_program_golden("sage052_foreign_input", &program, "SAGE052");
+}
+
+#[test]
+fn sage053_double_write() {
+    // The sink also lists the buffer as an output: one writer too many.
+    let mut program = two_stage();
+    program.functions[1].outputs.push(0);
+    check_program_golden("sage053_double_write", &program, "SAGE053");
+}
+
+#[test]
+fn sage054_degenerate_payload() {
+    let mut program = two_stage();
+    program.buffers[0].shape = vec![0, 4];
+    check_program_golden("sage054_degenerate_payload", &program, "SAGE054");
+}
+
+#[test]
+fn sage054_kernel_contract() {
+    // A three-stage pipeline whose FFT stage gets 12-sample rows: 12 is not
+    // a power of two, so Fft1d::new would panic at run time.
+    let program = GlueProgram {
+        app_name: "golden".into(),
+        functions: vec![
+            descriptor(
+                0,
+                "src",
+                "test.fill",
+                FnRole::Source,
+                2,
+                vec![0, 1],
+                vec![],
+                vec![0],
+            ),
+            descriptor(
+                1,
+                "fft",
+                "isspl.fft_rows",
+                FnRole::Compute,
+                2,
+                vec![0, 1],
+                vec![0],
+                vec![1],
+            ),
+            descriptor(
+                2,
+                "snk",
+                "sink.null",
+                FnRole::Sink,
+                2,
+                vec![0, 1],
+                vec![1],
+                vec![],
+            ),
+        ],
+        buffers: vec![buffer(0, 0, 1, vec![4, 12]), buffer(1, 1, 2, vec![4, 12])],
+        schedules: vec![
+            vec![t(0, 0), t(1, 0), t(2, 0)],
+            vec![t(0, 1), t(1, 1), t(2, 1)],
+        ],
+    };
+    check_program_golden("sage054_kernel_contract", &program, "SAGE054");
+}
+
+#[test]
+fn sage055_memory_high_water() {
+    // A 134 MB matrix striped over two 64 MB nodes: 67 MB stripes cannot
+    // fit either node's DRAM.
+    let mut program = two_stage();
+    program.buffers[0].shape = vec![4096, 4096];
+    check_program_golden("sage055_memory_high_water", &program, "SAGE055");
+}
+
+#[test]
+fn sage056_bandwidth_infeasible() {
+    // One replicated 33 MB source fanned out to four nodes: over 0.2 s of
+    // Myrinet wire time per iteration on every link.
+    let program = GlueProgram {
+        app_name: "golden".into(),
+        functions: vec![
+            descriptor(
+                0,
+                "src",
+                "test.fill",
+                FnRole::Source,
+                1,
+                vec![0],
+                vec![],
+                vec![0],
+            ),
+            descriptor(
+                1,
+                "snk",
+                "sink.null",
+                FnRole::Sink,
+                4,
+                vec![0, 1, 2, 3],
+                vec![0],
+                vec![],
+            ),
+        ],
+        buffers: vec![{
+            let mut b = buffer(0, 0, 1, vec![4096, 1024]);
+            b.send_striping = Striping::Replicated;
+            b.recv_striping = Striping::Replicated;
+            b
+        }],
+        schedules: vec![
+            vec![t(0, 0), t(1, 0)],
+            vec![t(1, 1)],
+            vec![t(1, 2)],
+            vec![t(1, 3)],
+        ],
+    };
+    check_program_golden("sage056_bandwidth_infeasible", &program, "SAGE056");
+}
+
+#[test]
+fn sage057_tag_overflow() {
+    // 1025 threads per function: thread indices no longer fit the tag's
+    // 10-bit fields, so every transfer ledger entry would alias.
+    let threads = 1025u32;
+    let all = vec![0u32; threads as usize];
+    let mut sched: Vec<Task> = (0..threads).map(|th| t(0, th)).collect();
+    sched.extend((0..threads).map(|th| t(1, th)));
+    let program = GlueProgram {
+        app_name: "golden".into(),
+        functions: vec![
+            descriptor(
+                0,
+                "src",
+                "test.fill",
+                FnRole::Source,
+                threads,
+                all.clone(),
+                vec![],
+                vec![0],
+            ),
+            descriptor(
+                1,
+                "snk",
+                "sink.null",
+                FnRole::Sink,
+                threads,
+                all,
+                vec![0],
+                vec![],
+            ),
+        ],
+        buffers: vec![{
+            let mut b = buffer(0, 0, 1, vec![2050]);
+            b.elem_bytes = 1;
+            b
+        }],
+        schedules: vec![sched],
+    };
+    check_program_golden("sage057_tag_overflow", &program, "SAGE057");
+}
+
+/// Every golden fixture uses only codes from the published registry.
+#[test]
+fn golden_fixtures_only_use_registered_codes() {
+    let dir = fixture_path("");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("expected") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            if let Some(start) = line.find("[SAGE") {
+                let code = &line[start + 1..start + 8];
+                assert!(
+                    sage_lint::code_summary(code).is_some(),
+                    "{}: unregistered code {code}",
+                    path.display()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The glue-program check driver: composes the `sage-check` abstract
+//! interpreter over a Designer model file the way `sage check` (and the
+//! pre-run auto-check) runs it.
+//!
+//! 1. load the model from s-expression text (`SAGE007` on failure);
+//! 2. run the model/mapping consistency pass — a model the generator would
+//!    reject cannot produce a program to interpret;
+//! 3. generate the glue program for an aligned placement on `nodes`
+//!    processors and abstractly interpret it against the same hardware
+//!    model (`SAGE05x` codes).
+
+use crate::codegen::{generate, CodegenError, Placement};
+use sage_check::check_program;
+use sage_lint::{model_error_diag, Diagnostic, Diagnostics, ModelSpans};
+use sage_model::HardwareShelf;
+
+/// Checks a Designer model file (s-expression source) end to end: code
+/// generation for a machine of `nodes` processors followed by abstract
+/// interpretation of the generated program.
+pub fn check_model_source(src: &str, nodes: usize) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let app = match crate::model_io::model_from_sexpr(src) {
+        Ok(app) => app,
+        Err(e) => {
+            diags.push(
+                Diagnostic::error("SAGE007", e.to_string())
+                    .with_note("fix the file syntax before any deeper analysis can run"),
+            );
+            return diags;
+        }
+    };
+    let spans = ModelSpans::index(src);
+    diags.extend(sage_lint::lint_model(&app, nodes, Some(&spans)));
+    if diags.error_count() > 0 {
+        // The generator would reject the model anyway; nothing to check.
+        return diags;
+    }
+    // Model-layer warnings (idle nodes, fan-out) belong to `sage lint`;
+    // `sage check` reports only the generated-program findings.
+    diags = Diagnostics::new();
+    let hw = HardwareShelf::cspi_with_nodes(nodes);
+    match generate(&app, &hw, &Placement::Aligned) {
+        Ok(program) => diags.extend(check_program(&program, &hw, Some(&spans))),
+        Err(CodegenError::Model(e)) => diags.push(model_error_diag(&e, Some(&spans))),
+        Err(CodegenError::Placement(m)) => {
+            diags.push(Diagnostic::error("SAGE021", m));
+        }
+        Err(CodegenError::Internal(m)) => {
+            diags.push(Diagnostic::error(
+                "SAGE041",
+                format!("malformed glue program: {m}"),
+            ));
+        }
+    }
+    diags.sort();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_io::model_to_sexpr;
+
+    #[test]
+    fn clean_model_source_checks_clean() {
+        let src = model_to_sexpr(&crate::codegen::tests::demo_app(4));
+        let d = check_model_source(&src, 4);
+        assert!(d.is_empty(), "{}", d.render("demo.sexpr", Some(&src)));
+    }
+
+    #[test]
+    fn example_models_in_tree_check_clean() {
+        for path in [
+            "../../examples/models/corner_turn_256.sexpr",
+            "../../examples/models/fft2d_64.sexpr",
+            "../../examples/models/image_filter_128.sexpr",
+            "../../examples/models/stap_128.sexpr",
+        ] {
+            let src = std::fs::read_to_string(path).expect(path);
+            let d = check_model_source(&src, 4);
+            assert!(d.is_empty(), "{path}:\n{}", d.render(path, Some(&src)));
+        }
+    }
+
+    #[test]
+    fn unloadable_source_reports_sage007() {
+        let d = check_model_source("(model \"x\"", 4);
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].code, "SAGE007");
+    }
+
+    #[test]
+    fn model_layer_errors_gate_the_program_pass() {
+        // 8 rows striped over 3 threads is a model-layer error: the check
+        // driver reports the model findings and never reaches the program
+        // pass.
+        let src = model_to_sexpr(&crate::codegen::tests::demo_app(3));
+        let d = check_model_source(&src, 3);
+        assert!(
+            d.error_count() > 0,
+            "{}",
+            d.render("demo.sexpr", Some(&src))
+        );
+        assert!(d.diags.iter().all(|x| !x.code.starts_with("SAGE05")));
+    }
+}

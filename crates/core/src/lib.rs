@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod alter_gen;
+pub mod check;
 pub mod codegen;
 pub mod emit;
 pub mod lint;
 pub mod model_io;
 pub mod project;
 
+pub use check::check_model_source;
 pub use codegen::{generate, CodegenError, Placement};
 pub use emit::render_glue_source;
 pub use lint::lint_model_source;

@@ -100,6 +100,8 @@ mod tests {
     fn example_models_in_tree_are_lint_clean() {
         for path in [
             "../../examples/models/corner_turn_256.sexpr",
+            "../../examples/models/fft2d_64.sexpr",
+            "../../examples/models/image_filter_128.sexpr",
             "../../examples/models/stap_128.sexpr",
         ] {
             let src = std::fs::read_to_string(path).expect(path);

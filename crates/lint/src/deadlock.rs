@@ -74,7 +74,25 @@ pub fn lint_program(program: &GlueProgram, spans: Option<&ModelSpans>) -> Diagno
             (b.recv_striping, cf.threads as usize, &cf.name),
         ] {
             if let Striping::Striped { dim } = striping {
-                let extent = b.shape.get(dim).copied().unwrap_or(0);
+                if dim >= b.shape.len() {
+                    diags.push(
+                        Diagnostic::error(
+                            "SAGE019",
+                            format!(
+                                "buffer {} (`{}` -> `{}`): `{who}` stripes \
+                                 dimension {dim} of a {}-D payload",
+                                b.id,
+                                pf.name,
+                                cf.name,
+                                b.shape.len()
+                            ),
+                        )
+                        .with_span_opt(spans.and_then(|s| s.block(who))),
+                    );
+                    layout_ok = false;
+                    continue;
+                }
+                let extent = b.shape[dim];
                 if threads == 0 || extent % threads != 0 {
                     diags.push(
                         Diagnostic::error(
@@ -339,6 +357,16 @@ mod tests {
         let d = lint_program(&p, None);
         assert_eq!(d.diags.len(), 2, "{:?}", d.diags); // send and recv side
         assert!(d.diags.iter().all(|x| x.code == "SAGE019"));
+    }
+
+    #[test]
+    fn out_of_range_stripe_dim_reports_sage019_not_a_panic() {
+        let mut p = two_stage([true, true]);
+        p.buffers[0].send_striping = Striping::Striped { dim: 7 };
+        let d = lint_program(&p, None);
+        assert_eq!(d.diags.len(), 1, "{:?}", d.diags);
+        assert_eq!(d.diags[0].code, "SAGE019");
+        assert!(d.diags[0].message.contains("dimension 7 of a 2-D payload"));
     }
 
     #[test]

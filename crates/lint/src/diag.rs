@@ -31,7 +31,8 @@ impl fmt::Display for Severity {
 /// Codes are append-only: once published they keep their meaning forever so
 /// tooling can match on them. 00x = Alter script analysis, 01x/02x = model
 /// and mapping validity (the Designer-era `ModelError` checks), 03x =
-/// model/hardware consistency, 04x = generated-program analysis.
+/// model/hardware consistency, 04x = generated-program analysis, 05x =
+/// glue-program abstract interpretation (`sage-check`).
 pub const CODE_TABLE: &[(&str, Severity, &str)] = &[
     ("SAGE001", Severity::Error, "unbound symbol in Alter script"),
     ("SAGE002", Severity::Error, "wrong number of arguments"),
@@ -99,6 +100,46 @@ pub const CODE_TABLE: &[(&str, Severity, &str)] = &[
         "communication deadlock in the generated schedule",
     ),
     ("SAGE041", Severity::Error, "malformed glue program"),
+    (
+        "SAGE050",
+        Severity::Error,
+        "unmatched transfer between producer and consumer tasks",
+    ),
+    (
+        "SAGE051",
+        Severity::Error,
+        "transfer tag collision or byte-count mismatch",
+    ),
+    (
+        "SAGE052",
+        Severity::Error,
+        "use of an uninitialized logical buffer",
+    ),
+    (
+        "SAGE053",
+        Severity::Error,
+        "double-write to a logical buffer",
+    ),
+    (
+        "SAGE054",
+        Severity::Error,
+        "shape or dtype violates the kernel's contract",
+    ),
+    (
+        "SAGE055",
+        Severity::Error,
+        "per-node memory high-water-mark exceeds the hardware model",
+    ),
+    (
+        "SAGE056",
+        Severity::Warning,
+        "redistribution traffic is bandwidth-infeasible",
+    ),
+    (
+        "SAGE057",
+        Severity::Error,
+        "program exceeds the transfer-tag field widths",
+    ),
 ];
 
 /// Looks up the registry summary for a code (`None` for unknown codes).
@@ -107,6 +148,225 @@ pub fn code_summary(code: &str) -> Option<&'static str> {
         .iter()
         .find(|(c, _, _)| *c == code)
         .map(|(_, _, s)| *s)
+}
+
+/// Long-form descriptions for every code in [`CODE_TABLE`], rendered by
+/// `sage explain SAGE0xx` and `sage lint --explain` so CI failures are
+/// self-documenting. One entry per published code, kept in code order.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "SAGE001",
+        "The Alter script references a symbol that is neither defined in the \
+         script nor part of the builtin library. The generator would abort at \
+         expansion time; define the symbol or fix the spelling.",
+    ),
+    (
+        "SAGE002",
+        "A call passes more or fewer arguments than the callee accepts. Both \
+         builtin and user-defined functions are checked against their declared \
+         parameter lists.",
+    ),
+    (
+        "SAGE003",
+        "A `(prop ...)` form reads a model property key that no block in the \
+         model defines. The read would evaluate to nil at generation time, \
+         which usually means a typo in the key.",
+    ),
+    (
+        "SAGE004",
+        "A binding re-uses a name that is already bound in an enclosing scope \
+         (or shadows a builtin). The inner binding wins; if that is intended, \
+         rename it to make the script unambiguous.",
+    ),
+    (
+        "SAGE005",
+        "A conditional branch can never be taken because its guard is a \
+         constant literal. The dead branch is often a leftover from editing.",
+    ),
+    (
+        "SAGE006",
+        "The Alter script does not parse: unbalanced parentheses, an \
+         unterminated string, or a malformed token. Nothing else can be \
+         analyzed until the syntax is fixed.",
+    ),
+    (
+        "SAGE007",
+        "The model file could not be loaded as a SAGE Designer s-expression: \
+         either it does not parse or a required form is missing. Fix the file \
+         before any deeper analysis can run.",
+    ),
+    (
+        "SAGE010",
+        "Two blocks in the same (flattened) scope share a name. Block names \
+         key connections, mappings, and diagnostics, so they must be unique.",
+    ),
+    (
+        "SAGE011",
+        "A connection references a port name the block does not declare.",
+    ),
+    (
+        "SAGE012",
+        "A connection runs from an input port or into an output port. \
+         Connections must go output -> input.",
+    ),
+    (
+        "SAGE013",
+        "The two ends of a connection declare different data types (element \
+         type or array shape). The runtime moves raw bytes, so mismatched \
+         declarations would silently reinterpret data.",
+    ),
+    (
+        "SAGE014",
+        "An input port is the destination of more than one connection. Every \
+         input has exactly one writer; use separate ports to merge streams.",
+    ),
+    (
+        "SAGE015",
+        "The dataflow graph contains a cycle, so no topological execution \
+         order exists. Cycles through blocks with an explicit `delay` \
+         property are reported as warnings instead.",
+    ),
+    (
+        "SAGE016",
+        "A hierarchical block declares a boundary port that no inner block \
+         port binds to, so the connection has nowhere to land after \
+         flattening.",
+    ),
+    (
+        "SAGE017",
+        "A hierarchical boundary port name matches more than one inner \
+         binding, so flattening cannot pick one.",
+    ),
+    (
+        "SAGE018",
+        "An input port has no incoming connection. The consuming kernel \
+         would read an uninitialized (all-zero) buffer every iteration.",
+    ),
+    (
+        "SAGE019",
+        "A striped port's dimension extent is not divisible by the block's \
+         thread count, so no even data distribution exists and the striping \
+         engine cannot lay the buffer out.",
+    ),
+    (
+        "SAGE020",
+        "The task mapping does not assign every (block, thread) task to a \
+         node; unmapped tasks could never be scheduled.",
+    ),
+    (
+        "SAGE021",
+        "The mapping (or placement) references a node index outside the \
+         hardware model.",
+    ),
+    (
+        "SAGE022",
+        "A block references a shelf function that the software shelf does \
+         not carry, so no cost model (and at run time no kernel) exists for \
+         it.",
+    ),
+    (
+        "SAGE023",
+        "A connection endpoint references a block id outside the model — an \
+         internal consistency failure of the model file.",
+    ),
+    (
+        "SAGE030",
+        "A striped port's thread count does not divide evenly by the node \
+         count, so the aligned placement puts unequal numbers of threads on \
+         the nodes and the load is skewed.",
+    ),
+    (
+        "SAGE031",
+        "The chosen placement leaves some nodes with no tasks at all. The \
+         machine is bigger than the model can use.",
+    ),
+    (
+        "SAGE032",
+        "One output port fans out to many consumers with a bulky payload; \
+         every consumer receives a full copy, multiplying the traffic.",
+    ),
+    (
+        "SAGE040",
+        "Tasks wait on each other in a cycle: each node executes its \
+         schedule in order, and a consumer scheduled before its producer \
+         (directly or transitively across nodes) blocks forever. The note \
+         chain lists every wait on the cycle.",
+    ),
+    (
+        "SAGE041",
+        "The generated glue program fails its structural self-checks \
+         (function ids, placements, schedule coverage, buffer endpoints). \
+         Deeper program analysis needs a well-formed program.",
+    ),
+    (
+        "SAGE050",
+        "A redistribution transfer has no matching endpoint: a task sends a \
+         stripe no scheduled task receives, a task waits for a stripe no \
+         task sends, or a same-node hand-off is consumed before the \
+         producing task runs. At run time this fails as a TransferFailed \
+         (missing hand-off) or a hang. The diagnostic names both endpoints' \
+         task paths.",
+    ),
+    (
+        "SAGE051",
+        "Two transfers collide on one tag (buffer, source thread, \
+         destination thread), or the matched send and receive disagree on \
+         the byte count. The runtime's mailbox would deliver the wrong \
+         message to one of them.",
+    ),
+    (
+        "SAGE052",
+        "A function-table entry lists an input buffer that is not routed to \
+         it (the buffer's consumer is another function), or a consumer \
+         thread's stripe is not fully covered by producer intervals. The \
+         kernel would read uninitialized bytes.",
+    ),
+    (
+        "SAGE053",
+        "A function-table entry lists an output buffer it does not produce \
+         (the buffer's producer is another function), so two writers race on \
+         one logical buffer and its transfer tags.",
+    ),
+    (
+        "SAGE054",
+        "A logical buffer or kernel invocation violates the kernel's shape \
+         or dtype contract: degenerate descriptors (zero-byte elements, \
+         zero-extent dimensions), stripe byte counts that differ between a \
+         copy-through kernel's input and output, a transpose whose output \
+         shape is not the transposed input shape, a non-power-of-two FFT \
+         length, or a non-complex element type fed to an ISSPL kernel. These \
+         fail at run time as kernel errors or panics.",
+    ),
+    (
+        "SAGE055",
+        "Walking the node's schedule, the peak of live logical-buffer bytes \
+         (task working sets plus pending same-node hand-offs) exceeds the \
+         node's modeled DRAM (`mem_mb`). The run-time allocator would \
+         overcommit physical memory.",
+    ),
+    (
+        "SAGE056",
+        "The estimated per-iteration wire time for one node's off-node \
+         redistribution traffic (bytes over the modeled link bandwidth plus \
+         per-message latency) exceeds the feasibility budget: the fabric, \
+         not computation, bounds the achievable rate.",
+    ),
+    (
+        "SAGE057",
+        "The program exceeds a transfer-tag field width (2^20 logical \
+         buffers, 2^10 threads per function). Tags would alias between \
+         distinct transfers and silently corrupt redistribution in release \
+         builds.",
+    ),
+];
+
+/// Looks up the long-form explanation for a code (`None` for unknown
+/// codes). Every code in [`CODE_TABLE`] has one.
+pub fn code_explanation(code: &str) -> Option<&'static str> {
+    EXPLANATIONS
+        .iter()
+        .find(|(c, _)| *c == code)
+        .map(|(_, e)| *e)
 }
 
 /// One finding.
@@ -373,6 +633,23 @@ mod tests {
             assert!(code.starts_with("SAGE") && code.len() == 7, "{code}");
             assert!(!summary.is_empty());
         }
+    }
+
+    #[test]
+    fn every_code_has_exactly_one_explanation() {
+        for (code, _, _) in CODE_TABLE {
+            let n = EXPLANATIONS.iter().filter(|(c, _)| c == code).count();
+            assert_eq!(n, 1, "{code} needs exactly one explanation, found {n}");
+        }
+        for (code, text) in EXPLANATIONS {
+            assert!(
+                code_summary(code).is_some(),
+                "explanation for unregistered code {code}"
+            );
+            assert!(!text.is_empty());
+        }
+        assert_eq!(code_explanation("SAGE050"), code_explanation("SAGE050"));
+        assert!(code_explanation("SAGE999").is_none());
     }
 
     #[test]

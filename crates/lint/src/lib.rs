@@ -32,6 +32,6 @@ pub mod model_spans;
 
 pub use alter_check::lint_script;
 pub use deadlock::lint_program;
-pub use diag::{code_summary, Diagnostic, Diagnostics, Severity, CODE_TABLE};
+pub use diag::{code_explanation, code_summary, Diagnostic, Diagnostics, Severity, CODE_TABLE};
 pub use model_check::{lint_mapping, lint_model, model_error_diag};
 pub use model_spans::ModelSpans;

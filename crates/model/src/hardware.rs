@@ -34,6 +34,16 @@ impl Processor {
     pub fn flops_per_sec(&self) -> f64 {
         self.clock_mhz * 1.0e6 * self.flops_per_cycle
     }
+
+    /// Local DRAM capacity in bytes.
+    pub fn mem_bytes(&self) -> f64 {
+        self.mem_mb * 1.0e6
+    }
+
+    /// Sustainable local memory bandwidth in bytes/second.
+    pub fn mem_bw_bytes_per_sec(&self) -> f64 {
+        self.mem_bw_mbps * 1.0e6
+    }
 }
 
 /// A point-to-point or fabric link characterization.
@@ -99,6 +109,18 @@ pub struct ProcessorInstance {
     pub board: usize,
     /// Index of the processor within the board.
     pub slot: usize,
+}
+
+/// The capacity envelope of one flattened compute node, in absolute units
+/// ready for feasibility checks (memory footprints, bandwidth budgets).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeCapacity {
+    /// Local DRAM capacity in bytes.
+    pub mem_bytes: f64,
+    /// Peak sustainable flop rate in flops/second.
+    pub flops_per_sec: f64,
+    /// Sustainable local memory bandwidth in bytes/second.
+    pub mem_bw_bytes_per_sec: f64,
 }
 
 impl HardwareSpec {
@@ -178,6 +200,18 @@ impl HardwareSpec {
         }
     }
 
+    /// The capacity envelope of every flattened node, in node-id order.
+    pub fn capacities(&self) -> Vec<NodeCapacity> {
+        self.flatten()
+            .into_iter()
+            .map(|n| NodeCapacity {
+                mem_bytes: n.proc.mem_bytes(),
+                flops_per_sec: n.proc.flops_per_sec(),
+                mem_bw_bytes_per_sec: n.proc.mem_bw_bytes_per_sec(),
+            })
+            .collect()
+    }
+
     /// Pairwise transfer-time matrix for a `bytes`-byte message, in seconds.
     /// The diagonal is zero (node-local handoff is a buffer swap).
     pub fn comm_matrix(&self, bytes: usize) -> Vec<Vec<f64>> {
@@ -231,6 +265,21 @@ mod tests {
     #[test]
     fn flop_rate() {
         assert_eq!(ppc().flops_per_sec(), 200.0e6);
+    }
+
+    #[test]
+    fn capacity_envelope_in_absolute_units() {
+        let p = ppc();
+        assert_eq!(p.mem_bytes(), 64.0e6);
+        assert_eq!(p.mem_bw_bytes_per_sec(), 320.0e6);
+        let hw = HardwareSpec::homogeneous("t", p, 2, 4, myrinet(), myrinet());
+        let caps = hw.capacities();
+        assert_eq!(caps.len(), 8);
+        for c in caps {
+            assert_eq!(c.mem_bytes, 64.0e6);
+            assert_eq!(c.flops_per_sec, 200.0e6);
+            assert_eq!(c.mem_bw_bytes_per_sec, 320.0e6);
+        }
     }
 
     #[test]

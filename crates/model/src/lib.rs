@@ -36,7 +36,9 @@ pub mod validate;
 pub use block::{Block, BlockKind, CostModel};
 pub use datatype::{DataType, ScalarKind};
 pub use graph::{AppGraph, Connection, Endpoint};
-pub use hardware::{Board, Chassis, FabricSpec, HardwareSpec, Processor, ProcessorInstance};
+pub use hardware::{
+    Board, Chassis, FabricSpec, HardwareSpec, NodeCapacity, Processor, ProcessorInstance,
+};
 pub use ids::{BlockId, ConnId, ProcId};
 pub use mapping::Mapping;
 pub use port::{Direction, Port, Striping};

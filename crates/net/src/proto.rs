@@ -166,6 +166,16 @@ fn write_runtime_error(w: &mut Writer, e: &RuntimeError) {
             w.u32(*node);
             w.u32(*peer);
         }
+        RuntimeError::Assembly {
+            fn_id,
+            iteration,
+            message,
+        } => {
+            w.u8(8);
+            w.u32(*fn_id);
+            w.u32(*iteration);
+            w.string(message);
+        }
     }
 }
 
@@ -193,6 +203,11 @@ fn read_runtime_error(r: &mut Reader<'_>) -> Result<RuntimeError, NetError> {
         7 => RuntimeError::Timeout {
             node: r.u32()?,
             peer: r.u32()?,
+        },
+        8 => RuntimeError::Assembly {
+            fn_id: r.u32()?,
+            iteration: r.u32()?,
+            message: r.string()?,
         },
         other => return Err(NetError::Protocol(format!("bad error code {other}"))),
     })
@@ -446,6 +461,11 @@ mod tests {
                 attempts: 3,
             },
             RuntimeError::Timeout { node: 1, peer: 2 },
+            RuntimeError::Assembly {
+                fn_id: 1,
+                iteration: 2,
+                message: "short stripe".into(),
+            },
         ];
         for e in errs {
             let mut w = Writer(Vec::new());

@@ -48,13 +48,51 @@ impl SinkResults {
     /// stitching its threads' stripes back together via the sink's input
     /// striping.
     pub fn assemble(&self, program: &GlueProgram, fn_id: u32, iteration: u32) -> Option<Vec<u8>> {
-        let f = program.functions.get(fn_id as usize)?;
-        let bid = *f.inputs.first()?;
-        let desc = &program.buffers[bid as usize];
+        self.try_assemble(program, fn_id, iteration).ok()
+    }
+
+    /// [`SinkResults::assemble`] with a typed error instead of `None`: every
+    /// way reassembly can fail (unknown function, missing stripe, stripe
+    /// shorter than its layout, unstripeable descriptor) reports what went
+    /// wrong as a [`RuntimeError::Assembly`].
+    pub fn try_assemble(
+        &self,
+        program: &GlueProgram,
+        fn_id: u32,
+        iteration: u32,
+    ) -> Result<Vec<u8>, RuntimeError> {
+        let err = |message: String| RuntimeError::Assembly {
+            fn_id,
+            iteration,
+            message,
+        };
+        let f = program
+            .functions
+            .get(fn_id as usize)
+            .ok_or_else(|| err(format!("no function {fn_id} in the table")))?;
+        let bid = *f
+            .inputs
+            .first()
+            .ok_or_else(|| err("function has no input buffer".into()))?;
+        let desc = program
+            .buffers
+            .get(bid as usize)
+            .ok_or_else(|| err(format!("input buffer {bid} not in the buffer table")))?;
+        if let sage_model::Striping::Striped { dim } = desc.recv_striping {
+            let threads = f.threads as usize;
+            if dim >= desc.shape.len() || threads == 0 || desc.shape[dim] % threads != 0 {
+                return Err(err(format!(
+                    "stripe dimension {dim} of shape {:?} does not divide over {} threads",
+                    desc.shape, f.threads
+                )));
+            }
+        }
         let total = desc.total_bytes();
         let mut full = vec![0u8; total];
         for t in 0..f.threads {
-            let stripe = self.stripe(fn_id, iteration, t)?;
+            let stripe = self
+                .stripe(fn_id, iteration, t)
+                .ok_or_else(|| err(format!("thread {t} deposited no stripe")))?;
             let layout = Layout::of_thread(
                 &desc.shape,
                 desc.elem_bytes,
@@ -62,13 +100,20 @@ impl SinkResults {
                 f.threads as usize,
                 t as usize,
             );
+            if stripe.len() != layout.len() {
+                return Err(err(format!(
+                    "thread {t} deposited {} bytes, its layout covers {}",
+                    stripe.len(),
+                    layout.len()
+                )));
+            }
             let mut cursor = 0;
             for &(s, e) in layout.runs() {
                 full[s..e].copy_from_slice(&stripe[cursor..cursor + (e - s)]);
                 cursor += e - s;
             }
         }
-        Some(full)
+        Ok(full)
     }
 
     /// Records a deposited stripe. Distributed launchers use this to merge
@@ -135,6 +180,34 @@ pub struct Prepared {
 /// every buffer's redistribution.
 pub fn prepare(program: &GlueProgram, registry: &Registry) -> Result<Prepared, RuntimeError> {
     program.validate().map_err(RuntimeError::BadProgram)?;
+    // Striping must be plannable before Redistribution::plan walks it; a
+    // hand-built program with an out-of-range or indivisible stripe is a
+    // typed error, not a panic.
+    for b in &program.buffers {
+        let pf = &program.functions[b.producer as usize];
+        let cf = &program.functions[b.consumer as usize];
+        for (who, striping, threads) in [
+            ("producer", b.send_striping, pf.threads as usize),
+            ("consumer", b.recv_striping, cf.threads as usize),
+        ] {
+            if let sage_model::Striping::Striped { dim } = striping {
+                if dim >= b.shape.len() {
+                    return Err(RuntimeError::BadProgram(format!(
+                        "buffer {}: {who} stripes dimension {dim} of a {}-D payload",
+                        b.id,
+                        b.shape.len()
+                    )));
+                }
+                if threads == 0 || b.shape[dim] % threads != 0 {
+                    return Err(RuntimeError::BadProgram(format!(
+                        "buffer {}: dimension {dim} extent {} not divisible by \
+                         {who}'s {threads} threads",
+                        b.id, b.shape[dim]
+                    )));
+                }
+            }
+        }
+    }
     // Resolve every kernel up front.
     let mut kernels = Vec::with_capacity(program.functions.len());
     for f in &program.functions {
@@ -354,12 +427,20 @@ pub fn execute_rank<T: Transport>(
                     let src_node = producer.placement[i];
                     let tag = xfer_tag(bid, iter, i as u32, task.thread);
                     let msg = if src_node == node {
-                        local_store.remove(&tag).unwrap_or_else(|| {
-                            panic!(
-                                "node {node}: missing local hand-off for buffer {bid} \
-                                 (iter {iter}, {i}->{tid}); schedule out of order?"
-                            )
-                        })
+                        match local_store.remove(&tag) {
+                            Some(m) => m,
+                            None => {
+                                // The producing task has not run yet on this
+                                // node: the schedule is out of order. Nothing
+                                // was ever sent, so zero attempts were made.
+                                probe.fault(ctx.now(), bid, iter);
+                                return Err(RuntimeError::TransferFailed {
+                                    node,
+                                    peer: src_node,
+                                    attempts: 0,
+                                });
+                            }
+                        }
                     } else {
                         let m = ctx.try_recv(src_node as usize, tag).map_err(|e| {
                             probe.fault(ctx.now(), bid, iter);
@@ -711,6 +792,71 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, RuntimeError::BadProgram(_)));
+    }
+
+    #[test]
+    fn out_of_order_schedule_is_typed_transfer_failure() {
+        // Consumer scheduled before its same-node producer: the hand-off is
+        // consumed before it exists. Must be a typed error, not a panic.
+        let mut program = pipeline_program(2, 4, 4);
+        program.schedules[0].reverse();
+        program.schedules[1].reverse();
+        let err = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &fill_registry(),
+            &RuntimeOptions::paper_faithful(),
+            1,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::TransferFailed { attempts: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("never materialized"), "{err}");
+    }
+
+    #[test]
+    fn indivisible_striping_rejected_up_front() {
+        // 5 rows over 2 threads cannot stripe; prepare must reject it
+        // instead of panicking inside the striping engine.
+        let mut program = pipeline_program(2, 4, 4);
+        program.buffers[0].shape = vec![5, 4];
+        program.buffers[1].shape = vec![5, 4];
+        let err = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &fill_registry(),
+            &RuntimeOptions::paper_faithful(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::BadProgram(_)), "{err}");
+        assert!(err.to_string().contains("not divisible"), "{err}");
+    }
+
+    #[test]
+    fn try_assemble_reports_missing_stripes() {
+        let program = pipeline_program(2, 4, 4);
+        let results = SinkResults::default();
+        let err = results.try_assemble(&program, 2, 0).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Assembly { fn_id: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("no stripe"), "{err}");
+        // Short stripe: deposited bytes disagree with the layout.
+        let mut results = SinkResults::default();
+        for t in 0..2 {
+            results.insert(2, 0, t, vec![0u8; 3]);
+        }
+        let err = results.try_assemble(&program, 2, 0).unwrap_err();
+        assert!(err.to_string().contains("layout covers"), "{err}");
+        // Unknown function id.
+        let err = results.try_assemble(&program, 9, 0).unwrap_err();
+        assert!(err.to_string().contains("no function"), "{err}");
     }
 
     #[test]

@@ -116,6 +116,15 @@ pub enum RuntimeError {
         /// The expected source node.
         peer: u32,
     },
+    /// Sink output could not be assembled from the deposited stripes.
+    Assembly {
+        /// The sink function id.
+        fn_id: u32,
+        /// The iteration being assembled.
+        iteration: u32,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -136,13 +145,33 @@ impl fmt::Display for RuntimeError {
                 node,
                 peer,
                 attempts,
-            } => write!(
-                f,
-                "node {node}: transfer to {peer} still dropped after {attempts} attempts"
-            ),
+            } => {
+                if *attempts == 0 {
+                    // A same-node hand-off that was consumed before it was
+                    // produced: nothing was ever sent, so no retries ran.
+                    write!(
+                        f,
+                        "node {node}: hand-off from node {peer} never materialized \
+                         (schedule out of order?)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "node {node}: transfer to {peer} still dropped after {attempts} attempts"
+                    )
+                }
+            }
             RuntimeError::Timeout { node, peer } => {
                 write!(f, "node {node} timed out waiting on node {peer}")
             }
+            RuntimeError::Assembly {
+                fn_id,
+                iteration,
+                message,
+            } => write!(
+                f,
+                "sink assembly failed for function {fn_id} iteration {iteration}: {message}"
+            ),
         }
     }
 }

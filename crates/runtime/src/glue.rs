@@ -118,6 +118,34 @@ impl GlueProgram {
         self.functions[t.fn_id as usize].placement[t.thread as usize]
     }
 
+    /// Where a task sits in its node's schedule: `(node, slot)` if it is
+    /// scheduled, `None` otherwise.
+    pub fn schedule_slot(&self, t: Task) -> Option<(u32, usize)> {
+        for (node, sched) in self.schedules.iter().enumerate() {
+            if let Some(slot) = sched.iter().position(|s| *s == t) {
+                return Some((node as u32, slot));
+            }
+        }
+        None
+    }
+
+    /// A human-readable path for a task: name, thread, and where it runs
+    /// (`` `fft[1]` (node 0, slot 3)``). Used by diagnostics to name the two
+    /// endpoints of a transfer.
+    pub fn task_path(&self, t: Task) -> String {
+        let name = self
+            .functions
+            .get(t.fn_id as usize)
+            .map(|f| f.name.as_str())
+            .unwrap_or("?");
+        match self.schedule_slot(t) {
+            Some((node, slot)) => {
+                format!("`{name}[{}]` (node {node}, slot {slot})", t.thread)
+            }
+            None => format!("`{name}[{}]` (unscheduled)", t.thread),
+        }
+    }
+
     /// Consistency checks: placements in range, schedules cover exactly the
     /// task set, buffer endpoints valid.
     pub fn validate(&self) -> Result<(), String> {
@@ -290,6 +318,23 @@ mod tests {
         let mut p = tiny_program();
         p.functions[0].placement[0] = 9;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn task_paths_name_node_and_slot() {
+        let p = tiny_program();
+        let t = Task {
+            fn_id: 1,
+            thread: 1,
+        };
+        assert_eq!(p.schedule_slot(t), Some((1, 1)));
+        assert_eq!(p.task_path(t), "`snk[1]` (node 1, slot 1)");
+        let ghost = Task {
+            fn_id: 0,
+            thread: 7,
+        };
+        assert_eq!(p.schedule_slot(ghost), None);
+        assert_eq!(p.task_path(ghost), "`src[7]` (unscheduled)");
     }
 
     #[test]

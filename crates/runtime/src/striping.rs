@@ -248,6 +248,25 @@ impl Redistribution {
             .map(|(s, e)| e - s)
             .sum()
     }
+
+    /// Bytes moved by one (producer thread, consumer thread) pair, or 0 if
+    /// either index is out of range.
+    pub fn pair_bytes(&self, i: usize, j: usize) -> usize {
+        self.pairs
+            .get(i)
+            .and_then(|row| row.get(j))
+            .map(|iv| iv.iter().map(|(s, e)| e - s).sum())
+            .unwrap_or(0)
+    }
+
+    /// Bytes arriving at consumer thread `j` across every producer thread.
+    /// Transmitting source layouts are disjoint (striped layouts partition
+    /// the payload; replicated producers send only from thread 0), so the
+    /// sum equals the union and comparing it against `dst[j].len()` decides
+    /// whether the consumer's stripe is fully covered.
+    pub fn incoming_bytes(&self, j: usize) -> usize {
+        (0..self.pairs.len()).map(|i| self.pair_bytes(i, j)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +435,25 @@ mod tests {
             for i in 1..3 {
                 assert!(r.pairs[i][j].is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn pair_and_incoming_bytes_cover_consumer_stripes() {
+        let r = Redistribution::plan(&[8, 8], ELEM, Striping::BY_ROWS, 4, Striping::BY_COLS, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(r.pair_bytes(i, j), 4 * ELEM);
+            }
+        }
+        assert_eq!(r.pair_bytes(9, 0), 0);
+        for j in 0..4 {
+            assert_eq!(r.incoming_bytes(j), r.dst[j].len());
+        }
+        // Replicated producer: union over senders still covers each stripe.
+        let r = Redistribution::plan(&[4, 4], ELEM, Striping::Replicated, 3, Striping::BY_ROWS, 2);
+        for j in 0..2 {
+            assert_eq!(r.incoming_bytes(j), r.dst[j].len());
         }
     }
 

@@ -1,7 +1,9 @@
 //! `sage` — command-line driver for the tool suite.
 //!
 //! ```console
-//! $ sage lint     model.sexpr --nodes 8 [--deny-warnings] [--format json]
+//! $ sage lint     model.sexpr --nodes 8 [--deny-warnings] [--format json] [--explain]
+//! $ sage check    model.sexpr --nodes 8 [--deny-warnings] [--format json] [--explain]
+//! $ sage explain  SAGE050                     # long-form diagnostic description
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
@@ -17,12 +19,15 @@
 //! `run` registers the ISSPL kernel library, so any model whose blocks
 //! reference those kernels executes end to end. `codegen`, `run`, and
 //! `launch` lint the model first and refuse to proceed past error-severity
-//! findings. `run --transport tcp` and `launch` execute each rank in its
-//! own OS process over loopback TCP; `worker` is the per-rank daemon they
-//! spawn (it can also be started by hand on remote hosts).
+//! findings; `run` and `launch` then abstractly interpret the generated
+//! glue program (`sage check`) before executing it, on either transport.
+//! `run --transport tcp` and `launch` execute each rank in its own OS
+//! process over loopback TCP; `worker` is the per-rank daemon they spawn
+//! (it can also be started by hand on remote hosts).
 
 use sage::prelude::*;
-use sage_core::{lint_model_source, model_from_sexpr, model_io, Project};
+use sage_core::{check_model_source, lint_model_source, model_from_sexpr, model_io, Project};
+use sage_lint::Diagnostics;
 use sage_net::{LaunchOptions, LaunchOutcome};
 use sage_runtime::{FnRole, GlueProgram, SinkResults};
 use sage_visualizer::{export, gantt, report, Analysis, Trace};
@@ -30,7 +35,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sage lint <model.sexpr>... [--nodes N] [--deny-warnings] [--format json]\n  \
+        "usage:\n  sage lint <model.sexpr>... [--nodes N] [--deny-warnings] [--format json] [--explain]\n  \
+         sage check <model.sexpr>... [--nodes N] [--deny-warnings] [--format json] [--explain]\n  \
+         sage explain [SAGE0xx]...\n  \
          sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
          sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n           \
          [--transport local|tcp] [--dump-sink FILE] [--trace FILE]\n  \
@@ -90,11 +97,17 @@ fn load_model(path: &str) -> Result<AppGraph, String> {
     model_from_sexpr(&text).map_err(|e| e.to_string())
 }
 
-/// `sage lint`: run the full static-analysis suite over one or more model
-/// files. Errors (and warnings under `--deny-warnings`) fail the run.
-fn cmd_lint(args: &Args) -> Result<(), String> {
+/// Shared driver for `sage lint` and `sage check`: run `analyze` over one
+/// or more model files. Errors (and warnings under `--deny-warnings`) fail
+/// the run; `--explain` appends the long-form description of every code
+/// that fired.
+fn analyze_files(
+    what: &str,
+    args: &Args,
+    analyze: &dyn Fn(&str, usize) -> Diagnostics,
+) -> Result<(), String> {
     if args.positional.is_empty() {
-        return Err("lint needs at least one model file".into());
+        return Err(format!("{what} needs at least one model file"));
     }
     let nodes = args.usize_or("nodes", 4);
     let deny_warnings = args.has("deny-warnings");
@@ -104,10 +117,11 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         Some(other) => return Err(format!("unknown --format `{other}` (text|json)")),
     };
     let mut failed = 0usize;
+    let mut fired: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for path in &args.positional {
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let diags = lint_model_source(&source, nodes);
+        let diags = analyze(&source, nodes);
         if json {
             println!("{}", diags.to_json(path, Some(&source)));
         } else if diags.is_empty() {
@@ -116,15 +130,76 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
             eprint!("{}", diags.render(path, Some(&source)));
             eprintln!("{path}: {}", diags.summary());
         }
+        if args.has("explain") {
+            fired.extend(diags.diags.iter().map(|d| d.code.to_string()));
+        }
         if diags.fails(deny_warnings) {
             failed += 1;
         }
     }
+    for code in &fired {
+        eprintln!();
+        explain_code(code)?;
+    }
     if failed > 0 {
         return Err(format!(
-            "lint failed for {failed} of {} file(s)",
+            "{what} failed for {failed} of {} file(s)",
             args.positional.len()
         ));
+    }
+    Ok(())
+}
+
+/// `sage lint`: the model- and script-layer static-analysis suite.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    analyze_files("lint", args, &|src, nodes| lint_model_source(src, nodes))
+}
+
+/// `sage check`: abstract interpretation of the glue program the model
+/// generates — transfer matching, shape propagation, capacity feasibility.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    analyze_files("check", args, &|src, nodes| check_model_source(src, nodes))
+}
+
+/// Prints one code's registry entry and long-form description to stderr.
+fn explain_code(code: &str) -> Result<(), String> {
+    let code = code.to_ascii_uppercase();
+    let Some((_, severity, summary)) = sage_lint::CODE_TABLE.iter().find(|(c, _, _)| *c == code)
+    else {
+        return Err(format!(
+            "unknown diagnostic code `{code}` (run `sage explain` for the full registry)"
+        ));
+    };
+    let severity = match severity {
+        sage_lint::Severity::Error => "error",
+        sage_lint::Severity::Warning => "warning",
+    };
+    eprintln!("{code} ({severity}): {summary}");
+    if let Some(text) = sage_lint::code_explanation(&code) {
+        eprintln!("  {text}");
+    }
+    Ok(())
+}
+
+/// `sage explain SAGE0xx...`: long-form diagnostic descriptions; with no
+/// arguments, lists the whole registry.
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        for (code, severity, summary) in sage_lint::CODE_TABLE {
+            let severity = match severity {
+                sage_lint::Severity::Error => "error",
+                sage_lint::Severity::Warning => "warning",
+            };
+            eprintln!("{code} ({severity}): {summary}");
+        }
+        eprintln!("\nrun `sage explain <code>` for the long-form description");
+        return Ok(());
+    }
+    for (i, code) in args.positional.iter().enumerate() {
+        if i > 0 {
+            eprintln!();
+        }
+        explain_code(code)?;
     }
     Ok(())
 }
@@ -140,6 +215,26 @@ fn auto_lint(path: &str, source: &str, nodes: usize) -> Result<(), String> {
     if diags.error_count() > 0 {
         return Err(format!(
             "model fails lint ({}); fix the findings above or run `sage lint {path}` for details",
+            diags.summary()
+        ));
+    }
+    eprintln!("warning: continuing despite {}", diags.summary());
+    Ok(())
+}
+
+/// Pre-flight abstract interpretation of the generated glue program before
+/// `run`/`launch`, on either transport: errors abort (the program would
+/// fail or deadlock at run time), warnings print and execution proceeds.
+fn auto_check(path: &str, source: &str, nodes: usize) -> Result<(), String> {
+    let diags = check_model_source(source, nodes);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    eprint!("{}", diags.render(path, Some(source)));
+    if diags.error_count() > 0 {
+        return Err(format!(
+            "generated program fails check ({}); fix the findings above or run \
+             `sage check {path}` for details",
             diags.summary()
         ));
     }
@@ -288,6 +383,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let nodes = args.usize_or("nodes", 4);
     auto_lint(path, &text, nodes)?;
+    auto_check(path, &text, nodes)?;
     let iters = args.usize_or("iters", 3) as u32;
     match args.get("transport") {
         None | Some("local") => {}
@@ -366,6 +462,7 @@ fn cmd_launch(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let workers = args.usize_or("workers", 4);
     auto_lint(path, &text, workers)?;
+    auto_check(path, &text, workers)?;
     let iters = args.usize_or("iters", 3) as u32;
     run_over_tcp(args, &text, workers, iters)
 }
@@ -393,6 +490,8 @@ fn main() -> ExitCode {
     let args = Args::parse(&raw[1..]);
     let result = match cmd.as_str() {
         "lint" => cmd_lint(&args),
+        "check" => cmd_check(&args),
+        "explain" => cmd_explain(&args),
         "inspect" => cmd_inspect(&args),
         "codegen" => cmd_codegen(&args),
         "run" => cmd_run(&args),

@@ -37,6 +37,7 @@
 pub use sage_alter as alter;
 pub use sage_apps as apps;
 pub use sage_atot as atot;
+pub use sage_check as check;
 pub use sage_core as core;
 pub use sage_fabric as fabric;
 pub use sage_lint as lint;

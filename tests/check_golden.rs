@@ -1,0 +1,212 @@
+//! Golden-file and acceptance tests for whole-model-source `sage check`:
+//! the front end in `sage_core::check_model_source` ties the s-expression
+//! loader, the model-layer gate, code generation, and the abstract
+//! interpreter together, so the rendered output here covers spans resolved
+//! against the model file.
+//!
+//! Program-level goldens live in `crates/check/tests/golden.rs`.
+//! Regenerate after an intentional rendering change with
+//! `UPDATE_GOLDEN=1 cargo test --test check_golden`.
+
+use sage_core::{check_model_source, lint_model_source};
+use sage_model::{HardwareShelf, Properties, Striping};
+use sage_runtime::{
+    execute, FnRole, FnThreadCtx, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Registry,
+    RuntimeError, RuntimeOptions, Task,
+};
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(&format!("{name}.expected"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with UPDATE_GOLDEN=1 to create)"));
+    assert_eq!(
+        actual, expected,
+        "rendered output for `{name}` drifted from its golden file; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Loads `<name>.sexpr`, checks it at `nodes`, asserts `expect_code`
+/// fired, and golden-checks the rendering.
+fn check_model_golden(name: &str, nodes: usize, expect_code: &str) {
+    let src = std::fs::read_to_string(fixture_path(&format!("{name}.sexpr"))).unwrap();
+    let diags = check_model_source(&src, nodes);
+    assert!(
+        diags.diags.iter().any(|d| d.code == expect_code),
+        "{name}: expected {expect_code}, got {:?}",
+        diags.diags
+    );
+    check_golden(name, &diags.render(&format!("{name}.sexpr"), Some(&src)));
+}
+
+/// The model-layer lint has no opinion on kernel FFT lengths, but the
+/// abstract interpreter rejects the program the model generates.
+#[test]
+fn fft_not_pow2_lints_clean_but_fails_check() {
+    let src = std::fs::read_to_string(fixture_path("fft_not_pow2.sexpr")).unwrap();
+    let lint = lint_model_source(&src, 4);
+    assert!(
+        lint.is_empty(),
+        "lint should accept it:\n{}",
+        lint.render("fft_not_pow2.sexpr", Some(&src))
+    );
+    check_model_golden("fft_not_pow2", 4, "SAGE054");
+}
+
+#[test]
+fn overweight_matrix_exceeds_node_memory() {
+    check_model_golden("overweight_matrix", 4, "SAGE055");
+}
+
+#[test]
+fn bandwidth_fanout_warns_but_does_not_fail() {
+    let src = std::fs::read_to_string(fixture_path("bandwidth_fanout.sexpr")).unwrap();
+    let diags = check_model_source(&src, 4);
+    // A feasibility hazard, not a hard error: plain check passes, strict
+    // (`--deny-warnings`, as CI runs it) fails.
+    assert!(!diags.fails(false), "{:?}", diags.diags);
+    assert!(diags.fails(true));
+    check_model_golden("bandwidth_fanout", 4, "SAGE056");
+}
+
+/// Every committed example model passes `sage check` exactly as CI runs it
+/// (`--deny-warnings` at the default node count).
+#[test]
+fn committed_example_models_check_clean() {
+    let dir = format!("{}/examples/models", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("sexpr") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let diags = check_model_source(&src, 4);
+        assert!(
+            diags.is_empty(),
+            "{}:\n{}",
+            path.display(),
+            diags.render(&path.display().to_string(), Some(&src))
+        );
+    }
+    assert!(seen >= 4, "expected the committed models, found {seen}");
+}
+
+/// src -> snk on two nodes, one thread per node, with node 1's schedule
+/// reversed: the same-node hand-off there is consumed before it exists.
+fn out_of_order_program() -> GlueProgram {
+    let t = |fn_id: u32, thread: u32| Task { fn_id, thread };
+    GlueProgram {
+        app_name: "acceptance".into(),
+        functions: vec![
+            FunctionDescriptor {
+                id: 0,
+                name: "src".into(),
+                function: "test.fill".into(),
+                role: FnRole::Source,
+                threads: 2,
+                placement: vec![0, 1],
+                flops: 0.0,
+                mem_bytes: 0.0,
+                inputs: vec![],
+                outputs: vec![0],
+                params: Properties::new(),
+            },
+            FunctionDescriptor {
+                id: 1,
+                name: "snk".into(),
+                function: "sink.null".into(),
+                role: FnRole::Sink,
+                threads: 2,
+                placement: vec![0, 1],
+                flops: 0.0,
+                mem_bytes: 0.0,
+                inputs: vec![0],
+                outputs: vec![],
+                params: Properties::new(),
+            },
+        ],
+        buffers: vec![LogicalBufferDesc {
+            id: 0,
+            producer: 0,
+            producer_port: "out".into(),
+            consumer: 1,
+            consumer_port: "in".into(),
+            shape: vec![4, 4],
+            elem_bytes: 8,
+            send_striping: Striping::BY_ROWS,
+            recv_striping: Striping::BY_ROWS,
+        }],
+        schedules: vec![
+            vec![t(0, 0), t(1, 0)], // node 0: in order
+            vec![t(1, 1), t(0, 1)], // node 1: consumer first
+        ],
+    }
+}
+
+/// The acceptance contract for the abstract interpreter: a program that
+/// dies at run time with `TransferFailed` is rejected *statically*, with a
+/// `SAGE050` naming both endpoints' task paths.
+#[test]
+fn check_statically_rejects_what_fails_at_runtime_as_transfer_failed() {
+    let program = out_of_order_program();
+
+    // Dynamically: the executor hits the missing hand-off and fails typed.
+    let mut registry = Registry::new();
+    registry.register("test.fill", |ctx: &mut FnThreadCtx<'_>| {
+        for o in ctx.outputs.iter_mut() {
+            o.bytes.fill(ctx.thread as u8);
+        }
+        Ok(())
+    });
+    let machine = sage_fabric::MachineSpec::uniform(
+        "t",
+        2,
+        sage_fabric::NodeSpec {
+            flops_per_sec: 1.0e9,
+            mem_bw: 1.0e9,
+        },
+        sage_fabric::LinkSpec {
+            bandwidth: 1.0e8,
+            latency: 10.0e-6,
+        },
+    );
+    let err = execute(
+        &program,
+        &machine,
+        sage_fabric::TimePolicy::Virtual,
+        &registry,
+        &RuntimeOptions::paper_faithful(),
+        1,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::TransferFailed { attempts: 0, .. }),
+        "{err}"
+    );
+
+    // Statically: the interpreter reports the same failure as SAGE050,
+    // naming both the consuming and the producing task's schedule slots.
+    let hw = HardwareShelf::cspi_with_nodes(2);
+    let diags = sage_check::check_program(&program, &hw, None);
+    let d = diags
+        .diags
+        .iter()
+        .find(|d| d.code == "SAGE050")
+        .unwrap_or_else(|| panic!("expected SAGE050, got {:?}", diags.diags));
+    assert!(
+        d.message.contains("`snk[1]` (node 1, slot 0)")
+            && d.message.contains("`src[1]` (node 1, slot 1)"),
+        "finding must name both endpoints' task paths: {}",
+        d.message
+    );
+}
