@@ -19,6 +19,8 @@
 //! Criterion benches (`cargo bench`) cover the same points with
 //! statistical repetition.
 
+pub mod trajectory;
+
 use sage_apps::experiment::{BenchApp, Table1Cell};
 
 /// The paper's array sizes for Table 1.0.

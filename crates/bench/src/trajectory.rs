@@ -1,0 +1,404 @@
+//! The `sage bench` performance-trajectory harness.
+//!
+//! Runs the four committed example models on both transports (in-process
+//! local fabric, multi-process loopback TCP) and both data planes (the
+//! copy-heavy baseline the executor shipped with, and the zero-copy
+//! shared-payload path), reporting wall-clock latency per iteration, bytes
+//! moved, and effective bandwidth from the fabric's own counters. The
+//! results serialize to `BENCH_runtime.json` (hand-rolled writer/parser —
+//! the workspace is offline, no serde), and committed snapshots gate CI:
+//! a quick re-run must stay within [`DEFAULT_TOLERANCE`] of the recorded
+//! bandwidth.
+
+use sage_core::{model_from_sexpr, Placement, Project};
+use sage_fabric::TimePolicy;
+use sage_model::HardwareShelf;
+use sage_net::{launch, LaunchOptions, Spawner};
+use sage_runtime::{FnRole, GlueProgram, RuntimeOptions, SinkResults};
+
+/// The committed example models `sage bench` sweeps, as
+/// `(name, path from the repo root)`.
+pub const BENCH_MODELS: [(&str, &str); 4] = [
+    ("fft2d_64", "examples/models/fft2d_64.sexpr"),
+    ("corner_turn_256", "examples/models/corner_turn_256.sexpr"),
+    ("image_filter_128", "examples/models/image_filter_128.sexpr"),
+    ("stap_128", "examples/models/stap_128.sexpr"),
+];
+
+/// Ranks (local nodes or worker processes) each bench run uses.
+pub const BENCH_NODES: usize = 4;
+
+/// Bandwidth regression tolerated by [`check_regression`]: a run must
+/// reach at least `1 - DEFAULT_TOLERANCE` of the committed bandwidth.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Measured executions per local cell: one untimed warm-up, then the
+/// fastest of this many timed runs wins. Sub-millisecond cells are at the
+/// mercy of the scheduler; best-of-N is what keeps the CI gate honest.
+const LOCAL_REPEATS: usize = 3;
+
+/// Iterations per bench run, honouring `SAGE_QUICK`.
+pub fn bench_iterations() -> u32 {
+    if std::env::var("SAGE_QUICK").is_ok() {
+        8
+    } else {
+        24
+    }
+}
+
+/// One measured (model, transport, data-plane) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Model name (`fft2d_64`, ...).
+    pub model: String,
+    /// `"local"` or `"tcp"`.
+    pub transport: String,
+    /// `"copy"` (baseline) or `"zero-copy"`.
+    pub data_plane: String,
+    /// Ranks the run used.
+    pub nodes: usize,
+    /// Iterations (data sets) executed.
+    pub iterations: u32,
+    /// Total wall-clock seconds inside the executor.
+    pub wall_secs: f64,
+    /// Wall milliseconds per iteration.
+    pub ms_per_iter: f64,
+    /// Bytes moved through the fabric (local: all messages; tcp: framed
+    /// wire traffic).
+    pub bytes_moved: u64,
+    /// Messages moved through the fabric.
+    pub messages: u64,
+    /// Effective bandwidth: `bytes_moved / wall_secs`, in MiB/s.
+    pub bandwidth_mib_s: f64,
+    /// Assembled sink output length over all iterations.
+    pub sink_bytes: u64,
+    /// FNV-1a-64 over the assembled sink output — bit-identical across
+    /// transports and data planes or the run is wrong.
+    pub checksum: u64,
+}
+
+/// FNV-1a 64-bit (same fingerprint the `sage` CLI prints after runs).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Concatenates every sink's assembled output over all iterations in
+/// (function id, iteration) order — the canonical byte stream every
+/// backend must agree on bit-for-bit.
+pub fn sink_stream(program: &GlueProgram, results: &SinkResults, iterations: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in &program.functions {
+        if f.role != FnRole::Sink {
+            continue;
+        }
+        for iter in 0..iterations {
+            if let Some(full) = results.assemble(program, f.id, iter) {
+                out.extend_from_slice(&full);
+            }
+        }
+    }
+    out
+}
+
+fn data_plane_name(copy_baseline: bool) -> &'static str {
+    if copy_baseline {
+        "copy"
+    } else {
+        "zero-copy"
+    }
+}
+
+/// The raw quantities one timed run yields before derivation.
+struct RawRun {
+    wall_secs: f64,
+    bytes_moved: u64,
+    messages: u64,
+}
+
+fn make_result(
+    model: &str,
+    transport: &str,
+    copy_baseline: bool,
+    iterations: u32,
+    raw: RawRun,
+    sink: &[u8],
+) -> BenchResult {
+    let wall = raw.wall_secs.max(1e-9);
+    BenchResult {
+        model: model.to_string(),
+        transport: transport.to_string(),
+        data_plane: data_plane_name(copy_baseline).to_string(),
+        nodes: BENCH_NODES,
+        iterations,
+        wall_secs: raw.wall_secs,
+        ms_per_iter: wall * 1e3 / f64::from(iterations.max(1)),
+        bytes_moved: raw.bytes_moved,
+        messages: raw.messages,
+        bandwidth_mib_s: raw.bytes_moved as f64 / wall / (1024.0 * 1024.0),
+        sink_bytes: sink.len() as u64,
+        checksum: fnv1a_64(sink),
+    }
+}
+
+/// Benches one model on the in-process local fabric (real clock).
+pub fn bench_local(
+    name: &str,
+    model_text: &str,
+    iterations: u32,
+    copy_baseline: bool,
+) -> Result<BenchResult, String> {
+    let model = model_from_sexpr(model_text).map_err(|e| e.to_string())?;
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(BENCH_NODES));
+    sage_apps::kernels::register_kernels(&mut project.registry);
+    let options = RuntimeOptions::paper_faithful().with_copy_baseline(copy_baseline);
+    let (program, _) = project
+        .generate(&Placement::Aligned)
+        .map_err(|e| e.to_string())?;
+    // Warm-up run (discarded), then best-of-N: the counters and sink bytes
+    // are deterministic across repeats, only the wall clock varies.
+    let mut best = None;
+    for rep in 0..=LOCAL_REPEATS {
+        let exec = project
+            .execute(&program, TimePolicy::Real, &options, iterations)
+            .map_err(|e| e.to_string())?;
+        if rep == 0 {
+            continue;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b: &sage_runtime::Execution| exec.report.wall < b.report.wall)
+        {
+            best = Some(exec);
+        }
+    }
+    let exec = best.expect("at least one timed bench run");
+    let sink = sink_stream(&program, &exec.results, iterations);
+    let raw = RawRun {
+        wall_secs: exec.report.wall.as_secs_f64(),
+        bytes_moved: exec.report.metrics.total_bytes(),
+        messages: exec.report.metrics.total_messages(),
+    };
+    Ok(make_result(
+        name,
+        "local",
+        copy_baseline,
+        iterations,
+        raw,
+        &sink,
+    ))
+}
+
+/// Benches one model across worker processes over loopback TCP. `spawn`
+/// starts the per-rank worker (the `sage` binary re-spawns itself).
+pub fn bench_tcp(
+    name: &str,
+    model_text: &str,
+    iterations: u32,
+    copy_baseline: bool,
+    spawn: &Spawner<'_>,
+) -> Result<BenchResult, String> {
+    let opts = LaunchOptions {
+        workers: BENCH_NODES,
+        iterations,
+        optimized: false,
+        probes: false,
+        copy_baseline,
+    };
+    let outcome = launch(model_text, &opts, spawn).map_err(|e| e.to_string())?;
+    let sink = sink_stream(&outcome.program, &outcome.results, iterations);
+    // Wall time is the slowest rank's executor time, not the launcher's
+    // end-to-end wall (which is dominated by process spawn + mesh setup).
+    let raw = RawRun {
+        wall_secs: outcome.rank_walls.iter().copied().fold(0.0, f64::max),
+        bytes_moved: outcome.report.metrics.wire_bytes(),
+        messages: outcome.report.metrics.wire_messages(),
+    };
+    Ok(make_result(
+        name,
+        "tcp",
+        copy_baseline,
+        iterations,
+        raw,
+        &sink,
+    ))
+}
+
+// ---- JSON writer / parser --------------------------------------------
+
+/// Serializes results as the `BENCH_runtime.json` document.
+pub fn to_json(results: &[BenchResult], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"sage-bench/v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"model\": \"{}\", ", r.model));
+        out.push_str(&format!("\"transport\": \"{}\", ", r.transport));
+        out.push_str(&format!("\"data_plane\": \"{}\", ", r.data_plane));
+        out.push_str(&format!("\"nodes\": {}, ", r.nodes));
+        out.push_str(&format!("\"iterations\": {}, ", r.iterations));
+        out.push_str(&format!("\"wall_secs\": {}, ", r.wall_secs));
+        out.push_str(&format!("\"ms_per_iter\": {}, ", r.ms_per_iter));
+        out.push_str(&format!("\"bytes_moved\": {}, ", r.bytes_moved));
+        out.push_str(&format!("\"messages\": {}, ", r.messages));
+        out.push_str(&format!("\"bandwidth_mib_s\": {}, ", r.bandwidth_mib_s));
+        out.push_str(&format!("\"sink_bytes\": {}, ", r.sink_bytes));
+        out.push_str(&format!("\"checksum\": \"{:#018x}\"", r.checksum));
+        out.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls one `"key": value` out of a flat JSON object body. Strings come
+/// back without quotes.
+fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let at = obj
+        .find(&pat)
+        .ok_or_else(|| format!("bench json: missing field `{key}`"))?;
+    let rest = obj[at + pat.len()..].trim_start();
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            match c {
+                '"' => *in_str = !*in_str,
+                ',' | '}' if !*in_str => return Some(Some(i)),
+                _ => {}
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    Ok(rest[..end].trim().trim_matches('"'))
+}
+
+fn num<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
+    field(obj, key)?
+        .parse()
+        .map_err(|_| format!("bench json: field `{key}` is not a number"))
+}
+
+/// Parses a `BENCH_runtime.json` document (as written by [`to_json`]) —
+/// the schema validation CI runs on every generated file.
+pub fn parse_results(json: &str) -> Result<Vec<BenchResult>, String> {
+    if field(json, "schema")? != "sage-bench/v1" {
+        return Err("bench json: unknown schema (want sage-bench/v1)".into());
+    }
+    let start = json
+        .find("\"results\":")
+        .ok_or("bench json: missing `results` array")?;
+    let mut results = Vec::new();
+    let mut rest = &json[start..];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or("bench json: unterminated result object")?;
+        let obj = &rest[open..open + close + 1];
+        let checksum = field(obj, "checksum")?;
+        let checksum = u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
+            .map_err(|_| "bench json: bad checksum".to_string())?;
+        results.push(BenchResult {
+            model: field(obj, "model")?.to_string(),
+            transport: field(obj, "transport")?.to_string(),
+            data_plane: field(obj, "data_plane")?.to_string(),
+            nodes: num(obj, "nodes")?,
+            iterations: num(obj, "iterations")?,
+            wall_secs: num(obj, "wall_secs")?,
+            ms_per_iter: num(obj, "ms_per_iter")?,
+            bytes_moved: num(obj, "bytes_moved")?,
+            messages: num(obj, "messages")?,
+            bandwidth_mib_s: num(obj, "bandwidth_mib_s")?,
+            sink_bytes: num(obj, "sink_bytes")?,
+            checksum,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    if results.is_empty() {
+        return Err("bench json: empty results".into());
+    }
+    Ok(results)
+}
+
+/// Fails if any `(model, transport, data_plane)` cell present in both runs
+/// lost more than `tolerance` of its committed effective bandwidth.
+pub fn check_regression(
+    current: &[BenchResult],
+    baseline: &[BenchResult],
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut checked = 0usize;
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| {
+            c.model == b.model && c.transport == b.transport && c.data_plane == b.data_plane
+        }) else {
+            continue;
+        };
+        checked += 1;
+        let floor = b.bandwidth_mib_s * (1.0 - tolerance);
+        if c.bandwidth_mib_s < floor {
+            return Err(format!(
+                "bandwidth regression: {} {} {} measured {:.1} MiB/s, committed {:.1} MiB/s \
+                 (floor {:.1})",
+                c.model, c.transport, c.data_plane, c.bandwidth_mib_s, b.bandwidth_mib_s, floor
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err("bench baseline shares no cells with this run".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(model: &str, bw: f64) -> BenchResult {
+        BenchResult {
+            model: model.into(),
+            transport: "local".into(),
+            data_plane: "zero-copy".into(),
+            nodes: 4,
+            iterations: 3,
+            wall_secs: 0.125,
+            ms_per_iter: 41.666666666666664,
+            bytes_moved: 1_048_576,
+            messages: 96,
+            bandwidth_mib_s: bw,
+            sink_bytes: 65536,
+            checksum: 0x106286f4fa7ffcfd,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rs = vec![sample("fft2d_64", 8.0), sample("corner_turn_256", 80.5)];
+        let json = to_json(&rs, true);
+        assert_eq!(parse_results(&json).unwrap(), rs);
+    }
+
+    #[test]
+    fn schema_is_validated() {
+        assert!(parse_results("{}").is_err());
+        assert!(parse_results("{\"schema\": \"other/v9\", \"results\": []}").is_err());
+        let json = to_json(&[sample("m", 1.0)], false).replace("sage-bench/v1", "bogus");
+        assert!(parse_results(&json).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn regression_gate_trips_beyond_tolerance() {
+        let committed = vec![sample("m", 100.0)];
+        assert!(check_regression(&[sample("m", 80.0)], &committed, 0.25).is_ok());
+        assert!(check_regression(&[sample("m", 74.0)], &committed, 0.25).is_err());
+        // Disjoint cells are an error, not a silent pass.
+        assert!(check_regression(&[sample("other", 99.0)], &committed, 0.25).is_err());
+    }
+}

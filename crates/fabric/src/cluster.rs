@@ -5,15 +5,17 @@ use crate::clock::TimePolicy;
 use crate::fault::{FabricError, FaultPlan, NodeFaultKind};
 use crate::machine::{MachineSpec, Work};
 use crate::metrics::{FabricMetrics, NodeMetrics};
+use crate::payload::Payload;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A message in flight: payload plus its virtual arrival time at the
-/// destination NIC (0 in real mode).
+/// destination NIC (0 in real mode). The payload is reference-counted, so
+/// delivery shares the sender's allocation instead of copying it.
 struct Msg {
-    payload: Vec<u8>,
+    payload: Payload,
     arrival: f64,
 }
 
@@ -211,11 +213,27 @@ impl NodeCtx {
     /// Fault-aware send: like [`NodeCtx::send`] but surfaces injected
     /// faults as [`FabricError`] instead of panicking.
     ///
+    /// Convenience wrapper over [`NodeCtx::try_send_payload`] that copies
+    /// the slice into a fresh [`Payload`] first; hot paths hold a
+    /// `Payload` and call the payload form directly.
+    pub fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
+        self.try_send_payload(dst, tag, &Payload::from(payload))
+    }
+
+    /// Fault-aware zero-copy send: the mailbox keeps a reference-counted
+    /// handle on `payload`, so delivery is an `Arc` bump rather than a
+    /// byte copy.
+    ///
     /// A dropped transfer still charges the sender's NIC serialization
     /// time (recorded as lost time): the bytes went out, nobody heard
     /// them. The payload is untouched, so callers may retry with the
     /// identical bytes.
-    pub fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
+    pub fn try_send_payload(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: &Payload,
+    ) -> Result<(), FabricError> {
         assert!(dst < self.nodes(), "send to node {dst} of {}", self.nodes());
         self.check_failed()?;
         let bytes = payload.len();
@@ -265,7 +283,7 @@ impl NodeCtx {
             .entry((self.id as u32, tag))
             .or_default()
             .push_back(Msg {
-                payload: payload.to_vec(),
+                payload: payload.clone(),
                 arrival,
             });
         mbox.cv.notify_all();
@@ -298,7 +316,17 @@ impl NodeCtx {
     /// Fault-aware receive: like [`NodeCtx::recv`] but surfaces timeouts,
     /// dead peers, and this node's own scheduled failure as
     /// [`FabricError`] instead of panicking.
+    ///
+    /// Convenience wrapper over [`NodeCtx::try_recv_payload`] that
+    /// materializes an owned vector (free when the sender's handle is
+    /// already gone).
     pub fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError> {
+        self.try_recv_payload(src, tag).map(Payload::into_vec)
+    }
+
+    /// Fault-aware zero-copy receive: returns the sender's
+    /// reference-counted buffer directly out of the mailbox.
+    pub fn try_recv_payload(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
         assert!(
             src < self.nodes(),
             "recv from node {src} of {}",
@@ -347,6 +375,17 @@ impl NodeCtx {
         self.metrics.bytes_received += msg.payload.len() as u64;
         self.apply_time_faults();
         Ok(msg.payload)
+    }
+
+    /// Zero-copy [`NodeCtx::try_sendrecv`].
+    pub fn try_sendrecv_payload(
+        &mut self,
+        peer: usize,
+        tag: u64,
+        payload: &Payload,
+    ) -> Result<Payload, FabricError> {
+        self.try_send_payload(peer, tag, payload)?;
+        self.try_recv_payload(peer, tag)
     }
 
     /// Combined send-then-receive (both directions may proceed concurrently

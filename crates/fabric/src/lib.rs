@@ -53,6 +53,7 @@ pub mod cluster;
 pub mod fault;
 pub mod machine;
 pub mod metrics;
+pub mod payload;
 pub mod transport;
 
 pub use clock::TimePolicy;
@@ -60,4 +61,5 @@ pub use cluster::{Cluster, NodeCtx, RunReport};
 pub use fault::{FabricError, FaultPlan, KernelFault, LinkDegradation, NodeFault, NodeFaultKind};
 pub use machine::{LinkSpec, MachineSpec, NodeSpec, Work};
 pub use metrics::{FabricMetrics, LinkMetrics, NodeMetrics};
+pub use payload::Payload;
 pub use transport::Transport;

@@ -1,0 +1,177 @@
+//! Cheaply-clonable payload buffers for the data plane.
+//!
+//! A [`Payload`] is a reference-counted byte buffer: cloning one bumps an
+//! `Arc` instead of copying bytes, so same-node hand-offs, mailbox
+//! deliveries and sink deposits share a single allocation. Mutation is
+//! copy-on-write — a uniquely-owned payload mutates in place (which is what
+//! makes staging-buffer reuse across iterations free), while a shared one
+//! is copied first by `Arc::make_mut`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A reference-counted, copy-on-write byte buffer.
+///
+/// Dereferences to `[u8]` for reading; mutable access goes through
+/// [`Payload::to_mut`] (or `DerefMut`), which copies only when the buffer
+/// is shared.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Payload {
+    bytes: Arc<Vec<u8>>,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn new() -> Payload {
+        Payload::default()
+    }
+
+    /// A zero-filled payload of `n` bytes.
+    pub fn zeroed(n: usize) -> Payload {
+        Payload {
+            bytes: Arc::new(vec![0; n]),
+        }
+    }
+
+    /// Wraps an owned vector without copying.
+    pub fn from_vec(bytes: Vec<u8>) -> Payload {
+        Payload {
+            bytes: Arc::new(bytes),
+        }
+    }
+
+    /// `true` when this is the only handle on the allocation, i.e. mutation
+    /// and [`Payload::into_vec`] are free.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.bytes) == 1
+    }
+
+    /// Mutable access to the backing vector, copying first if shared.
+    pub fn to_mut(&mut self) -> &mut Vec<u8> {
+        Arc::make_mut(&mut self.bytes)
+    }
+
+    /// Recovers the owned vector: free when unique, one copy when shared.
+    pub fn into_vec(self) -> Vec<u8> {
+        Arc::try_unwrap(self.bytes).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl DerefMut for Payload {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        Arc::make_mut(&mut self.bytes).as_mut_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Payload {
+        Payload::from_vec(bytes)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Payload {
+        Payload::from_vec(bytes.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(bytes: &[u8; N]) -> Payload {
+        Payload::from_vec(bytes.to_vec())
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self[..] == **other
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes", self.bytes.len())?;
+        if !self.is_unique() {
+            write!(f, ", shared")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Payload::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(!a.is_unique());
+        assert!(!b.is_unique());
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        drop(b);
+        assert!(a.is_unique());
+    }
+
+    #[test]
+    fn mutation_is_copy_on_write() {
+        let mut a = Payload::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        a.to_mut()[0] = 9;
+        assert_eq!(a, vec![9, 2, 3]);
+        assert_eq!(b, vec![1, 2, 3]);
+        assert!(a.is_unique());
+    }
+
+    #[test]
+    fn unique_mutation_keeps_allocation() {
+        let mut a = Payload::from_vec(vec![0; 16]);
+        let ptr = a.as_ptr();
+        a[3] = 7;
+        assert_eq!(a.as_ptr(), ptr);
+        assert_eq!(a[3], 7);
+    }
+
+    #[test]
+    fn into_vec_round_trips() {
+        let a = Payload::from(&b"abc"[..]);
+        let shared = a.clone();
+        assert_eq!(a.into_vec(), b"abc".to_vec());
+        assert_eq!(shared.into_vec(), b"abc".to_vec());
+    }
+
+    #[test]
+    fn zeroed_and_eq() {
+        let z = Payload::zeroed(4);
+        assert_eq!(z, vec![0u8; 4]);
+        assert_eq!(z, &[0u8, 0, 0, 0]);
+        assert_eq!(z.len(), 4);
+        assert!(!z.is_empty());
+        assert!(Payload::new().is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::fault::FabricError;
 use crate::machine::Work;
+use crate::payload::Payload;
 
 /// A communication backend connecting one rank to its peers.
 ///
@@ -40,19 +41,21 @@ pub trait Transport {
     fn size(&self) -> usize;
 
     /// Sends `payload` to rank `dst` under `tag`, surfacing faults as
-    /// typed errors.
-    fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError>;
+    /// typed errors. The payload is taken by reference so retry loops can
+    /// resend without re-cloning; same-process backends deliver it as an
+    /// `Arc` bump, never a byte copy.
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &Payload) -> Result<(), FabricError>;
 
     /// Receives the next message from rank `src` with matching `tag`.
-    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError>;
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError>;
 
     /// Combined send-then-receive with one peer.
     fn try_sendrecv(
         &mut self,
         peer: usize,
         tag: u64,
-        payload: &[u8],
-    ) -> Result<Vec<u8>, FabricError> {
+        payload: &Payload,
+    ) -> Result<Payload, FabricError> {
         self.try_send(peer, tag, payload)?;
         self.try_recv(peer, tag)
     }
@@ -102,12 +105,12 @@ impl Transport for crate::cluster::NodeCtx {
         self.nodes()
     }
 
-    fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
-        crate::cluster::NodeCtx::try_send(self, dst, tag, payload)
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &Payload) -> Result<(), FabricError> {
+        crate::cluster::NodeCtx::try_send_payload(self, dst, tag, payload)
     }
 
-    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError> {
-        crate::cluster::NodeCtx::try_recv(self, src, tag)
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
+        crate::cluster::NodeCtx::try_recv_payload(self, src, tag)
     }
 
     fn now(&self) -> f64 {
@@ -153,13 +156,13 @@ mod tests {
     use crate::machine::{LinkSpec, MachineSpec, NodeSpec};
 
     /// A program written purely against the trait, run on the local backend.
-    fn ping_pong<T: Transport>(t: &mut T) -> Vec<u8> {
+    fn ping_pong<T: Transport>(t: &mut T) -> Payload {
         if t.rank() == 0 {
-            t.try_send(1, 7, b"ping").unwrap();
+            t.try_send(1, 7, &Payload::from(b"ping")).unwrap();
             t.try_recv(1, 8).unwrap()
         } else {
             let m = t.try_recv(0, 7).unwrap();
-            t.try_send(0, 8, b"pong").unwrap();
+            t.try_send(0, 8, &Payload::from(b"pong")).unwrap();
             m
         }
     }

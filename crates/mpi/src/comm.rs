@@ -1,7 +1,7 @@
 //! The communicator: point-to-point operations and configuration.
 
 use crate::error::MpiError;
-use sage_fabric::{FabricError, NodeCtx, Transport, Work};
+use sage_fabric::{FabricError, NodeCtx, Payload, Transport, Work};
 
 /// How the MPI layer retries transfers the fabric drops.
 ///
@@ -208,6 +208,8 @@ impl<'a, T: Transport> Communicator<'a, T> {
         tag: u64,
         payload: &[u8],
     ) -> Result<(), MpiError> {
+        // One Payload conversion up front; retries resend the same handle.
+        let payload = Payload::from(payload);
         self.ctx.advance(self.config.send_overhead);
         let rp = self.config.retry;
         let mut backoff = rp.backoff_secs;
@@ -217,7 +219,7 @@ impl<'a, T: Transport> Communicator<'a, T> {
                 self.ctx.advance_lost(backoff);
                 backoff *= rp.backoff_factor;
             }
-            match self.ctx.try_send(dst, tag, payload) {
+            match self.ctx.try_send(dst, tag, &payload) {
                 Ok(()) => return Ok(()),
                 Err(FabricError::TransferDropped { .. }) => continue,
                 Err(e) => return Err(MpiError::Fabric(e)),
@@ -235,7 +237,7 @@ impl<'a, T: Transport> Communicator<'a, T> {
     pub(crate) fn recv_with_overhead(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, MpiError> {
         let m = self.ctx.try_recv(src, tag)?;
         self.ctx.advance(self.config.recv_overhead);
-        Ok(m)
+        Ok(m.into_vec())
     }
 
     /// Charges a local packing/unpacking copy if this implementation is not

@@ -25,6 +25,9 @@ pub struct LaunchOptions {
     pub optimized: bool,
     /// Collect probe events from every rank into the merged trace.
     pub probes: bool,
+    /// Run the copy-heavy baseline data plane on every rank (see
+    /// `RuntimeOptions::copy_baseline`).
+    pub copy_baseline: bool,
 }
 
 /// A merged distributed run.
@@ -118,6 +121,7 @@ pub fn launch(
             iterations: opts.iterations,
             optimized: opts.optimized,
             probes: opts.probes,
+            copy_baseline: opts.copy_baseline,
             model: model_text.to_string(),
             peers: addrs.clone(),
         };

@@ -24,6 +24,9 @@ pub struct JobSpec {
     pub optimized: bool,
     /// Record probe events and ship them back in the report.
     pub probes: bool,
+    /// Run the copy-heavy baseline data plane instead of the zero-copy
+    /// shared-payload path (see `RuntimeOptions::copy_baseline`).
+    pub copy_baseline: bool,
     /// The application model, as s-expression text. Each worker
     /// regenerates the glue program from this deterministically, so every
     /// rank — and the launcher — agrees on tables and schedules without
@@ -265,6 +268,7 @@ impl JobSpec {
         w.u32(self.iterations);
         w.u8(u8::from(self.optimized));
         w.u8(u8::from(self.probes));
+        w.u8(u8::from(self.copy_baseline));
         w.string(&self.model);
         w.u32(self.peers.len() as u32);
         for p in &self.peers {
@@ -282,6 +286,7 @@ impl JobSpec {
             iterations: r.u32()?,
             optimized: r.u8()? != 0,
             probes: r.u8()? != 0,
+            copy_baseline: r.u8()? != 0,
             model: r.string()?,
             peers: {
                 let n = r.u32()? as usize;
@@ -412,6 +417,7 @@ mod tests {
             iterations: 7,
             optimized: true,
             probes: false,
+            copy_baseline: true,
             model: "(app demo)".into(),
             peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
         };
@@ -483,6 +489,7 @@ mod tests {
             iterations: 1,
             optimized: false,
             probes: false,
+            copy_baseline: false,
             model: "m".into(),
             peers: vec![],
         };

@@ -9,14 +9,14 @@
 //! deadline.
 
 use crate::error::NetError;
-use crate::wire::{Frame, FrameKind};
-use sage_fabric::{FabricError, LinkMetrics, NodeMetrics, Transport};
+use crate::wire::{write_parts, Frame, FrameKind};
+use sage_fabric::{FabricError, LinkMetrics, NodeMetrics, Payload, Transport};
 use sage_mpi::RetryPolicy;
 use sage_visualizer::Probe;
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the TCP backend.
@@ -69,7 +69,7 @@ struct PeerState {
 
 /// Shared between the transport, its reader threads, and the heartbeater.
 struct MailboxInner {
-    queues: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
+    queues: HashMap<(u32, u64), VecDeque<Payload>>,
     peers: Vec<PeerState>,
     recv_messages: u64,
     recv_bytes: u64,
@@ -78,11 +78,24 @@ struct MailboxInner {
 struct Mailbox {
     inner: Mutex<MailboxInner>,
     cv: Condvar,
+    /// Set when any thread panicked while holding the mailbox lock. The
+    /// transport keeps functioning (metrics, shutdown, draining) but
+    /// reports this rank as failed instead of cascading the panic into
+    /// every reader, heartbeater, and caller thread.
+    poisoned: AtomicBool,
 }
 
 impl Mailbox {
+    /// Locks the mailbox, recovering from poison instead of panicking.
+    fn lock(&self) -> MutexGuard<'_, MailboxInner> {
+        self.inner.lock().unwrap_or_else(|e| {
+            self.poisoned.store(true, Ordering::SeqCst);
+            e.into_inner()
+        })
+    }
+
     fn mark_dead(&self, peer: usize) {
-        let mut m = self.inner.lock().expect("mailbox poisoned");
+        let mut m = self.lock();
         m.peers[peer].dead = true;
         drop(m);
         self.cv.notify_all();
@@ -98,21 +111,20 @@ struct PeerLink {
 }
 
 impl PeerLink {
-    /// Frames and transmits; returns `false` if the stream is broken.
+    /// Frames and transmits straight from the caller's slice (vectored
+    /// header+payload write, no per-frame assembly buffer or payload
+    /// copy); returns `false` if the stream is broken or its writer lock
+    /// is poisoned — the caller marks the peer dead either way.
     fn send(&self, kind: FrameKind, src: u32, dst: u32, tag: u64, payload: &[u8]) -> bool {
-        let mut w = self.writer.lock().expect("writer poisoned");
+        let Ok(mut w) = self.writer.lock() else {
+            // A thread panicked mid-write: the stream may hold a torn
+            // frame, so the link cannot be trusted.
+            return false;
+        };
         // Sequence assignment under the write lock, so frames hit the wire
         // in seq order even when the heartbeater races a data send.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let frame = Frame {
-            kind,
-            tag,
-            src,
-            dst,
-            seq,
-            payload: payload.to_vec(),
-        };
-        frame.write_to(&mut *w).is_ok()
+        write_parts(&mut *w, kind, tag, src, dst, seq, payload).is_ok()
     }
 }
 
@@ -166,6 +178,7 @@ impl TcpTransport {
                 recv_bytes: 0,
             }),
             cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
         });
 
         let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
@@ -307,7 +320,7 @@ impl TcpTransport {
                 })
             })
             .collect();
-        let m = self.mailbox.inner.lock().expect("mailbox poisoned");
+        let m = self.mailbox.lock();
         let metrics = NodeMetrics {
             messages_sent: links.iter().map(|l| l.messages).sum(),
             bytes_sent: links.iter().map(|l| l.bytes).sum(),
@@ -338,20 +351,34 @@ impl Transport for TcpTransport {
         self.size
     }
 
-    fn try_send(&mut self, dst: usize, tag: u64, payload: &[u8]) -> Result<(), FabricError> {
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &Payload) -> Result<(), FabricError> {
+        if self.mailbox.poisoned.load(Ordering::SeqCst) {
+            // A thread died holding the mailbox: local state is suspect.
+            return Err(FabricError::NodeFailed {
+                node: self.rank as u32,
+            });
+        }
         if dst == self.rank {
-            let mut m = self.mailbox.inner.lock().expect("mailbox poisoned");
+            let mut m = self.mailbox.lock();
             m.queues
                 .entry((dst as u32, tag))
                 .or_default()
-                .push_back(payload.to_vec());
+                .push_back(payload.clone());
             drop(m);
             self.mailbox.cv.notify_all();
             return Ok(());
         }
-        let link = self.links[dst].as_ref().expect("no link to peer");
+        let Some(link) = self.links[dst].as_ref() else {
+            // No link was ever established to this peer (mesh came up
+            // without it): sending can never succeed, so surface the same
+            // typed error a crashed peer would — callers already handle it.
+            return Err(FabricError::PeerFailed {
+                node: self.rank as u32,
+                peer: dst as u32,
+            });
+        };
         {
-            let m = self.mailbox.inner.lock().expect("mailbox poisoned");
+            let m = self.mailbox.lock();
             if m.peers[dst].dead {
                 return Err(FabricError::PeerFailed {
                     node: self.rank as u32,
@@ -374,11 +401,16 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
-    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, FabricError> {
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
         let key = (src as u32, tag);
         let deadline = Instant::now() + self.config.recv_timeout;
         let stale_after = self.config.stale_after();
-        let mut m = self.mailbox.inner.lock().expect("mailbox poisoned");
+        if self.mailbox.poisoned.load(Ordering::SeqCst) {
+            return Err(FabricError::NodeFailed {
+                node: self.rank as u32,
+            });
+        }
+        let mut m = self.mailbox.lock();
         loop {
             if let Some(q) = m.queues.get_mut(&key) {
                 if let Some(payload) = q.pop_front() {
@@ -417,12 +449,16 @@ impl Transport for TcpTransport {
             }
             // Wake at least every heartbeat to re-check staleness.
             let wait = (deadline - now).min(self.config.heartbeat);
-            let (guard, _) = self
-                .mailbox
-                .cv
-                .wait_timeout(m, wait)
-                .expect("mailbox poisoned");
-            m = guard;
+            match self.mailbox.cv.wait_timeout(m, wait) {
+                Ok((guard, _)) => m = guard,
+                Err(_) => {
+                    // A waiter or producer panicked with the lock held.
+                    self.mailbox.poisoned.store(true, Ordering::SeqCst);
+                    return Err(FabricError::NodeFailed {
+                        node: self.rank as u32,
+                    });
+                }
+            }
         }
     }
 }
@@ -467,26 +503,30 @@ fn read_loop(stream: TcpStream, peer: usize, mailbox: Arc<Mailbox>, probe: Probe
                 last_seq = Some(frame.seq);
                 match frame.kind {
                     FrameKind::Data => {
-                        let mut m = mailbox.inner.lock().expect("mailbox poisoned");
+                        // The freshly read Vec moves straight into the
+                        // mailbox as a `Payload` — receivers take the same
+                        // allocation the socket read filled.
+                        let payload = Payload::from_vec(frame.payload);
+                        let mut m = mailbox.lock();
                         m.recv_messages += 1;
-                        m.recv_bytes += frame.payload.len() as u64;
+                        m.recv_bytes += payload.len() as u64;
                         m.peers[peer].last_seen = Instant::now();
                         m.queues
                             .entry((frame.src, frame.tag))
                             .or_default()
-                            .push_back(frame.payload);
+                            .push_back(payload);
                         drop(m);
                         probe.net_recv(start.elapsed().as_secs_f64(), peer as u32, 0);
                         mailbox.cv.notify_all();
                     }
                     FrameKind::Heartbeat => {
-                        let mut m = mailbox.inner.lock().expect("mailbox poisoned");
+                        let mut m = mailbox.lock();
                         m.peers[peer].last_seen = Instant::now();
                         drop(m);
                         mailbox.cv.notify_all();
                     }
                     FrameKind::Goodbye => {
-                        let mut m = mailbox.inner.lock().expect("mailbox poisoned");
+                        let mut m = mailbox.lock();
                         m.peers[peer].done = true;
                         drop(m);
                         mailbox.cv.notify_all();
@@ -556,7 +596,8 @@ mod tests {
             t1.try_send(0, 8, &m).expect("send pong");
             t1.finish()
         });
-        t0.try_send(1, 7, b"ping").expect("send ping");
+        t0.try_send(1, 7, &Payload::from(b"ping"))
+            .expect("send ping");
         assert_eq!(t0.try_recv(1, 8).expect("recv pong"), b"ping");
         let (m0, l0) = t0.finish();
         let (m1, _) = h.join().expect("join");
@@ -584,7 +625,8 @@ mod tests {
                     let me = t.rank();
                     for dst in 0..t.size() {
                         for k in 0..3u8 {
-                            t.try_send(dst, 5, &[me as u8, k]).expect("send");
+                            t.try_send(dst, 5, &Payload::from_vec(vec![me as u8, k]))
+                                .expect("send");
                         }
                     }
                     for src in 0..t.size() {
@@ -617,7 +659,7 @@ mod tests {
         let mut ts = mesh(2);
         let mut t1 = ts.pop().expect("rank 1");
         let mut t0 = ts.pop().expect("rank 0");
-        t1.try_send(0, 9, b"last").expect("send");
+        t1.try_send(0, 9, &Payload::from(b"last")).expect("send");
         t1.finish();
         // The queued message is still deliverable after the goodbye...
         assert_eq!(t0.try_recv(1, 9).expect("queued"), b"last");
@@ -630,7 +672,7 @@ mod tests {
     fn self_send_delivers_locally() {
         let mut ts = mesh(1);
         let mut t = ts.pop().expect("rank 0");
-        t.try_send(0, 2, b"loop").expect("send");
+        t.try_send(0, 2, &Payload::from(b"loop")).expect("send");
         assert_eq!(t.try_recv(0, 2).expect("recv"), b"loop");
         let (m, links) = t.finish();
         assert_eq!(m.messages_sent, 0, "self-sends never hit the wire");

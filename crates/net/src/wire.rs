@@ -94,6 +94,10 @@ pub enum WireError {
     BadKind(u8),
     /// The declared payload length exceeds [`MAX_PAYLOAD`].
     Oversized(u32),
+    /// An outgoing payload exceeds [`MAX_PAYLOAD`] (or `u32::MAX`) and
+    /// cannot be framed: encoding it would truncate the header length
+    /// field and desynchronize the stream.
+    PayloadTooLarge(usize),
     /// The frame checksum did not match the received bytes.
     Checksum {
         /// Checksum declared in the header.
@@ -114,6 +118,9 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::Oversized(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            WireError::PayloadTooLarge(n) => {
+                write!(f, "cannot frame {n}-byte payload (limit {MAX_PAYLOAD})")
+            }
             WireError::Checksum { expected, computed } => write!(
                 f,
                 "frame checksum mismatch: header says {expected:#010x}, bytes hash to {computed:#010x}"
@@ -138,19 +145,91 @@ fn fnv1a_32(chunks: &[&[u8]]) -> u32 {
     h
 }
 
-fn header_bytes(frame: &Frame, checksum: u32) -> [u8; HEADER_LEN] {
+/// Checks an outgoing payload length against [`MAX_PAYLOAD`] before it is
+/// narrowed to the 32-bit header field. A bare `as u32` here once truncated
+/// >4 GiB payloads silently, desynchronizing the stream.
+fn check_len(len: usize) -> Result<u32, WireError> {
+    if len > MAX_PAYLOAD as usize {
+        return Err(WireError::PayloadTooLarge(len));
+    }
+    Ok(len as u32)
+}
+
+fn header_parts(
+    kind: FrameKind,
+    tag: u64,
+    src: u32,
+    dst: u32,
+    seq: u64,
+    len: u32,
+    checksum: u32,
+) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[0..4].copy_from_slice(&MAGIC.to_be_bytes());
     h[4] = VERSION;
-    h[5] = frame.kind as u8;
+    h[5] = kind as u8;
     // 6..8 reserved, zero.
-    h[8..16].copy_from_slice(&frame.tag.to_be_bytes());
-    h[16..20].copy_from_slice(&frame.src.to_be_bytes());
-    h[20..24].copy_from_slice(&frame.dst.to_be_bytes());
-    h[24..32].copy_from_slice(&frame.seq.to_be_bytes());
-    h[32..36].copy_from_slice(&(frame.payload.len() as u32).to_be_bytes());
+    h[8..16].copy_from_slice(&tag.to_be_bytes());
+    h[16..20].copy_from_slice(&src.to_be_bytes());
+    h[20..24].copy_from_slice(&dst.to_be_bytes());
+    h[24..32].copy_from_slice(&seq.to_be_bytes());
+    h[32..36].copy_from_slice(&len.to_be_bytes());
     h[36..40].copy_from_slice(&checksum.to_be_bytes());
     h
+}
+
+/// Writes one frame from its parts as vectored header+payload I/O.
+///
+/// The header lives on the stack and the payload is written straight from
+/// the caller's slice — no per-frame assembly buffer, no payload copy.
+/// This is the hot-path writer: [`Frame::write_to`] delegates here, and the
+/// transport writes queued [`Payload`](sage_fabric::Payload)s through it
+/// without ever constructing a `Frame`.
+pub fn write_parts<W: Write>(
+    w: &mut W,
+    kind: FrameKind,
+    tag: u64,
+    src: u32,
+    dst: u32,
+    seq: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let len = check_len(payload.len())?;
+    let mut header = header_parts(kind, tag, src, dst, seq, len, 0);
+    let checksum = fnv1a_32(&[&header, payload]);
+    header[36..40].copy_from_slice(&checksum.to_be_bytes());
+    write_all_vectored(w, &header, payload)
+        .and_then(|()| w.flush())
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Drives `write_vectored` until both slices are fully written, falling
+/// back gracefully on writers that consume partial buffers.
+fn write_all_vectored<W: Write>(
+    w: &mut W,
+    mut header: &[u8],
+    mut payload: &[u8],
+) -> std::io::Result<()> {
+    while !header.is_empty() || !payload.is_empty() {
+        let bufs = [
+            std::io::IoSlice::new(header),
+            std::io::IoSlice::new(payload),
+        ];
+        let n = w.write_vectored(&bufs)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "frame write stalled",
+            ));
+        }
+        if n >= header.len() {
+            payload = &payload[n - header.len()..];
+            header = &header[header.len()..];
+        } else {
+            header = &header[n..];
+        }
+    }
+    Ok(())
 }
 
 impl Frame {
@@ -181,17 +260,38 @@ impl Frame {
     /// The frame's checksum: FNV-1a-32 over the header with the checksum
     /// field zeroed, then the payload.
     pub fn checksum(&self) -> u32 {
-        let h = header_bytes(self, 0);
+        let h = header_parts(
+            self.kind,
+            self.tag,
+            self.src,
+            self.dst,
+            self.seq,
+            self.payload.len() as u32,
+            0,
+        );
         fnv1a_32(&[&h, &self.payload])
     }
 
     /// Serializes the frame (header + payload).
-    pub fn encode(&self) -> Vec<u8> {
-        let h = header_bytes(self, self.checksum());
+    ///
+    /// Rejects payloads longer than [`MAX_PAYLOAD`] with
+    /// [`WireError::PayloadTooLarge`] instead of truncating the length
+    /// field.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let len = check_len(self.payload.len())?;
+        let h = header_parts(
+            self.kind,
+            self.tag,
+            self.src,
+            self.dst,
+            self.seq,
+            len,
+            self.checksum(),
+        );
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
         out.extend_from_slice(&h);
         out.extend_from_slice(&self.payload);
-        out
+        Ok(out)
     }
 
     /// Decodes one frame from the front of `buf`, returning the frame and
@@ -243,14 +343,25 @@ impl Frame {
         Ok((frame, total))
     }
 
-    /// Writes the frame to a stream.
+    /// Writes the frame to a stream without building an assembly buffer
+    /// (see [`write_parts`]).
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
-        w.write_all(&self.encode())
-            .and_then(|()| w.flush())
-            .map_err(|e| WireError::Io(e.to_string()))
+        write_parts(
+            w,
+            self.kind,
+            self.tag,
+            self.src,
+            self.dst,
+            self.seq,
+            &self.payload,
+        )
     }
 
     /// Reads exactly one frame from a stream.
+    ///
+    /// The payload is read directly into its final `Vec` and the checksum
+    /// is computed over the header and payload chunks in place — no
+    /// combined header+payload staging buffer, no second payload copy.
     ///
     /// A clean EOF before the first header byte returns `Truncated`; so
     /// does an EOF mid-frame (the reader can distinguish via the stream
@@ -258,7 +369,7 @@ impl Frame {
     pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
         let mut header = [0u8; HEADER_LEN];
         read_exact(r, &mut header)?;
-        // Parse the header alone first so we size the payload read.
+        // Parse magic and length first so we size the payload read.
         let magic = u32::from_be_bytes(header[0..4].try_into().expect("4-byte slice"));
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
@@ -267,11 +378,30 @@ impl Frame {
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
-        let mut buf = Vec::with_capacity(HEADER_LEN + len as usize);
-        buf.extend_from_slice(&header);
-        buf.resize(HEADER_LEN + len as usize, 0);
-        read_exact(r, &mut buf[HEADER_LEN..])?;
-        Frame::decode(&buf).map(|(f, _)| f)
+        let mut payload = vec![0u8; len as usize];
+        read_exact(r, &mut payload)?;
+        // Full frame consumed: the stream is at a frame boundary whatever
+        // the verdict below, so a validation failure poisons one frame, not
+        // the connection framing.
+        let version = header[4];
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = FrameKind::from_u8(header[5]).ok_or(WireError::BadKind(header[5]))?;
+        let expected = u32::from_be_bytes(header[36..40].try_into().expect("4-byte slice"));
+        header[36..40].fill(0);
+        let computed = fnv1a_32(&[&header, &payload]);
+        if computed != expected {
+            return Err(WireError::Checksum { expected, computed });
+        }
+        Ok(Frame {
+            kind,
+            tag: u64::from_be_bytes(header[8..16].try_into().expect("8-byte slice")),
+            src: u32::from_be_bytes(header[16..20].try_into().expect("4-byte slice")),
+            dst: u32::from_be_bytes(header[20..24].try_into().expect("4-byte slice")),
+            seq: u64::from_be_bytes(header[24..32].try_into().expect("8-byte slice")),
+            payload,
+        })
     }
 }
 
@@ -296,7 +426,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let f = sample();
-        let bytes = f.encode();
+        let bytes = f.encode().unwrap();
         let (g, n) = Frame::decode(&bytes).unwrap();
         assert_eq!(n, bytes.len());
         assert_eq!(f, g);
@@ -305,14 +435,14 @@ mod tests {
     #[test]
     fn empty_payload_round_trips() {
         let f = Frame::control(FrameKind::Heartbeat, 0, 1, 7);
-        let (g, n) = Frame::decode(&f.encode()).unwrap();
+        let (g, n) = Frame::decode(&f.encode().unwrap()).unwrap();
         assert_eq!(n, HEADER_LEN);
         assert_eq!(f, g);
     }
 
     #[test]
     fn every_single_byte_corruption_detected() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().unwrap();
         for i in 0..bytes.len() {
             for flip in [0x01u8, 0x80] {
                 let mut bad = bytes.clone();
@@ -327,7 +457,7 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().unwrap();
         for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
             assert_eq!(
                 Frame::decode(&bytes[..cut]).unwrap_err(),
@@ -338,12 +468,32 @@ mod tests {
 
     #[test]
     fn oversized_rejected_before_allocation() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().unwrap();
         bytes[32..36].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             Frame::decode(&bytes).unwrap_err(),
             WireError::Oversized(_)
         ));
+    }
+
+    #[test]
+    fn payload_too_large_rejected_at_encode() {
+        // One byte past the limit: the old `len as u32` narrowing would
+        // have accepted this (and silently truncated anything past 4 GiB).
+        let f = Frame::data(0, 1, 0, 0, vec![0u8; MAX_PAYLOAD as usize + 1]);
+        assert_eq!(
+            f.encode().unwrap_err(),
+            WireError::PayloadTooLarge(MAX_PAYLOAD as usize + 1)
+        );
+        let mut sink = Vec::new();
+        assert_eq!(
+            f.write_to(&mut sink).unwrap_err(),
+            WireError::PayloadTooLarge(MAX_PAYLOAD as usize + 1)
+        );
+        assert!(sink.is_empty(), "nothing may reach the stream");
+        let e = write_parts(&mut sink, FrameKind::Data, 0, 0, 1, 0, &f.payload).unwrap_err();
+        assert!(matches!(e, WireError::PayloadTooLarge(_)));
+        assert!(e.to_string().contains("cannot frame"));
     }
 
     #[test]

@@ -127,7 +127,8 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
     } else {
         sage_runtime::RuntimeOptions::paper_faithful()
     }
-    .with_probes(spec.probes);
+    .with_probes(spec.probes)
+    .with_copy_baseline(spec.copy_baseline);
 
     let collector = Arc::new(Collector::new(spec.ranks as usize, spec.probes));
     let probe = Probe::new(collector.clone(), rank);
@@ -157,6 +158,13 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
     let (error, deposits, metrics, links) = match outcome {
         Ok(deposits) => {
             let (metrics, links) = transport.finish();
+            // Deposits leave the shared-payload world here: the report
+            // codec ships plain bytes. `into_vec` is free when the run-time
+            // handed over the sole reference.
+            let deposits = deposits
+                .into_iter()
+                .map(|(key, payload)| (key, payload.into_vec()))
+                .collect();
             (None, deposits, metrics, links)
         }
         Err(e) => {

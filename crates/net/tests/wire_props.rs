@@ -45,7 +45,7 @@ proptest! {
         payload in payload(),
     ) {
         let frame = Frame { kind, tag, src, dst, seq, payload };
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         prop_assert_eq!(bytes.len(), HEADER_LEN + frame.payload.len());
         let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame must decode");
         prop_assert_eq!(consumed, bytes.len());
@@ -71,7 +71,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let frame = Frame { kind: FrameKind::Data, tag, src, dst, seq, payload };
-        let mut bytes = frame.encode();
+        let mut bytes = frame.encode().unwrap();
         let victim = victim_seed % bytes.len();
         bytes[victim] ^= flip;
         match Frame::decode(&bytes) {
@@ -103,7 +103,7 @@ proptest! {
         cut_seed in 0usize..usize::MAX,
     ) {
         let frame = Frame { kind: FrameKind::Data, tag, src: 0, dst: 1, seq: 7, payload };
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let cut = cut_seed % bytes.len(); // strict prefix: 0..len-1 bytes
         match Frame::decode(&bytes[..cut]) {
             Err(WireError::Truncated) => {}

@@ -23,8 +23,10 @@
 use crate::function::{FnThreadCtx, Registry, RuntimeError, StripePayload};
 use crate::glue::{xfer_tag, FnRole, GlueProgram};
 use crate::options::{BufferScheme, RuntimeOptions};
-use crate::striping::{Layout, Redistribution};
-use sage_fabric::{Cluster, FabricError, MachineSpec, RunReport, TimePolicy, Transport, Work};
+use crate::striping::{Layout, PairOps, Redistribution};
+use sage_fabric::{
+    Cluster, FabricError, MachineSpec, Payload, RunReport, TimePolicy, Transport, Work,
+};
 use sage_mpi::MpiConfig;
 use sage_visualizer::{Collector, Probe, Trace};
 use std::collections::HashMap;
@@ -33,7 +35,7 @@ use std::sync::Arc;
 /// Collected sink deposits: the stripes each sink thread absorbed.
 #[derive(Clone, Debug, Default)]
 pub struct SinkResults {
-    deposits: HashMap<(u32, u32, u32), Vec<u8>>,
+    deposits: HashMap<(u32, u32, u32), Payload>,
 }
 
 impl SinkResults {
@@ -41,7 +43,7 @@ impl SinkResults {
     pub fn stripe(&self, fn_id: u32, iteration: u32, thread: u32) -> Option<&[u8]> {
         self.deposits
             .get(&(fn_id, iteration, thread))
-            .map(|v| v.as_slice())
+            .map(|p| &p[..])
     }
 
     /// Reassembles the full payload a sink absorbed on `iteration` by
@@ -118,8 +120,9 @@ impl SinkResults {
 
     /// Records a deposited stripe. Distributed launchers use this to merge
     /// per-rank deposits back into one result set.
-    pub fn insert(&mut self, fn_id: u32, iteration: u32, thread: u32, bytes: Vec<u8>) {
-        self.deposits.insert((fn_id, iteration, thread), bytes);
+    pub fn insert(&mut self, fn_id: u32, iteration: u32, thread: u32, bytes: impl Into<Payload>) {
+        self.deposits
+            .insert((fn_id, iteration, thread), bytes.into());
     }
 
     /// Number of deposited stripes.
@@ -164,6 +167,9 @@ struct BufferPlan {
     /// `true` when producer and consumer layouts are identical per thread:
     /// the transfer degrades to per-thread hand-offs (no pack/unpack).
     aligned: bool,
+    /// `ops[i][j]`: compiled, coalesced pack/unpack programs per (producer
+    /// thread, consumer thread) pair. Empty when `aligned` (never packed).
+    ops: Vec<Vec<PairOps>>,
     dst_local_shape: Vec<usize>,
     src_local_shape: Vec<usize>,
 }
@@ -236,6 +242,17 @@ pub fn prepare(program: &GlueProgram, registry: &Registry) -> Result<Prepared, R
             );
             let aligned = pf.threads == cf.threads
                 && (0..pf.threads as usize).all(|t| plan.src[t] == plan.dst[t]);
+            let ops = if aligned {
+                Vec::new()
+            } else {
+                (0..pf.threads as usize)
+                    .map(|i| {
+                        (0..cf.threads as usize)
+                            .map(|j| plan.pair_ops(i, j))
+                            .collect()
+                    })
+                    .collect()
+            };
             BufferPlan {
                 dst_local_shape: Layout::local_shape(
                     &b.shape,
@@ -249,6 +266,7 @@ pub fn prepare(program: &GlueProgram, registry: &Registry) -> Result<Prepared, R
                 ),
                 plan,
                 aligned,
+                ops,
             }
         })
         .collect();
@@ -344,7 +362,7 @@ fn send_with_retry<T: Transport>(
     probe: &Probe,
     dst: usize,
     tag: u64,
-    payload: &[u8],
+    payload: &Payload,
     mpi: &MpiConfig,
     bid: u32,
     iter: u32,
@@ -373,7 +391,7 @@ fn send_with_retry<T: Transport>(
 }
 
 /// A sink deposit: `(fn_id, iteration, thread)` -> absorbed stripe.
-pub type Deposit = ((u32, u32, u32), Vec<u8>);
+pub type Deposit = ((u32, u32, u32), Payload);
 
 /// One rank's program: walk the schedule for every iteration, over any
 /// [`Transport`] backend.
@@ -393,8 +411,12 @@ pub fn execute_rank<T: Transport>(
     let node = ctx.rank() as u32;
     let plans = &prepared.plans;
     let kernels = &prepared.kernels;
-    // Node-local hand-off store: tag -> payload.
-    let mut local_store: HashMap<u64, Vec<u8>> = HashMap::new();
+    // Node-local hand-off store: tag -> payload (shared, not copied).
+    let mut local_store: HashMap<u64, Payload> = HashMap::new();
+    // Per-(buffer, src thread, dst thread) staging buffers for packed
+    // redistribution messages, reused across iterations whenever the
+    // previous iteration's receiver has already released its handle.
+    let mut staging: HashMap<(u32, u32, u32), Payload> = HashMap::new();
     let mut deposits = Vec::new();
 
     for iter in 0..iterations {
@@ -418,7 +440,7 @@ pub fn execute_rank<T: Transport>(
                 let desc = &program.buffers[bid as usize];
                 let producer = &program.functions[desc.producer as usize];
                 let dst_layout = &bp.plan.dst[tid];
-                let mut local: Option<Vec<u8>> = None;
+                let mut local: Option<Payload> = None;
                 for (i, row) in bp.plan.pairs.iter().enumerate() {
                     let intervals = &row[tid];
                     if intervals.is_empty() {
@@ -447,7 +469,13 @@ pub fn execute_rank<T: Transport>(
                             fabric_to_runtime(e)
                         })?;
                         ctx.advance(options.mpi.recv_overhead);
-                        m
+                        if options.copy_baseline {
+                            // The old path materialized every received
+                            // message out of the mailbox.
+                            Payload::from(&m[..])
+                        } else {
+                            m
+                        }
                     };
                     if bp.aligned {
                         // Whole stripe arrives as one piece: hand it off.
@@ -469,22 +497,33 @@ pub fn execute_rank<T: Transport>(
                                 overhead_secs: 0.0,
                             }),
                         }
-                        let buf = local.get_or_insert_with(|| vec![0u8; dst_layout.len()]);
-                        dst_layout.inject(buf, intervals, &msg);
+                        let buf = local.get_or_insert_with(|| Payload::zeroed(dst_layout.len()));
+                        if options.copy_baseline {
+                            // Interpreted per-interval scatter with a
+                            // to_local scan per interval.
+                            dst_layout.inject(buf.to_mut(), intervals, &msg);
+                        } else {
+                            // Compiled, coalesced scatter.
+                            bp.ops[i][tid].unpack_into(&msg, buf.to_mut());
+                        }
                     }
                 }
-                let mut local = local.unwrap_or_else(|| vec![0u8; dst_layout.len()]);
+                let mut local = local.unwrap_or_else(|| Payload::zeroed(dst_layout.len()));
                 // Aligned hand-offs land in the *producer's* buffer; the
                 // unique-per-function scheme gives the compute function a
                 // private copy ("assigns unique logical buffers to the data
                 // per function", paper §3.4). The shared scheme passes the
-                // pointer through.
+                // pointer through. Inputs are read-only, so the zero-copy
+                // plane keeps the charge but shares the bytes; the baseline
+                // physically duplicates them as the run-time shipped.
                 if options.buffer_scheme == BufferScheme::UniquePerFunction
                     && f.role == FnRole::Compute
                     && bp.aligned
                 {
                     ctx.compute(Work::copy(local.len()));
-                    local = local.clone();
+                    if options.copy_baseline {
+                        local = Payload::from(&local[..]);
+                    }
                 }
                 inputs.push(StripePayload {
                     bytes: local,
@@ -544,7 +583,14 @@ pub fn execute_rank<T: Transport>(
             // ---- Sink deposit ----------------------------------------
             if f.role == FnRole::Sink {
                 if let Some(first) = inputs.first() {
-                    deposits.push(((f.id, iter, task.thread), first.bytes.clone()));
+                    // Zero-copy: the deposit shares the stripe's allocation
+                    // (an Arc bump); baseline duplicates it byte-for-byte.
+                    let bytes = if options.copy_baseline {
+                        Payload::from(&first.bytes[..])
+                    } else {
+                        first.bytes.clone()
+                    };
+                    deposits.push(((f.id, iter, task.thread), bytes));
                 }
                 probe.sink_absorb(ctx.now(), iter);
             }
@@ -562,13 +608,33 @@ pub fn execute_rank<T: Transport>(
                     let dst_node = consumer.placement[j];
                     let tag = xfer_tag(bid, iter, task.thread, j as u32);
                     let msg = if bp.aligned {
-                        // Whole-stripe hand-off; no pack.
-                        outputs[oi].bytes.clone()
+                        // Whole-stripe hand-off; no pack. Sharing the
+                        // kernel's output buffer is safe because outputs
+                        // are rebuilt fresh every task.
+                        if options.copy_baseline {
+                            Payload::from(&outputs[oi].bytes[..])
+                        } else {
+                            outputs[oi].bytes.clone()
+                        }
                     } else {
                         ctx.advance(options.per_run_overhead * intervals.len() as f64);
-                        let m = src_layout.extract(&outputs[oi].bytes, intervals);
-                        ctx.compute(Work::copy(m.len()));
-                        m
+                        if options.copy_baseline {
+                            let m = src_layout.extract(&outputs[oi].bytes, intervals);
+                            ctx.compute(Work::copy(m.len()));
+                            Payload::from_vec(m)
+                        } else {
+                            // Pack into a per-pair staging buffer, reused
+                            // across iterations once the previous receiver
+                            // has dropped its handle.
+                            let ops = &bp.ops[tid][j];
+                            let slot = staging.entry((bid, task.thread, j as u32)).or_default();
+                            if !slot.is_unique() || slot.len() != ops.bytes {
+                                *slot = Payload::zeroed(ops.bytes);
+                            }
+                            ops.pack_into(&outputs[oi].bytes, slot.to_mut());
+                            ctx.compute(Work::copy(ops.bytes));
+                            slot.clone()
+                        }
                     };
                     probe.xfer_start(ctx.now(), bid, iter);
                     if dst_node == node {
@@ -847,13 +913,31 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("no stripe"), "{err}");
-        // Short stripe: deposited bytes disagree with the layout.
+        // Short stripe: deposited bytes disagree with the layout. The
+        // message must carry both the actual and expected byte counts
+        // (each thread of this sink's layout covers 8 bytes).
         let mut results = SinkResults::default();
         for t in 0..2 {
             results.insert(2, 0, t, vec![0u8; 3]);
         }
         let err = results.try_assemble(&program, 2, 0).unwrap_err();
-        assert!(err.to_string().contains("layout covers"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("deposited 3 bytes, its layout covers 8"),
+            "{err}"
+        );
+        // Oversized stripe trips the same branch with the counts swapped
+        // in magnitude — the check is an exact equality, not a floor.
+        let mut results = SinkResults::default();
+        for t in 0..2 {
+            results.insert(2, 0, t, vec![0u8; 9]);
+        }
+        let err = results.try_assemble(&program, 2, 0).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("deposited 9 bytes, its layout covers 8"),
+            "{err}"
+        );
         // Unknown function id.
         let err = results.try_assemble(&program, 9, 0).unwrap_err();
         assert!(err.to_string().contains("no function"), "{err}");

@@ -5,16 +5,21 @@
 //! resolves the name, assembles the thread-local input stripes, and invokes
 //! the kernel once per thread with a [`FnThreadCtx`].
 
+use sage_fabric::Payload;
 use sage_model::Properties;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// A thread-local stripe of a logical buffer, with its local array shape.
+///
+/// The backing bytes are a reference-counted [`Payload`], so stripes can be
+/// handed between tasks, deposited at sinks and queued on transports
+/// without copying; mutation through `bytes` is copy-on-write.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StripePayload {
     /// Packed bytes of the stripe (runs concatenated in order).
-    pub bytes: Vec<u8>,
+    pub bytes: Payload,
     /// Thread-local array shape (striped dims divided by thread count).
     pub shape: Vec<usize>,
     /// Bytes per element.
@@ -26,7 +31,7 @@ impl StripePayload {
     pub fn zeroed(shape: Vec<usize>, elem_bytes: usize) -> StripePayload {
         let n = shape.iter().product::<usize>() * elem_bytes;
         StripePayload {
-            bytes: vec![0; n],
+            bytes: Payload::zeroed(n),
             shape,
             elem_bytes,
         }
@@ -265,7 +270,7 @@ mod tests {
         let reg = Registry::new();
         let id = reg.get("id").unwrap();
         let inputs = vec![StripePayload {
-            bytes: vec![1, 2, 3, 4],
+            bytes: vec![1, 2, 3, 4].into(),
             shape: vec![4],
             elem_bytes: 1,
         }];

@@ -33,4 +33,4 @@ pub use executor::{
 pub use function::{FnThreadCtx, Kernel, Registry, RuntimeError, StripePayload};
 pub use glue::{FnRole, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Task};
 pub use options::{BufferScheme, RuntimeOptions};
-pub use striping::{Layout, Redistribution};
+pub use striping::{CopyOp, Layout, PairOps, Redistribution};

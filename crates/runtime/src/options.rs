@@ -40,6 +40,13 @@ pub struct RuntimeOptions {
     pub probes: bool,
     /// Deterministic fault plan for the run (empty = fault-free).
     pub faults: FaultPlan,
+    /// Run the copy-heavy data plane the executor shipped with (deep-copied
+    /// hand-offs, per-run interpreted pack/unpack) instead of the zero-copy
+    /// shared-payload path. Virtual-clock charges are identical either way
+    /// — only the *physical* copies differ — so this exists to let
+    /// `sage bench` measure the wall-clock win and to let tests assert the
+    /// two paths are bit-identical.
+    pub copy_baseline: bool,
 }
 
 impl RuntimeOptions {
@@ -57,6 +64,7 @@ impl RuntimeOptions {
             per_run_overhead: 0.25e-6,
             probes: false,
             faults: FaultPlan::default(),
+            copy_baseline: false,
         }
     }
 
@@ -70,6 +78,7 @@ impl RuntimeOptions {
             per_run_overhead: 0.1e-6,
             probes: false,
             faults: FaultPlan::default(),
+            copy_baseline: false,
         }
     }
 
@@ -88,6 +97,13 @@ impl RuntimeOptions {
     /// Builder: attach a fault plan for the run.
     pub fn with_faults(mut self, plan: FaultPlan) -> RuntimeOptions {
         self.faults = plan;
+        self
+    }
+
+    /// Builder: select the copy-heavy baseline data plane (see
+    /// [`RuntimeOptions::copy_baseline`]).
+    pub fn with_copy_baseline(mut self, on: bool) -> RuntimeOptions {
+        self.copy_baseline = on;
         self
     }
 }
@@ -116,8 +132,11 @@ mod tests {
     fn builders() {
         let o = RuntimeOptions::paper_faithful()
             .with_probes(true)
-            .with_scheme(BufferScheme::Shared);
+            .with_scheme(BufferScheme::Shared)
+            .with_copy_baseline(true);
         assert!(o.probes);
         assert_eq!(o.buffer_scheme, BufferScheme::Shared);
+        assert!(o.copy_baseline);
+        assert!(!RuntimeOptions::optimized().copy_baseline);
     }
 }

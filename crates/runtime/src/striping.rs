@@ -192,6 +192,73 @@ impl Layout {
     }
 }
 
+/// One coalesced copy: `len` bytes from offset `src` of one packed buffer
+/// to offset `dst` of another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyOp {
+    /// Byte offset into the source packed buffer.
+    pub src: usize,
+    /// Byte offset into the destination packed buffer.
+    pub dst: usize,
+    /// Bytes to copy.
+    pub len: usize,
+}
+
+/// Precompiled pack/unpack programs for one (producer thread, consumer
+/// thread) pair of a [`Redistribution`].
+///
+/// [`Layout::extract`]/[`Layout::inject`] re-resolve every interval through
+/// a linear [`Layout::to_local`] scan on every iteration. `PairOps` does
+/// that resolution once at plan time and coalesces intervals that are
+/// adjacent on *both* sides into single [`CopyOp`]s, so the per-iteration
+/// hot path is a short list of `copy_from_slice` calls.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairOps {
+    /// Copies from the producer's local buffer into the packed message.
+    pub pack: Vec<CopyOp>,
+    /// Copies from the packed message into the consumer's local buffer.
+    pub unpack: Vec<CopyOp>,
+    /// Total message bytes (sum of op lengths on either side).
+    pub bytes: usize,
+}
+
+impl PairOps {
+    /// Packs the pair's message out of the producer's local buffer.
+    /// `msg` must be exactly [`PairOps::bytes`] long.
+    pub fn pack_into(&self, src_local: &[u8], msg: &mut [u8]) {
+        debug_assert_eq!(msg.len(), self.bytes);
+        for op in &self.pack {
+            msg[op.dst..op.dst + op.len].copy_from_slice(&src_local[op.src..op.src + op.len]);
+        }
+    }
+
+    /// Scatters a packed message into the consumer's local buffer.
+    /// `msg` must be exactly [`PairOps::bytes`] long.
+    pub fn unpack_into(&self, msg: &[u8], dst_local: &mut [u8]) {
+        debug_assert_eq!(msg.len(), self.bytes);
+        for op in &self.unpack {
+            dst_local[op.dst..op.dst + op.len].copy_from_slice(&msg[op.src..op.src + op.len]);
+        }
+    }
+
+    /// `true` when the pair moves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// Appends `op` to `ops`, merging with the previous op when the two are
+/// contiguous on both sides.
+fn push_coalesced(ops: &mut Vec<CopyOp>, op: CopyOp) {
+    if let Some(prev) = ops.last_mut() {
+        if prev.src + prev.len == op.src && prev.dst + prev.len == op.dst {
+            prev.len += op.len;
+            return;
+        }
+    }
+    ops.push(op);
+}
+
 /// The full redistribution plan for one logical buffer: for every (producer
 /// thread, consumer thread) pair, the global intervals that must move.
 #[derive(Clone, Debug)]
@@ -257,6 +324,41 @@ impl Redistribution {
             .and_then(|row| row.get(j))
             .map(|iv| iv.iter().map(|(s, e)| e - s).sum())
             .unwrap_or(0)
+    }
+
+    /// Compiles the pack/unpack programs for pair `(i, j)`.
+    ///
+    /// Every intersection interval lies inside exactly one source run and
+    /// one destination run, so it is contiguous in both packed local
+    /// buffers; intervals contiguous on both sides merge into one
+    /// [`CopyOp`]. Message byte order is identical to
+    /// [`Layout::extract`]'s, so the two paths are wire-compatible.
+    pub fn pair_ops(&self, i: usize, j: usize) -> PairOps {
+        let mut ops = PairOps::default();
+        let (src, dst) = (&self.src[i], &self.dst[j]);
+        let mut cursor = 0;
+        for &(s, e) in &self.pairs[i][j] {
+            let len = e - s;
+            push_coalesced(
+                &mut ops.pack,
+                CopyOp {
+                    src: src.to_local(s),
+                    dst: cursor,
+                    len,
+                },
+            );
+            push_coalesced(
+                &mut ops.unpack,
+                CopyOp {
+                    src: cursor,
+                    dst: dst.to_local(s),
+                    len,
+                },
+            );
+            cursor += len;
+        }
+        ops.bytes = cursor;
+        ops
     }
 
     /// Bytes arriving at consumer thread `j` across every producer thread.
@@ -455,6 +557,60 @@ mod tests {
         for j in 0..2 {
             assert_eq!(r.incoming_bytes(j), r.dst[j].len());
         }
+    }
+
+    #[test]
+    fn pair_ops_match_extract_inject() {
+        for (src_s, src_t, dst_s, dst_t) in [
+            (Striping::BY_ROWS, 4, Striping::BY_COLS, 4),
+            (Striping::BY_COLS, 2, Striping::BY_ROWS, 4),
+            (Striping::Replicated, 3, Striping::BY_COLS, 2),
+            (Striping::BY_ROWS, 2, Striping::BY_ROWS, 2),
+        ] {
+            let shape = [8usize, 8];
+            let total = 8 * 8 * ELEM;
+            let full: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+            let r = Redistribution::plan(&shape, ELEM, src_s, src_t, dst_s, dst_t);
+            for i in 0..src_t {
+                let src_local = r.src[i].extract(&full, r.src[i].runs());
+                for j in 0..dst_t {
+                    let intervals = &r.pairs[i][j];
+                    let ops = r.pair_ops(i, j);
+                    // Pack path: coalesced ops produce the identical message.
+                    let old_msg = r.src[i].extract(&src_local, intervals);
+                    let mut new_msg = vec![0u8; ops.bytes];
+                    ops.pack_into(&src_local, &mut new_msg);
+                    assert_eq!(old_msg, new_msg, "pack {i}->{j}");
+                    // Unpack path: coalesced ops scatter identically.
+                    let mut old_dst = vec![0u8; r.dst[j].len()];
+                    r.dst[j].inject(&mut old_dst, intervals, &old_msg);
+                    let mut new_dst = vec![0u8; r.dst[j].len()];
+                    ops.unpack_into(&new_msg, &mut new_dst);
+                    assert_eq!(old_dst, new_dst, "unpack {i}->{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_ops_coalesce_adjacent_runs() {
+        // Same striping: the whole diagonal transfer is one contiguous copy
+        // on both sides, so the many per-row intervals of a column stripe
+        // must coalesce into a single op.
+        let r = Redistribution::plan(&[8, 8], ELEM, Striping::BY_COLS, 4, Striping::BY_COLS, 4);
+        for t in 0..4 {
+            let ops = r.pair_ops(t, t);
+            assert_eq!(r.pairs[t][t].len(), 8, "column stripe has 8 intervals");
+            assert_eq!(ops.pack.len(), 1, "pack coalesces to one op");
+            assert_eq!(ops.unpack.len(), 1, "unpack coalesces to one op");
+            assert_eq!(ops.bytes, 8 * 8 * ELEM / 4);
+        }
+        // Corner turn: pack is contiguous per source row (coalesces the
+        // column intervals of one row), never across rows.
+        let r = Redistribution::plan(&[8, 8], ELEM, Striping::BY_ROWS, 4, Striping::BY_COLS, 4);
+        let ops = r.pair_ops(0, 1);
+        assert_eq!(ops.bytes, 4 * ELEM);
+        assert!(ops.pack.len() <= r.pairs[0][1].len());
     }
 
     #[test]

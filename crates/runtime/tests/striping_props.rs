@@ -114,6 +114,55 @@ proptest! {
         }
     }
 
+    /// The precompiled coalesced copy programs (`pair_ops`) the zero-copy
+    /// data plane runs must be bit-identical to the interpreted
+    /// extract/inject path the executor shipped with — same message bytes
+    /// on the wire, same consumer stripes after unpack — for every striping
+    /// combination and thread-count pairing.
+    #[test]
+    fn pair_ops_match_interpreted_copies(
+        (rows, cols) in dims(),
+        src_threads in 1usize..=4,
+        dst_threads in 1usize..=4,
+        src_striping in striped(),
+        dst_striping in striped(),
+    ) {
+        let shape = [rows, cols];
+        let full = payload(rows * cols * ELEM);
+        let plan = Redistribution::plan(
+            &shape, ELEM, src_striping, src_threads, dst_striping, dst_threads,
+        );
+        let global = Layout::of_thread(&shape, ELEM, Striping::Replicated, 1, 0);
+        let src_local: Vec<Vec<u8>> = plan
+            .src
+            .iter()
+            .map(|l| global.extract(&full, l.runs()))
+            .collect();
+        for (i, src) in plan.src.iter().enumerate() {
+            for (j, dst) in plan.dst.iter().enumerate() {
+                let ops = plan.pair_ops(i, j);
+                let intervals = &plan.pairs[i][j];
+                let legacy_msg = src.extract(&src_local[i], intervals);
+                prop_assert_eq!(ops.bytes, legacy_msg.len());
+                prop_assert_eq!(ops.is_empty(), intervals.is_empty());
+                let mut msg = vec![0u8; ops.bytes];
+                ops.pack_into(&src_local[i], &mut msg);
+                prop_assert_eq!(
+                    &msg, &legacy_msg,
+                    "pack differs from extract for pair ({}, {})", i, j
+                );
+                let mut legacy_dst = vec![0u8; dst.len()];
+                dst.inject(&mut legacy_dst, intervals, &msg);
+                let mut ops_dst = vec![0u8; dst.len()];
+                ops.unpack_into(&msg, &mut ops_dst);
+                prop_assert_eq!(
+                    &ops_dst, &legacy_dst,
+                    "unpack differs from inject for pair ({}, {})", i, j
+                );
+            }
+        }
+    }
+
     /// The pair intervals of a striped-to-striped plan partition the
     /// payload: disjoint, sorted within each pair, and covering every byte
     /// exactly once across all pairs.

@@ -7,10 +7,11 @@
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
-//!                 [--transport local|tcp] [--dump-sink F] [--trace F]
+//!                 [--transport local|tcp] [--copy-baseline] [--dump-sink F] [--trace F]
 //! $ sage worker   --listen 127.0.0.1:0        # host one rank of a distributed job
-//! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized]
+//! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized] [--copy-baseline]
 //!                 [--dump-sink F] [--trace F]
+//! $ sage bench    [--transport local|tcp] [--json PATH] [--check BASELINE]
 //! $ sage export   fft2d|corner_turn|stap|image_filter --size 256 --threads 8 > model.sexpr
 //! ```
 //!
@@ -40,10 +41,11 @@ fn usage() -> ExitCode {
          sage explain [SAGE0xx]...\n  \
          sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
          sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n           \
-         [--transport local|tcp] [--dump-sink FILE] [--trace FILE]\n  \
+         [--transport local|tcp] [--copy-baseline] [--dump-sink FILE] [--trace FILE]\n  \
          sage worker [--listen ADDR]\n  \
-         sage launch <model.sexpr> [--workers N] [--iters I] [--optimized]\n              \
+         sage launch <model.sexpr> [--workers N] [--iters I] [--optimized] [--copy-baseline]\n              \
          [--dump-sink FILE] [--trace FILE]\n  \
+         sage bench [--transport local|tcp] [--json PATH] [--check BASELINE]\n  \
          sage export <fft2d|corner_turn|stap|image_filter> [--size S] [--threads T]"
     );
     ExitCode::from(2)
@@ -356,6 +358,7 @@ fn run_over_tcp(args: &Args, text: &str, workers: usize, iters: u32) -> Result<(
         iterations: iters,
         optimized: args.has("optimized"),
         probes: true,
+        copy_baseline: args.has("copy-baseline"),
     };
     let outcome: LaunchOutcome =
         sage::net::launch(text, &opts, &spawn_local_worker).map_err(|e| e.to_string())?;
@@ -405,7 +408,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     } else {
         RuntimeOptions::paper_faithful()
     }
-    .with_probes(true);
+    .with_probes(true)
+    .with_copy_baseline(args.has("copy-baseline"));
     let policy = if args.has("real") {
         TimePolicy::Real
     } else {
@@ -467,6 +471,79 @@ fn cmd_launch(args: &Args) -> Result<(), String> {
     run_over_tcp(args, &text, workers, iters)
 }
 
+/// `sage bench`: the performance-trajectory sweep over the four committed
+/// example models — copy-heavy baseline vs zero-copy data plane, on the
+/// local fabric and (optionally) the multi-process TCP transport.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use sage_bench::trajectory as tj;
+    let transports: Vec<&str> = match args.get("transport") {
+        None => vec!["local", "tcp"],
+        Some("local") => vec!["local"],
+        Some("tcp") => vec!["tcp"],
+        Some(other) => return Err(format!("unknown --transport `{other}` (local|tcp)")),
+    };
+    let iters = tj::bench_iterations();
+    let quick = std::env::var("SAGE_QUICK").is_ok();
+    let mut results = Vec::new();
+    println!(
+        "{:<18} {:>9} {:>10} {:>12} {:>12} {:>12}  checksum",
+        "model", "transport", "plane", "ms/iter", "MiB moved", "MiB/s"
+    );
+    for (name, path) in tj::BENCH_MODELS {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path} (run from the repo root): {e}"))?;
+        for &transport in &transports {
+            for copy_baseline in [true, false] {
+                let r = match transport {
+                    "local" => tj::bench_local(name, &text, iters, copy_baseline)?,
+                    _ => tj::bench_tcp(name, &text, iters, copy_baseline, &spawn_local_worker)?,
+                };
+                println!(
+                    "{:<18} {:>9} {:>10} {:>12.3} {:>12.2} {:>12.1}  {:#018x}",
+                    r.model,
+                    r.transport,
+                    r.data_plane,
+                    r.ms_per_iter,
+                    r.bytes_moved as f64 / (1024.0 * 1024.0),
+                    r.bandwidth_mib_s,
+                    r.checksum
+                );
+                results.push(r);
+            }
+        }
+    }
+    // Every cell of one model must assemble bit-identical sink output.
+    for (name, _) in tj::BENCH_MODELS {
+        let sums: Vec<u64> = results
+            .iter()
+            .filter(|r| r.model == name)
+            .map(|r| r.checksum)
+            .collect();
+        if sums.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!(
+                "sink checksum mismatch across `{name}` runs: {sums:#018x?}"
+            ));
+        }
+    }
+    let json = tj::to_json(&results, quick);
+    let path = args.get("json").unwrap_or("BENCH_runtime.json");
+    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    if let Some(baseline_path) = args.get("check") {
+        let baseline_text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+        let baseline = tj::parse_results(&baseline_text)?;
+        // Re-parse what we just wrote: the schema gate CI relies on.
+        let reread = tj::parse_results(&json)?;
+        tj::check_regression(&reread, &baseline, tj::DEFAULT_TOLERANCE)?;
+        eprintln!(
+            "bandwidth within {:.0}% of {baseline_path} for all shared cells",
+            tj::DEFAULT_TOLERANCE * 100.0
+        );
+    }
+    Ok(())
+}
+
 fn cmd_export(args: &Args) -> Result<(), String> {
     let which = args.positional.first().ok_or("export needs an app name")?;
     let size = args.usize_or("size", 256);
@@ -497,6 +574,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "worker" => cmd_worker(&args),
         "launch" => cmd_launch(&args),
+        "bench" => cmd_bench(&args),
         "export" => cmd_export(&args),
         _ => return usage(),
     };

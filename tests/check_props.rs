@@ -162,6 +162,7 @@ proptest! {
             iterations: iters,
             optimized: false,
             probes: false,
+            copy_baseline: false,
         };
         let outcome = sage::net::launch(&source, &opts, &spawn_worker).unwrap();
         let tcp = sink_bytes(&outcome.program, &outcome.results, iters);

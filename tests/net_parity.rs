@@ -72,6 +72,62 @@ fn assert_parity(model: &str, ranks: usize) {
     );
 }
 
+/// FNV-1a-64, matching the fingerprint the CLI prints after every run.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sink output fingerprints recorded from the copy-heavy build *before*
+/// the zero-copy data plane landed (4 nodes, 2 iterations, local
+/// transport). The zero-copy path — and the `--copy-baseline` escape
+/// hatch — must keep reproducing these bytes exactly.
+const PINNED_SINKS: [(&str, usize, u64); 4] = [
+    ("fft2d_64.sexpr", 65536, 0x106286f4fa7ffcfd),
+    ("corner_turn_256.sexpr", 1048576, 0x5f7c4d9797348e85),
+    ("image_filter_128.sexpr", 262144, 0x0e8a2d6c26012b69),
+    ("stap_128.sexpr", 262144, 0xabf2fd818ed6c305),
+];
+
+/// Every committed model still produces the pre-zero-copy sink bytes on
+/// the local transport, on both data planes.
+#[test]
+fn sink_checksums_match_pre_zero_copy_build() {
+    for (model, len, sum) in PINNED_SINKS {
+        let path = model_path(model);
+        let zero_copy = sink_dump(
+            &["run", &path, "--nodes", "4", "--iters", "2"],
+            &format!("pin_zc_{model}"),
+        );
+        assert_eq!(zero_copy.len(), len, "{model}: sink size drifted");
+        assert_eq!(
+            fnv1a_64(&zero_copy),
+            sum,
+            "{model}: zero-copy sink differs from the pre-change build"
+        );
+        let baseline = sink_dump(
+            &[
+                "run",
+                &path,
+                "--nodes",
+                "4",
+                "--iters",
+                "2",
+                "--copy-baseline",
+            ],
+            &format!("pin_cb_{model}"),
+        );
+        assert!(
+            baseline == zero_copy,
+            "{model}: --copy-baseline and zero-copy data planes disagree"
+        );
+    }
+}
+
 #[test]
 fn fft2d_parity_two_ranks() {
     assert_parity("fft2d_64.sexpr", 2);
@@ -92,6 +148,16 @@ fn corner_turn_parity_four_ranks() {
     assert_parity("corner_turn_256.sexpr", 4);
 }
 
+#[test]
+fn image_filter_parity_four_ranks() {
+    assert_parity("image_filter_128.sexpr", 4);
+}
+
+#[test]
+fn stap_parity_four_ranks() {
+    assert_parity("stap_128.sexpr", 4);
+}
+
 /// Kill rank 1's process shortly after it accepts the job: the launcher
 /// must come back with a typed node/peer failure — never hang, never
 /// report success.
@@ -103,6 +169,7 @@ fn killed_worker_surfaces_typed_failure() {
         iterations: 200,
         optimized: false,
         probes: false,
+        copy_baseline: false,
     };
     let spawn = |rank: usize| {
         let mut cmd = Command::new(sage_bin());
