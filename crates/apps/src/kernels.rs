@@ -50,7 +50,10 @@ impl PlanCache {
 ///   its rows (i.e. the original matrix's columns);
 /// * `isspl.window_rows` — Hamming window applied to every row;
 /// * `isspl.magnitude` — element-wise power (squared magnitude) into the
-///   real part, used by the detection stage.
+///   real part, used by the detection stage;
+/// * `workload.bytes` — dtype-agnostic seeded byte source (fuzz corpus);
+/// * `workload.splat` — fan-out-tolerant pass-through: copies the input
+///   stripe into every output buffer (fuzz corpus).
 pub fn register_kernels(reg: &mut Registry) {
     let cache = std::sync::Arc::new(PlanCache::new());
 
@@ -191,6 +194,57 @@ pub fn register_kernels(reg: &mut Registry) {
         ctx.outputs[0].bytes.copy_from_slice(as_bytes(&out));
         Ok(())
     });
+
+    reg.register("workload.bytes", |ctx: &mut FnThreadCtx<'_>| {
+        // Dtype-agnostic deterministic source: every output stripe is
+        // filled from a splitmix64 stream keyed on (seed, thread, port),
+        // so any element type and striping produces the same bytes on
+        // every backend. The fuzz corpus leans on this for non-complex
+        // and oddly-striped sources `workload.matrix` cannot feed.
+        let seed = ctx.param_i64("seed").unwrap_or(0) as u64;
+        if ctx.outputs.is_empty() {
+            return Err("workload.bytes needs an output".into());
+        }
+        for (oi, out) in ctx.outputs.iter_mut().enumerate() {
+            let mut state = seed
+                ^ (ctx.thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ ((oi as u64) << 17)
+                ^ (u64::from(ctx.iteration) << 40);
+            let mut next = move || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for chunk in out.bytes.chunks_mut(8) {
+                let word = next().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+        Ok(())
+    });
+
+    reg.register("workload.splat", |ctx: &mut FnThreadCtx<'_>| {
+        // Fan-out-tolerant pass-through: the input stripe is copied into
+        // every output buffer (one logical buffer per consumer), which the
+        // built-in one-in-one-out `id` refuses to do.
+        let input = ctx.inputs.first().ok_or("workload.splat needs an input")?;
+        if ctx.outputs.is_empty() {
+            return Err("workload.splat needs an output".into());
+        }
+        for out in ctx.outputs.iter_mut() {
+            if out.bytes.len() != input.bytes.len() {
+                return Err(format!(
+                    "output stripe of {} bytes does not match the {}-byte input",
+                    out.bytes.len(),
+                    input.bytes.len()
+                ));
+            }
+            out.bytes.copy_from_slice(&input.bytes);
+        }
+        Ok(())
+    });
 }
 
 /// The software shelf describing these kernels with their cost models for a
@@ -236,6 +290,16 @@ pub fn isspl_shelf(size: usize) -> SoftwareShelf {
     shelf.add(ShelfFunction::new(
         "isspl.magnitude",
         "element-wise detection power",
+        to_cm(cost::magnitude_cost(size * size)),
+    ));
+    shelf.add(ShelfFunction::new(
+        "workload.bytes",
+        "dtype-agnostic seeded byte source",
+        CostModel::ZERO,
+    ));
+    shelf.add(ShelfFunction::new(
+        "workload.splat",
+        "fan-out pass-through (one copy per consumer)",
         to_cm(cost::magnitude_cost(size * size)),
     ));
     shelf
@@ -353,6 +417,6 @@ mod tests {
             0.0
         );
         assert!(shelf.get("isspl.transpose").unwrap().cost_on("*").mem_bytes > 0.0);
-        assert_eq!(shelf.len(), 8);
+        assert_eq!(shelf.len(), 10);
     }
 }

@@ -19,7 +19,11 @@
 //!   redistribution + local tile transposes);
 //! * [`stap`] — a STAP-flavoured radar pipeline (pulse compression →
 //!   Doppler FFT → corner turn → beamform → detect) exercising the full
-//!   Designer/AToT/codegen flow on a deeper graph.
+//!   Designer/AToT/codegen flow on a deeper graph;
+//! * [`beamformer`] — a frequency-domain beamformer for a uniform linear
+//!   array (shading → corner turn + spatial FFT → beam power);
+//! * [`range_doppler`] — a SAR-style range-doppler imaging chain (range
+//!   FFT → reference multiply → corner turn + doppler FFT → power map).
 //!
 //! [`workload`] provides deterministic input generation and serial reference
 //! implementations; [`kernels`] registers the ISSPL-like shelf kernels with
@@ -28,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod beamformer;
 pub mod corner_turn;
 pub mod dist;
 pub mod experiment;
 pub mod fft2d;
 pub mod image_filter;
 pub mod kernels;
+pub mod range_doppler;
 pub mod stap;
 pub mod workload;
 

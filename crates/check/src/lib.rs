@@ -90,6 +90,32 @@ pub fn check_program(
     diags
 }
 
+/// Predicted per-node memory high-water marks (bytes) for a well-formed
+/// program: the static walk behind `SAGE055`, exposed so a dynamic run
+/// can be cross-validated against it (the prediction is a documented
+/// lower bound for any buffer scheme, so measured peaks must never
+/// exceed it — `predicted[node] >= measured[node]` for every node).
+///
+/// Returns `None` when the program fails its structural self-checks or
+/// any buffer descriptor is degenerate (those cases are already reported
+/// by [`check_program`] as errors).
+pub fn predicted_peaks(program: &GlueProgram) -> Option<Vec<usize>> {
+    if program.validate().is_err() {
+        return None;
+    }
+    let mut scratch = Diagnostics::new();
+    let plans = structure::plan_buffers(program, None, &mut scratch);
+    if scratch.error_count() > 0 || plans.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(
+        memory::node_peaks(program, &plans)
+            .into_iter()
+            .map(|(peak, _)| peak)
+            .collect(),
+    )
+}
+
 /// A human-readable label for a logical buffer: id and both endpoints.
 pub(crate) fn buffer_label(program: &GlueProgram, bid: u32) -> String {
     let b = &program.buffers[bid as usize];

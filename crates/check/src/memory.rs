@@ -20,26 +20,18 @@ use std::collections::HashMap;
 /// computation, is the bound.
 pub const COMM_FEASIBLE_SECS: f64 = 0.1;
 
-/// Checks per-node memory high-water-marks (`SAGE055`) and bandwidth
-/// feasibility (`SAGE056`) against the hardware model.
-pub fn check(
-    program: &GlueProgram,
-    hw: &HardwareSpec,
-    plans: &BufferPlans,
-    spans: Option<&ModelSpans>,
-    diags: &mut Diagnostics,
-) {
-    let caps = hw.capacities();
-    let flat = hw.flatten();
-
+/// Per-node predicted memory high-water marks: for each node, the peak
+/// live bytes over its schedule and the slot where the peak occurs.
+///
+/// The walk is the one documented on this module: a task's working set is
+/// its input and output stripes, and a same-node hand-off stays live from
+/// the slot that produces it to the slot that consumes it. The figure is a
+/// lower bound for any buffer scheme — which is exactly why the executor's
+/// measured `mem_high_water` must never exceed it.
+pub(crate) fn node_peaks(program: &GlueProgram, plans: &BufferPlans) -> Vec<(usize, usize)> {
     // Same-node hand-off live ranges: node -> (producer slot, consumer
     // slot, bytes).
     let mut handoffs: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); program.node_count()];
-    // Cross-node wire seconds and bytes charged to every node the link
-    // touches.
-    let mut wire_secs = vec![0.0f64; program.node_count()];
-    let mut wire_bytes = vec![0usize; program.node_count()];
-
     let slot_of: HashMap<(u32, u32), (usize, usize)> = program
         .schedules
         .iter()
@@ -51,7 +43,6 @@ pub fn check(
                 .map(move |(slot, t)| ((t.fn_id, t.thread), (node, slot)))
         })
         .collect();
-
     for (bid, plan) in plans.iter().enumerate() {
         let Some(plan) = plan else { continue };
         let b = &program.buffers[bid];
@@ -73,7 +64,78 @@ pub fn check(
                         continue;
                     };
                     handoffs[src_node].push((ps, cs, bytes));
-                } else {
+                }
+            }
+        }
+    }
+
+    program
+        .schedules
+        .iter()
+        .enumerate()
+        .map(|(node, sched)| {
+            let mut peak = 0usize;
+            let mut peak_slot = 0usize;
+            for (slot, &task) in sched.iter().enumerate() {
+                let f = &program.functions[task.fn_id as usize];
+                let tid = task.thread as usize;
+                let mut live = 0usize;
+                for &bid in f.inputs.iter() {
+                    if let Some(plan) = &plans[bid as usize] {
+                        live += plan.dst.get(tid).map(Layout::len).unwrap_or(0);
+                    }
+                }
+                for &bid in f.outputs.iter() {
+                    if let Some(plan) = &plans[bid as usize] {
+                        live += plan.src.get(tid).map(Layout::len).unwrap_or(0);
+                    }
+                }
+                for &(ps, cs, bytes) in &handoffs[node] {
+                    if ps < slot && slot < cs {
+                        live += bytes;
+                    }
+                }
+                if live > peak {
+                    peak = live;
+                    peak_slot = slot;
+                }
+            }
+            (peak, peak_slot)
+        })
+        .collect()
+}
+
+/// Checks per-node memory high-water-marks (`SAGE055`) and bandwidth
+/// feasibility (`SAGE056`) against the hardware model.
+pub fn check(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    plans: &BufferPlans,
+    spans: Option<&ModelSpans>,
+    diags: &mut Diagnostics,
+) {
+    let caps = hw.capacities();
+    let flat = hw.flatten();
+
+    // Cross-node wire seconds and bytes charged to every node the link
+    // touches.
+    let mut wire_secs = vec![0.0f64; program.node_count()];
+    let mut wire_bytes = vec![0usize; program.node_count()];
+
+    for (bid, plan) in plans.iter().enumerate() {
+        let Some(plan) = plan else { continue };
+        let b = &program.buffers[bid];
+        let pf = &program.functions[b.producer as usize];
+        let cf = &program.functions[b.consumer as usize];
+        for (i, row) in plan.pairs.iter().enumerate() {
+            for (j, intervals) in row.iter().enumerate() {
+                if intervals.is_empty() {
+                    continue;
+                }
+                let bytes: usize = intervals.iter().map(|(s, e)| e - s).sum();
+                let src_node = pf.placement[i] as usize;
+                let dst_node = cf.placement[j] as usize;
+                if src_node != dst_node {
                     let secs = hw
                         .link_between(&flat[src_node], &flat[dst_node])
                         .transfer_secs(bytes);
@@ -86,33 +148,12 @@ pub fn check(
         }
     }
 
+    let peaks = node_peaks(program, plans);
     for (node, sched) in program.schedules.iter().enumerate() {
-        let mut peak = 0usize;
-        let mut peak_slot = 0usize;
-        for (slot, &task) in sched.iter().enumerate() {
-            let f = &program.functions[task.fn_id as usize];
-            let tid = task.thread as usize;
-            let mut live = 0usize;
-            for &bid in f.inputs.iter() {
-                if let Some(plan) = &plans[bid as usize] {
-                    live += plan.dst.get(tid).map(Layout::len).unwrap_or(0);
-                }
-            }
-            for &bid in f.outputs.iter() {
-                if let Some(plan) = &plans[bid as usize] {
-                    live += plan.src.get(tid).map(Layout::len).unwrap_or(0);
-                }
-            }
-            for &(ps, cs, bytes) in &handoffs[node] {
-                if ps < slot && slot < cs {
-                    live += bytes;
-                }
-            }
-            if live > peak {
-                peak = live;
-                peak_slot = slot;
-            }
+        if sched.is_empty() {
+            continue;
         }
+        let (peak, peak_slot) = peaks[node];
         let cap = caps[node].mem_bytes;
         if peak as f64 > cap {
             let at = program.task_path(sched[peak_slot]);

@@ -423,6 +423,25 @@ pub fn check_kernel_contracts(
                 complex_ports(&ins[..1], &outs[..1], &mut viol);
                 bytes_preserved(&ins, &outs, &mut viol);
             }
+            "workload.bytes" if outs.is_empty() => {
+                viol("`workload.bytes` needs at least one output port".into());
+            }
+            "workload.splat" => {
+                if ins.is_empty() || outs.is_empty() {
+                    viol("`workload.splat` needs one input and at least one output port".into());
+                } else {
+                    let ib = stripe_bytes(&ins[0]);
+                    for (k, o) in outs.iter().enumerate() {
+                        let ob = stripe_bytes(o);
+                        if ib != ob {
+                            viol(format!(
+                                "`workload.splat` copies its {ib}-byte input \
+                                 stripe into output {k} of {ob} bytes"
+                            ));
+                        }
+                    }
+                }
+            }
             _ => {} // unknown kernels carry no static contract
         }
         for message in violations {

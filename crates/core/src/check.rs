@@ -13,11 +13,25 @@ use crate::codegen::{generate, CodegenError, Placement};
 use sage_check::check_program;
 use sage_lint::{model_error_diag, Diagnostic, Diagnostics, ModelSpans};
 use sage_model::HardwareShelf;
+use sage_runtime::GlueProgram;
 
 /// Checks a Designer model file (s-expression source) end to end: code
 /// generation for a machine of `nodes` processors followed by abstract
 /// interpretation of the generated program.
 pub fn check_model_source(src: &str, nodes: usize) -> Diagnostics {
+    checked_program(src, nodes).1
+}
+
+/// [`check_model_source`], but also returning the generated glue program
+/// whenever code generation succeeded — the front door for tooling that
+/// wants both the static verdict and the artifact it was issued about
+/// (the differential fuzz harness cross-validates `sage-check`'s
+/// predictions against a real run of exactly this program).
+///
+/// The program is returned even when the interpreter reports findings on
+/// it; it is `None` only when the model fails to load, fails the
+/// model-layer lints, or code generation itself errors.
+pub fn checked_program(src: &str, nodes: usize) -> (Option<GlueProgram>, Diagnostics) {
     let mut diags = Diagnostics::new();
     let app = match crate::model_io::model_from_sexpr(src) {
         Ok(app) => app,
@@ -26,21 +40,25 @@ pub fn check_model_source(src: &str, nodes: usize) -> Diagnostics {
                 Diagnostic::error("SAGE007", e.to_string())
                     .with_note("fix the file syntax before any deeper analysis can run"),
             );
-            return diags;
+            return (None, diags);
         }
     };
     let spans = ModelSpans::index(src);
     diags.extend(sage_lint::lint_model(&app, nodes, Some(&spans)));
     if diags.error_count() > 0 {
         // The generator would reject the model anyway; nothing to check.
-        return diags;
+        return (None, diags);
     }
     // Model-layer warnings (idle nodes, fan-out) belong to `sage lint`;
     // `sage check` reports only the generated-program findings.
     diags = Diagnostics::new();
     let hw = HardwareShelf::cspi_with_nodes(nodes);
+    let mut generated = None;
     match generate(&app, &hw, &Placement::Aligned) {
-        Ok(program) => diags.extend(check_program(&program, &hw, Some(&spans))),
+        Ok(program) => {
+            diags.extend(check_program(&program, &hw, Some(&spans)));
+            generated = Some(program);
+        }
         Err(CodegenError::Model(e)) => diags.push(model_error_diag(&e, Some(&spans))),
         Err(CodegenError::Placement(m)) => {
             diags.push(Diagnostic::error("SAGE021", m));
@@ -53,7 +71,7 @@ pub fn check_model_source(src: &str, nodes: usize) -> Diagnostics {
         }
     }
     diags.sort();
-    diags
+    (generated, diags)
 }
 
 #[cfg(test)]

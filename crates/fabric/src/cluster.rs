@@ -193,6 +193,12 @@ impl NodeCtx {
         self.metrics.faults_observed += 1;
     }
 
+    /// Records an observed live buffer footprint, keeping the running
+    /// maximum as this node's memory high-water mark.
+    pub fn note_mem_use(&mut self, bytes: u64) {
+        self.metrics.mem_high_water = self.metrics.mem_high_water.max(bytes);
+    }
+
     /// Sends `payload` to node `dst` with matching `tag`.
     ///
     /// Virtual-mode cost model (LogP-style, deterministic): the message

@@ -44,6 +44,13 @@ pub struct NodeMetrics {
     /// Virtual time lost to faults: wasted injections, stalls, retry
     /// backoff (seconds); 0 in real mode.
     pub lost_secs: f64,
+    /// Peak live logical-buffer bytes observed by the executor on this
+    /// node: task input and output stripes plus pending same-node
+    /// hand-offs, sampled while each kernel runs. Comparable across
+    /// backends and data planes (it counts logical bytes, not
+    /// allocations), and the dynamic counterpart of `sage-check`'s
+    /// `SAGE055` static high-water prediction.
+    pub mem_high_water: u64,
 }
 
 /// Aggregated metrics for a whole run.
@@ -89,6 +96,15 @@ impl FabricMetrics {
     /// Total virtual time lost to faults across all nodes (seconds).
     pub fn total_lost_secs(&self) -> f64 {
         self.nodes.iter().map(|n| n.lost_secs).sum()
+    }
+
+    /// The largest per-node memory high-water mark (bytes).
+    pub fn max_mem_high_water(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.mem_high_water)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total payload bytes that crossed a real wire (sum over link

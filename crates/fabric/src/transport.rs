@@ -83,6 +83,11 @@ pub trait Transport {
     /// Records a fault observed by an upper layer.
     fn note_fault(&mut self) {}
 
+    /// Records an observed live logical-buffer footprint (bytes); the
+    /// backend keeps the running maximum as the rank's memory high-water
+    /// mark. Default no-op for backends that do not report metrics.
+    fn note_mem_use(&mut self, _bytes: u64) {}
+
     /// Returns this rank's own scheduled-failure error if it has fired
     /// (fault injection; real backends fail by actually failing).
     fn check_failed(&mut self) -> Result<(), FabricError> {
@@ -135,6 +140,10 @@ impl Transport for crate::cluster::NodeCtx {
 
     fn note_fault(&mut self) {
         crate::cluster::NodeCtx::note_fault(self)
+    }
+
+    fn note_mem_use(&mut self, bytes: u64) {
+        crate::cluster::NodeCtx::note_mem_use(self, bytes)
     }
 
     fn check_failed(&mut self) -> Result<(), FabricError> {

@@ -1,0 +1,528 @@
+//! The differential executor: one generated model, every configuration.
+//!
+//! A lint/check-clean model must produce **bit-identical** sink bytes in
+//! every cell of the {local, tcp} × {zero-copy, copy-baseline} lattice.
+//! It then runs again under seeded random [`FaultPlan`]s, where each run
+//! must either reproduce the fault-free checksum exactly or fail with a
+//! typed error — never hang, never silently corrupt.
+//!
+//! Two cross-validations tie `sage check`'s static story to reality:
+//!
+//! - **Direction A (memory)**: the abstract interpreter's per-node
+//!   memory high-water prediction ([`sage_check::predicted_peaks`]) must
+//!   dominate the executor's measured `mem_high_water` on every node of
+//!   every cell. A measured peak above the prediction means the static
+//!   walk missed live bytes.
+//! - **Direction B (rejection)**: a model `sage check` rejects for a
+//!   kernel-contract violation (SAGE054) must also fail at run time. A
+//!   statically rejected model that runs clean is a harness failure —
+//!   the checker is crying wolf or the runtime is too lenient.
+
+use crate::gen::splitmix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sage_core::{checked_program, Placement, Project, ProjectError};
+use sage_fabric::{FaultPlan, TimePolicy};
+use sage_model::HardwareShelf;
+use sage_net::{LaunchOptions, Spawner};
+use sage_runtime::{FnRole, GlueProgram, RuntimeOptions, SinkResults};
+
+/// One cell of the configuration lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Multi-process TCP backend instead of the in-process local one.
+    pub tcp: bool,
+    /// Copy-heavy baseline data plane instead of the zero-copy one.
+    pub copy_baseline: bool,
+}
+
+impl Cell {
+    /// Stable display label, e.g. `local/zero-copy`.
+    pub fn label(&self) -> &'static str {
+        match (self.tcp, self.copy_baseline) {
+            (false, false) => "local/zero-copy",
+            (false, true) => "local/copy",
+            (true, false) => "tcp/zero-copy",
+            (true, true) => "tcp/copy",
+        }
+    }
+}
+
+/// The local half of the lattice (always runnable, in-process).
+pub const LOCAL_CELLS: [Cell; 2] = [
+    Cell {
+        tcp: false,
+        copy_baseline: false,
+    },
+    Cell {
+        tcp: false,
+        copy_baseline: true,
+    },
+];
+
+/// The full lattice, TCP cells last (they spawn real worker processes).
+pub const ALL_CELLS: [Cell; 4] = [
+    Cell {
+        tcp: false,
+        copy_baseline: false,
+    },
+    Cell {
+        tcp: false,
+        copy_baseline: true,
+    },
+    Cell {
+        tcp: true,
+        copy_baseline: false,
+    },
+    Cell {
+        tcp: true,
+        copy_baseline: true,
+    },
+];
+
+/// FNV-1a 64-bit — the checksum pinned throughout the test suite.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Every sink's assembled output over all iterations, in (function id,
+/// iteration) order — the byte stream all backends must agree on.
+pub fn sink_bytes(program: &GlueProgram, results: &SinkResults, iterations: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in &program.functions {
+        if f.role != FnRole::Sink {
+            continue;
+        }
+        for iter in 0..iterations {
+            if let Some(full) = results.assemble(program, f.id, iter) {
+                out.extend_from_slice(&full);
+            }
+        }
+    }
+    out
+}
+
+/// How one differential property failed.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Cell the failing run executed in.
+    pub cell: String,
+    /// What went wrong.
+    pub message: String,
+    /// Fault plan active during the failing run, if any.
+    pub plan: Option<FaultPlan>,
+}
+
+/// Where a model landed after the front door and the lattice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Rejected before codegen (parse, lint, or placement error).
+    FrontDoorRejected,
+    /// `sage check` rejected it and the runtime agreed (or the rejection
+    /// had no runtime counterpart to cross-check).
+    CheckRejected,
+    /// Clean everywhere: bit-identical across the lattice, fault rounds
+    /// bit-exact-or-typed, memory prediction dominated reality.
+    Clean,
+    /// At least one differential property failed (see `failures`).
+    Failed,
+}
+
+/// The full differential record for one model.
+#[derive(Clone, Debug)]
+pub struct DiffOutcome {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// Diagnostic codes the front door / checker reported (sorted).
+    pub reject_codes: Vec<String>,
+    /// Fault-free sink checksum (when at least one cell ran clean).
+    pub checksum: Option<u64>,
+    /// Labels of the cells that executed.
+    pub cells_run: Vec<&'static str>,
+    /// Fault rounds that completed bit-identically (vs typed errors).
+    pub fault_ok: usize,
+    /// Fault rounds that surfaced a typed runtime error.
+    pub fault_typed: usize,
+    /// Every property violation observed.
+    pub failures: Vec<Failure>,
+}
+
+/// Per-model knobs for [`run_diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Iterations (data sets) per run.
+    pub iterations: u32,
+    /// Sweep the TCP half of the lattice (needs a spawner).
+    pub tcp: bool,
+    /// Seeded fault-injection rounds after the fault-free lattice.
+    pub fault_rounds: usize,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            iterations: 2,
+            tcp: false,
+            fault_rounds: 2,
+        }
+    }
+}
+
+fn run_local(
+    source: &str,
+    nodes: usize,
+    iterations: u32,
+    copy_baseline: bool,
+    plan: Option<FaultPlan>,
+) -> Result<(u64, Vec<u64>), String> {
+    let app = sage_core::model_from_sexpr(source).map_err(|e| format!("parse: {e}"))?;
+    let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(nodes));
+    sage_apps::kernels::register_kernels(&mut project.registry);
+    let (program, _) = project
+        .generate(&Placement::Aligned)
+        .map_err(|e| format!("codegen: {e}"))?;
+    let mut options = RuntimeOptions::paper_faithful()
+        .with_probes(false)
+        .with_copy_baseline(copy_baseline);
+    if let Some(plan) = plan {
+        options = options.with_faults(plan);
+    }
+    let exec = project
+        .execute(&program, TimePolicy::Virtual, &options, iterations)
+        .map_err(|e| match e {
+            ProjectError::Runtime(e) => format!("runtime: {e}"),
+            ProjectError::Codegen(e) => format!("codegen: {e}"),
+        })?;
+    let bytes = sink_bytes(&program, &exec.results, iterations);
+    if bytes.is_empty() {
+        return Err("sink produced no bytes".into());
+    }
+    let mems = exec
+        .report
+        .metrics
+        .nodes
+        .iter()
+        .map(|n| n.mem_high_water)
+        .collect();
+    Ok((fnv1a_64(&bytes), mems))
+}
+
+fn run_tcp(
+    source: &str,
+    nodes: usize,
+    iterations: u32,
+    copy_baseline: bool,
+    spawner: &Spawner<'_>,
+) -> Result<(u64, Vec<u64>), String> {
+    let opts = LaunchOptions {
+        workers: nodes,
+        iterations,
+        optimized: false,
+        probes: false,
+        copy_baseline,
+    };
+    let outcome = sage_net::launch(source, &opts, spawner).map_err(|e| format!("launch: {e}"))?;
+    let bytes = sink_bytes(&outcome.program, &outcome.results, iterations);
+    if bytes.is_empty() {
+        return Err("sink produced no bytes".into());
+    }
+    let mems = outcome
+        .report
+        .metrics
+        .nodes
+        .iter()
+        .map(|n| n.mem_high_water)
+        .collect();
+    Ok((fnv1a_64(&bytes), mems))
+}
+
+/// Runs one lattice cell and returns (sink checksum, per-node measured
+/// memory high-waters). Fault plans are local-only — the soak injects
+/// faults through the in-process backend — so a `plan` forces the local
+/// path regardless of `cell.tcp`.
+pub fn run_cell(
+    source: &str,
+    nodes: usize,
+    iterations: u32,
+    cell: Cell,
+    plan: Option<FaultPlan>,
+    spawner: Option<&Spawner<'_>>,
+) -> Result<(u64, Vec<u64>), String> {
+    if cell.tcp && plan.is_none() {
+        let spawner = spawner.ok_or("tcp cell needs a worker spawner")?;
+        run_tcp(source, nodes, iterations, cell.copy_baseline, spawner)
+    } else {
+        run_local(source, nodes, iterations, cell.copy_baseline, plan)
+    }
+}
+
+/// Checks direction A on one cell's run: the static per-node prediction
+/// must dominate the measured high-water everywhere.
+fn mem_violation(predicted: &[usize], actual: &[u64]) -> Option<String> {
+    for (node, &got) in actual.iter().enumerate() {
+        let want = predicted.get(node).copied().unwrap_or(0) as u64;
+        if got > want {
+            return Some(format!(
+                "node {node} measured mem high-water {got} B above the static prediction {want} B"
+            ));
+        }
+    }
+    None
+}
+
+/// A seeded random fault plan in the soak value ranges, derived from
+/// `(model_seed, round)` so replay needs no extra state.
+pub fn derived_fault_plan(
+    model_seed: u64,
+    round: usize,
+    nodes: usize,
+    blocks: &[String],
+) -> FaultPlan {
+    let seed = splitmix64(model_seed ^ splitmix64(round as u64 ^ 0xfa07));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan = FaultPlan::new(seed);
+    let last = nodes.saturating_sub(1) as u32;
+    if rng.random_bool(0.5) {
+        plan = plan.with_drop_prob(rng.random_range(0.0..0.35));
+    }
+    if nodes > 1 && rng.random_bool(0.5) {
+        let src = rng.random_range(0..=last);
+        let dst = rng.random_range(0..=last);
+        plan = plan.degrade_link(src, dst, rng.random_range(1.0..8.0));
+    }
+    if rng.random_bool(0.35) {
+        plan = plan.stall_node(
+            rng.random_range(0..=last),
+            rng.random_range(0.0..0.01),
+            rng.random_range(0.0..0.005),
+        );
+    }
+    if rng.random_bool(0.2) {
+        plan = plan.fail_node(rng.random_range(0..=last), rng.random_range(0.0..0.02));
+    }
+    if !blocks.is_empty() && rng.random_bool(0.25) {
+        let block = &blocks[rng.random_range(0..blocks.len())];
+        plan = plan.inject_kernel_fault(block, rng.random_range(0..2), 0, "injected by sage-fuzz");
+    }
+    plan
+}
+
+/// Runs the full differential property suite for one model source.
+///
+/// `spawner` supplies the TCP half of the lattice; pass `None` (or set
+/// `cfg.tcp = false`) for a local-only sweep.
+pub fn run_diff(
+    source: &str,
+    nodes: usize,
+    cfg: &DiffConfig,
+    model_seed: u64,
+    spawner: Option<&Spawner<'_>>,
+) -> DiffOutcome {
+    let mut outcome = DiffOutcome {
+        verdict: Verdict::Clean,
+        reject_codes: Vec::new(),
+        checksum: None,
+        cells_run: Vec::new(),
+        fault_ok: 0,
+        fault_typed: 0,
+        failures: Vec::new(),
+    };
+
+    // ---- Front door: parse → lint → check → codegen ---------------
+    let (program, diags) = checked_program(source, nodes);
+    let error_codes: Vec<String> = diags
+        .diags
+        .iter()
+        .filter(|d| d.severity == sage_lint::Severity::Error)
+        .map(|d| d.code.to_string())
+        .collect();
+    outcome.reject_codes = error_codes.clone();
+    outcome.reject_codes.sort();
+    outcome.reject_codes.dedup();
+
+    let Some(program) = program else {
+        outcome.verdict = Verdict::FrontDoorRejected;
+        return outcome;
+    };
+
+    if !error_codes.is_empty() {
+        // ---- Direction B: static reject must not run clean --------
+        // Only kernel-contract violations (SAGE054) have a runtime
+        // counterpart; capacity/feasibility findings (SAGE055/056) model
+        // limits the executor does not enforce.
+        if error_codes.iter().all(|c| c == "SAGE054") {
+            match run_local(source, nodes, cfg.iterations, false, None) {
+                Err(_) => outcome.verdict = Verdict::CheckRejected,
+                Ok(_) => {
+                    outcome.verdict = Verdict::Failed;
+                    outcome.failures.push(Failure {
+                        cell: "local/zero-copy".into(),
+                        message: "sage check rejected this model (SAGE054) but it ran clean \
+                                  — static/dynamic disagreement"
+                            .into(),
+                        plan: None,
+                    });
+                }
+            }
+        } else {
+            outcome.verdict = Verdict::CheckRejected;
+        }
+        return outcome;
+    }
+
+    // ---- Fault-free lattice: bit-identical checksums everywhere ----
+    let predicted = sage_check::predicted_peaks(&program);
+    let cells: &[Cell] = if cfg.tcp && spawner.is_some() {
+        &ALL_CELLS
+    } else {
+        &LOCAL_CELLS
+    };
+    let mut baseline: Option<u64> = None;
+    for cell in cells {
+        let run = if cell.tcp {
+            run_tcp(
+                source,
+                nodes,
+                cfg.iterations,
+                cell.copy_baseline,
+                spawner.expect("tcp cell without spawner"),
+            )
+        } else {
+            run_local(source, nodes, cfg.iterations, cell.copy_baseline, None)
+        };
+        outcome.cells_run.push(cell.label());
+        match run {
+            Err(e) => outcome.failures.push(Failure {
+                cell: cell.label().into(),
+                message: format!("check-clean model failed to execute: {e}"),
+                plan: None,
+            }),
+            Ok((checksum, mems)) => {
+                match baseline {
+                    None => baseline = Some(checksum),
+                    Some(want) if want != checksum => outcome.failures.push(Failure {
+                        cell: cell.label().into(),
+                        message: format!(
+                            "sink checksum {checksum:016x} differs from baseline {want:016x}"
+                        ),
+                        plan: None,
+                    }),
+                    Some(_) => {}
+                }
+                if let Some(predicted) = &predicted {
+                    if let Some(msg) = mem_violation(predicted, &mems) {
+                        outcome.failures.push(Failure {
+                            cell: cell.label().into(),
+                            message: msg,
+                            plan: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outcome.checksum = baseline;
+
+    // ---- Fault soak: bit-exact or typed error, never silent -------
+    if let Some(want) = baseline {
+        let blocks: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+        for round in 0..cfg.fault_rounds {
+            let plan = derived_fault_plan(model_seed, round, nodes, &blocks);
+            if plan.is_empty() {
+                continue;
+            }
+            match run_local(source, nodes, cfg.iterations, false, Some(plan.clone())) {
+                Ok((checksum, _)) if checksum == want => outcome.fault_ok += 1,
+                Ok((checksum, _)) => outcome.failures.push(Failure {
+                    cell: "local/zero-copy".into(),
+                    message: format!(
+                        "faulted run completed but produced checksum {checksum:016x} \
+                         instead of {want:016x} — silent corruption"
+                    ),
+                    plan: Some(plan),
+                }),
+                // `run_local` stringifies errors; anything it returns came
+                // through the typed ProjectError/RuntimeError path.
+                Err(_) => outcome.fault_typed += 1,
+            }
+        }
+    }
+
+    if !outcome.failures.is_empty() {
+        outcome.verdict = Verdict::Failed;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain_model, Stage};
+    use sage_core::model_io;
+    use sage_model::{DataType, Striping};
+
+    fn clean_chain_source() -> String {
+        let stages: Vec<Stage> = vec![(2, Striping::BY_ROWS, Striping::BY_COLS)];
+        let app = chain_model(
+            &DataType::complex_matrix(8, 8),
+            7,
+            2,
+            &stages,
+            2,
+            Striping::BY_ROWS,
+        );
+        model_io::model_to_sexpr(&app)
+    }
+
+    #[test]
+    fn clean_chain_is_bit_identical_locally() {
+        let src = clean_chain_source();
+        let out = run_diff(&src, 2, &DiffConfig::default(), 1234, None);
+        assert_eq!(out.verdict, Verdict::Clean, "failures: {:?}", out.failures);
+        assert!(out.checksum.is_some());
+        assert_eq!(out.cells_run, vec!["local/zero-copy", "local/copy"]);
+    }
+
+    #[test]
+    fn diff_is_deterministic() {
+        let src = clean_chain_source();
+        let a = run_diff(&src, 2, &DiffConfig::default(), 99, None);
+        let b = run_diff(&src, 2, &DiffConfig::default(), 99, None);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.fault_ok, b.fault_ok);
+        assert_eq!(a.fault_typed, b.fault_typed);
+    }
+
+    #[test]
+    fn contract_violation_is_check_rejected_and_runtime_confirmed() {
+        // Replicated in, striped out on a threaded `id`: SAGE054 statically,
+        // "id stripe mismatch" dynamically.
+        let stages: Vec<Stage> = vec![(2, Striping::Replicated, Striping::BY_ROWS)];
+        let app = chain_model(
+            &DataType::complex_matrix(8, 8),
+            7,
+            2,
+            &stages,
+            2,
+            Striping::BY_ROWS,
+        );
+        let src = model_io::model_to_sexpr(&app);
+        let out = run_diff(&src, 2, &DiffConfig::default(), 5, None);
+        assert_eq!(out.verdict, Verdict::CheckRejected, "{:?}", out.failures);
+        assert!(out.reject_codes.iter().any(|c| c == "SAGE054"));
+    }
+
+    #[test]
+    fn derived_fault_plans_are_deterministic() {
+        let blocks = vec!["src".to_string(), "snk".to_string()];
+        let a = derived_fault_plan(42, 1, 4, &blocks);
+        let b = derived_fault_plan(42, 1, 4, &blocks);
+        assert_eq!(a, b);
+        assert_ne!(a, derived_fault_plan(42, 2, 4, &blocks));
+    }
+}

@@ -1,0 +1,261 @@
+//! Greedy model shrinking: turn a sprawling failing model into the
+//! smallest one that still fails.
+//!
+//! [`minimize`] repeatedly proposes structurally smaller candidates —
+//! bypass a middle block, halve every array extent, halve every thread
+//! count, halve the node count — and keeps a candidate whenever the
+//! caller's `failing` predicate still holds on it. Passes repeat to a
+//! fixpoint, so the result is locally minimal under these four moves:
+//! committable as a regression fixture, small enough to read in a code
+//! review.
+//!
+//! The predicate owns the definition of "still fails" (re-render the
+//! model to `.sexpr` and re-run whatever differential property broke);
+//! the shrinker only guarantees every candidate it proposes is a valid
+//! Designer graph (`connect` re-validates port types on every rewire).
+
+use sage_model::{AppGraph, BlockId, BlockKind, DataType, Endpoint};
+
+/// Halves every array extent in `dt` (recursively), if all are even.
+/// Returns `None` when any extent is odd or would drop below 2 — the
+/// all-or-nothing rule keeps connected ports type-equal.
+fn halved_dtype(dt: &DataType) -> Option<DataType> {
+    match dt {
+        DataType::Array { elem, shape } => {
+            if shape.iter().any(|&d| d % 2 != 0 || d < 4) {
+                return None;
+            }
+            Some(DataType::Array {
+                elem: Box::new(halved_dtype(elem).unwrap_or_else(|| (**elem).clone())),
+                shape: shape.iter().map(|d| d / 2).collect(),
+            })
+        }
+        other => Some(other.clone()),
+    }
+}
+
+/// Proposes bypassing block `index`: reconnect its first input's producer
+/// directly to every consumer of its outputs, then remove the block.
+/// Returns `None` when the block is not a bypassable middle block or any
+/// rewire fails validation (e.g. a port-type mismatch).
+fn bypass_block(app: &AppGraph, index: usize) -> Option<AppGraph> {
+    let id = BlockId::from_index(index);
+    let block = app.blocks().get(index)?;
+    if !matches!(block.kind, BlockKind::Primitive { .. }) {
+        return None;
+    }
+    // Producer: the arc into the block's first input port.
+    let in_port = block
+        .ports
+        .iter()
+        .position(|p| p.direction == sage_model::Direction::In)?;
+    let producer = app
+        .incoming(Endpoint {
+            block: id,
+            port: in_port,
+        })?
+        .from;
+    // Consumers: everything any of its output ports feeds.
+    let consumers: Vec<Endpoint> = app
+        .connections()
+        .iter()
+        .filter(|c| c.from.block == id)
+        .map(|c| c.to)
+        .collect();
+    if consumers.is_empty() {
+        return None;
+    }
+    let mut candidate = app.clone();
+    // Removing the block also drops every arc touching it; endpoints at
+    // higher block ids shift down by one.
+    candidate.remove_block(id);
+    let shift = |mut ep: Endpoint| {
+        if ep.block > id {
+            ep.block = BlockId::from_index(ep.block.index() - 1);
+        }
+        ep
+    };
+    let producer = shift(producer);
+    for consumer in consumers {
+        candidate
+            .connect_endpoints(producer, shift(consumer))
+            .ok()?;
+    }
+    Some(candidate)
+}
+
+/// Halves every array extent on every port, uniformly across the graph.
+fn halve_extents(app: &AppGraph) -> Option<AppGraph> {
+    let mut candidate = app.clone();
+    let mut changed = false;
+    for index in 0..candidate.block_count() {
+        let block = candidate.block_mut(BlockId::from_index(index));
+        for port in &mut block.ports {
+            match halved_dtype(&port.data_type) {
+                Some(dt) => {
+                    changed |= dt != port.data_type;
+                    port.data_type = dt;
+                }
+                None => return None,
+            }
+        }
+    }
+    changed.then_some(candidate)
+}
+
+/// Halves every thread count above 1.
+fn halve_threads(app: &AppGraph) -> Option<AppGraph> {
+    let mut candidate = app.clone();
+    let mut changed = false;
+    for index in 0..candidate.block_count() {
+        let block = candidate.block_mut(BlockId::from_index(index));
+        let threads = match &mut block.kind {
+            BlockKind::Source { threads }
+            | BlockKind::Sink { threads }
+            | BlockKind::Primitive { threads, .. } => threads,
+            BlockKind::Hierarchical { .. } => continue,
+        };
+        if *threads > 1 {
+            *threads /= 2;
+            changed = true;
+        }
+    }
+    changed.then_some(candidate)
+}
+
+/// Greedily minimizes `(app, nodes)` under `failing`, which must return
+/// `true` for the starting pair (callers should verify; the shrinker
+/// trusts it and only ever keeps candidates that still fail).
+pub fn minimize<F>(app: &AppGraph, nodes: usize, mut failing: F) -> (AppGraph, usize)
+where
+    F: FnMut(&AppGraph, usize) -> bool,
+{
+    let mut best = app.clone();
+    let mut best_nodes = nodes;
+    loop {
+        let mut improved = false;
+
+        // Pass 1: bypass middle blocks, first to last. After a successful
+        // bypass the ids shift, so restart the scan from the front.
+        let mut index = 0;
+        while index < best.block_count() {
+            if let Some(candidate) = bypass_block(&best, index) {
+                if failing(&candidate, best_nodes) {
+                    best = candidate;
+                    improved = true;
+                    index = 0;
+                    continue;
+                }
+            }
+            index += 1;
+        }
+
+        // Pass 2: halve every array extent.
+        while let Some(candidate) = halve_extents(&best) {
+            if !failing(&candidate, best_nodes) {
+                break;
+            }
+            best = candidate;
+            improved = true;
+        }
+
+        // Pass 3: halve every thread count.
+        while let Some(candidate) = halve_threads(&best) {
+            if !failing(&candidate, best_nodes) {
+                break;
+            }
+            best = candidate;
+            improved = true;
+        }
+
+        // Pass 4: halve the node count.
+        while best_nodes > 1 && failing(&best, best_nodes / 2) {
+            best_nodes /= 2;
+            improved = true;
+        }
+
+        if !improved {
+            return (best, best_nodes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain_model, Stage};
+    use sage_model::{DataType, Striping};
+
+    fn big_chain() -> AppGraph {
+        let stages: Vec<Stage> = vec![
+            (4, Striping::BY_ROWS, Striping::BY_COLS),
+            (4, Striping::BY_COLS, Striping::BY_ROWS),
+            (2, Striping::Replicated, Striping::BY_ROWS), // the "bug"
+            (4, Striping::BY_ROWS, Striping::BY_ROWS),
+        ];
+        chain_model(
+            &DataType::complex_matrix(16, 16),
+            3,
+            4,
+            &stages,
+            4,
+            Striping::BY_ROWS,
+        )
+    }
+
+    #[test]
+    fn shrinks_to_the_offending_stage() {
+        // "Fails" = still contains a replicated-in/striped-out id stage.
+        let has_bug = |app: &AppGraph, _nodes: usize| {
+            app.blocks().iter().any(|b| {
+                let ins: Vec<_> = b
+                    .ports
+                    .iter()
+                    .filter(|p| p.direction == sage_model::Direction::In)
+                    .collect();
+                let outs: Vec<_> = b
+                    .ports
+                    .iter()
+                    .filter(|p| p.direction == sage_model::Direction::Out)
+                    .collect();
+                matches!(b.kind, BlockKind::Primitive { .. })
+                    && ins.first().is_some_and(|p| p.striping.is_replicated())
+                    && outs.first().is_some_and(|p| !p.striping.is_replicated())
+            })
+        };
+        let app = big_chain();
+        assert!(has_bug(&app, 4));
+        let (small, nodes) = minimize(&app, 4, has_bug);
+        assert!(has_bug(&small, nodes));
+        // Source, the offending stage, sink — the three healthy stages and
+        // all the fat are gone.
+        assert_eq!(small.block_count(), 3, "{:?}", small.blocks());
+        assert_eq!(nodes, 1);
+        // Extents halved 16 → 2 (the structural floor).
+        let port = &small.blocks()[0].ports[0];
+        if let DataType::Array { shape, .. } = &port.data_type {
+            assert_eq!(shape, &vec![2, 2]);
+        } else {
+            panic!("expected array port");
+        }
+    }
+
+    #[test]
+    fn fixpoint_when_nothing_can_shrink() {
+        let stages: Vec<Stage> = vec![(1, Striping::BY_ROWS, Striping::BY_ROWS)];
+        let app = chain_model(
+            &DataType::complex_matrix(4, 4),
+            1,
+            1,
+            &stages,
+            1,
+            Striping::BY_ROWS,
+        );
+        // Everything "fails", so the shrinker keeps every candidate it can
+        // propose; it must still terminate at the structural floor.
+        let (small, nodes) = minimize(&app, 1, |_, _| true);
+        assert_eq!(nodes, 1);
+        // The single id stage gets bypassed; src → snk remains.
+        assert_eq!(small.block_count(), 2);
+    }
+}

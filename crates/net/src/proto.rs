@@ -329,6 +329,7 @@ impl RankReport {
         w.u64(m.bytes_received);
         w.u64(m.retries);
         w.u64(m.faults_observed);
+        w.u64(m.mem_high_water);
         w.u32(self.links.len() as u32);
         for l in &self.links {
             w.u32(l.src);
@@ -369,6 +370,7 @@ impl RankReport {
             bytes_received: r.u64()?,
             retries: r.u64()?,
             faults_observed: r.u64()?,
+            mem_high_water: r.u64()?,
             ..NodeMetrics::default()
         };
         let n_links = r.u32()? as usize;
@@ -434,6 +436,7 @@ mod tests {
             metrics: NodeMetrics {
                 messages_sent: 5,
                 bytes_sent: 100,
+                mem_high_water: 4096,
                 ..NodeMetrics::default()
             },
             links: vec![LinkMetrics {

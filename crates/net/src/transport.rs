@@ -140,6 +140,7 @@ pub struct TcpTransport {
     stop: Arc<AtomicBool>,
     readers: Vec<std::thread::JoinHandle<()>>,
     heartbeater: Option<std::thread::JoinHandle<()>>,
+    mem_high_water: u64,
 }
 
 impl TcpTransport {
@@ -285,6 +286,7 @@ impl TcpTransport {
             stop,
             readers,
             heartbeater,
+            mem_high_water: 0,
         })
     }
 
@@ -326,6 +328,7 @@ impl TcpTransport {
             bytes_sent: links.iter().map(|l| l.bytes).sum(),
             messages_received: m.recv_messages,
             bytes_received: m.recv_bytes,
+            mem_high_water: self.mem_high_water,
             ..NodeMetrics::default()
         };
         drop(m);
@@ -399,6 +402,10 @@ impl Transport for TcpTransport {
         self.probe
             .net_send(self.start.elapsed().as_secs_f64(), dst as u32, 0);
         Ok(())
+    }
+
+    fn note_mem_use(&mut self, bytes: u64) {
+        self.mem_high_water = self.mem_high_water.max(bytes);
     }
 
     fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {

@@ -580,6 +580,18 @@ pub fn execute_rank<T: Transport>(
                 }
             }
 
+            // ---- Memory high-water sample ----------------------------
+            // Live logical bytes while the kernel holds its working set:
+            // input and output stripes plus same-node hand-offs pending
+            // for later tasks. Counted in logical bytes (Arc-shared
+            // payloads count their full length) so the figure is
+            // comparable across data planes and backends, and directly
+            // against `sage-check`'s static per-node prediction.
+            let live = inputs.iter().map(|p| p.bytes.len()).sum::<usize>()
+                + outputs.iter().map(|p| p.bytes.len()).sum::<usize>()
+                + local_store.values().map(|p| p.len()).sum::<usize>();
+            ctx.note_mem_use(live as u64);
+
             // ---- Sink deposit ----------------------------------------
             if f.role == FnRole::Sink {
                 if let Some(first) = inputs.first() {

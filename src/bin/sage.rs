@@ -13,6 +13,8 @@
 //!                 [--dump-sink F] [--trace F]
 //! $ sage bench    [--transport local|tcp] [--json PATH] [--check BASELINE]
 //! $ sage export   fft2d|corner_turn|stap|image_filter --size 256 --threads 8 > model.sexpr
+//! $ sage fuzz     --seed 42 --count 50 [--iters I] [--transport local|tcp]
+//!                 [--fault-rounds R] [--minimize] [--save-failing DIR] [--replay STEM]
 //! ```
 //!
 //! Models are the s-expression files written by `sage_core::model_io`
@@ -46,7 +48,9 @@ fn usage() -> ExitCode {
          sage launch <model.sexpr> [--workers N] [--iters I] [--optimized] [--copy-baseline]\n              \
          [--dump-sink FILE] [--trace FILE]\n  \
          sage bench [--transport local|tcp] [--json PATH] [--check BASELINE]\n  \
-         sage export <fft2d|corner_turn|stap|image_filter> [--size S] [--threads T]"
+         sage export <fft2d|corner_turn|stap|image_filter|beamformer|range_doppler> [--size S] [--threads T]\n  \
+         sage fuzz [--seed S] [--count N] [--iters I] [--transport local|tcp]\n            \
+         [--fault-rounds R] [--minimize] [--save-failing DIR] [--replay STEM]"
     );
     ExitCode::from(2)
 }
@@ -544,6 +548,118 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays one saved failure bundle (`<stem>.sexpr` / `.plan` / `.meta`)
+/// bit-identically and reports whether it still fails.
+fn fuzz_replay(stem: &str, iters_override: Option<u32>) -> Result<(), String> {
+    use sage::fuzz::{diff, failure};
+    let repro =
+        failure::load_repro(std::path::Path::new(stem)).map_err(|e| format!("replay: {e}"))?;
+    let iters = iters_override.unwrap_or(repro.iterations);
+    eprintln!(
+        "replaying seed {:016x} on {} nodes, {} iterations, cell {} (original failure: {})",
+        repro.seed, repro.nodes, iters, repro.cell, repro.message
+    );
+    if let Some(plan) = &repro.plan {
+        // Fault-induced failure: establish the fault-free checksum in the
+        // saved cell, then re-attach the exact saved plan (fault plans are
+        // local-only, exactly as the soak runs them).
+        let cell = diff::Cell {
+            tcp: false,
+            copy_baseline: repro.cell.ends_with("/copy"),
+        };
+        let (want, _) = diff::run_cell(&repro.source, repro.nodes, iters, cell, None, None)
+            .map_err(|e| format!("fault-free baseline run failed: {e}"))?;
+        return match diff::run_cell(
+            &repro.source,
+            repro.nodes,
+            iters,
+            cell,
+            Some(plan.clone()),
+            None,
+        ) {
+            Err(e) => {
+                println!("  !! [{}] typed failure reproduced: {e}", repro.cell);
+                Err("replay reproduced the failure".into())
+            }
+            Ok((got, _)) if got != want => {
+                println!(
+                    "  !! [{}] silent corruption reproduced: checksum {got:016x} != \
+                     fault-free {want:016x}",
+                    repro.cell
+                );
+                Err("replay reproduced the failure".into())
+            }
+            Ok(_) => {
+                println!("replay: model no longer fails under the saved fault plan");
+                Ok(())
+            }
+        };
+    }
+    let cfg = diff::DiffConfig {
+        iterations: iters,
+        tcp: repro.cell.starts_with("tcp"),
+        fault_rounds: 0,
+    };
+    let outcome = diff::run_diff(
+        &repro.source,
+        repro.nodes,
+        &cfg,
+        repro.seed,
+        Some(&spawn_local_worker),
+    );
+    for f in &outcome.failures {
+        println!("  !! [{}] {}", f.cell, f.message);
+    }
+    if outcome.failures.is_empty() {
+        println!("replay: model no longer fails (fixed, or failure was fault-specific)");
+        Ok(())
+    } else {
+        Err("replay reproduced the failure".into())
+    }
+}
+
+/// `sage fuzz`: generate a seeded model corpus and sweep every entry
+/// through the differential lattice (and fault soak). Exits non-zero if
+/// any property fails.
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    use sage::fuzz::{run_fuzz, FuzzOptions};
+    if let Some(stem) = args.get("replay") {
+        let iters = args.get("iters").and_then(|v| v.parse().ok());
+        return fuzz_replay(stem, iters);
+    }
+    let tcp = match args.get("transport") {
+        None | Some("local") => false,
+        Some("tcp") => true,
+        Some(other) => return Err(format!("unknown --transport `{other}` (local|tcp)")),
+    };
+    let opts = FuzzOptions {
+        seed: args.usize_or("seed", 1) as u64,
+        count: args.usize_or("count", 16),
+        iterations: args.usize_or("iters", 2) as u32,
+        tcp,
+        fault_rounds: args.usize_or("fault-rounds", 2),
+        minimize: args.has("minimize"),
+        save_failing: args
+            .get("save-failing")
+            .map(std::path::PathBuf::from)
+            .or_else(|| {
+                args.has("save-failing")
+                    .then(|| "target/fuzz-failures".into())
+            }),
+        ..FuzzOptions::default()
+    };
+    let report = run_fuzz(&opts, tcp.then_some(&spawn_local_worker));
+    print!("{}", report.render());
+    if report.failed() > 0 {
+        return Err(format!(
+            "{} of {} models violated a differential property",
+            report.failed(),
+            report.models.len()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_export(args: &Args) -> Result<(), String> {
     let which = args.positional.first().ok_or("export needs an app name")?;
     let size = args.usize_or("size", 256);
@@ -553,6 +669,8 @@ fn cmd_export(args: &Args) -> Result<(), String> {
         "corner_turn" => sage::apps::corner_turn::sage_model(size, threads),
         "stap" => sage::apps::stap::sage_model(size, threads),
         "image_filter" => sage::apps::image_filter::sage_model(size, threads, size / 8),
+        "beamformer" => sage::apps::beamformer::sage_model(size, threads),
+        "range_doppler" => sage::apps::range_doppler::sage_model(size, threads, size / 4),
         other => return Err(format!("unknown app `{other}`")),
     };
     print!("{}", model_io::model_to_sexpr(&model));
@@ -576,6 +694,7 @@ fn main() -> ExitCode {
         "launch" => cmd_launch(&args),
         "bench" => cmd_bench(&args),
         "export" => cmd_export(&args),
+        "fuzz" => cmd_fuzz(&args),
         _ => return usage(),
     };
     match result {

@@ -11,11 +11,16 @@
 //! 2. the run fails with a structured `ProjectError::Runtime` error.
 //!
 //! Anything else — a panic, a codegen error, or a silently different result
-//! — fails the property. A failing case prints its `PROPTEST_CASE_SEED`;
-//! see EXPERIMENTS.md ("Fault injection & chaos testing") for how to replay
-//! it.
+//! — fails the property. A failing case prints its `PROPTEST_CASE_SEED`,
+//! the exact fault-plan seed and configuration cell, and writes the
+//! offending plan to `target/fuzz-failures/` in the `sage fuzz` replay
+//! codec; see EXPERIMENTS.md ("Fault injection & chaos testing") for how
+//! to replay it.
+
+mod common;
 
 use proptest::prelude::*;
+use sage::fuzz::failure::plan_to_text;
 use sage::prelude::*;
 use sage_apps::fft2d::DistRun;
 use sage_apps::{corner_turn, fft2d};
@@ -97,20 +102,44 @@ fn plan_strategy(blocks: &'static [&'static str]) -> impl Strategy<Value = Fault
     prop_oneof![drops, degraded, stalls, failures, kernels, mixed]
 }
 
+/// Writes the offending fault plan to `target/fuzz-failures/` in the
+/// `sage fuzz` replay codec and returns a replay hint for the panic text.
+fn save_failed_plan(app: &str, plan: &FaultPlan) -> String {
+    let dir = common::failures_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("chaos-{app}-{:016x}.plan", plan.seed));
+    match std::fs::write(&path, plan_to_text(plan)) {
+        Ok(()) => format!(
+            "plan seed {:016x}, cell local/zero-copy, saved to {}",
+            plan.seed,
+            path.display()
+        ),
+        Err(e) => format!(
+            "plan seed {:016x}, cell local/zero-copy (saving plan failed: {e})",
+            plan.seed
+        ),
+    }
+}
+
 /// Checks the bit-exact-or-typed-error invariant for one app run.
 fn check(
+    app: &str,
     run: Result<DistRun, ProjectError>,
     baseline: &DistRun,
     plan: &FaultPlan,
 ) -> Result<(), proptest::test_runner::TestCaseError> {
     match run {
         Ok(r) => {
-            prop_assert_eq!(
-                result_bits(&r),
-                result_bits(baseline),
-                "fault plan {:?} corrupted the sink payload",
-                plan
-            );
+            if result_bits(&r) != result_bits(baseline) {
+                let hint = save_failed_plan(app, plan);
+                prop_assert!(
+                    false,
+                    "fault plan {:?} corrupted the {} sink payload ({})",
+                    plan,
+                    app,
+                    hint
+                );
+            }
         }
         Err(ProjectError::Runtime(e)) => {
             // Typed failure: fine, but it must describe a fault, i.e. have
@@ -119,7 +148,15 @@ fn check(
             prop_assert!(!e.to_string().is_empty());
         }
         Err(ProjectError::Codegen(e)) => {
-            prop_assert!(false, "fault plan {:?} broke codegen: {}", plan, e);
+            let hint = save_failed_plan(app, plan);
+            prop_assert!(
+                false,
+                "fault plan {:?} broke {} codegen: {} ({})",
+                plan,
+                app,
+                e,
+                hint
+            );
         }
     }
     Ok(())
@@ -139,7 +176,7 @@ proptest! {
             &options().with_faults(plan.clone()),
             ITERS,
         );
-        check(run, fft2d_baseline(), &plan)?;
+        check("fft2d", run, fft2d_baseline(), &plan)?;
     }
 
     #[test]
@@ -153,7 +190,7 @@ proptest! {
             &options().with_faults(plan.clone()),
             ITERS,
         );
-        check(run, corner_turn_baseline(), &plan)?;
+        check("corner_turn", run, corner_turn_baseline(), &plan)?;
     }
 }
 

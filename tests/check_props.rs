@@ -5,15 +5,18 @@
 //! in-process local backend AND on the multi-process TCP backend, with
 //! bit-identical sink output.
 //!
-//! The generator only uses kernels the `sage worker` binary registers
-//! (`workload.matrix`, the built-in `id`), so every case is a real
-//! distributed run of the real binary.
+//! The chain builder lives in `sage_fuzz::gen` (shared with the `sage
+//! fuzz` corpus generator) and only uses kernels the `sage worker` binary
+//! registers (`workload.matrix`, the built-in `id`), so every case is a
+//! real distributed run of the real binary.
+
+mod common;
 
 use proptest::prelude::*;
+use sage::fuzz::gen::{chain_model, Stage};
 use sage::prelude::*;
 use sage_core::model_io;
 use sage_net::LaunchOptions;
-use sage_runtime::{FnRole, SinkResults};
 
 fn dt() -> DataType {
     DataType::complex_matrix(8, 8)
@@ -25,77 +28,6 @@ fn threads_strategy() -> impl Strategy<Value = usize> {
 
 fn striping_strategy() -> impl Strategy<Value = Striping> {
     prop_oneof![Just(Striping::BY_ROWS), Just(Striping::BY_COLS)]
-}
-
-/// One middle stage: (threads, input striping, output striping).
-type Stage = (usize, Striping, Striping);
-
-/// A random single-chain pipeline: `workload.matrix` source (row-striped,
-/// as its kernel contract requires), 1-3 `id` pass-through stages with
-/// random stripings — each boundary a potential corner turn — and a sink.
-fn build_model(
-    seed: u32,
-    src_threads: usize,
-    stages: &[Stage],
-    sink_threads: usize,
-    sink_striping: Striping,
-) -> AppGraph {
-    let mut g = AppGraph::new("random_chain");
-    let src = g.add_block(
-        Block::source_threaded(
-            "src",
-            src_threads,
-            vec![Port::output("out", dt(), Striping::BY_ROWS)],
-        )
-        .with_prop("kernel", PropValue::Str("workload.matrix".into()))
-        .with_prop("seed", PropValue::Int(i64::from(seed))),
-    );
-    let mut prev = src;
-    for (i, &(threads, in_striping, out_striping)) in stages.iter().enumerate() {
-        let b = g.add_block(Block::primitive(
-            format!("stage{i}"),
-            "id",
-            threads,
-            CostModel::new(64.0, 0.0),
-            vec![
-                Port::input("in", dt(), in_striping),
-                Port::output("out", dt(), out_striping),
-            ],
-        ));
-        g.connect(prev, "out", b, "in").unwrap();
-        prev = b;
-    }
-    let snk = g.add_block(Block::sink_threaded(
-        "snk",
-        sink_threads,
-        vec![Port::input("in", dt(), sink_striping)],
-    ));
-    g.connect(prev, "out", snk, "in").unwrap();
-    g
-}
-
-/// Every sink's assembled output over all iterations, in (function id,
-/// iteration) order — the byte stream both backends must agree on.
-fn sink_bytes(program: &GlueProgram, results: &SinkResults, iterations: u32) -> Vec<u8> {
-    let mut out = Vec::new();
-    for f in &program.functions {
-        if f.role != FnRole::Sink {
-            continue;
-        }
-        for iter in 0..iterations {
-            if let Some(full) = results.assemble(program, f.id, iter) {
-                out.extend_from_slice(&full);
-            }
-        }
-    }
-    out
-}
-
-fn spawn_worker(_rank: usize) -> std::io::Result<std::process::Child> {
-    std::process::Command::new(env!("CARGO_BIN_EXE_sage"))
-        .args(["worker", "--listen", "127.0.0.1:0"])
-        .stdout(std::process::Stdio::piped())
-        .spawn()
 }
 
 proptest! {
@@ -129,7 +61,8 @@ proptest! {
             .unwrap();
         let nodes = nodes.min(min_threads);
         let iters = 2u32;
-        let app = build_model(seed, src_threads, &stages, sink_threads, sink_striping);
+        let stages: Vec<Stage> = stages;
+        let app = chain_model(&dt(), seed, src_threads, &stages, sink_threads, sink_striping);
         let source = model_io::model_to_sexpr(&app);
 
         // The generator stays inside every kernel contract and capacity
@@ -153,7 +86,7 @@ proptest! {
                 iters,
             )
             .unwrap();
-        let local = sink_bytes(&program, &exec.results, iters);
+        let local = common::sink_bytes(&program, &exec.results, iters);
         prop_assert!(!local.is_empty());
 
         // Distributed backend: one OS process per rank over loopback TCP.
@@ -164,8 +97,8 @@ proptest! {
             probes: false,
             copy_baseline: false,
         };
-        let outcome = sage::net::launch(&source, &opts, &spawn_worker).unwrap();
-        let tcp = sink_bytes(&outcome.program, &outcome.results, iters);
+        let outcome = sage::net::launch(&source, &opts, &common::spawn_worker).unwrap();
+        let tcp = common::sink_bytes(&outcome.program, &outcome.results, iters);
         prop_assert_eq!(
             local, tcp,
             "sink bytes differ between local and tcp backends"

@@ -1,0 +1,117 @@
+//! Shared harness for the integration suites: paths to the real `sage`
+//! binary and the committed models, spawn helpers for distributed runs,
+//! and the canonical sink-byte/checksum helpers every parity test pins.
+//!
+//! Lives in a subdirectory so Cargo does not compile it as a test target
+//! of its own; each suite pulls it in with `mod common;`.
+#![allow(dead_code)]
+
+use sage_runtime::{FnRole, GlueProgram, SinkResults};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Path of the compiled `sage` CLI binary under test.
+pub fn sage_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sage")
+}
+
+/// Absolute path of a committed example model.
+pub fn model_path(name: &str) -> String {
+    format!("{}/examples/models/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A collision-free scratch path for one test's output file.
+pub fn out_path(stem: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sage_test_{stem}_{}.bin", std::process::id()));
+    p
+}
+
+/// Spawns one `sage worker` rank out of the binary under test, stdout
+/// piped so the launcher can read the listen banner.
+pub fn spawn_worker(_rank: usize) -> std::io::Result<Child> {
+    Command::new(sage_bin())
+        .args(["worker", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+}
+
+/// Runs the CLI with `--dump-sink`, asserts success, and returns the sink
+/// dump bytes.
+pub fn sink_dump(args: &[&str], stem: &str) -> Vec<u8> {
+    let dump = out_path(stem);
+    let output = Command::new(sage_bin())
+        .args(args)
+        .arg("--dump-sink")
+        .arg(&dump)
+        .output()
+        .expect("sage binary runs");
+    assert!(
+        output.status.success(),
+        "sage {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let bytes = std::fs::read(&dump).expect("sink dump written");
+    let _ = std::fs::remove_file(&dump);
+    assert!(!bytes.is_empty(), "sink dump for {stem} is empty");
+    bytes
+}
+
+/// local vs tcp at a given rank count, over the real binary.
+pub fn assert_parity(model: &str, ranks: usize) {
+    let path = model_path(model);
+    let iters = "2";
+    let n = ranks.to_string();
+    let local = sink_dump(
+        &["run", &path, "--nodes", &n, "--iters", iters],
+        &format!("local_{model}_{ranks}"),
+    );
+    let tcp = sink_dump(
+        &["launch", &path, "--workers", &n, "--iters", iters],
+        &format!("tcp_{model}_{ranks}"),
+    );
+    assert_eq!(
+        local.len(),
+        tcp.len(),
+        "{model} at {ranks} ranks: sink sizes differ"
+    );
+    assert!(
+        local == tcp,
+        "{model} at {ranks} ranks: sink bytes differ between local and tcp"
+    );
+}
+
+/// FNV-1a-64, matching the fingerprint the CLI prints after every run.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Concatenates every sink's assembled output over all iterations, in
+/// (function id, iteration) order — the canonical byte stream two
+/// backends must agree on bit-for-bit.
+pub fn sink_bytes(program: &GlueProgram, results: &SinkResults, iterations: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in &program.functions {
+        if f.role != FnRole::Sink {
+            continue;
+        }
+        for iter in 0..iterations {
+            if let Some(full) = results.assemble(program, f.id, iter) {
+                out.extend_from_slice(&full);
+            }
+        }
+    }
+    out
+}
+
+/// The directory failing fuzz/chaos artifacts are saved under, per the
+/// repository convention (`target/fuzz-failures/`).
+pub fn failures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/fuzz-failures")
+}

@@ -2,8 +2,13 @@
 //! layered dataflow model that lints clean (no `SAGE0xx` findings, which
 //! includes the communication-deadlock pass over the generated schedule)
 //! must also generate and execute to completion under the real runtime.
+//!
+//! The layered-DAG builder itself lives in `sage_fuzz::gen` — the same
+//! generator the `sage fuzz` corpus and the differential soak suite use —
+//! so any shape this property can produce, the fuzzer sweeps too.
 
 use proptest::prelude::*;
+use sage::fuzz::gen::{layered_model, Layer};
 use sage::prelude::*;
 use sage_core::{lint_model_source, model_io};
 
@@ -21,62 +26,11 @@ fn striping_strategy() -> impl Strategy<Value = Striping> {
     prop_oneof![Just(Striping::BY_ROWS), Just(Striping::BY_COLS)]
 }
 
-/// One middle layer: per-block (threads, input striping, output striping).
-type Layer = Vec<(usize, Striping, Striping)>;
-
 fn layer_strategy() -> impl Strategy<Value = Layer> {
     proptest::collection::vec(
         (threads_strategy(), striping_strategy(), striping_strategy()),
         1..=2,
     )
-}
-
-/// A random layered DAG: one source, 1-3 middle layers of 1-2 `id` blocks
-/// each, and a sink with one input port per final-layer block. Block `j`
-/// of each layer reads from block `j % prev_width` of the previous layer,
-/// so every producer output feeds at least one consumer whenever widths
-/// are non-decreasing; widths of 1-2 keep that true often enough, and the
-/// sink always drains the whole final layer.
-fn build_model(
-    src_threads: usize,
-    src_striping: Striping,
-    layers: &[Layer],
-    sink_threads: usize,
-    sink_striping: Striping,
-) -> AppGraph {
-    let mut g = AppGraph::new("random_layered");
-    let src = g.add_block(Block::source_threaded(
-        "src",
-        src_threads,
-        vec![Port::output("out", dt(), src_striping)],
-    ));
-    let mut prev: Vec<sage_model::BlockId> = vec![src];
-    for (li, layer) in layers.iter().enumerate() {
-        let mut current = Vec::with_capacity(layer.len());
-        for (bi, &(threads, in_striping, out_striping)) in layer.iter().enumerate() {
-            let b = g.add_block(Block::primitive(
-                format!("l{li}b{bi}"),
-                "t.pass",
-                threads,
-                CostModel::new(64.0, 0.0),
-                vec![
-                    Port::input("in", dt(), in_striping),
-                    Port::output("out", dt(), out_striping),
-                ],
-            ));
-            g.connect(prev[bi % prev.len()], "out", b, "in").unwrap();
-            current.push(b);
-        }
-        prev = current;
-    }
-    let sink_ports: Vec<Port> = (0..prev.len())
-        .map(|i| Port::input(format!("in{i}"), dt(), sink_striping))
-        .collect();
-    let snk = g.add_block(Block::sink_threaded("snk", sink_threads, sink_ports));
-    for (i, &b) in prev.iter().enumerate() {
-        g.connect(b, "out", snk, &format!("in{i}")).unwrap();
-    }
-    g
 }
 
 proptest! {
@@ -105,7 +59,15 @@ proptest! {
             .max()
             .unwrap();
         let nodes = nodes.min(max_threads);
-        let app = build_model(src_threads, src_striping, &layers, sink_threads, sink_striping);
+        let app = layered_model(
+            &dt(),
+            src_threads,
+            src_striping,
+            &layers,
+            sink_threads,
+            sink_striping,
+            "t.pass",
+        );
 
         // The whole-source lint path: sexpr round-trip, model checks, and
         // the deadlock pass over the generated schedule.
@@ -120,8 +82,9 @@ proptest! {
         // Lint-clean must mean runnable: the executor finishes instead of
         // blocking forever on an out-of-order hand-off.
         let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(nodes));
-        // A pass-through that tolerates fan-out (one output buffer per
-        // consumer) — the built-in `id` insists on matching port counts.
+        // A pass-through that tolerates fan-out AND mismatched stripe byte
+        // counts — lint does not enforce kernel contracts (that is `sage
+        // check`/SAGE054), so this property must not fail on them either.
         project.registry.register("t.pass", |ctx: &mut sage_runtime::FnThreadCtx<'_>| {
             let input = &ctx.inputs[0];
             for o in ctx.outputs.iter_mut() {

@@ -8,95 +8,32 @@
 //! kills one worker mid-run with the `SAGE_NET_CHAOS_EXIT_MS` chaos hook
 //! and requires a *typed* failure, not a hang.
 
+mod common;
+
+use common::{assert_parity, fnv1a_64, model_path, sink_dump};
 use sage_net::{LaunchOptions, NetError};
 use sage_runtime::RuntimeError;
-use std::path::PathBuf;
 use std::process::{Command, Stdio};
 
-fn sage_bin() -> &'static str {
-    env!("CARGO_BIN_EXE_sage")
-}
-
-fn model_path(name: &str) -> String {
-    format!("{}/examples/models/{name}", env!("CARGO_MANIFEST_DIR"))
-}
-
-fn out_path(stem: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("sage_net_parity_{stem}_{}.bin", std::process::id()));
-    p
-}
-
-/// Runs the CLI, asserts success, and returns the sink dump bytes.
-fn sink_dump(args: &[&str], stem: &str) -> Vec<u8> {
-    let dump = out_path(stem);
-    let output = Command::new(sage_bin())
-        .args(args)
-        .arg("--dump-sink")
-        .arg(&dump)
-        .output()
-        .expect("sage binary runs");
-    assert!(
-        output.status.success(),
-        "sage {args:?} failed:\nstdout: {}\nstderr: {}",
-        String::from_utf8_lossy(&output.stdout),
-        String::from_utf8_lossy(&output.stderr)
-    );
-    let bytes = std::fs::read(&dump).expect("sink dump written");
-    let _ = std::fs::remove_file(&dump);
-    assert!(!bytes.is_empty(), "sink dump for {stem} is empty");
-    bytes
-}
-
-/// local vs tcp at a given rank count, over the real binary.
-fn assert_parity(model: &str, ranks: usize) {
-    let path = model_path(model);
-    let iters = "2";
-    let n = ranks.to_string();
-    let local = sink_dump(
-        &["run", &path, "--nodes", &n, "--iters", iters],
-        &format!("local_{model}_{ranks}"),
-    );
-    let tcp = sink_dump(
-        &["launch", &path, "--workers", &n, "--iters", iters],
-        &format!("tcp_{model}_{ranks}"),
-    );
-    assert_eq!(
-        local.len(),
-        tcp.len(),
-        "{model} at {ranks} ranks: sink sizes differ"
-    );
-    assert!(
-        local == tcp,
-        "{model} at {ranks} ranks: sink bytes differ between local and tcp"
-    );
-}
-
-/// FNV-1a-64, matching the fingerprint the CLI prints after every run.
-fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Sink output fingerprints recorded from the copy-heavy build *before*
-/// the zero-copy data plane landed (4 nodes, 2 iterations, local
-/// transport). The zero-copy path — and the `--copy-baseline` escape
-/// hatch — must keep reproducing these bytes exactly.
-const PINNED_SINKS: [(&str, usize, u64); 4] = [
+/// Sink output fingerprints pinned at the build each model first landed
+/// in (4 nodes, 2 iterations, local transport). The first four were
+/// recorded from the copy-heavy build *before* the zero-copy data plane;
+/// the beamformer and range-doppler pipelines were pinned when they were
+/// added. The zero-copy path — and the `--copy-baseline` escape hatch —
+/// must keep reproducing these bytes exactly.
+const PINNED_SINKS: [(&str, usize, u64); 6] = [
     ("fft2d_64.sexpr", 65536, 0x106286f4fa7ffcfd),
     ("corner_turn_256.sexpr", 1048576, 0x5f7c4d9797348e85),
     ("image_filter_128.sexpr", 262144, 0x0e8a2d6c26012b69),
     ("stap_128.sexpr", 262144, 0xabf2fd818ed6c305),
+    ("beamformer_64.sexpr", 65536, 0x27d32f3631ae7505),
+    ("range_doppler_64.sexpr", 65536, 0xc725b54c961d462d),
 ];
 
-/// Every committed model still produces the pre-zero-copy sink bytes on
-/// the local transport, on both data planes.
+/// Every committed model still produces its pinned sink bytes on the
+/// local transport, on both data planes.
 #[test]
-fn sink_checksums_match_pre_zero_copy_build() {
+fn sink_checksums_match_pinned_builds() {
     for (model, len, sum) in PINNED_SINKS {
         let path = model_path(model);
         let zero_copy = sink_dump(
@@ -107,7 +44,9 @@ fn sink_checksums_match_pre_zero_copy_build() {
         assert_eq!(
             fnv1a_64(&zero_copy),
             sum,
-            "{model}: zero-copy sink differs from the pre-change build"
+            "{model}: zero-copy sink differs from the pinned build \
+             (got {:#018x})",
+            fnv1a_64(&zero_copy)
         );
         let baseline = sink_dump(
             &[
@@ -158,6 +97,16 @@ fn stap_parity_four_ranks() {
     assert_parity("stap_128.sexpr", 4);
 }
 
+#[test]
+fn beamformer_parity_four_ranks() {
+    assert_parity("beamformer_64.sexpr", 4);
+}
+
+#[test]
+fn range_doppler_parity_four_ranks() {
+    assert_parity("range_doppler_64.sexpr", 4);
+}
+
 /// Kill rank 1's process shortly after it accepts the job: the launcher
 /// must come back with a typed node/peer failure — never hang, never
 /// report success.
@@ -172,7 +121,7 @@ fn killed_worker_surfaces_typed_failure() {
         copy_baseline: false,
     };
     let spawn = |rank: usize| {
-        let mut cmd = Command::new(sage_bin());
+        let mut cmd = Command::new(common::sage_bin());
         cmd.args(["worker", "--listen", "127.0.0.1:0"])
             .stdout(Stdio::piped());
         if rank == 1 {
