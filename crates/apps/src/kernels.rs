@@ -53,7 +53,10 @@ impl PlanCache {
 ///   real part, used by the detection stage;
 /// * `workload.bytes` — dtype-agnostic seeded byte source (fuzz corpus);
 /// * `workload.splat` — fan-out-tolerant pass-through: copies the input
-///   stripe into every output buffer (fuzz corpus).
+///   stripe into every output buffer (fuzz corpus);
+/// * `workload.mix` — feedback combiner: XORs the forward input with the
+///   (usually `delay`-arc) feedback input (pipeline-safety fixtures and
+///   fuzz corpus).
 pub fn register_kernels(reg: &mut Registry) {
     let cache = std::sync::Arc::new(PlanCache::new());
 
@@ -245,6 +248,42 @@ pub fn register_kernels(reg: &mut Registry) {
         }
         Ok(())
     });
+
+    reg.register("workload.mix", |ctx: &mut FnThreadCtx<'_>| {
+        // Feedback combiner: XORs the forward input with the feedback
+        // input byte-wise into every output. With the feedback arriving
+        // over a `delay` arc this is the minimal stateful loop body —
+        // iteration i's output depends on iteration i-delay's — used by
+        // the pipeline-safety fixtures and the fuzz corpus.
+        if ctx.inputs.len() < 2 {
+            return Err("workload.mix needs two inputs (forward, feedback)".into());
+        }
+        let (fwd, fb) = (&ctx.inputs[0], &ctx.inputs[1]);
+        if fwd.bytes.len() != fb.bytes.len() {
+            return Err(format!(
+                "feedback stripe of {} bytes does not match the {}-byte input",
+                fb.bytes.len(),
+                fwd.bytes.len()
+            ));
+        }
+        for out in ctx.outputs.iter_mut() {
+            if out.bytes.len() != fwd.bytes.len() {
+                return Err(format!(
+                    "output stripe of {} bytes does not match the {}-byte input",
+                    out.bytes.len(),
+                    fwd.bytes.len()
+                ));
+            }
+            for (o, (a, b)) in out
+                .bytes
+                .iter_mut()
+                .zip(fwd.bytes.iter().zip(fb.bytes.iter()))
+            {
+                *o = a ^ b;
+            }
+        }
+        Ok(())
+    });
 }
 
 /// The software shelf describing these kernels with their cost models for a
@@ -300,6 +339,11 @@ pub fn isspl_shelf(size: usize) -> SoftwareShelf {
     shelf.add(ShelfFunction::new(
         "workload.splat",
         "fan-out pass-through (one copy per consumer)",
+        to_cm(cost::magnitude_cost(size * size)),
+    ));
+    shelf.add(ShelfFunction::new(
+        "workload.mix",
+        "feedback combiner (forward XOR delayed feedback)",
         to_cm(cost::magnitude_cost(size * size)),
     ));
     shelf
@@ -417,6 +461,47 @@ mod tests {
             0.0
         );
         assert!(shelf.get("isspl.transpose").unwrap().cost_on("*").mem_bytes > 0.0);
-        assert_eq!(shelf.len(), 10);
+        assert_eq!(shelf.len(), 11);
+    }
+
+    #[test]
+    fn workload_mix_xors_forward_with_feedback() {
+        let mut reg = Registry::new();
+        register_kernels(&mut reg);
+        let params = Properties::new();
+        let mut fwd = stripe(vec![2, 2]);
+        fwd.bytes.copy_from_slice(&[0xF0; 32]);
+        let mut fb = stripe(vec![2, 2]);
+        fb.bytes.copy_from_slice(&[0x0F; 32]);
+        let inputs = vec![fwd, fb];
+        let mut outputs = vec![stripe(vec![2, 2])];
+        let mut ctx = FnThreadCtx {
+            fn_name: "m",
+            thread: 0,
+            threads: 1,
+            iteration: 0,
+            params: &params,
+            inputs: &inputs,
+            outputs: &mut outputs,
+        };
+        invoke(&reg, "workload.mix", &mut ctx);
+        assert!(outputs[0].bytes.iter().all(|&b| b == 0xFF));
+
+        // A feedback stripe of the wrong size is a typed kernel error.
+        let mut short = stripe(vec![2, 2]);
+        short.bytes.copy_from_slice(&[0x0F; 32]);
+        short.bytes.to_mut().truncate(16);
+        let inputs = vec![stripe(vec![2, 2]), short];
+        let mut outputs = vec![stripe(vec![2, 2])];
+        let mut ctx = FnThreadCtx {
+            fn_name: "m",
+            thread: 0,
+            threads: 1,
+            iteration: 0,
+            params: &params,
+            inputs: &inputs,
+            outputs: &mut outputs,
+        };
+        assert!(reg.get("workload.mix").unwrap().invoke(&mut ctx).is_err());
     }
 }

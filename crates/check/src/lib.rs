@@ -23,7 +23,12 @@
 //! * [`memory`] — per-node memory high-water-mark from buffer live ranges
 //!   against the hardware model's DRAM (`SAGE055`) and a per-iteration
 //!   bandwidth-feasibility estimate against the link capacities
-//!   (`SAGE056`).
+//!   (`SAGE056`);
+//! * [`pipeline`] — cross-iteration hazard analysis over the `delay` arcs:
+//!   per-buffer maximum safe pipeline depths (`SAGE060` WAR hazards,
+//!   `SAGE061` feedback cycles, `SAGE062` depth-infeasible memory),
+//!   emitted as a [`pipeline::PipelinePlan`] artifact that gates the
+//!   executor's block-interleaved pipeline-validate mode.
 //!
 //! Findings render through `sage-lint`'s diagnostics engine (rustc-style
 //! and JSON), with spans back into the model source when a
@@ -36,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod memory;
+pub mod pipeline;
 pub mod structure;
 pub mod transfers;
 
@@ -87,7 +93,67 @@ pub fn check_program(
         transfers::check(program, &plans, spans, &mut diags);
     }
     memory::check(program, hw, &plans, spans, &mut diags);
+    pipeline::check(program, hw, &plans, None, spans, &mut diags);
     diags
+}
+
+/// Runs only the pipeline-safety pass over a generated program, proving
+/// its [`pipeline::PipelinePlan`] and reporting `SAGE060`/`SAGE061`/
+/// `SAGE062` findings — with `requested` as the depth the caller intends
+/// to run at (depth-infeasibility is judged against it). This is the
+/// `sage pipeline` engine; [`check_program`] runs the same pass with no
+/// requested depth as part of the full battery.
+///
+/// The plan is `None` only when the program fails its structural
+/// self-checks or disagrees with the hardware model (`SAGE041`).
+pub fn check_pipeline(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    requested: Option<u32>,
+    spans: Option<&ModelSpans>,
+) -> (Option<pipeline::PipelinePlan>, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    if let Err(e) = program.validate() {
+        diags.push(Diagnostic::error(
+            "SAGE041",
+            format!("malformed glue program: {e}"),
+        ));
+        return (None, diags);
+    }
+    if program.node_count() != hw.node_count() {
+        diags.push(Diagnostic::error(
+            "SAGE041",
+            format!(
+                "program generated for {} nodes, hardware model `{}` has {}",
+                program.node_count(),
+                hw.name,
+                hw.node_count()
+            ),
+        ));
+        return (None, diags);
+    }
+    let plans = structure::plan_buffers(program, spans, &mut diags);
+    let plan = pipeline::check(program, hw, &plans, requested, spans, &mut diags);
+    (Some(plan), diags)
+}
+
+/// The proven [`pipeline::PipelinePlan`] for a well-formed program, with
+/// no diagnostics — the artifact-only front door the fuzz harness uses to
+/// pick a depth for its pipelined scheduling cell.
+///
+/// Returns `None` when the program fails its structural self-checks,
+/// disagrees with the hardware's node count, or any buffer descriptor is
+/// degenerate (all already reported by [`check_program`] as errors).
+pub fn pipeline_plan(program: &GlueProgram, hw: &HardwareSpec) -> Option<pipeline::PipelinePlan> {
+    if program.validate().is_err() || program.node_count() != hw.node_count() {
+        return None;
+    }
+    let mut scratch = Diagnostics::new();
+    let plans = structure::plan_buffers(program, None, &mut scratch);
+    if scratch.error_count() > 0 || plans.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(pipeline::analyze(program, hw, &plans))
 }
 
 /// Predicted per-node memory high-water marks (bytes) for a well-formed

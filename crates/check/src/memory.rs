@@ -32,6 +32,10 @@ pub(crate) fn node_peaks(program: &GlueProgram, plans: &BufferPlans) -> Vec<(usi
     // Same-node hand-off live ranges: node -> (producer slot, consumer
     // slot, bytes).
     let mut handoffs: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); program.node_count()];
+    // `delay` arcs cross the iteration boundary: their payloads stay live
+    // from one iteration into the next, so they are resident at every slot
+    // (a d-deep delay keeps d payloads in flight at once).
+    let mut resident: Vec<usize> = vec![0; program.node_count()];
     let slot_of: HashMap<(u32, u32), (usize, usize)> = program
         .schedules
         .iter()
@@ -57,6 +61,10 @@ pub(crate) fn node_peaks(program: &GlueProgram, plans: &BufferPlans) -> Vec<(usi
                 let src_node = pf.placement[i] as usize;
                 let dst_node = cf.placement[j] as usize;
                 if src_node == dst_node {
+                    if b.delay > 0 {
+                        resident[src_node] += bytes * b.delay as usize;
+                        continue;
+                    }
                     let (Some(&(_, ps)), Some(&(_, cs))) = (
                         slot_of.get(&(b.producer, i as u32)),
                         slot_of.get(&(b.consumer, j as u32)),
@@ -79,7 +87,7 @@ pub(crate) fn node_peaks(program: &GlueProgram, plans: &BufferPlans) -> Vec<(usi
             for (slot, &task) in sched.iter().enumerate() {
                 let f = &program.functions[task.fn_id as usize];
                 let tid = task.thread as usize;
-                let mut live = 0usize;
+                let mut live = resident[node];
                 for &bid in f.inputs.iter() {
                     if let Some(plan) = &plans[bid as usize] {
                         live += plan.dst.get(tid).map(Layout::len).unwrap_or(0);

@@ -1,0 +1,529 @@
+//! Pipeline-safety analysis: static per-buffer depth proofs.
+//!
+//! The executor's pipeline-validate mode runs `d` iterations in flight by
+//! giving every logical buffer and hand-off a `d`-slot ring (slot =
+//! iteration mod `d`). That is bit-identical to lock-step execution *iff*
+//! no ring slot is overwritten while an earlier iteration's payload is
+//! still unconsumed. This pass proves, per buffer, the largest `d` for
+//! which that holds, without executing anything:
+//!
+//! * a same-iteration arc (`delay == 0`) is produced and consumed inside
+//!   the same iteration of the schedule walk, so its ring never aliases
+//!   live data — safe at **any** depth;
+//! * a `delay k > 0` arc crosses the iteration boundary: iteration `i`
+//!   consumes the payload produced in iteration `i - k`, so with two or
+//!   more iterations in flight the producer's next payload lands in (or
+//!   races with) a slot the consumer has not yet drained. The safe depths
+//!   for such an arc are not downward-closed past 1, so the proof caps the
+//!   buffer at depth **1** (lock-step). When the arc closes a feedback
+//!   cycle the whole cycle serialises (`SAGE061`); otherwise it is a plain
+//!   cross-iteration write-after-read hazard (`SAGE060`).
+//!
+//! Depth also costs memory: `d` iterations in flight scale every node's
+//! live-buffer peak by ~`d` (each buffer holds a `d`-slot ring). The pass
+//! reuses [`memory::node_peaks`] to find the deepest ring that still fits
+//! the hardware model's DRAM, reporting depth-infeasible requests as
+//! `SAGE062`.
+//!
+//! The result is a [`PipelinePlan`] artifact with its own line-oriented
+//! codec (like `FaultPlan`), consumed by `sage pipeline`, the fuzz
+//! harness's pipelined scheduling axis, and `sage run
+//! --pipeline-validate`.
+
+use crate::{buffer_label, memory, BufferPlans};
+use sage_lint::{Diagnostic, Diagnostics, ModelSpans};
+use sage_model::HardwareSpec;
+use sage_runtime::{GlueProgram, Task};
+use std::io;
+
+/// Sentinel depth for "safe at any depth" (no delay arc constrains it).
+pub const UNBOUNDED: u32 = u32::MAX;
+
+/// Why a buffer's safe pipeline depth is what it is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DepthLimit {
+    /// Same-iteration arc: any ring depth reproduces lock-step semantics.
+    Unbounded,
+    /// `delay` arc not on a cycle: a cross-iteration write-after-read
+    /// hazard at every depth >= 2 caps the buffer at lock-step.
+    Hazard {
+        /// The arc's iteration delay.
+        delay: u32,
+    },
+    /// `delay` arc closing a feedback cycle: the cycle serialises
+    /// iterations, capping the buffer at lock-step.
+    Cycle {
+        /// Function names around the cycle, first repeated last
+        /// (`m -> fbd -> m`).
+        path: Vec<String>,
+    },
+}
+
+impl DepthLimit {
+    /// Compact single-token encoding used by the text codec and the CLI
+    /// table: `ok`, `delay:<k>`, or `cycle:<a->b->a>`.
+    pub fn encode(&self) -> String {
+        match self {
+            DepthLimit::Unbounded => "ok".into(),
+            DepthLimit::Hazard { delay } => format!("delay:{delay}"),
+            DepthLimit::Cycle { path } => format!("cycle:{}", path.join("->")),
+        }
+    }
+
+    fn decode(s: &str) -> Option<DepthLimit> {
+        if s == "ok" {
+            return Some(DepthLimit::Unbounded);
+        }
+        if let Some(k) = s.strip_prefix("delay:") {
+            return Some(DepthLimit::Hazard {
+                delay: k.parse().ok()?,
+            });
+        }
+        if let Some(p) = s.strip_prefix("cycle:") {
+            return Some(DepthLimit::Cycle {
+                path: p.split("->").map(str::to_owned).collect(),
+            });
+        }
+        None
+    }
+}
+
+/// One buffer's entry in the pipeline plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferDepth {
+    /// Logical buffer id.
+    pub buffer: u32,
+    /// Largest pipeline depth proven safe for this buffer
+    /// ([`UNBOUNDED`] when nothing constrains it).
+    pub safe_depth: u32,
+    /// Why.
+    pub limit: DepthLimit,
+}
+
+/// The proven pipeline-safety artifact for one generated program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelinePlan {
+    /// Application model name.
+    pub app_name: String,
+    /// Node count the program was generated for.
+    pub nodes: u32,
+    /// Per-buffer proofs, in buffer-id order.
+    pub buffers: Vec<BufferDepth>,
+    /// Minimum over the per-buffer caps ([`UNBOUNDED`] if no delay arcs).
+    pub hazard_depth: u32,
+    /// Deepest ring that fits every node's DRAM, from the same live-range
+    /// walk as `SAGE055` scaled by depth ([`UNBOUNDED`] if no node holds
+    /// live bytes).
+    pub mem_depth: u32,
+    /// The overall proof: `min(hazard_depth, mem_depth)`, never below 1.
+    pub safe_depth: u32,
+}
+
+/// Renders a depth with the [`UNBOUNDED`] sentinel spelled out.
+pub fn depth_str(d: u32) -> String {
+    if d == UNBOUNDED {
+        "unbounded".into()
+    } else {
+        d.to_string()
+    }
+}
+
+fn depth_parse(s: &str) -> Option<u32> {
+    if s == "unbounded" {
+        Some(UNBOUNDED)
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl PipelinePlan {
+    /// Serialises the plan to the line-oriented `sage-pipeline/v1` format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("sage-pipeline/v1\n");
+        out.push_str(&format!("app={}\n", self.app_name));
+        out.push_str(&format!("nodes={}\n", self.nodes));
+        out.push_str(&format!("hazard_depth={}\n", depth_str(self.hazard_depth)));
+        out.push_str(&format!("mem_depth={}\n", depth_str(self.mem_depth)));
+        out.push_str(&format!("safe_depth={}\n", depth_str(self.safe_depth)));
+        for b in &self.buffers {
+            out.push_str(&format!(
+                "buffer={},{},{}\n",
+                b.buffer,
+                depth_str(b.safe_depth),
+                b.limit.encode()
+            ));
+        }
+        out
+    }
+
+    /// Parses the `sage-pipeline/v1` format back into a plan.
+    pub fn from_text(text: &str) -> io::Result<PipelinePlan> {
+        let bad = |line: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed pipeline plan line: {line}"),
+            )
+        };
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        if lines.next() != Some("sage-pipeline/v1") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a sage-pipeline/v1 file",
+            ));
+        }
+        let mut plan = PipelinePlan {
+            app_name: String::new(),
+            nodes: 0,
+            buffers: Vec::new(),
+            hazard_depth: UNBOUNDED,
+            mem_depth: UNBOUNDED,
+            safe_depth: UNBOUNDED,
+        };
+        for line in lines {
+            let (key, value) = line.split_once('=').ok_or_else(|| bad(line))?;
+            match key {
+                "app" => plan.app_name = value.to_owned(),
+                "nodes" => plan.nodes = value.parse().map_err(|_| bad(line))?,
+                "hazard_depth" => {
+                    plan.hazard_depth = depth_parse(value).ok_or_else(|| bad(line))?
+                }
+                "mem_depth" => plan.mem_depth = depth_parse(value).ok_or_else(|| bad(line))?,
+                "safe_depth" => plan.safe_depth = depth_parse(value).ok_or_else(|| bad(line))?,
+                "buffer" => {
+                    let mut parts = value.splitn(3, ',');
+                    let (Some(id), Some(depth), Some(limit)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(bad(line));
+                    };
+                    plan.buffers.push(BufferDepth {
+                        buffer: id.parse().map_err(|_| bad(line))?,
+                        safe_depth: depth_parse(depth).ok_or_else(|| bad(line))?,
+                        limit: DepthLimit::decode(limit).ok_or_else(|| bad(line))?,
+                    });
+                }
+                _ => return Err(bad(line)),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Hand-rolled JSON rendering (`UNBOUNDED` depths become `null`).
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let depth_json = |d: u32| {
+            if d == UNBOUNDED {
+                "null".to_owned()
+            } else {
+                d.to_string()
+            }
+        };
+        let buffers: Vec<String> = self
+            .buffers
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"buffer\":{},\"safe_depth\":{},\"limit\":\"{}\"}}",
+                    b.buffer,
+                    depth_json(b.safe_depth),
+                    esc(&b.limit.encode())
+                )
+            })
+            .collect();
+        format!(
+            "{{\"app\":\"{}\",\"nodes\":{},\"hazard_depth\":{},\"mem_depth\":{},\
+             \"safe_depth\":{},\"buffers\":[{}]}}",
+            esc(&self.app_name),
+            self.nodes,
+            depth_json(self.hazard_depth),
+            depth_json(self.mem_depth),
+            depth_json(self.safe_depth),
+            buffers.join(",")
+        )
+    }
+}
+
+/// Shortest function-level path `from ⇝ to` over the buffer dataflow
+/// edges, as function names (BFS; used to report the cycle a delay arc
+/// closes: `to --delay--> from ⇝ to`).
+fn path_between(program: &GlueProgram, from: u32, to: u32) -> Option<Vec<String>> {
+    let nf = program.functions.len();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nf];
+    for b in &program.buffers {
+        adj[b.producer as usize].push(b.consumer);
+    }
+    let mut parent: Vec<Option<u32>> = vec![None; nf];
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut seen = vec![false; nf];
+    seen[from as usize] = true;
+    while let Some(f) = queue.pop_front() {
+        if f == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = parent[cur as usize].expect("BFS parent chain");
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(
+                path.into_iter()
+                    .map(|f| program.functions[f as usize].name.clone())
+                    .collect(),
+            );
+        }
+        for &n in &adj[f as usize] {
+            if !seen[n as usize] {
+                seen[n as usize] = true;
+                parent[n as usize] = Some(f);
+                queue.push_back(n);
+            }
+        }
+    }
+    None
+}
+
+/// Proves the per-buffer and overall safe pipeline depths for a
+/// structurally valid program. Pure analysis — no diagnostics; see
+/// [`check`] for the reporting pass.
+pub fn analyze(program: &GlueProgram, hw: &HardwareSpec, plans: &BufferPlans) -> PipelinePlan {
+    let mut buffers = Vec::with_capacity(program.buffers.len());
+    let mut hazard_depth = UNBOUNDED;
+    for b in &program.buffers {
+        let (safe_depth, limit) = if b.delay == 0 {
+            (UNBOUNDED, DepthLimit::Unbounded)
+        } else if let Some(mut path) = path_between(program, b.consumer, b.producer) {
+            // Close the cycle through the delay arc itself.
+            path.push(program.functions[b.consumer as usize].name.clone());
+            (1, DepthLimit::Cycle { path })
+        } else {
+            (1, DepthLimit::Hazard { delay: b.delay })
+        };
+        hazard_depth = hazard_depth.min(safe_depth);
+        buffers.push(BufferDepth {
+            buffer: b.id,
+            safe_depth,
+            limit,
+        });
+    }
+
+    let caps = hw.capacities();
+    let mut mem_depth = UNBOUNDED;
+    for (node, (peak, _)) in memory::node_peaks(program, plans).into_iter().enumerate() {
+        if peak == 0 {
+            continue;
+        }
+        let fits = (caps[node].mem_bytes / peak as f64).floor();
+        let node_depth = if fits >= UNBOUNDED as f64 {
+            UNBOUNDED
+        } else {
+            (fits as u32).max(1)
+        };
+        mem_depth = mem_depth.min(node_depth);
+    }
+
+    PipelinePlan {
+        app_name: program.app_name.clone(),
+        nodes: program.node_count() as u32,
+        buffers,
+        hazard_depth,
+        mem_depth,
+        safe_depth: hazard_depth.min(mem_depth).max(1),
+    }
+}
+
+/// The node whose DRAM bounds the pipeline depth, with its lock-step peak
+/// bytes and capacity.
+fn limiting_node(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    plans: &BufferPlans,
+) -> Option<(usize, usize, f64)> {
+    let caps = hw.capacities();
+    memory::node_peaks(program, plans)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, (peak, _))| peak > 0)
+        .map(|(node, (peak, _))| (node, peak, caps[node].mem_bytes))
+        .min_by(|a, b| {
+            (a.2 / a.1 as f64)
+                .partial_cmp(&(b.2 / b.1 as f64))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Runs the pipeline-safety pass: proves the [`PipelinePlan`] and reports
+/// `SAGE060` (cross-iteration WAR hazard), `SAGE061` (feedback cycle
+/// forces lock-step), and `SAGE062` (depth-infeasible memory: `requested`
+/// — or even double-buffering — does not fit the hardware model's DRAM).
+pub fn check(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    plans: &BufferPlans,
+    requested: Option<u32>,
+    spans: Option<&ModelSpans>,
+    diags: &mut Diagnostics,
+) -> PipelinePlan {
+    let plan = analyze(program, hw, plans);
+
+    for (idx, bd) in plan.buffers.iter().enumerate() {
+        let b = &program.buffers[idx];
+        let label = buffer_label(program, b.id);
+        // Name one concrete endpoint pair: the first planned stripe.
+        let (pi, cj) = plans[idx]
+            .as_ref()
+            .and_then(|p| {
+                p.pairs.iter().enumerate().find_map(|(i, row)| {
+                    row.iter()
+                        .position(|iv| !iv.is_empty())
+                        .map(|j| (i as u32, j as u32))
+                })
+            })
+            .unwrap_or((0, 0));
+        let producer = program.task_path(Task {
+            fn_id: b.producer,
+            thread: pi,
+        });
+        let consumer = program.task_path(Task {
+            fn_id: b.consumer,
+            thread: cj,
+        });
+        let span = spans.and_then(|s| {
+            s.block(&program.functions[b.producer as usize].name)
+                .or_else(|| s.block(&program.functions[b.consumer as usize].name))
+        });
+        match &bd.limit {
+            DepthLimit::Unbounded => {}
+            DepthLimit::Hazard { delay } => diags.push(
+                Diagnostic::warning(
+                    "SAGE060",
+                    format!(
+                        "cross-iteration write-after-read hazard on {label}: \
+                         with two or more iterations in flight, {producer} \
+                         overwrites the `delay {delay}` ring slot before \
+                         {consumer} drains the earlier iteration's payload"
+                    ),
+                )
+                .with_note(
+                    "the pipeline pass caps this buffer's safe depth at 1 \
+                     (lock-step); deeper runs corrupt silently or fail as \
+                     TransferFailed",
+                )
+                .with_span_opt(span),
+            ),
+            DepthLimit::Cycle { path } => diags.push(
+                Diagnostic::warning(
+                    "SAGE061",
+                    format!(
+                        "feedback cycle `{}` forces lock-step execution: \
+                         {label} carries `delay {}` state around the cycle, \
+                         so iteration i+1 cannot enter the pipeline before \
+                         iteration i retires",
+                        path.join(" -> "),
+                        b.delay
+                    ),
+                )
+                .with_note(format!(
+                    "delay arc endpoints: {producer} -> {consumer}; safe \
+                     pipeline depth is 1"
+                ))
+                .with_span_opt(span),
+            ),
+        }
+    }
+
+    let infeasible = match requested {
+        Some(want) => want > plan.mem_depth,
+        // Unrequested: flag programs that fit lock-step but cannot even
+        // double-buffer (a lock-step overflow is already `SAGE055`).
+        None => plan.mem_depth < 2 && plan.hazard_depth >= 2,
+    };
+    if infeasible {
+        if let Some((node, peak, cap)) = limiting_node(program, hw, plans) {
+            if (peak as f64) <= cap {
+                let want = requested.unwrap_or(2);
+                let sched = &program.schedules[node];
+                let peak_slot = memory::node_peaks(program, plans)[node].1;
+                let fname = sched
+                    .get(peak_slot)
+                    .map(|t| program.functions[t.fn_id as usize].name.as_str());
+                diags.push(
+                    Diagnostic::warning(
+                        "SAGE062",
+                        format!(
+                            "pipeline depth {want} is memory-infeasible: node \
+                             {node}'s predicted lock-step peak of {peak} live \
+                             bytes scales to ~{} bytes of {want}-slot rings, \
+                             exceeding the hardware model's {cap:.0} bytes of \
+                             DRAM",
+                            peak.saturating_mul(want as usize)
+                        ),
+                    )
+                    .with_note(format!(
+                        "the deepest ring that fits every node is depth {}",
+                        depth_str(plan.mem_depth)
+                    ))
+                    .with_span_opt(spans.and_then(|s| fname.and_then(|f| s.block(f)))),
+                );
+            }
+        }
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> PipelinePlan {
+        PipelinePlan {
+            app_name: "demo".into(),
+            nodes: 4,
+            buffers: vec![
+                BufferDepth {
+                    buffer: 0,
+                    safe_depth: UNBOUNDED,
+                    limit: DepthLimit::Unbounded,
+                },
+                BufferDepth {
+                    buffer: 1,
+                    safe_depth: 1,
+                    limit: DepthLimit::Hazard { delay: 2 },
+                },
+                BufferDepth {
+                    buffer: 2,
+                    safe_depth: 1,
+                    limit: DepthLimit::Cycle {
+                        path: vec!["m".into(), "fbd".into(), "m".into()],
+                    },
+                },
+            ],
+            hazard_depth: 1,
+            mem_depth: 7,
+            safe_depth: 1,
+        }
+    }
+
+    #[test]
+    fn text_codec_round_trips() {
+        let p = plan();
+        let text = p.to_text();
+        assert!(text.starts_with("sage-pipeline/v1\n"));
+        assert_eq!(PipelinePlan::from_text(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(PipelinePlan::from_text("nonsense").is_err());
+        assert!(PipelinePlan::from_text("sage-pipeline/v1\nbuffer=0").is_err());
+        assert!(PipelinePlan::from_text("sage-pipeline/v1\nbuffer=0,9,what:ever").is_err());
+    }
+
+    #[test]
+    fn json_spells_unbounded_as_null() {
+        let j = plan().to_json();
+        assert!(j.contains("\"hazard_depth\":1"));
+        assert!(j.contains("\"safe_depth\":null"), "{j}");
+        assert!(j.contains("cycle:m->fbd->m"));
+    }
+}

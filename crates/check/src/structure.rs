@@ -442,6 +442,33 @@ pub fn check_kernel_contracts(
                     }
                 }
             }
+            "workload.mix" => {
+                if ins.len() < 2 || outs.is_empty() {
+                    viol(
+                        "`workload.mix` needs two inputs (forward, feedback) \
+                         and at least one output port"
+                            .into(),
+                    );
+                } else {
+                    let ib = stripe_bytes(&ins[0]);
+                    let fb = stripe_bytes(&ins[1]);
+                    if fb != ib {
+                        viol(format!(
+                            "`workload.mix` combines its {ib}-byte forward \
+                             stripe with a feedback stripe of {fb} bytes"
+                        ));
+                    }
+                    for (k, o) in outs.iter().enumerate() {
+                        let ob = stripe_bytes(o);
+                        if ib != ob {
+                            viol(format!(
+                                "`workload.mix` writes its {ib}-byte mix into \
+                                 output {k} of {ob} bytes"
+                            ));
+                        }
+                    }
+                }
+            }
             _ => {} // unknown kernels carry no static contract
         }
         for message in violations {

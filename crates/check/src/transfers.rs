@@ -184,7 +184,11 @@ pub fn check(
                         )
                         .with_span_opt(span),
                     );
-                } else if s.node == r.node && r.slot <= s.slot {
+                } else if s.node == r.node && r.slot <= s.slot && b.delay == 0 {
+                    // `delay` arcs are exempt: their consumer legally
+                    // precedes their producer in the schedule because it
+                    // reads the payload emitted `delay` iterations earlier
+                    // (zeros on the first iterations).
                     diags.push(
                         Diagnostic::error(
                             "SAGE050",

@@ -83,6 +83,7 @@ fn buffer(id: u32, producer: u32, consumer: u32, shape: Vec<usize>) -> LogicalBu
         elem_bytes: 8,
         send_striping: Striping::BY_ROWS,
         recv_striping: Striping::BY_ROWS,
+        delay: 0,
     }
 }
 
@@ -346,6 +347,89 @@ fn sage057_tag_overflow() {
         schedules: vec![sched],
     };
     check_program_golden("sage057_tag_overflow", &program, "SAGE057");
+}
+
+#[test]
+fn sage060_cross_iteration_hazard() {
+    // The clean two-stage hand-off becomes a one-iteration delay arc: safe
+    // in lock-step, but with two iterations in flight the producer
+    // overwrites the single ring slot the consumer still has to drain.
+    let mut program = two_stage();
+    program.buffers[0].delay = 1;
+    check_program_golden("sage060_cross_iteration_hazard", &program, "SAGE060");
+}
+
+#[test]
+fn sage061_feedback_cycle() {
+    // src -> m -> fbd -> m: the mixer consumes its own output of the
+    // previous iteration, so the delay arc closes a cycle and the whole
+    // program is pinned to lock-step execution.
+    let program = GlueProgram {
+        app_name: "golden".into(),
+        functions: vec![
+            descriptor(
+                0,
+                "src",
+                "test.fill",
+                FnRole::Source,
+                2,
+                vec![0, 1],
+                vec![],
+                vec![0],
+            ),
+            descriptor(
+                1,
+                "m",
+                "workload.mix",
+                FnRole::Compute,
+                2,
+                vec![0, 1],
+                vec![0, 2],
+                vec![1],
+            ),
+            descriptor(
+                2,
+                "fbd",
+                "id",
+                FnRole::Compute,
+                2,
+                vec![0, 1],
+                vec![1],
+                vec![2],
+            ),
+        ],
+        buffers: vec![buffer(0, 0, 1, vec![4, 4]), buffer(1, 1, 2, vec![4, 4]), {
+            let mut b = buffer(2, 2, 1, vec![4, 4]);
+            b.consumer_port = "fb".into();
+            b.delay = 1;
+            b
+        }],
+        // The feedback-aware toposort schedules the consumer `m` before the
+        // delay producer `fbd`: legal only because the arc reads last
+        // iteration's payload.
+        schedules: vec![
+            vec![t(0, 0), t(1, 0), t(2, 0)],
+            vec![t(0, 1), t(1, 1), t(2, 1)],
+        ],
+    };
+    check_program_golden("sage061_feedback_cycle", &program, "SAGE061");
+}
+
+#[test]
+fn sage062_depth_infeasible_memory() {
+    // A 67 MB matrix striped over two 64 MB nodes: the 33.5 MB stripes fit
+    // lock-step (no SAGE055), but a 2-slot ring would not, so the deepest
+    // pipeline that fits is depth 1.
+    let mut program = two_stage();
+    program.buffers[0].shape = vec![4096, 2048];
+    let hw = HardwareShelf::cspi_with_nodes(2);
+    let diags = check_program(&program, &hw, None);
+    assert!(
+        !diags.diags.iter().any(|d| d.code == "SAGE055"),
+        "fixture must fit lock-step: {:?}",
+        diags.diags
+    );
+    check_program_golden("sage062_depth_infeasible_memory", &program, "SAGE062");
 }
 
 /// Every golden fixture uses only codes from the published registry.

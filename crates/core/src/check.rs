@@ -10,7 +10,8 @@
 //!    model (`SAGE05x` codes).
 
 use crate::codegen::{generate, CodegenError, Placement};
-use sage_check::check_program;
+use sage_check::pipeline::PipelinePlan;
+use sage_check::{check_pipeline, check_program};
 use sage_lint::{model_error_diag, Diagnostic, Diagnostics, ModelSpans};
 use sage_model::HardwareShelf;
 use sage_runtime::GlueProgram;
@@ -72,6 +73,60 @@ pub fn checked_program(src: &str, nodes: usize) -> (Option<GlueProgram>, Diagnos
     }
     diags.sort();
     (generated, diags)
+}
+
+/// Proves a model's pipeline-safety plan end to end the way `sage
+/// pipeline` runs it: load + model-layer lint gate + code generation (as
+/// [`checked_program`]), then *only* the pipeline-safety pass of
+/// `sage-check` — `SAGE060`/`SAGE061`/`SAGE062` findings judged against
+/// `depth` (the depth the caller intends to run at; `None` asks only
+/// whether double-buffering fits).
+///
+/// The plan is `None` whenever the front door fails (syntax, model-layer
+/// errors, code generation); the diagnostics say why.
+pub fn pipeline_model_source(
+    src: &str,
+    nodes: usize,
+    depth: Option<u32>,
+) -> (Option<PipelinePlan>, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let app = match crate::model_io::model_from_sexpr(src) {
+        Ok(app) => app,
+        Err(e) => {
+            diags.push(
+                Diagnostic::error("SAGE007", e.to_string())
+                    .with_note("fix the file syntax before any deeper analysis can run"),
+            );
+            return (None, diags);
+        }
+    };
+    let spans = ModelSpans::index(src);
+    diags.extend(sage_lint::lint_model(&app, nodes, Some(&spans)));
+    if diags.error_count() > 0 {
+        return (None, diags);
+    }
+    diags = Diagnostics::new();
+    let hw = HardwareShelf::cspi_with_nodes(nodes);
+    let mut plan = None;
+    match generate(&app, &hw, &Placement::Aligned) {
+        Ok(program) => {
+            let (p, d) = check_pipeline(&program, &hw, depth, Some(&spans));
+            plan = p;
+            diags.extend(d);
+        }
+        Err(CodegenError::Model(e)) => diags.push(model_error_diag(&e, Some(&spans))),
+        Err(CodegenError::Placement(m)) => {
+            diags.push(Diagnostic::error("SAGE021", m));
+        }
+        Err(CodegenError::Internal(m)) => {
+            diags.push(Diagnostic::error(
+                "SAGE041",
+                format!("malformed glue program: {m}"),
+            ));
+        }
+    }
+    diags.sort();
+    (plan, diags)
 }
 
 #[cfg(test)]

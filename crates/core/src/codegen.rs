@@ -76,7 +76,9 @@ fn buffer_shape(dt: &DataType) -> (Vec<usize>, usize) {
 /// topologically and assigned IDs `0..N-1`; one logical buffer is generated
 /// per data-flow arc; per-node schedules list each node's tasks in ID order
 /// (which is dataflow order, so same-node hand-offs are always produced
-/// before they are consumed).
+/// before they are consumed — except feedback arcs from `delay` blocks,
+/// whose consumers read the previous iterations' payloads and therefore
+/// legally precede their producer in the schedule).
 pub fn generate(
     app: &AppGraph,
     hw: &HardwareSpec,
@@ -88,7 +90,9 @@ pub fn generate(
     if nodes == 0 {
         return Err(CodegenError::Placement("hardware has no nodes".into()));
     }
-    let order = flat.toposort()?;
+    // Feedback arcs leaving `delay` blocks cross the iteration boundary and
+    // do not constrain the per-iteration order.
+    let order = flat.toposort_feedback()?;
 
     // Function IDs follow the topological order.
     let mut fn_id_of_block = vec![u32::MAX; flat.block_count()];
@@ -145,6 +149,7 @@ pub fn generate(
             elem_bytes,
             send_striping: from_port.striping,
             recv_striping: to_port.striping,
+            delay: flat.blocks()[c.from.block.index()].delay(),
         });
     }
 

@@ -1,10 +1,14 @@
 //! The differential executor: one generated model, every configuration.
 //!
 //! A lint/check-clean model must produce **bit-identical** sink bytes in
-//! every cell of the {local, tcp} × {zero-copy, copy-baseline} lattice.
-//! It then runs again under seeded random [`FaultPlan`]s, where each run
-//! must either reproduce the fault-free checksum exactly or fail with a
-//! typed error — never hang, never silently corrupt.
+//! every cell of the {local, tcp} × {zero-copy, copy-baseline} lattice,
+//! and again along the {lock-step, pipeline-validate} scheduling axis:
+//! when the pipeline-safety pass proves a depth >= 2 safe, a
+//! block-interleaved run at that depth must reproduce the lock-step
+//! checksum exactly (an unsound depth proof shows up here as silent
+//! corruption). It then runs under seeded random [`FaultPlan`]s, where
+//! each run must either reproduce the fault-free checksum exactly or
+//! fail with a typed error — never hang, never silently corrupt.
 //!
 //! Two cross-validations tie `sage check`'s static story to reality:
 //!
@@ -179,6 +183,7 @@ fn run_local(
     iterations: u32,
     copy_baseline: bool,
     plan: Option<FaultPlan>,
+    pipeline: Option<u32>,
 ) -> Result<(u64, Vec<u64>), String> {
     let app = sage_core::model_from_sexpr(source).map_err(|e| format!("parse: {e}"))?;
     let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(nodes));
@@ -191,6 +196,9 @@ fn run_local(
         .with_copy_baseline(copy_baseline);
     if let Some(plan) = plan {
         options = options.with_faults(plan);
+    }
+    if let Some(depth) = pipeline {
+        options = options.with_pipeline_validate(depth);
     }
     let exec = project
         .execute(&program, TimePolicy::Virtual, &options, iterations)
@@ -257,7 +265,7 @@ pub fn run_cell(
         let spawner = spawner.ok_or("tcp cell needs a worker spawner")?;
         run_tcp(source, nodes, iterations, cell.copy_baseline, spawner)
     } else {
-        run_local(source, nodes, iterations, cell.copy_baseline, plan)
+        run_local(source, nodes, iterations, cell.copy_baseline, plan, None)
     }
 }
 
@@ -356,7 +364,7 @@ pub fn run_diff(
         // counterpart; capacity/feasibility findings (SAGE055/056) model
         // limits the executor does not enforce.
         if error_codes.iter().all(|c| c == "SAGE054") {
-            match run_local(source, nodes, cfg.iterations, false, None) {
+            match run_local(source, nodes, cfg.iterations, false, None, None) {
                 Err(_) => outcome.verdict = Verdict::CheckRejected,
                 Ok(_) => {
                     outcome.verdict = Verdict::Failed;
@@ -393,7 +401,14 @@ pub fn run_diff(
                 spawner.expect("tcp cell without spawner"),
             )
         } else {
-            run_local(source, nodes, cfg.iterations, cell.copy_baseline, None)
+            run_local(
+                source,
+                nodes,
+                cfg.iterations,
+                cell.copy_baseline,
+                None,
+                None,
+            )
         };
         outcome.cells_run.push(cell.label());
         match run {
@@ -428,6 +443,55 @@ pub fn run_diff(
     }
     outcome.checksum = baseline;
 
+    // ---- Pipelined scheduling axis: a statically proven depth >= 2
+    // must reproduce the lock-step stream bit-for-bit ---------------
+    if let Some(want) = baseline {
+        let hw = HardwareShelf::cspi_with_nodes(nodes);
+        if let Some(pplan) = sage_check::pipeline_plan(&program, &hw) {
+            let depth = pplan.safe_depth.min(3);
+            if depth >= 2 {
+                outcome.cells_run.push("local/pipelined");
+                match run_local(source, nodes, cfg.iterations, false, None, Some(depth)) {
+                    Err(e) => outcome.failures.push(Failure {
+                        cell: "local/pipelined".into(),
+                        message: format!(
+                            "proven-safe pipeline depth {depth} failed to execute: {e}"
+                        ),
+                        plan: None,
+                    }),
+                    Ok((checksum, mems)) => {
+                        if checksum != want {
+                            outcome.failures.push(Failure {
+                                cell: "local/pipelined".into(),
+                                message: format!(
+                                    "pipeline depth {depth} produced checksum {checksum:016x} \
+                                     instead of lock-step {want:016x} — the static depth proof \
+                                     is unsound"
+                                ),
+                                plan: None,
+                            });
+                        }
+                        // Direction A, scaled: a depth-d run keeps at most d
+                        // lock-step working sets (d-slot rings) live at once.
+                        if let Some(predicted) = &predicted {
+                            let scaled: Vec<usize> = predicted
+                                .iter()
+                                .map(|p| p.saturating_mul(depth as usize))
+                                .collect();
+                            if let Some(msg) = mem_violation(&scaled, &mems) {
+                                outcome.failures.push(Failure {
+                                    cell: "local/pipelined".into(),
+                                    message: format!("at pipeline depth {depth}: {msg}"),
+                                    plan: None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     // ---- Fault soak: bit-exact or typed error, never silent -------
     if let Some(want) = baseline {
         let blocks: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
@@ -436,7 +500,14 @@ pub fn run_diff(
             if plan.is_empty() {
                 continue;
             }
-            match run_local(source, nodes, cfg.iterations, false, Some(plan.clone())) {
+            match run_local(
+                source,
+                nodes,
+                cfg.iterations,
+                false,
+                Some(plan.clone()),
+                None,
+            ) {
                 Ok((checksum, _)) if checksum == want => outcome.fault_ok += 1,
                 Ok((checksum, _)) => outcome.failures.push(Failure {
                     cell: "local/zero-copy".into(),
@@ -485,7 +556,10 @@ mod tests {
         let out = run_diff(&src, 2, &DiffConfig::default(), 1234, None);
         assert_eq!(out.verdict, Verdict::Clean, "failures: {:?}", out.failures);
         assert!(out.checksum.is_some());
-        assert_eq!(out.cells_run, vec!["local/zero-copy", "local/copy"]);
+        assert_eq!(
+            out.cells_run,
+            vec!["local/zero-copy", "local/copy", "local/pipelined"]
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sage_core::model_io;
 use sage_model::{
-    AppGraph, Block, BlockId, CostModel, DataType, Port, PropValue, ScalarKind, Striping,
+    AppGraph, Block, BlockId, BlockKind, CostModel, DataType, Port, PropValue, ScalarKind, Striping,
 };
 
 /// One round of SplitMix64 — the mixer behind per-model seed derivation.
@@ -315,6 +315,39 @@ pub fn gen_model(seed: u64, cfg: &GenConfig) -> GeneratedModel {
         b.props
             .insert("kernel".into(), PropValue::Str("workload.bytes".into()));
         b.props.insert("seed".into(), PropValue::Int(src_seed));
+        // Feedback flavor: rewrite one middle block into a `workload.mix`
+        // loop closed through a one-iteration `delay` block, exercising
+        // the pipeline-safety pass (`SAGE061` caps the model at depth 1)
+        // and the delay-arc executor path. Violation-free models only, so
+        // the loop stays contract-clean.
+        if !violation && rng.random_bool(0.3) {
+            let li = rng.random_range(0..layers.len());
+            let bi = rng.random_range(0..layers[li].len());
+            let (t, in_striping, _) = layers[li][bi];
+            let m = g.block_by_name(&format!("l{li}b{bi}")).unwrap();
+            let b = g.block_mut(m);
+            if let BlockKind::Primitive { function, .. } = &mut b.kind {
+                *function = "workload.mix".into();
+            }
+            // The feedback port mirrors the forward input's striping so
+            // the mix contract (equal stripe bytes) holds by construction.
+            b.ports.push(Port::input("fb", dtype.clone(), in_striping));
+            let fbd = g.add_block(
+                Block::primitive(
+                    "fbd",
+                    "id",
+                    t,
+                    CostModel::new(64.0, 0.0),
+                    vec![
+                        Port::input("in", dtype.clone(), in_striping),
+                        Port::output("out", dtype.clone(), in_striping),
+                    ],
+                )
+                .with_prop("delay", PropValue::Int(1)),
+            );
+            g.connect(m, "out", fbd, "in").unwrap();
+            g.connect(fbd, "out", m, "fb").unwrap();
+        }
         g
     };
 

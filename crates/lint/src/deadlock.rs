@@ -65,7 +65,14 @@ pub fn lint_program(program: &GlueProgram, spans: Option<&ModelSpans>) -> Diagno
     }
 
     // Communication edges from the executor's own redistribution plans.
+    // `delay` arcs cross the iteration boundary: the consumer reads the
+    // payload emitted `delay` iterations earlier (zeros at start-up), so
+    // it never waits on this iteration's producer and contributes no
+    // wait-for edge.
     for b in &program.buffers {
+        if b.delay > 0 {
+            continue;
+        }
         let pf = &program.functions[b.producer as usize];
         let cf = &program.functions[b.consumer as usize];
         let mut layout_ok = true;
@@ -291,6 +298,7 @@ mod tests {
             elem_bytes: 8,
             send_striping: Striping::BY_ROWS,
             recv_striping: Striping::BY_ROWS,
+            delay: 0,
         }];
         let sched = |t: usize, producer_first: bool| {
             let p = Task {

@@ -140,6 +140,21 @@ pub const CODE_TABLE: &[(&str, Severity, &str)] = &[
         Severity::Error,
         "program exceeds the transfer-tag field widths",
     ),
+    (
+        "SAGE060",
+        Severity::Warning,
+        "cross-iteration hazard caps the pipeline depth",
+    ),
+    (
+        "SAGE061",
+        Severity::Warning,
+        "feedback cycle forces lock-step execution",
+    ),
+    (
+        "SAGE062",
+        Severity::Warning,
+        "ring buffers at the requested depth exceed node memory",
+    ),
 ];
 
 /// Looks up the registry summary for a code (`None` for unknown codes).
@@ -357,6 +372,36 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          buffers, 2^10 threads per function). Tags would alias between \
          distinct transfers and silently corrupt redistribution in release \
          builds.",
+    ),
+    (
+        "SAGE060",
+        "The streaming executor gives every logical buffer a uniform ring \
+         of depth-many slots (slot = iteration mod depth). A `delay` arc's \
+         consumer reads the payload the producer emitted `delay` iterations \
+         earlier, so at any depth >= 2 the producer can overwrite that ring \
+         slot before the reader gets there — a cross-iteration \
+         write-after-read hazard. The diagnostic names both the writing and \
+         the reading task's schedule slots and the depth at which the \
+         hazard first appears; the pipeline pass caps the buffer's safe \
+         depth at 1 (lock-step).",
+    ),
+    (
+        "SAGE061",
+        "The dataflow graph contains a feedback cycle, schedulable only \
+         because a block on it declares a `delay` property (the arc leaving \
+         it crosses the iteration boundary). Iteration i of the cycle's \
+         head consumes what iteration i-delay produced, so iterations \
+         cannot overlap without the ring slot being reused out from under \
+         its reader: the safe pipeline depth is 1 (lock-step). The \
+         diagnostic reports the full cycle path.",
+    ),
+    (
+        "SAGE062",
+        "Running the pipeline at the requested depth N gives every live \
+         logical buffer an N-slot ring, multiplying each node's high-water \
+         mark by N. For at least one node that exceeds the hardware model's \
+         DRAM (`mem_mb`), so memory, not hazards, caps the achievable depth. \
+         The diagnostic reports the deepest ring that still fits.",
     ),
 ];
 

@@ -186,9 +186,7 @@ fn cycle_diag(flat: &AppGraph, cycle: &[usize], spans: Option<&ModelSpans>) -> D
         .map(|&i| flat.blocks()[i].name.as_str())
         .collect();
     let chain = format!("{} -> {}", names.join(" -> "), names[0]);
-    let delayed = cycle
-        .iter()
-        .find(|&&i| flat.blocks()[i].props.contains_key("delay"));
+    let delayed = cycle.iter().find(|&&i| flat.blocks()[i].delay() > 0);
     let first_span = spans.and_then(|s| s.block(names[0]));
     match delayed {
         Some(&i) => Diagnostic::warning(
@@ -198,8 +196,9 @@ fn cycle_diag(flat: &AppGraph, cycle: &[usize], spans: Option<&ModelSpans>) -> D
         .with_span_opt(first_span)
         .with_note(format!(
             "`{}` declares a `delay` property, so the feedback crosses an \
-             iteration boundary; the per-iteration scheduler still cannot \
-             order this cycle",
+             iteration boundary and the scheduler breaks the cycle at the \
+             delay arc; the pipeline-safety pass caps the pipeline depth \
+             there (SAGE061)",
             flat.blocks()[i].name
         )),
         None => Diagnostic::error("SAGE015", format!("dataflow cycle: {chain}"))

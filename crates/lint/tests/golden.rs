@@ -112,6 +112,7 @@ fn deadlocked_program() -> GlueProgram {
         elem_bytes: 8,
         send_striping: Striping::BY_ROWS,
         recv_striping: Striping::BY_ROWS,
+        delay: 0,
     }];
     let t = |fn_id: u32, thread: u32| Task { fn_id, thread };
     GlueProgram {

@@ -194,6 +194,18 @@ impl Block {
             .position(|p| p.name == name && p.direction == direction)
     }
 
+    /// The block's iteration delay: its integer `delay` property, clamped
+    /// at 0 (absent or non-integer properties count as no delay). Arcs
+    /// leaving a delayed block carry the payload the block produced `delay`
+    /// iterations earlier, which is how feedback crosses the iteration
+    /// boundary.
+    pub fn delay(&self) -> u32 {
+        match self.props.get("delay") {
+            Some(PropValue::Int(i)) => (*i).max(0) as u32,
+            _ => 0,
+        }
+    }
+
     /// `true` if the block is a plain computation leaf.
     pub fn is_primitive(&self) -> bool {
         matches!(self.kind, BlockKind::Primitive { .. })

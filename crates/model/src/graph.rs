@@ -229,10 +229,27 @@ impl AppGraph {
     /// models are acyclic per iteration (feedback crosses iteration
     /// boundaries, which the runtime handles through the source).
     pub fn toposort(&self) -> Result<Vec<BlockId>, ModelError> {
+        self.kahn(false)
+    }
+
+    /// [`AppGraph::toposort`] with feedback arcs relaxed: a connection
+    /// leaving a block whose [`Block::delay`] is nonzero does not constrain
+    /// the order, because its payload crosses the iteration boundary (the
+    /// consumer of iteration `i` reads what the delayed block produced on
+    /// iteration `i - delay`). Returns [`ModelError::Cycle`] only for
+    /// cycles no delay element breaks — those can never be scheduled.
+    pub fn toposort_feedback(&self) -> Result<Vec<BlockId>, ModelError> {
+        self.kahn(true)
+    }
+
+    fn kahn(&self, relax_feedback: bool) -> Result<Vec<BlockId>, ModelError> {
         let n = self.blocks.len();
         let mut indeg = vec![0usize; n];
         let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
         for c in &self.connections {
+            if relax_feedback && self.blocks[c.from.block.index()].delay() > 0 {
+                continue;
+            }
             // Parallel edges between the same pair are fine for Kahn as long
             // as each contributes to the in-degree.
             succ[c.from.block.index()].push(c.to.block.index());
@@ -486,6 +503,25 @@ mod tests {
         g.connect(a, "out", b, "in").unwrap();
         g.connect(b, "out", a, "in").unwrap();
         assert!(matches!(g.toposort(), Err(ModelError::Cycle)));
+    }
+
+    #[test]
+    fn toposort_feedback_relaxes_delay_cycles() {
+        let mut g = AppGraph::new("g");
+        let a = g.add_block(leaf("a", &["in"], &["out"]));
+        let d =
+            g.add_block(leaf("d", &["in"], &["out"]).with_prop("delay", crate::PropValue::Int(1)));
+        g.connect(a, "out", d, "in").unwrap();
+        g.connect(d, "out", a, "in").unwrap();
+        // The plain sort still rejects the cycle; the feedback-aware sort
+        // drops the arc leaving the delayed block and orders a before d.
+        assert!(matches!(g.toposort(), Err(ModelError::Cycle)));
+        assert_eq!(g.toposort_feedback().unwrap(), vec![a, d]);
+        // An explicit delay of 0 does not break the cycle.
+        g.block_mut(d)
+            .props
+            .insert("delay".into(), crate::PropValue::Int(0));
+        assert!(matches!(g.toposort_feedback(), Err(ModelError::Cycle)));
     }
 
     #[test]

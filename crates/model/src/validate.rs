@@ -159,7 +159,8 @@ impl std::error::Error for ModelError {}
 /// * block instance names are unique;
 /// * every input port of every non-source block is connected;
 /// * every port's striping divides evenly over its host's threads;
-/// * the graph is acyclic.
+/// * the graph is acyclic once feedback arcs leaving `delay` blocks are
+///   relaxed (those cross the iteration boundary and are schedulable).
 ///
 /// Stops at the first problem. Tooling that wants a complete report (the
 /// `sage-lint` static analyzer) should use [`validate_all`] instead.
@@ -206,7 +207,7 @@ pub fn validate_all(graph: &AppGraph) -> Vec<ModelError> {
             }
         }
     }
-    if let Err(e) = graph.toposort() {
+    if let Err(e) = graph.toposort_feedback() {
         errors.push(e);
     }
     errors

@@ -409,8 +409,6 @@ pub fn execute_rank<T: Transport>(
     probe: &Probe,
 ) -> Result<Vec<Deposit>, RuntimeError> {
     let node = ctx.rank() as u32;
-    let plans = &prepared.plans;
-    let kernels = &prepared.kernels;
     // Node-local hand-off store: tag -> payload (shared, not copied).
     let mut local_store: HashMap<u64, Payload> = HashMap::new();
     // Per-(buffer, src thread, dst thread) staging buffers for packed
@@ -419,256 +417,344 @@ pub fn execute_rank<T: Transport>(
     let mut staging: HashMap<(u32, u32, u32), Payload> = HashMap::new();
     let mut deposits = Vec::new();
 
-    for iter in 0..iterations {
-        for task in &program.schedules[node as usize] {
-            let f = &program.functions[task.fn_id as usize];
-            let threads = f.threads as usize;
-            let tid = task.thread as usize;
-
-            // Function-table dispatch.
-            ctx.advance(options.dispatch_overhead);
-            let t_start = ctx.now();
-            if f.role == FnRole::Source && task.thread == 0 {
-                probe.source_emit(t_start, iter);
-            }
-            probe.fn_start(t_start, f.id, iter);
-
-            // ---- Assemble inputs -------------------------------------
-            let mut inputs: Vec<StripePayload> = Vec::with_capacity(f.inputs.len());
-            for &bid in &f.inputs {
-                let bp = &plans[bid as usize];
-                let desc = &program.buffers[bid as usize];
-                let producer = &program.functions[desc.producer as usize];
-                let dst_layout = &bp.plan.dst[tid];
-                let mut local: Option<Payload> = None;
-                for (i, row) in bp.plan.pairs.iter().enumerate() {
-                    let intervals = &row[tid];
-                    if intervals.is_empty() {
-                        continue;
-                    }
-                    let src_node = producer.placement[i];
-                    let tag = xfer_tag(bid, iter, i as u32, task.thread);
-                    let msg = if src_node == node {
-                        match local_store.remove(&tag) {
-                            Some(m) => m,
-                            None => {
-                                // The producing task has not run yet on this
-                                // node: the schedule is out of order. Nothing
-                                // was ever sent, so zero attempts were made.
-                                probe.fault(ctx.now(), bid, iter);
-                                return Err(RuntimeError::TransferFailed {
-                                    node,
-                                    peer: src_node,
-                                    attempts: 0,
-                                });
-                            }
-                        }
-                    } else {
-                        let m = ctx.try_recv(src_node as usize, tag).map_err(|e| {
-                            probe.fault(ctx.now(), bid, iter);
-                            fabric_to_runtime(e)
-                        })?;
-                        ctx.advance(options.mpi.recv_overhead);
-                        if options.copy_baseline {
-                            // The old path materialized every received
-                            // message out of the mailbox.
-                            Payload::from(&m[..])
-                        } else {
-                            m
-                        }
-                    };
-                    if bp.aligned {
-                        // Whole stripe arrives as one piece: hand it off.
-                        local = Some(msg);
-                    } else {
-                        // Unpack into the consuming function's logical
-                        // buffer (interpreted descriptor walk: per-run
-                        // overhead). Under the paper's unique-buffer scheme
-                        // this is a full read+write pass into the
-                        // function's own buffer; the improved shared scheme
-                        // scatters write-only into the buffer the function
-                        // reads directly (DMA-style).
-                        ctx.advance(options.per_run_overhead * intervals.len() as f64);
-                        match options.buffer_scheme {
-                            BufferScheme::UniquePerFunction => ctx.compute(Work::copy(msg.len())),
-                            BufferScheme::Shared => ctx.compute(Work {
-                                flops: 0.0,
-                                mem_bytes: msg.len() as f64,
-                                overhead_secs: 0.0,
-                            }),
-                        }
-                        let buf = local.get_or_insert_with(|| Payload::zeroed(dst_layout.len()));
-                        if options.copy_baseline {
-                            // Interpreted per-interval scatter with a
-                            // to_local scan per interval.
-                            dst_layout.inject(buf.to_mut(), intervals, &msg);
-                        } else {
-                            // Compiled, coalesced scatter.
-                            bp.ops[i][tid].unpack_into(&msg, buf.to_mut());
-                        }
-                    }
-                }
-                let mut local = local.unwrap_or_else(|| Payload::zeroed(dst_layout.len()));
-                // Aligned hand-offs land in the *producer's* buffer; the
-                // unique-per-function scheme gives the compute function a
-                // private copy ("assigns unique logical buffers to the data
-                // per function", paper §3.4). The shared scheme passes the
-                // pointer through. Inputs are read-only, so the zero-copy
-                // plane keeps the charge but shares the bytes; the baseline
-                // physically duplicates them as the run-time shipped.
-                if options.buffer_scheme == BufferScheme::UniquePerFunction
-                    && f.role == FnRole::Compute
-                    && bp.aligned
-                {
-                    ctx.compute(Work::copy(local.len()));
-                    if options.copy_baseline {
-                        local = Payload::from(&local[..]);
-                    }
-                }
-                inputs.push(StripePayload {
-                    bytes: local,
-                    shape: bp.dst_local_shape.clone(),
-                    elem_bytes: desc.elem_bytes,
-                });
-            }
-
-            // ---- Pre-size outputs ------------------------------------
-            let mut outputs: Vec<StripePayload> = f
-                .outputs
-                .iter()
-                .map(|&bid| {
-                    let bp = &plans[bid as usize];
-                    let desc = &program.buffers[bid as usize];
-                    StripePayload::zeroed(bp.src_local_shape.clone(), desc.elem_bytes)
-                })
-                .collect();
-
-            // ---- Invoke the kernel -----------------------------------
-            ctx.compute(Work {
-                flops: f.flops / threads as f64,
-                mem_bytes: f.mem_bytes / threads as f64,
-                overhead_secs: 0.0,
-            });
-            {
-                // Fault injection: a plan entry matching (block, iteration,
-                // thread) overrides the kernel with its injected error.
-                let injected = ctx.kernel_fault(&f.name, iter, task.thread);
-                let invocation = match injected {
-                    Some(message) => {
-                        ctx.note_fault();
-                        Err(message)
-                    }
-                    None => {
-                        let mut fctx = FnThreadCtx {
-                            fn_name: &f.name,
-                            thread: tid,
-                            threads,
-                            iteration: iter,
-                            params: &f.params,
-                            inputs: &inputs,
-                            outputs: &mut outputs,
-                        };
-                        kernels[task.fn_id as usize].invoke(&mut fctx)
-                    }
-                };
-                if let Err(message) = invocation {
-                    probe.fault(ctx.now(), f.id, iter);
-                    return Err(RuntimeError::Kernel {
-                        block: f.name.clone(),
-                        message: format!("(thread {tid}): {message}"),
-                    });
+    match options.pipeline_validate {
+        // Lock-step: iteration i retires before iteration i+1 starts.
+        None => {
+            for iter in 0..iterations {
+                for task in &program.schedules[node as usize] {
+                    run_task(
+                        ctx,
+                        program,
+                        prepared,
+                        options,
+                        probe,
+                        node,
+                        iter,
+                        task,
+                        &mut local_store,
+                        &mut staging,
+                        &mut deposits,
+                    )?;
                 }
             }
-
-            // ---- Memory high-water sample ----------------------------
-            // Live logical bytes while the kernel holds its working set:
-            // input and output stripes plus same-node hand-offs pending
-            // for later tasks. Counted in logical bytes (Arc-shared
-            // payloads count their full length) so the figure is
-            // comparable across data planes and backends, and directly
-            // against `sage-check`'s static per-node prediction.
-            let live = inputs.iter().map(|p| p.bytes.len()).sum::<usize>()
-                + outputs.iter().map(|p| p.bytes.len()).sum::<usize>()
-                + local_store.values().map(|p| p.len()).sum::<usize>();
-            ctx.note_mem_use(live as u64);
-
-            // ---- Sink deposit ----------------------------------------
-            if f.role == FnRole::Sink {
-                if let Some(first) = inputs.first() {
-                    // Zero-copy: the deposit shares the stripe's allocation
-                    // (an Arc bump); baseline duplicates it byte-for-byte.
-                    let bytes = if options.copy_baseline {
-                        Payload::from(&first.bytes[..])
-                    } else {
-                        first.bytes.clone()
-                    };
-                    deposits.push(((f.id, iter, task.thread), bytes));
-                }
-                probe.sink_absorb(ctx.now(), iter);
-            }
-
-            // ---- Emit outputs ----------------------------------------
-            for (oi, &bid) in f.outputs.iter().enumerate() {
-                let bp = &plans[bid as usize];
-                let desc = &program.buffers[bid as usize];
-                let consumer = &program.functions[desc.consumer as usize];
-                let src_layout = &bp.plan.src[tid];
-                for (j, intervals) in bp.plan.pairs[tid].iter().enumerate() {
-                    if intervals.is_empty() {
-                        continue;
-                    }
-                    let dst_node = consumer.placement[j];
-                    let tag = xfer_tag(bid, iter, task.thread, j as u32);
-                    let msg = if bp.aligned {
-                        // Whole-stripe hand-off; no pack. Sharing the
-                        // kernel's output buffer is safe because outputs
-                        // are rebuilt fresh every task.
-                        if options.copy_baseline {
-                            Payload::from(&outputs[oi].bytes[..])
-                        } else {
-                            outputs[oi].bytes.clone()
-                        }
-                    } else {
-                        ctx.advance(options.per_run_overhead * intervals.len() as f64);
-                        if options.copy_baseline {
-                            let m = src_layout.extract(&outputs[oi].bytes, intervals);
-                            ctx.compute(Work::copy(m.len()));
-                            Payload::from_vec(m)
-                        } else {
-                            // Pack into a per-pair staging buffer, reused
-                            // across iterations once the previous receiver
-                            // has dropped its handle.
-                            let ops = &bp.ops[tid][j];
-                            let slot = staging.entry((bid, task.thread, j as u32)).or_default();
-                            if !slot.is_unique() || slot.len() != ops.bytes {
-                                *slot = Payload::zeroed(ops.bytes);
-                            }
-                            ops.pack_into(&outputs[oi].bytes, slot.to_mut());
-                            ctx.compute(Work::copy(ops.bytes));
-                            slot.clone()
-                        }
-                    };
-                    probe.xfer_start(ctx.now(), bid, iter);
-                    if dst_node == node {
-                        local_store.insert(tag, msg);
-                    } else {
-                        send_with_retry(
+        }
+        // Pipeline cross-validation: `depth` iterations in flight,
+        // block-interleaved — for each block of `depth` iterations, every
+        // schedule slot runs all of the block's iterations before the next
+        // slot starts. Transfer tags are ring-masked (iteration mod depth),
+        // so a logical buffer has exactly `depth` slots: a program whose
+        // proven safe depth is >= `depth` is bit-identical to lock-step,
+        // while an over-deep run reuses a slot before its reader got there
+        // and corrupts or fails typed — exactly what the static pipeline
+        // pass (SAGE060/061/062) predicts.
+        Some(depth) => {
+            let mut start = 0;
+            while start < iterations {
+                let end = (start + depth).min(iterations);
+                for task in &program.schedules[node as usize] {
+                    for iter in start..end {
+                        run_task(
                             ctx,
+                            program,
+                            prepared,
+                            options,
                             probe,
-                            dst_node as usize,
-                            tag,
-                            &msg,
-                            &options.mpi,
-                            bid,
+                            node,
                             iter,
+                            task,
+                            &mut local_store,
+                            &mut staging,
+                            &mut deposits,
                         )?;
                     }
                 }
+                start = end;
             }
-            probe.fn_end(ctx.now(), f.id, iter);
         }
     }
     Ok(deposits)
+}
+
+/// Runs one schedule slot of one iteration: assemble inputs, invoke the
+/// kernel, deposit sink stripes, emit outputs. Factored out of
+/// [`execute_rank`] so the lock-step and pipeline-validate loops share the
+/// exact same task body — the only thing the modes change is iteration
+/// order and the ring masking of transfer tags.
+#[allow(clippy::too_many_arguments)]
+fn run_task<T: Transport>(
+    ctx: &mut T,
+    program: &GlueProgram,
+    prepared: &Prepared,
+    options: &RuntimeOptions,
+    probe: &Probe,
+    node: u32,
+    iter: u32,
+    task: &crate::glue::Task,
+    local_store: &mut HashMap<u64, Payload>,
+    staging: &mut HashMap<(u32, u32, u32), Payload>,
+    deposits: &mut Vec<Deposit>,
+) -> Result<(), RuntimeError> {
+    let plans = &prepared.plans;
+    let kernels = &prepared.kernels;
+    // Ring-slot mapping for transfer tags: pipeline validation gives every
+    // buffer a `depth`-slot ring, so the tag's iteration field is the ring
+    // slot. Lock-step tags carry the iteration itself.
+    let slot = |i: u32| match options.pipeline_validate {
+        Some(depth) => i % depth,
+        None => i,
+    };
+    let f = &program.functions[task.fn_id as usize];
+    let threads = f.threads as usize;
+    let tid = task.thread as usize;
+
+    // Function-table dispatch.
+    ctx.advance(options.dispatch_overhead);
+    let t_start = ctx.now();
+    if f.role == FnRole::Source && task.thread == 0 {
+        probe.source_emit(t_start, iter);
+    }
+    probe.fn_start(t_start, f.id, iter);
+
+    // ---- Assemble inputs -------------------------------------
+    let mut inputs: Vec<StripePayload> = Vec::with_capacity(f.inputs.len());
+    for &bid in &f.inputs {
+        let bp = &plans[bid as usize];
+        let desc = &program.buffers[bid as usize];
+        let producer = &program.functions[desc.producer as usize];
+        let dst_layout = &bp.plan.dst[tid];
+        let mut local: Option<Payload> = None;
+        // A `delay` arc carries the payload the producer emitted
+        // `delay` iterations earlier; while `iter < delay` there is
+        // nothing to read yet and the consumer sees the zeroed
+        // stripe the fallback below synthesizes.
+        let src_iter = iter.checked_sub(desc.delay);
+        for (i, row) in bp.plan.pairs.iter().enumerate() {
+            let Some(src_iter) = src_iter else { break };
+            let intervals = &row[tid];
+            if intervals.is_empty() {
+                continue;
+            }
+            let src_node = producer.placement[i];
+            let tag = xfer_tag(bid, slot(src_iter), i as u32, task.thread);
+            let msg = if src_node == node {
+                match local_store.remove(&tag) {
+                    Some(m) => m,
+                    None => {
+                        // The producing task has not run yet on this
+                        // node: the schedule is out of order. Nothing
+                        // was ever sent, so zero attempts were made.
+                        probe.fault(ctx.now(), bid, iter);
+                        return Err(RuntimeError::TransferFailed {
+                            node,
+                            peer: src_node,
+                            attempts: 0,
+                        });
+                    }
+                }
+            } else {
+                let m = ctx.try_recv(src_node as usize, tag).map_err(|e| {
+                    probe.fault(ctx.now(), bid, iter);
+                    fabric_to_runtime(e)
+                })?;
+                ctx.advance(options.mpi.recv_overhead);
+                if options.copy_baseline {
+                    // The old path materialized every received
+                    // message out of the mailbox.
+                    Payload::from(&m[..])
+                } else {
+                    m
+                }
+            };
+            if bp.aligned {
+                // Whole stripe arrives as one piece: hand it off.
+                local = Some(msg);
+            } else {
+                // Unpack into the consuming function's logical
+                // buffer (interpreted descriptor walk: per-run
+                // overhead). Under the paper's unique-buffer scheme
+                // this is a full read+write pass into the
+                // function's own buffer; the improved shared scheme
+                // scatters write-only into the buffer the function
+                // reads directly (DMA-style).
+                ctx.advance(options.per_run_overhead * intervals.len() as f64);
+                match options.buffer_scheme {
+                    BufferScheme::UniquePerFunction => ctx.compute(Work::copy(msg.len())),
+                    BufferScheme::Shared => ctx.compute(Work {
+                        flops: 0.0,
+                        mem_bytes: msg.len() as f64,
+                        overhead_secs: 0.0,
+                    }),
+                }
+                let buf = local.get_or_insert_with(|| Payload::zeroed(dst_layout.len()));
+                if options.copy_baseline {
+                    // Interpreted per-interval scatter with a
+                    // to_local scan per interval.
+                    dst_layout.inject(buf.to_mut(), intervals, &msg);
+                } else {
+                    // Compiled, coalesced scatter.
+                    bp.ops[i][tid].unpack_into(&msg, buf.to_mut());
+                }
+            }
+        }
+        let mut local = local.unwrap_or_else(|| Payload::zeroed(dst_layout.len()));
+        // Aligned hand-offs land in the *producer's* buffer; the
+        // unique-per-function scheme gives the compute function a
+        // private copy ("assigns unique logical buffers to the data
+        // per function", paper §3.4). The shared scheme passes the
+        // pointer through. Inputs are read-only, so the zero-copy
+        // plane keeps the charge but shares the bytes; the baseline
+        // physically duplicates them as the run-time shipped.
+        if options.buffer_scheme == BufferScheme::UniquePerFunction
+            && f.role == FnRole::Compute
+            && bp.aligned
+        {
+            ctx.compute(Work::copy(local.len()));
+            if options.copy_baseline {
+                local = Payload::from(&local[..]);
+            }
+        }
+        inputs.push(StripePayload {
+            bytes: local,
+            shape: bp.dst_local_shape.clone(),
+            elem_bytes: desc.elem_bytes,
+        });
+    }
+
+    // ---- Pre-size outputs ------------------------------------
+    let mut outputs: Vec<StripePayload> = f
+        .outputs
+        .iter()
+        .map(|&bid| {
+            let bp = &plans[bid as usize];
+            let desc = &program.buffers[bid as usize];
+            StripePayload::zeroed(bp.src_local_shape.clone(), desc.elem_bytes)
+        })
+        .collect();
+
+    // ---- Invoke the kernel -----------------------------------
+    ctx.compute(Work {
+        flops: f.flops / threads as f64,
+        mem_bytes: f.mem_bytes / threads as f64,
+        overhead_secs: 0.0,
+    });
+    {
+        // Fault injection: a plan entry matching (block, iteration,
+        // thread) overrides the kernel with its injected error.
+        let injected = ctx.kernel_fault(&f.name, iter, task.thread);
+        let invocation = match injected {
+            Some(message) => {
+                ctx.note_fault();
+                Err(message)
+            }
+            None => {
+                let mut fctx = FnThreadCtx {
+                    fn_name: &f.name,
+                    thread: tid,
+                    threads,
+                    iteration: iter,
+                    params: &f.params,
+                    inputs: &inputs,
+                    outputs: &mut outputs,
+                };
+                kernels[task.fn_id as usize].invoke(&mut fctx)
+            }
+        };
+        if let Err(message) = invocation {
+            probe.fault(ctx.now(), f.id, iter);
+            return Err(RuntimeError::Kernel {
+                block: f.name.clone(),
+                message: format!("(thread {tid}): {message}"),
+            });
+        }
+    }
+
+    // ---- Memory high-water sample ----------------------------
+    // Live logical bytes while the kernel holds its working set:
+    // input and output stripes plus same-node hand-offs pending
+    // for later tasks. Counted in logical bytes (Arc-shared
+    // payloads count their full length) so the figure is
+    // comparable across data planes and backends, and directly
+    // against `sage-check`'s static per-node prediction.
+    let live = inputs.iter().map(|p| p.bytes.len()).sum::<usize>()
+        + outputs.iter().map(|p| p.bytes.len()).sum::<usize>()
+        + local_store.values().map(|p| p.len()).sum::<usize>();
+    ctx.note_mem_use(live as u64);
+
+    // ---- Sink deposit ----------------------------------------
+    if f.role == FnRole::Sink {
+        if let Some(first) = inputs.first() {
+            // Zero-copy: the deposit shares the stripe's allocation
+            // (an Arc bump); baseline duplicates it byte-for-byte.
+            let bytes = if options.copy_baseline {
+                Payload::from(&first.bytes[..])
+            } else {
+                first.bytes.clone()
+            };
+            deposits.push(((f.id, iter, task.thread), bytes));
+        }
+        probe.sink_absorb(ctx.now(), iter);
+    }
+
+    // ---- Emit outputs ----------------------------------------
+    for (oi, &bid) in f.outputs.iter().enumerate() {
+        let bp = &plans[bid as usize];
+        let desc = &program.buffers[bid as usize];
+        let consumer = &program.functions[desc.consumer as usize];
+        let src_layout = &bp.plan.src[tid];
+        for (j, intervals) in bp.plan.pairs[tid].iter().enumerate() {
+            if intervals.is_empty() {
+                continue;
+            }
+            let dst_node = consumer.placement[j];
+            let tag = xfer_tag(bid, slot(iter), task.thread, j as u32);
+            let msg = if bp.aligned {
+                // Whole-stripe hand-off; no pack. Sharing the
+                // kernel's output buffer is safe because outputs
+                // are rebuilt fresh every task.
+                if options.copy_baseline {
+                    Payload::from(&outputs[oi].bytes[..])
+                } else {
+                    outputs[oi].bytes.clone()
+                }
+            } else {
+                ctx.advance(options.per_run_overhead * intervals.len() as f64);
+                if options.copy_baseline {
+                    let m = src_layout.extract(&outputs[oi].bytes, intervals);
+                    ctx.compute(Work::copy(m.len()));
+                    Payload::from_vec(m)
+                } else {
+                    // Pack into a per-pair staging buffer, reused
+                    // across iterations once the previous receiver
+                    // has dropped its handle.
+                    let ops = &bp.ops[tid][j];
+                    let slot = staging.entry((bid, task.thread, j as u32)).or_default();
+                    if !slot.is_unique() || slot.len() != ops.bytes {
+                        *slot = Payload::zeroed(ops.bytes);
+                    }
+                    ops.pack_into(&outputs[oi].bytes, slot.to_mut());
+                    ctx.compute(Work::copy(ops.bytes));
+                    slot.clone()
+                }
+            };
+            probe.xfer_start(ctx.now(), bid, iter);
+            if dst_node == node {
+                local_store.insert(tag, msg);
+            } else {
+                send_with_retry(
+                    ctx,
+                    probe,
+                    dst_node as usize,
+                    tag,
+                    &msg,
+                    &options.mpi,
+                    bid,
+                    iter,
+                )?;
+            }
+        }
+    }
+    probe.fn_end(ctx.now(), f.id, iter);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -707,6 +793,7 @@ mod tests {
             elem_bytes: 1,
             send_striping: Striping::BY_ROWS,
             recv_striping: Striping::BY_ROWS,
+            delay: 0,
         };
         let placement: Vec<u32> = (0..n).collect();
         let mk_fn = |id: u32,
@@ -1019,6 +1106,7 @@ mod tests {
                 elem_bytes: 1,
                 send_striping: Striping::BY_ROWS,
                 recv_striping: Striping::BY_COLS,
+                delay: 0,
             }],
             schedules: vec![
                 vec![
@@ -1160,6 +1248,7 @@ mod replicated_tests {
                 elem_bytes: 1,
                 send_striping: Striping::Replicated,
                 recv_striping: Striping::Replicated,
+                delay: 0,
             }],
             schedules: vec![
                 vec![
@@ -1242,6 +1331,7 @@ mod replicated_tests {
                 elem_bytes: 1,
                 send_striping: Striping::Replicated,
                 recv_striping: Striping::BY_ROWS,
+                delay: 0,
             }],
             schedules: vec![
                 vec![

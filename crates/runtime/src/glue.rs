@@ -75,6 +75,11 @@ pub struct LogicalBufferDesc {
     pub send_striping: Striping,
     /// Striping on the receiving port.
     pub recv_striping: Striping,
+    /// Iteration delay: the consumer of iteration `i` reads the payload the
+    /// producer emitted on iteration `i - delay` (zeros while `i < delay`).
+    /// Nonzero only for feedback arcs leaving a block with a `delay`
+    /// property; 0 is the ordinary same-iteration dataflow arc.
+    pub delay: u32,
 }
 
 impl LogicalBufferDesc {
@@ -260,6 +265,7 @@ mod tests {
                 elem_bytes: 8,
                 send_striping: Striping::BY_ROWS,
                 recv_striping: Striping::BY_ROWS,
+                delay: 0,
             }],
             schedules: vec![
                 vec![

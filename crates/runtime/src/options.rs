@@ -47,6 +47,15 @@ pub struct RuntimeOptions {
     /// `sage bench` measure the wall-clock win and to let tests assert the
     /// two paths are bit-identical.
     pub copy_baseline: bool,
+    /// Pipeline cross-validation depth. `Some(n)` runs the executor
+    /// block-interleaved with `n` iterations in flight, giving every
+    /// logical buffer and hand-off an `n`-slot ring (slot = iteration mod
+    /// `n`). Used to validate the static pipeline-safety pass: executing at
+    /// any depth up to the proven safe depth must be bit-identical to
+    /// lock-step, while a deliberately over-deep run on a hazardous program
+    /// corrupts or fails typed. `None` (the default) is ordinary lock-step
+    /// execution.
+    pub pipeline_validate: Option<u32>,
 }
 
 impl RuntimeOptions {
@@ -65,6 +74,7 @@ impl RuntimeOptions {
             probes: false,
             faults: FaultPlan::default(),
             copy_baseline: false,
+            pipeline_validate: None,
         }
     }
 
@@ -79,6 +89,7 @@ impl RuntimeOptions {
             probes: false,
             faults: FaultPlan::default(),
             copy_baseline: false,
+            pipeline_validate: None,
         }
     }
 
@@ -104,6 +115,14 @@ impl RuntimeOptions {
     /// [`RuntimeOptions::copy_baseline`]).
     pub fn with_copy_baseline(mut self, on: bool) -> RuntimeOptions {
         self.copy_baseline = on;
+        self
+    }
+
+    /// Builder: run the pipeline cross-validation mode with `depth`
+    /// iterations in flight (see [`RuntimeOptions::pipeline_validate`]).
+    /// Depth 0 or 1 is lock-step.
+    pub fn with_pipeline_validate(mut self, depth: u32) -> RuntimeOptions {
+        self.pipeline_validate = if depth > 1 { Some(depth) } else { None };
         self
     }
 }

@@ -3,11 +3,14 @@
 //! ```console
 //! $ sage lint     model.sexpr --nodes 8 [--deny-warnings] [--format json] [--explain]
 //! $ sage check    model.sexpr --nodes 8 [--deny-warnings] [--format json] [--explain]
+//! $ sage pipeline model.sexpr --nodes 8 [--depth D] [--deny-warnings] [--format json]
+//!                 [--plan F]                  # per-buffer safe pipeline depths
 //! $ sage explain  SAGE050                     # long-form diagnostic description
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
-//!                 [--transport local|tcp] [--copy-baseline] [--dump-sink F] [--trace F]
+//!                 [--transport local|tcp] [--copy-baseline] [--pipeline-validate D]
+//!                 [--dump-sink F] [--trace F]
 //! $ sage worker   --listen 127.0.0.1:0        # host one rank of a distributed job
 //! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized] [--copy-baseline]
 //!                 [--dump-sink F] [--trace F]
@@ -40,10 +43,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sage lint <model.sexpr>... [--nodes N] [--deny-warnings] [--format json] [--explain]\n  \
          sage check <model.sexpr>... [--nodes N] [--deny-warnings] [--format json] [--explain]\n  \
+         sage pipeline <model.sexpr>... [--nodes N] [--depth D] [--deny-warnings] [--format json] [--plan FILE]\n  \
          sage explain [SAGE0xx]...\n  \
          sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
          sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n           \
-         [--transport local|tcp] [--copy-baseline] [--dump-sink FILE] [--trace FILE]\n  \
+         [--transport local|tcp] [--copy-baseline] [--pipeline-validate D] [--dump-sink FILE] [--trace FILE]\n  \
          sage worker [--listen ADDR]\n  \
          sage launch <model.sexpr> [--workers N] [--iters I] [--optimized] [--copy-baseline]\n              \
          [--dump-sink FILE] [--trace FILE]\n  \
@@ -165,6 +169,98 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
 /// generates — transfer matching, shape propagation, capacity feasibility.
 fn cmd_check(args: &Args) -> Result<(), String> {
     analyze_files("check", args, &|src, nodes| check_model_source(src, nodes))
+}
+
+/// `sage pipeline`: the pipeline-safety pass — per-buffer maximum safe
+/// pipeline depths (`SAGE060`/`SAGE061`/`SAGE062`) plus the proven
+/// `PipelinePlan` artifact, printed as a table (or JSON) and optionally
+/// written in the `sage-pipeline/v1` format with `--plan`.
+fn cmd_pipeline(args: &Args) -> Result<(), String> {
+    use sage_check::pipeline::{depth_str, DepthLimit, UNBOUNDED};
+    if args.positional.is_empty() {
+        return Err("pipeline needs at least one model file".into());
+    }
+    let nodes = args.usize_or("nodes", 4);
+    let deny_warnings = args.has("deny-warnings");
+    let depth = match args.get("depth") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .ok()
+                .filter(|&d| d >= 1)
+                .ok_or_else(|| format!("--depth must be a positive integer, got `{v}`"))?,
+        ),
+    };
+    let json = match args.get("format") {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --format `{other}` (text|json)")),
+    };
+    let mut failed = 0usize;
+    for path in &args.positional {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (plan, diags) = sage_core::pipeline_model_source(&source, nodes, depth);
+        if json {
+            let plan_json = plan.as_ref().map_or("null".to_owned(), |p| p.to_json());
+            println!(
+                "{{\"plan\":{plan_json},\"diagnostics\":{}}}",
+                diags.to_json(path, Some(&source))
+            );
+        } else {
+            if !diags.is_empty() {
+                eprint!("{}", diags.render(path, Some(&source)));
+            }
+            if let Some(plan) = &plan {
+                println!("{path}: `{}` on {} nodes", plan.app_name, plan.nodes);
+                for bd in &plan.buffers {
+                    let why = match &bd.limit {
+                        DepthLimit::Unbounded => "no cross-iteration constraint".to_owned(),
+                        DepthLimit::Hazard { delay } => {
+                            format!("delay {delay} arc: WAR hazard past lock-step")
+                        }
+                        DepthLimit::Cycle { path } => {
+                            format!("feedback cycle {}", path.join(" -> "))
+                        }
+                    };
+                    println!(
+                        "  buffer {:<3} depth {:<9} {why}",
+                        bd.buffer,
+                        depth_str(bd.safe_depth)
+                    );
+                }
+                println!(
+                    "  hazard depth {} * memory depth {} -> safe pipeline depth {}",
+                    depth_str(plan.hazard_depth),
+                    depth_str(plan.mem_depth),
+                    depth_str(plan.safe_depth)
+                );
+                if let Some(want) = depth {
+                    let verdict = if plan.safe_depth == UNBOUNDED || want <= plan.safe_depth {
+                        "proven safe"
+                    } else {
+                        "NOT proven safe"
+                    };
+                    println!("  requested depth {want}: {verdict}");
+                }
+            }
+        }
+        if let (Some(plan), Some(out)) = (&plan, args.get("plan")) {
+            std::fs::write(out, plan.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote pipeline plan to {out}");
+        }
+        let over_requested = matches!((&plan, depth), (Some(p), Some(want)) if want > p.safe_depth);
+        if diags.fails(deny_warnings) || over_requested {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "pipeline failed for {failed} of {} file(s)",
+            args.positional.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Prints one code's registry entry and long-form description to stderr.
@@ -398,6 +494,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             if args.has("ga") {
                 return Err("--transport tcp supports aligned placement only (no --ga)".into());
             }
+            if args.has("pipeline-validate") {
+                return Err("--pipeline-validate runs on the local transport only".into());
+            }
             // TCP ranks run on real hardware; the virtual clock does not
             // apply, so --real is implied.
             return run_over_tcp(args, &text, nodes, iters);
@@ -452,6 +551,43 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
     }
     print!("{}", gantt::render(&exec.trace, 72));
+    if args.has("pipeline-validate") {
+        let depth = args
+            .get("pipeline-validate")
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&d| d >= 1)
+            .ok_or("--pipeline-validate needs a positive depth")?;
+        if let Some(plan) = sage_check::pipeline_plan(&program, &project.hardware) {
+            println!(
+                "statically proven safe pipeline depth: {}",
+                sage_check::pipeline::depth_str(plan.safe_depth)
+            );
+        }
+        let piped = project
+            .execute(
+                &program,
+                policy,
+                &options.clone().with_pipeline_validate(depth),
+                iters,
+            )
+            .map_err(|e| format!("pipeline-validate depth {depth}: {e}"))?;
+        let lockstep = sink_bytes(&program, &exec.results, iters);
+        let pipelined = sink_bytes(&program, &piped.results, iters);
+        if lockstep != pipelined {
+            return Err(format!(
+                "pipeline-validate depth {depth}: sink stream diverged from \
+                 lock-step ({:#018x} vs {:#018x}) — the depth exceeds what the \
+                 program can sustain",
+                fnv1a_64(&lockstep),
+                fnv1a_64(&pipelined)
+            ));
+        }
+        println!(
+            "pipeline-validate depth {depth}: bit-identical to lock-step \
+             (checksum {:#018x})",
+            fnv1a_64(&lockstep)
+        );
+    }
     finish_run(args, &program, &exec.results, &exec.trace, iters)
 }
 
@@ -686,6 +822,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "lint" => cmd_lint(&args),
         "check" => cmd_check(&args),
+        "pipeline" => cmd_pipeline(&args),
         "explain" => cmd_explain(&args),
         "inspect" => cmd_inspect(&args),
         "codegen" => cmd_codegen(&args),

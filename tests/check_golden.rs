@@ -8,11 +8,15 @@
 //! Regenerate after an intentional rendering change with
 //! `UPDATE_GOLDEN=1 cargo test --test check_golden`.
 
-use sage_core::{check_model_source, lint_model_source};
+use sage_core::{
+    check_model_source, lint_model_source, model_from_sexpr, pipeline_model_source, Placement,
+    Project,
+};
+use sage_fabric::TimePolicy;
 use sage_model::{HardwareShelf, Properties, Striping};
 use sage_runtime::{
-    execute, FnRole, FnThreadCtx, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Registry,
-    RuntimeError, RuntimeOptions, Task,
+    execute, Execution, FnRole, FnThreadCtx, FunctionDescriptor, GlueProgram, LogicalBufferDesc,
+    Registry, RuntimeError, RuntimeOptions, Task,
 };
 
 fn fixture_path(name: &str) -> String {
@@ -101,6 +105,131 @@ fn committed_example_models_check_clean() {
     assert!(seen >= 4, "expected the committed models, found {seen}");
 }
 
+#[test]
+fn pipeline_hazard_min_warns_sage060() {
+    check_model_golden("pipeline_hazard_min", 2, "SAGE060");
+}
+
+#[test]
+fn feedback_cycle_min_warns_sage061() {
+    check_model_golden("feedback_cycle_min", 2, "SAGE061");
+}
+
+/// Loads a fixture model, generates its aligned glue program, and returns
+/// a ready-to-execute project plus the program.
+fn fixture_project(name: &str, nodes: usize) -> (Project, GlueProgram) {
+    let src = std::fs::read_to_string(fixture_path(&format!("{name}.sexpr"))).unwrap();
+    let model = model_from_sexpr(&src).unwrap();
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(nodes));
+    sage_apps::kernels::register_kernels(&mut project.registry);
+    let (program, _) = project.generate(&Placement::Aligned).unwrap();
+    (project, program)
+}
+
+/// Concatenates every sink's assembled output over all iterations — the
+/// stream the pipeline-safety pass promises stays bit-identical at any
+/// statically proven depth.
+fn sink_stream(program: &GlueProgram, exec: &Execution, iterations: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in &program.functions {
+        if f.role != FnRole::Sink {
+            continue;
+        }
+        for iter in 0..iterations {
+            if let Some(full) = exec.results.assemble(program, f.id, iter) {
+                out.extend_from_slice(&full);
+            }
+        }
+    }
+    out
+}
+
+/// The acceptance contract for the pipeline-safety pass: a delay-arc model
+/// that *silently corrupts* its sink stream when run two iterations deep is
+/// statically capped at depth 1, with both hazard endpoints named in the
+/// SAGE060 finding.
+#[test]
+fn pipeline_pass_statically_caps_what_corrupts_at_depth_two() {
+    let src = std::fs::read_to_string(fixture_path("pipeline_hazard_min.sexpr")).unwrap();
+
+    // Statically: safe depth 1, and the finding names producer + consumer.
+    let (plan, diags) = pipeline_model_source(&src, 2, Some(2));
+    let plan = plan.expect("pipeline plan");
+    assert_eq!(plan.safe_depth, 1, "{plan:?}");
+    let d = diags
+        .diags
+        .iter()
+        .find(|d| d.code == "SAGE060")
+        .unwrap_or_else(|| panic!("expected SAGE060, got {:?}", diags.diags));
+    assert!(
+        d.message.contains("`dly[0]` (node 0, slot 1)")
+            && d.message.contains("`snk[0]` (node 0, slot 2)"),
+        "finding must name both hazard endpoints' task paths: {}",
+        d.message
+    );
+
+    // Dynamically: at depth 2 the producer overwrites the delay ring slot
+    // before the consumer drains it — the run *succeeds* but the sink
+    // stream silently diverges from lock-step.
+    let (project, program) = fixture_project("pipeline_hazard_min", 2);
+    let iters = 4;
+    let options = RuntimeOptions::paper_faithful();
+    let policy = TimePolicy::Virtual;
+    let base = project.execute(&program, policy, &options, iters).unwrap();
+    let deep = project
+        .execute(
+            &program,
+            policy,
+            &options.clone().with_pipeline_validate(2),
+            iters,
+        )
+        .unwrap();
+    assert_ne!(
+        sink_stream(&program, &base, iters),
+        sink_stream(&program, &deep, iters),
+        "depth 2 must corrupt the hazard fixture's sink stream"
+    );
+
+    // At the proven depth the pipelined stream is bit-identical.
+    let safe = project
+        .execute(
+            &program,
+            policy,
+            &options.clone().with_pipeline_validate(1),
+            iters,
+        )
+        .unwrap();
+    assert_eq!(
+        sink_stream(&program, &base, iters),
+        sink_stream(&program, &safe, iters)
+    );
+}
+
+/// The feedback-cycle variant fails *typed* instead of corrupting: with two
+/// iterations in flight the mixer needs feedback its delay block has not
+/// produced yet, and the executor reports the missing hand-off.
+#[test]
+fn feedback_cycle_fails_typed_above_proven_depth() {
+    let src = std::fs::read_to_string(fixture_path("feedback_cycle_min.sexpr")).unwrap();
+    let (plan, diags) = pipeline_model_source(&src, 2, Some(2));
+    assert_eq!(plan.expect("pipeline plan").safe_depth, 1);
+    assert!(diags.diags.iter().any(|d| d.code == "SAGE061"));
+
+    let (project, program) = fixture_project("feedback_cycle_min", 2);
+    let err = project
+        .execute(
+            &program,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful().with_pipeline_validate(2),
+            4,
+        )
+        .unwrap_err();
+    assert!(
+        format!("{err}").contains("never materialized"),
+        "expected a missing hand-off failure, got: {err}"
+    );
+}
+
 /// src -> snk on two nodes, one thread per node, with node 1's schedule
 /// reversed: the same-node hand-off there is consumed before it exists.
 fn out_of_order_program() -> GlueProgram {
@@ -145,6 +274,7 @@ fn out_of_order_program() -> GlueProgram {
             elem_bytes: 8,
             send_striping: Striping::BY_ROWS,
             recv_striping: Striping::BY_ROWS,
+            delay: 0,
         }],
         schedules: vec![
             vec![t(0, 0), t(1, 0)], // node 0: in order

@@ -50,3 +50,81 @@ fn sample_files_match_fresh_exports() {
         "regenerate with `sage export corner_turn --size 256 --threads 8`"
     );
 }
+
+mod common;
+
+/// Every code in the published registry is reachable through the CLI's
+/// `sage explain <code>` — the registry, the long-form explanations, and
+/// the CLI dispatch can never drift apart.
+#[test]
+fn every_registered_code_is_reachable_from_sage_explain() {
+    for (code, _, summary) in sage_lint::CODE_TABLE {
+        let out = std::process::Command::new(common::sage_bin())
+            .args(["explain", code])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "sage explain {code}: {stderr}");
+        assert!(
+            stderr.contains(code) && stderr.contains(summary),
+            "sage explain {code} must echo the registry entry, got:\n{stderr}"
+        );
+    }
+    // And unknown codes are rejected, not silently accepted.
+    let out = std::process::Command::new(common::sage_bin())
+        .args(["explain", "SAGE999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+/// `sage pipeline` proves a committed example safe beyond lock-step and
+/// writes a plan artifact that round-trips through the text codec.
+#[test]
+fn sage_pipeline_proves_example_and_plan_round_trips() {
+    let plan_file = common::out_path("pipeline_plan");
+    let out = std::process::Command::new(common::sage_bin())
+        .args([
+            "pipeline",
+            &common::model_path("fft2d_64.sexpr"),
+            "--deny-warnings",
+            "--plan",
+            plan_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("safe pipeline depth"), "{stdout}");
+    let text = std::fs::read_to_string(&plan_file).unwrap();
+    let plan = sage_check::pipeline::PipelinePlan::from_text(&text).unwrap();
+    assert!(plan.safe_depth >= 2, "fft2d_64 must pipeline: {plan:?}");
+    assert_eq!(plan.to_text(), text, "codec must round-trip");
+    let _ = std::fs::remove_file(&plan_file);
+}
+
+/// Requesting a depth above the proven cap fails the CLI with the hazard
+/// diagnostic on stderr.
+#[test]
+fn sage_pipeline_rejects_over_deep_request() {
+    let fixture = format!(
+        "{}/tests/fixtures/pipeline_hazard_min.sexpr",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = std::process::Command::new(common::sage_bin())
+        .args(["pipeline", &fixture, "--nodes", "2", "--depth", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "depth 2 must be rejected");
+    let all = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(all.contains("SAGE060"), "{all}");
+}
