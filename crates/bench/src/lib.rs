@@ -19,6 +19,7 @@
 //! Criterion benches (`cargo bench`) cover the same points with
 //! statistical repetition.
 
+pub mod jobs;
 pub mod trajectory;
 
 use sage_apps::experiment::{BenchApp, Table1Cell};

@@ -208,6 +208,7 @@ pub fn bench_tcp(
         optimized: false,
         probes: false,
         copy_baseline,
+        heartbeat_ms: None,
     };
     let outcome = launch(model_text, &opts, spawn).map_err(|e| e.to_string())?;
     let sink = sink_stream(&outcome.program, &outcome.results, iterations);
@@ -230,13 +231,59 @@ pub fn bench_tcp(
 
 // ---- JSON writer / parser --------------------------------------------
 
-/// Serializes results as the `BENCH_runtime.json` document.
-pub fn to_json(results: &[BenchResult], quick: bool) -> String {
+/// One measured job-service throughput cell (`sage bench --jobs`): `jobs`
+/// small jobs pushed through `concurrency` submitting clients, either over
+/// a persistent fleet (`mode == "fleet"`) or by forking a full launch per
+/// job (`mode == "fork"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobsCell {
+    /// `"fleet"` (persistent daemons, warm mesh) or `"fork"` (spawn
+    /// processes and build the mesh per job).
+    pub mode: String,
+    /// Concurrent submitting clients.
+    pub concurrency: u32,
+    /// Jobs completed in the cell.
+    pub jobs: u32,
+    /// Ranks per job.
+    pub ranks: usize,
+    /// Iterations (data sets) per job.
+    pub iterations: u32,
+    /// Wall seconds for the whole cell.
+    pub wall_secs: f64,
+    /// Jobs per second: `jobs / wall_secs`.
+    pub jobs_per_sec: f64,
+    /// FNV-1a-64 over one job's assembled sink output — every job in the
+    /// cell must agree, and fleet must match fork bit-for-bit.
+    pub checksum: u64,
+}
+
+/// A whole `BENCH_runtime.json` document: the trajectory sweep plus the
+/// (possibly empty) job-service sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchDoc {
+    /// Whether the run was a quick (`SAGE_QUICK=1`) sweep.
+    pub quick: bool,
+    /// The per-(model, transport, data-plane) trajectory cells.
+    pub results: Vec<BenchResult>,
+    /// The job-service throughput cells (empty in v1 documents and in
+    /// runs without `--jobs`).
+    pub jobs: Vec<JobsCell>,
+}
+
+/// Throughput regression tolerated by [`check_jobs_regression`]: a run
+/// must reach at least half the committed jobs/sec. Job cells measure
+/// end-to-end service latency (spawns, handshakes, queueing), which is far
+/// noisier on shared CI hosts than steady-state bandwidth.
+pub const JOBS_TOLERANCE: f64 = 0.5;
+
+/// Serializes results as the `BENCH_runtime.json` document (schema
+/// `sage-bench/v2`; v1 lacked the `jobs` array).
+pub fn to_json_doc(doc: &BenchDoc) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"sage-bench/v1\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"schema\": \"sage-bench/v2\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", doc.quick));
     out.push_str("  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    for (i, r) in doc.results.iter().enumerate() {
         out.push_str("    {");
         out.push_str(&format!("\"model\": \"{}\", ", r.model));
         out.push_str(&format!("\"transport\": \"{}\", ", r.transport));
@@ -250,10 +297,41 @@ pub fn to_json(results: &[BenchResult], quick: bool) -> String {
         out.push_str(&format!("\"bandwidth_mib_s\": {}, ", r.bandwidth_mib_s));
         out.push_str(&format!("\"sink_bytes\": {}, ", r.sink_bytes));
         out.push_str(&format!("\"checksum\": \"{:#018x}\"", r.checksum));
-        out.push_str(if i + 1 < results.len() { "},\n" } else { "}\n" });
+        out.push_str(if i + 1 < doc.results.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"jobs\": [\n");
+    for (i, j) in doc.jobs.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"mode\": \"{}\", ", j.mode));
+        out.push_str(&format!("\"concurrency\": {}, ", j.concurrency));
+        out.push_str(&format!("\"jobs\": {}, ", j.jobs));
+        out.push_str(&format!("\"ranks\": {}, ", j.ranks));
+        out.push_str(&format!("\"iterations\": {}, ", j.iterations));
+        out.push_str(&format!("\"wall_secs\": {}, ", j.wall_secs));
+        out.push_str(&format!("\"jobs_per_sec\": {}, ", j.jobs_per_sec));
+        out.push_str(&format!("\"checksum\": \"{:#018x}\"", j.checksum));
+        out.push_str(if i + 1 < doc.jobs.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Serializes trajectory results alone (no job cells).
+pub fn to_json(results: &[BenchResult], quick: bool) -> String {
+    to_json_doc(&BenchDoc {
+        quick,
+        results: results.to_vec(),
+        jobs: Vec::new(),
+    })
 }
 
 /// Pulls one `"key": value` out of a flat JSON object body. Strings come
@@ -286,25 +364,50 @@ fn num<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
         .map_err(|_| format!("bench json: field `{key}` is not a number"))
 }
 
-/// Parses a `BENCH_runtime.json` document (as written by [`to_json`]) —
-/// the schema validation CI runs on every generated file.
-pub fn parse_results(json: &str) -> Result<Vec<BenchResult>, String> {
-    if field(json, "schema")? != "sage-bench/v1" {
-        return Err("bench json: unknown schema (want sage-bench/v1)".into());
-    }
-    let start = json
-        .find("\"results\":")
-        .ok_or("bench json: missing `results` array")?;
+/// Extracts the body of a top-level `"key": [ ... ]` array. Result objects
+/// are flat (no nested brackets), so the first `]` after the opener closes
+/// the array.
+fn array_body<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)?;
+    let rest = json[at + pat.len()..].trim_start();
+    let rest = rest.strip_prefix('[')?;
+    Some(&rest[..rest.find(']')?])
+}
+
+fn parse_checksum(obj: &str) -> Result<u64, String> {
+    let checksum = field(obj, "checksum")?;
+    u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
+        .map_err(|_| "bench json: bad checksum".to_string())
+}
+
+/// Iterates the flat `{...}` objects inside one array body.
+fn objects(body: &str) -> impl Iterator<Item = &str> {
+    let mut rest = body;
+    std::iter::from_fn(move || {
+        let open = rest.find('{')?;
+        let close = open + rest[open..].find('}')?;
+        let obj = &rest[open..=close];
+        rest = &rest[close + 1..];
+        Some(obj)
+    })
+}
+
+/// Parses a `BENCH_runtime.json` document — the schema validation CI runs
+/// on every generated file. Accepts both `sage-bench/v2` and the older
+/// `sage-bench/v1` (which had no `jobs` array; such documents parse with
+/// empty job cells).
+pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
+    let schema = field(json, "schema")?;
+    let v2 = match schema {
+        "sage-bench/v2" => true,
+        "sage-bench/v1" => false,
+        _ => return Err("bench json: unknown schema (want sage-bench/v1|v2)".into()),
+    };
+    let quick = field(json, "quick")? == "true";
+    let body = array_body(json, "results").ok_or("bench json: missing `results` array")?;
     let mut results = Vec::new();
-    let mut rest = &json[start..];
-    while let Some(open) = rest.find('{') {
-        let close = rest[open..]
-            .find('}')
-            .ok_or("bench json: unterminated result object")?;
-        let obj = &rest[open..open + close + 1];
-        let checksum = field(obj, "checksum")?;
-        let checksum = u64::from_str_radix(checksum.trim_start_matches("0x"), 16)
-            .map_err(|_| "bench json: bad checksum".to_string())?;
+    for obj in objects(body) {
         results.push(BenchResult {
             model: field(obj, "model")?.to_string(),
             transport: field(obj, "transport")?.to_string(),
@@ -317,14 +420,38 @@ pub fn parse_results(json: &str) -> Result<Vec<BenchResult>, String> {
             messages: num(obj, "messages")?,
             bandwidth_mib_s: num(obj, "bandwidth_mib_s")?,
             sink_bytes: num(obj, "sink_bytes")?,
-            checksum,
+            checksum: parse_checksum(obj)?,
         });
-        rest = &rest[open + close + 1..];
     }
     if results.is_empty() {
         return Err("bench json: empty results".into());
     }
-    Ok(results)
+    let mut jobs = Vec::new();
+    if v2 {
+        let body = array_body(json, "jobs").ok_or("bench json: v2 document missing `jobs`")?;
+        for obj in objects(body) {
+            jobs.push(JobsCell {
+                mode: field(obj, "mode")?.to_string(),
+                concurrency: num(obj, "concurrency")?,
+                jobs: num(obj, "jobs")?,
+                ranks: num(obj, "ranks")?,
+                iterations: num(obj, "iterations")?,
+                wall_secs: num(obj, "wall_secs")?,
+                jobs_per_sec: num(obj, "jobs_per_sec")?,
+                checksum: parse_checksum(obj)?,
+            });
+        }
+    }
+    Ok(BenchDoc {
+        quick,
+        results,
+        jobs,
+    })
+}
+
+/// Parses just the trajectory cells of a `BENCH_runtime.json` document.
+pub fn parse_results(json: &str) -> Result<Vec<BenchResult>, String> {
+    Ok(parse_doc(json)?.results)
 }
 
 /// Fails if any `(model, transport, data_plane)` cell present in both runs
@@ -357,6 +484,38 @@ pub fn check_regression(
     Ok(())
 }
 
+/// Fails if any `(mode, concurrency)` job cell present in both runs lost
+/// more than `tolerance` of its committed jobs/sec. A baseline without job
+/// cells (a v1 document, or a run without `--jobs`) gates nothing.
+pub fn check_jobs_regression(
+    current: &[JobsCell],
+    baseline: &[JobsCell],
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut checked = 0usize;
+    for b in baseline {
+        let Some(c) = current
+            .iter()
+            .find(|c| c.mode == b.mode && c.concurrency == b.concurrency && c.ranks == b.ranks)
+        else {
+            continue;
+        };
+        checked += 1;
+        let floor = b.jobs_per_sec * (1.0 - tolerance);
+        if c.jobs_per_sec < floor {
+            return Err(format!(
+                "job-throughput regression: {} x{} measured {:.1} jobs/s, committed {:.1} jobs/s \
+                 (floor {:.1})",
+                c.mode, c.concurrency, c.jobs_per_sec, b.jobs_per_sec, floor
+            ));
+        }
+    }
+    if checked == 0 && !baseline.is_empty() {
+        return Err("bench baseline job cells share nothing with this run".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +537,19 @@ mod tests {
         }
     }
 
+    fn jobs_sample(mode: &str, concurrency: u32, jps: f64) -> JobsCell {
+        JobsCell {
+            mode: mode.into(),
+            concurrency,
+            jobs: 64,
+            ranks: 2,
+            iterations: 8,
+            wall_secs: 64.0 / jps,
+            jobs_per_sec: jps,
+            checksum: 0x106286f4fa7ffcfd,
+        }
+    }
+
     #[test]
     fn json_round_trips() {
         let rs = vec![sample("fft2d_64", 8.0), sample("corner_turn_256", 80.5)];
@@ -386,11 +558,46 @@ mod tests {
     }
 
     #[test]
+    fn v2_doc_round_trips_with_job_cells() {
+        let doc = BenchDoc {
+            quick: false,
+            results: vec![sample("fft2d_64", 8.0)],
+            jobs: vec![
+                jobs_sample("fleet", 64, 120.0),
+                jobs_sample("fork", 64, 11.5),
+            ],
+        };
+        assert_eq!(parse_doc(&to_json_doc(&doc)).unwrap(), doc);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A committed pre-jobs baseline: v1 schema, no `jobs` array.
+        let json = to_json(&[sample("m", 1.0)], false)
+            .replace("sage-bench/v2", "sage-bench/v1")
+            .replace("  \"jobs\": [\n  ]\n", "");
+        let doc = parse_doc(&json).unwrap();
+        assert_eq!(doc.results.len(), 1);
+        assert!(doc.jobs.is_empty());
+    }
+
+    #[test]
     fn schema_is_validated() {
         assert!(parse_results("{}").is_err());
         assert!(parse_results("{\"schema\": \"other/v9\", \"results\": []}").is_err());
-        let json = to_json(&[sample("m", 1.0)], false).replace("sage-bench/v1", "bogus");
+        let json = to_json(&[sample("m", 1.0)], false).replace("sage-bench/v2", "bogus");
         assert!(parse_results(&json).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn jobs_regression_gate() {
+        let committed = vec![jobs_sample("fleet", 8, 100.0)];
+        assert!(check_jobs_regression(&[jobs_sample("fleet", 8, 60.0)], &committed, 0.5).is_ok());
+        assert!(check_jobs_regression(&[jobs_sample("fleet", 8, 40.0)], &committed, 0.5).is_err());
+        // Disjoint cells are an error when the baseline has job cells...
+        assert!(check_jobs_regression(&[jobs_sample("fork", 8, 99.0)], &committed, 0.5).is_err());
+        // ...but a pre-jobs (v1) baseline gates nothing.
+        assert!(check_jobs_regression(&[jobs_sample("fleet", 8, 1.0)], &[], 0.5).is_ok());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Client-side helpers for talking to a running `sage sched`: submit a
+//! job, drain the fleet, fetch a metrics snapshot.
+
+use crate::metrics::FleetStats;
+use crate::proto::{read_fleet, send_fleet, FleetMsg, SubmitSpec};
+use crate::sched::JobOutcome;
+use sage_net::{NetError, RankReport};
+use std::net::TcpStream;
+
+fn connect(addr: &str) -> Result<TcpStream, NetError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| NetError::Io(format!("cannot reach scheduler {addr}: {e}")))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Submits one job to the scheduler at `addr` and blocks until its
+/// outcome. Typed rejections (`QueueFull`, `InsufficientWorkers`,
+/// `Draining`, `VersionMismatch`) come back as the matching [`NetError`].
+pub fn submit(addr: &str, spec: &SubmitSpec) -> Result<JobOutcome, NetError> {
+    let stream = connect(addr)?;
+    send_fleet(&mut &stream, &FleetMsg::Submit(spec.clone()))?;
+    match read_fleet(&mut &stream)? {
+        FleetMsg::Outcome {
+            job,
+            wall_secs,
+            reports,
+        } => Ok(JobOutcome {
+            job,
+            wall_secs,
+            reports,
+        }),
+        other => Err(NetError::Protocol(format!(
+            "expected outcome, got {other:?}"
+        ))),
+    }
+}
+
+/// Drains the fleet behind the scheduler at `addr`: in-flight and queued
+/// jobs finish, workers ack and exit 0, the scheduler exits 0. Returns the
+/// jobs the fleet completed over its lifetime.
+pub fn drain_fleet(addr: &str) -> Result<u64, NetError> {
+    let stream = connect(addr)?;
+    send_fleet(&mut &stream, &FleetMsg::DrainFleet)?;
+    match read_fleet(&mut &stream)? {
+        FleetMsg::Drained { jobs_completed } => Ok(jobs_completed),
+        other => Err(NetError::Protocol(format!(
+            "expected drain ack, got {other:?}"
+        ))),
+    }
+}
+
+/// Fetches a metrics snapshot from the scheduler at `addr`.
+pub fn fleet_stats(addr: &str) -> Result<FleetStats, NetError> {
+    let stream = connect(addr)?;
+    send_fleet(&mut &stream, &FleetMsg::Stats)?;
+    match read_fleet(&mut &stream)? {
+        FleetMsg::StatsReply(stats) => Ok(stats),
+        other => Err(NetError::Protocol(format!(
+            "expected stats reply, got {other:?}"
+        ))),
+    }
+}
+
+/// Converts an outcome's per-rank reports into the per-rank results
+/// [`sage_net::merge_outcomes`] consumes: a missing report means the
+/// worker hosting that rank died before reporting.
+pub fn reports_to_outcomes(reports: Vec<Option<RankReport>>) -> Vec<Result<RankReport, NetError>> {
+    reports
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| r.ok_or(NetError::WorkerDied { rank: rank as u32 }))
+        .collect()
+}
+
+/// Reads the `sage-sched listening on <addr>` banner off the scheduler's
+/// stdout line.
+pub fn parse_sched_banner(line: &str) -> Option<&str> {
+    line.trim().strip_prefix("sage-sched listening on ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_round_trip() {
+        assert_eq!(
+            parse_sched_banner("sage-sched listening on 127.0.0.1:4100\n"),
+            Some("127.0.0.1:4100")
+        );
+        assert_eq!(parse_sched_banner("nope"), None);
+    }
+
+    #[test]
+    fn missing_reports_become_worker_died() {
+        let outcomes = reports_to_outcomes(vec![None]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes[0].as_ref().unwrap_err(),
+            &NetError::WorkerDied { rank: 0 }
+        );
+    }
+}

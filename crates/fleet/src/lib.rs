@@ -1,0 +1,43 @@
+//! # sage-fleet
+//!
+//! Persistent multi-tenant job service for the SAGE run-time: long-lived
+//! worker daemons keep their TCP mesh warm across jobs, and a scheduler
+//! multiplexes many concurrent jobs over that one fabric.
+//!
+//! The paper's run-time infrastructure assumed a *standing* machine — CSPI
+//! nodes that boot once and then serve application after application. The
+//! classic `sage launch` path reproduces one run end-to-end but pays
+//! process spawn + mesh establishment per job; this crate reproduces the
+//! standing-machine model: pay mesh setup once, then amortize it over
+//! every job the fleet serves.
+//!
+//! * [`worker`] — the `sage fleet` daemon: one mesh endpoint
+//!   ([`sage_net::MeshCore`]), many concurrent jobs, each over a
+//!   job-scoped [`sage_net::JobTransport`] (the wire header's job field
+//!   keeps their traffic separate on shared links).
+//! * [`sched`] — the `sage sched` scheduler: typed admission control
+//!   (version, drain state, fleet size, bounded queue), least-loaded rank
+//!   placement, per-job and per-tenant accounting, graceful drain.
+//! * [`proto`] — the control plane both ends speak ([`FleetMsg`]), with
+//!   explicit version exchange up front.
+//! * [`metrics`] — the service-level counters ([`FleetStats`]).
+//! * [`client`] — what `sage submit` / `sage fleet drain` /
+//!   `sage fleet stats` call.
+//!
+//! Parity bar: a job through the fleet produces sink output bit-identical
+//! to the same model under `sage run --transport tcp` — the fleet changes
+//! job *delivery*, never job *results*.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod sched;
+pub mod worker;
+
+pub use client::{drain_fleet, fleet_stats, parse_sched_banner, reports_to_outcomes, submit};
+pub use metrics::{FleetStats, TenantStats};
+pub use proto::{FleetJob, FleetMsg, SubmitSpec};
+pub use sched::{serve_sched, JobOutcome, SchedConfig, Scheduler};
+pub use worker::{parse_fleet_banner, serve_fleet};

@@ -1,0 +1,120 @@
+//! Fleet-level metrics: what the scheduler counts and reports.
+//!
+//! Per-job `FabricMetrics` travel inside each job's rank reports; this
+//! module covers the service-level view — jobs accepted/rejected (by typed
+//! reason)/completed/failed, queue depth and high-water mark, and the same
+//! counters broken out per tenant.
+
+use sage_net::codec::{Reader, Writer};
+use sage_net::NetError;
+
+/// Job accounting for one tenant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name (empty = anonymous submissions).
+    pub tenant: String,
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Jobs that completed with every rank reporting success.
+    pub completed: u64,
+    /// Jobs that completed with a failure (rank error or worker death).
+    pub failed: u64,
+    /// Jobs refused at admission.
+    pub rejected: u64,
+}
+
+/// A scheduler metrics snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Workers the fleet was built with.
+    pub workers: u32,
+    /// Workers currently alive.
+    pub workers_live: u32,
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Jobs completed with every rank succeeding.
+    pub completed: u64,
+    /// Jobs completed with a failure (rank error or worker death).
+    pub failed: u64,
+    /// Admissions refused because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Admissions refused for wanting more ranks than live workers.
+    pub rejected_insufficient: u64,
+    /// Admissions refused because the fleet was draining.
+    pub rejected_draining: u64,
+    /// Admissions refused over a protocol-version mismatch.
+    pub rejected_version: u64,
+    /// Jobs currently queued (admitted, not yet dispatched).
+    pub queue_depth: u32,
+    /// Deepest the queue has been.
+    pub queue_high_water: u32,
+    /// Jobs currently executing.
+    pub active: u32,
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl FleetStats {
+    /// Total rejections across all typed reasons.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_insufficient
+            + self.rejected_draining
+            + self.rejected_version
+    }
+
+    /// Appends the snapshot to a writer (for `StatsReply`).
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.u32(self.workers);
+        w.u32(self.workers_live);
+        w.u64(self.accepted);
+        w.u64(self.completed);
+        w.u64(self.failed);
+        w.u64(self.rejected_queue_full);
+        w.u64(self.rejected_insufficient);
+        w.u64(self.rejected_draining);
+        w.u64(self.rejected_version);
+        w.u32(self.queue_depth);
+        w.u32(self.queue_high_water);
+        w.u32(self.active);
+        w.u32(self.tenants.len() as u32);
+        for t in &self.tenants {
+            w.string(&t.tenant);
+            w.u64(t.accepted);
+            w.u64(t.completed);
+            w.u64(t.failed);
+            w.u64(t.rejected);
+        }
+    }
+
+    /// Reads a snapshot from a reader positioned at its first field.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<FleetStats, NetError> {
+        let mut s = FleetStats {
+            workers: r.u32()?,
+            workers_live: r.u32()?,
+            accepted: r.u64()?,
+            completed: r.u64()?,
+            failed: r.u64()?,
+            rejected_queue_full: r.u64()?,
+            rejected_insufficient: r.u64()?,
+            rejected_draining: r.u64()?,
+            rejected_version: r.u64()?,
+            queue_depth: r.u32()?,
+            queue_high_water: r.u32()?,
+            active: r.u32()?,
+            tenants: Vec::new(),
+        };
+        let n = r.u32()? as usize;
+        s.tenants.reserve(n.min(1024));
+        for _ in 0..n {
+            s.tenants.push(TenantStats {
+                tenant: r.string()?,
+                accepted: r.u64()?,
+                completed: r.u64()?,
+                failed: r.u64()?,
+                rejected: r.u64()?,
+            });
+        }
+        Ok(s)
+    }
+}

@@ -233,6 +233,7 @@ fn run_tcp(
         optimized: false,
         probes: false,
         copy_baseline,
+        heartbeat_ms: None,
     };
     let outcome = sage_net::launch(source, &opts, spawner).map_err(|e| format!("launch: {e}"))?;
     let bytes = sink_bytes(&outcome.program, &outcome.results, iterations);

@@ -1,8 +1,8 @@
 //! The distributed launcher: spawns one worker process per rank, ships the
 //! job, and collects the merged outcome.
 
-use crate::error::NetError;
-use crate::proto::{JobSpec, RankReport};
+use crate::error::{NetError, RejectReason};
+use crate::proto::{JobSpec, RankReport, PROTO_VERSION};
 use crate::wire::{Frame, FrameKind, WireError};
 use sage_core::{model_from_sexpr, Placement, Project};
 use sage_fabric::{FabricMetrics, NodeMetrics, RunReport};
@@ -28,6 +28,9 @@ pub struct LaunchOptions {
     /// Run the copy-heavy baseline data plane on every rank (see
     /// `RuntimeOptions::copy_baseline`).
     pub copy_baseline: bool,
+    /// Heartbeat period override in milliseconds shipped to every rank
+    /// (`None` = transport default).
+    pub heartbeat_ms: Option<u64>,
 }
 
 /// A merged distributed run.
@@ -116,12 +119,14 @@ pub fn launch(
         };
         let _ = control.set_nodelay(true);
         let spec = JobSpec {
+            proto_version: PROTO_VERSION,
             rank: rank as u32,
             ranks: opts.workers as u32,
             iterations: opts.iterations,
             optimized: opts.optimized,
             probes: opts.probes,
             copy_baseline: opts.copy_baseline,
+            heartbeat_ms: opts.heartbeat_ms,
             model: model_text.to_string(),
             peers: addrs.clone(),
         };
@@ -130,6 +135,7 @@ pub fn launch(
             tag: 0,
             src: u32::MAX,
             dst: rank as u32,
+            job: 0,
             seq: 1,
             payload: spec.encode(),
         };
@@ -151,6 +157,20 @@ pub fn launch(
                     WireError::Truncated => NetError::WorkerDied { rank: rank as u32 },
                     other => NetError::Wire(other),
                 })?;
+                if frame.kind == FrameKind::Reject {
+                    // The worker refused the job with a typed reason;
+                    // surface a version mismatch as the first-class error
+                    // it is (`ours`/`theirs` from this side's view).
+                    return Err(match RejectReason::decode(&frame.payload)? {
+                        RejectReason::VersionMismatch { ours, theirs } => {
+                            NetError::VersionMismatch {
+                                ours: theirs,
+                                theirs: ours,
+                            }
+                        }
+                        reason => NetError::Rejected(reason),
+                    });
+                }
                 if frame.kind != FrameKind::Result {
                     return Err(NetError::Protocol(format!(
                         "rank {rank}: expected result frame, got {:?}",
@@ -172,14 +192,15 @@ pub fn launch(
     // All ranks have reported or died; nothing left to wait politely for.
     kill_all(&mut children);
 
-    merge(program, outcomes, wall, opts.workers)
+    merge_outcomes(program, outcomes, wall, opts.workers)
 }
 
 /// Merges per-rank outcomes, surfacing the root-cause error with the same
 /// deterministic priority the in-process executor uses: a rank that failed
 /// outright beats a rank that merely noticed a dead or silent peer, and
-/// ties break by rank order.
-fn merge(
+/// ties break by rank order. Public so the fleet client can merge the
+/// per-rank reports a scheduler hands back the same way the launcher does.
+pub fn merge_outcomes(
     program: GlueProgram,
     outcomes: Vec<Result<RankReport, NetError>>,
     wall: Duration,

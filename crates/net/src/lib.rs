@@ -11,16 +11,22 @@
 //! same MPI layer, the same generated schedules — over real sockets, via
 //! the [`sage_fabric::Transport`] seam.
 //!
-//! * [`wire`] — the framed wire protocol: 40-byte header (magic, version,
-//!   kind, tag, src/dst rank, sequence number, length) plus an FNV-1a-32
-//!   whole-frame checksum; every decode failure is a typed [`WireError`].
-//! * [`transport`] — [`TcpTransport`]: full-mesh connection establishment
-//!   with retry/backoff, per-peer reader threads feeding a tagged mailbox,
-//!   heartbeat liveness (a silent peer is declared dead after
-//!   `max_retries + 2` missed beats), and per-link byte/message counters
-//!   feeding [`sage_fabric::LinkMetrics`].
+//! * [`wire`] — the framed wire protocol: 44-byte header (magic, version,
+//!   kind, tag, src/dst rank, **job namespace**, sequence number, length)
+//!   plus an FNV-1a-32 whole-frame checksum; every decode failure is a
+//!   typed [`WireError`].
+//! * [`codec`] — the primitive byte codec every control-plane payload is
+//!   built from (shared with `sage-fleet`).
+//! * [`transport`] — the mesh: [`MeshCore`] (full-mesh establishment with
+//!   retry/backoff, a **single nonblocking poll-loop I/O thread** per
+//!   endpoint feeding a `(job, src, tag)` mailbox, heartbeat liveness — a
+//!   silent peer is declared dead after `max_retries + 2` missed beats),
+//!   [`JobTransport`] (a per-job rank-namespace view over a shared warm
+//!   core, for the fleet), and [`TcpTransport`] (the classic one-job
+//!   wrapper), all feeding [`sage_fabric::LinkMetrics`].
 //! * [`proto`] — the control plane: [`JobSpec`] (launcher → worker) and
-//!   [`RankReport`] (worker → launcher).
+//!   [`RankReport`] (worker → launcher), carrying an explicit protocol
+//!   version checked first in the handshake.
 //! * [`worker`] — the `sage worker` daemon body: host one rank, report
 //!   in-band.
 //! * [`launch`] — the `sage launch` body: spawn workers, ship the job,
@@ -32,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod launch;
 pub mod proto;
@@ -39,9 +46,9 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use error::NetError;
-pub use launch::{launch, LaunchOptions, LaunchOutcome, Spawner};
-pub use proto::{JobSpec, RankReport};
-pub use transport::{NetConfig, TcpTransport};
+pub use error::{NetError, RejectReason};
+pub use launch::{launch, merge_outcomes, LaunchOptions, LaunchOutcome, Spawner};
+pub use proto::{JobSpec, RankReport, PROTO_VERSION};
+pub use transport::{JobTransport, MeshCore, NetConfig, TcpTransport};
 pub use wire::{Frame, FrameKind, WireError};
-pub use worker::{serve, CHAOS_EXIT_ENV};
+pub use worker::{failed_report, parse_banner, prepare_job, serve, CHAOS_EXIT_ENV};

@@ -1,19 +1,29 @@
 //! Control-plane payloads: the job description the launcher ships to each
 //! worker, and the report each worker sends back.
 //!
-//! Serialization is a tiny hand-rolled tag-free format (the workspace is
-//! offline, so no serde): integers big-endian, strings and byte blobs
-//! length-prefixed, options as a presence byte. Both ends are this
-//! workspace, so schema evolution rides the frame version.
+//! Serialization rides the shared [`crate::codec`] primitives. The
+//! control protocol carries its own explicit version ([`PROTO_VERSION`]),
+//! checked as the *first* field of the Job handshake — so a speaker of a
+//! different revision gets a typed [`NetError::VersionMismatch`] instead
+//! of a codec parse failure deep in some unrelated field.
 
+use crate::codec::{Reader, Writer};
 use crate::error::NetError;
 use sage_fabric::{LinkMetrics, NodeMetrics};
 use sage_runtime::RuntimeError;
 use sage_visualizer::{EventKind, ProbeEvent};
 
+/// Control-protocol version. v1 had no version field (its absence is how
+/// v1 is detected: the first u32 of a v1 JobSpec is the rank, which is
+/// < 2^16 in practice, while v2+ leads with this constant). v2 added the
+/// version field, the per-job heartbeat override, and the fleet messages.
+pub const PROTO_VERSION: u32 = 2;
+
 /// Everything one worker needs to run one rank of a job.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JobSpec {
+    /// Control-protocol version the sender speaks (see [`PROTO_VERSION`]).
+    pub proto_version: u32,
     /// The rank this worker hosts.
     pub rank: u32,
     /// Total ranks in the job.
@@ -27,6 +37,10 @@ pub struct JobSpec {
     /// Run the copy-heavy baseline data plane instead of the zero-copy
     /// shared-payload path (see `RuntimeOptions::copy_baseline`).
     pub copy_baseline: bool,
+    /// Heartbeat period override in milliseconds (`None` = transport
+    /// default). Lets soak tests and the fleet drain path tune the
+    /// staleness window from the CLI.
+    pub heartbeat_ms: Option<u64>,
     /// The application model, as s-expression text. Each worker
     /// regenerates the glue program from this deterministically, so every
     /// rank — and the launcher — agrees on tables and schedules without
@@ -56,80 +70,9 @@ pub struct RankReport {
     pub events: Vec<ProbeEvent>,
 }
 
-// ---- primitive writers/readers --------------------------------------
-
-struct Writer(Vec<u8>);
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_be_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_be_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.0.extend_from_slice(&v.to_be_bytes());
-    }
-    fn bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
-        self.0.extend_from_slice(v);
-    }
-    fn string(&mut self, v: &str) {
-        self.bytes(v.as_bytes());
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| NetError::Protocol("payload truncated".into()))?;
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, NetError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> Result<u32, NetError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4B")))
-    }
-    fn u64(&mut self) -> Result<u64, NetError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8B")))
-    }
-    fn f64(&mut self) -> Result<f64, NetError> {
-        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("8B")))
-    }
-    fn bytes(&mut self) -> Result<Vec<u8>, NetError> {
-        let n = self.u32()? as usize;
-        Ok(self.take(n)?.to_vec())
-    }
-    fn string(&mut self) -> Result<String, NetError> {
-        String::from_utf8(self.bytes()?)
-            .map_err(|_| NetError::Protocol("non-utf8 string field".into()))
-    }
-    fn done(&self) -> Result<(), NetError> {
-        if self.pos == self.buf.len() {
-            Ok(())
-        } else {
-            Err(NetError::Protocol("trailing bytes after payload".into()))
-        }
-    }
-}
-
 // ---- RuntimeError codec ----------------------------------------------
 
-fn write_runtime_error(w: &mut Writer, e: &RuntimeError) {
+pub(crate) fn write_runtime_error(w: &mut Writer, e: &RuntimeError) {
     match e {
         RuntimeError::UnknownFunction { block, function } => {
             w.u8(1);
@@ -182,7 +125,7 @@ fn write_runtime_error(w: &mut Writer, e: &RuntimeError) {
     }
 }
 
-fn read_runtime_error(r: &mut Reader<'_>) -> Result<RuntimeError, NetError> {
+pub(crate) fn read_runtime_error(r: &mut Reader<'_>) -> Result<RuntimeError, NetError> {
     Ok(match r.u8()? {
         1 => RuntimeError::UnknownFunction {
             block: r.string()?,
@@ -262,13 +205,15 @@ fn event_kind_from(code: u8) -> Result<EventKind, NetError> {
 impl JobSpec {
     /// Serializes the job for a `Job` frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
+        let mut w = Writer::new();
+        w.u32(self.proto_version);
         w.u32(self.rank);
         w.u32(self.ranks);
         w.u32(self.iterations);
         w.u8(u8::from(self.optimized));
         w.u8(u8::from(self.probes));
         w.u8(u8::from(self.copy_baseline));
+        w.opt_u64(self.heartbeat_ms);
         w.string(&self.model);
         w.u32(self.peers.len() as u32);
         for p in &self.peers {
@@ -278,15 +223,28 @@ impl JobSpec {
     }
 
     /// Decodes a `Job` frame payload.
+    ///
+    /// The version field is checked *first*: a mismatched speaker gets a
+    /// typed [`NetError::VersionMismatch`] before any layout-dependent
+    /// field is touched.
     pub fn decode(buf: &[u8]) -> Result<JobSpec, NetError> {
-        let mut r = Reader { buf, pos: 0 };
+        let mut r = Reader::new(buf);
+        let proto_version = r.u32()?;
+        if proto_version != PROTO_VERSION {
+            return Err(NetError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs: proto_version,
+            });
+        }
         let spec = JobSpec {
+            proto_version,
             rank: r.u32()?,
             ranks: r.u32()?,
             iterations: r.u32()?,
             optimized: r.u8()? != 0,
             probes: r.u8()? != 0,
             copy_baseline: r.u8()? != 0,
+            heartbeat_ms: r.opt_u64()?,
             model: r.string()?,
             peers: {
                 let n = r.u32()? as usize;
@@ -305,13 +263,20 @@ impl JobSpec {
 impl RankReport {
     /// Serializes the report for a `Result` frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.0
+    }
+
+    /// Appends the report to an existing writer (lets fleet messages embed
+    /// reports without an intermediate copy).
+    pub fn encode_into(&self, w: &mut Writer) {
         w.u32(self.rank);
         match &self.error {
             None => w.u8(0),
             Some(e) => {
                 w.u8(1);
-                write_runtime_error(&mut w, e);
+                write_runtime_error(w, e);
             }
         }
         w.u32(self.deposits.len() as u32);
@@ -345,16 +310,22 @@ impl RankReport {
             w.u32(e.id);
             w.u32(e.iteration);
         }
-        w.0
     }
 
     /// Decodes a `Result` frame payload.
     pub fn decode(buf: &[u8]) -> Result<RankReport, NetError> {
-        let mut r = Reader { buf, pos: 0 };
+        let mut r = Reader::new(buf);
+        let report = RankReport::decode_from(&mut r)?;
+        r.done()?;
+        Ok(report)
+    }
+
+    /// Reads one report from a reader positioned at its first field.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<RankReport, NetError> {
         let rank = r.u32()?;
         let error = match r.u8()? {
             0 => None,
-            _ => Some(read_runtime_error(&mut r)?),
+            _ => Some(read_runtime_error(r)?),
         };
         let n_dep = r.u32()? as usize;
         let mut deposits = Vec::with_capacity(n_dep.min(4096));
@@ -394,7 +365,6 @@ impl RankReport {
                 iteration: r.u32()?,
             });
         }
-        r.done()?;
         Ok(RankReport {
             rank,
             error,
@@ -411,19 +381,38 @@ impl RankReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn job_round_trip() {
-        let j = JobSpec {
+    fn spec() -> JobSpec {
+        JobSpec {
+            proto_version: PROTO_VERSION,
             rank: 3,
             ranks: 4,
             iterations: 7,
             optimized: true,
             probes: false,
             copy_baseline: true,
+            heartbeat_ms: Some(50),
             model: "(app demo)".into(),
             peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
-        };
+        }
+    }
+
+    #[test]
+    fn job_round_trip() {
+        let j = spec();
         assert_eq!(JobSpec::decode(&j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn job_version_mismatch_is_typed() {
+        let mut j = spec();
+        j.proto_version = 1;
+        assert_eq!(
+            JobSpec::decode(&j.encode()).unwrap_err(),
+            NetError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs: 1
+            }
+        );
     }
 
     #[test]
@@ -477,26 +466,16 @@ mod tests {
             },
         ];
         for e in errs {
-            let mut w = Writer(Vec::new());
+            let mut w = Writer::new();
             write_runtime_error(&mut w, &e);
-            let mut r = Reader { buf: &w.0, pos: 0 };
+            let mut r = Reader::new(&w.0);
             assert_eq!(read_runtime_error(&mut r).unwrap(), e);
         }
     }
 
     #[test]
     fn truncated_payload_is_typed_error() {
-        let j = JobSpec {
-            rank: 0,
-            ranks: 1,
-            iterations: 1,
-            optimized: false,
-            probes: false,
-            copy_baseline: false,
-            model: "m".into(),
-            peers: vec![],
-        };
-        let enc = j.encode();
+        let enc = spec().encode();
         assert!(matches!(
             JobSpec::decode(&enc[..enc.len() - 1]).unwrap_err(),
             NetError::Protocol(_)

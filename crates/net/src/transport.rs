@@ -1,19 +1,35 @@
-//! The TCP backend: one OS process per rank, a full mesh of framed
-//! connections, background reader threads feeding a tagged mailbox, and
-//! heartbeat-based liveness.
+//! The TCP backend: one OS process per mesh endpoint, a full mesh of
+//! framed connections, and a **single nonblocking I/O thread** per
+//! endpoint multiplexing every peer socket — so an endpoint scales to
+//! hundreds of peers (and, through per-job rank namespaces, hundreds of
+//! concurrent jobs) with O(1) threads instead of a reader thread per link.
+//!
+//! Layering:
+//!
+//! * [`MeshCore`] — the warm mesh itself: connection establishment with
+//!   retry/backoff, the poll-loop I/O thread feeding a `(job, src, tag)`
+//!   mailbox, heartbeat liveness, and job retirement. One core is shared
+//!   (via `Arc`) by every job executing on the endpoint.
+//! * [`JobTransport`] — a per-job [`Transport`] view over a shared core:
+//!   logical ranks are mapped to mesh peer indices through a rank map, so
+//!   many concurrent jobs — each with its own dense rank namespace — ride
+//!   one set of sockets.
+//! * [`TcpTransport`] — the classic one-job-per-process transport, now a
+//!   thin wrapper over a private core in job namespace 0 with an identity
+//!   rank map. API and semantics are unchanged from the
+//!   thread-per-link era.
 //!
 //! Semantics mirror the in-process cluster so the executor cannot tell the
 //! backends apart: per-`(src, tag)` FIFO ordering (TCP ordering + one
-//! reader thread per peer), `PeerFailed` when a peer is gone and its queue
-//! is drained, `RecvTimeout` when a receive outlives the configured
-//! deadline.
+//! poll loop), `PeerFailed` when a peer is gone and its queue is drained,
+//! `RecvTimeout` when a receive outlives the configured deadline.
 
 use crate::error::NetError;
-use crate::wire::{write_parts, Frame, FrameKind};
+use crate::wire::{write_parts, Frame, FrameKind, WireError};
 use sage_fabric::{FabricError, LinkMetrics, NodeMetrics, Payload, Transport};
 use sage_mpi::RetryPolicy;
 use sage_visualizer::Probe;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -50,13 +66,24 @@ impl Default for NetConfig {
 }
 
 impl NetConfig {
+    /// Overrides the heartbeat period (the `--heartbeat-ms` knob). `None`
+    /// keeps the default. The staleness window stays derived as
+    /// `heartbeat * (max_retries + 2)`, so tuning the beat tunes the
+    /// window proportionally.
+    pub fn with_heartbeat_ms(mut self, ms: Option<u64>) -> NetConfig {
+        if let Some(ms) = ms {
+            self.heartbeat = Duration::from_millis(ms.max(1));
+        }
+        self
+    }
+
     /// How long a peer may stay silent before it is declared dead.
     fn stale_after(&self) -> Duration {
         self.heartbeat * (self.retry.max_retries + 2)
     }
 }
 
-/// Liveness state of one peer.
+/// Liveness state of one peer link.
 struct PeerState {
     /// Peer sent `Goodbye`: it will transmit nothing further, but already
     /// queued messages remain receivable.
@@ -67,10 +94,22 @@ struct PeerState {
     last_seen: Instant,
 }
 
-/// Shared between the transport, its reader threads, and the heartbeater.
+/// How many retired job ids the mailbox remembers. Late frames for a
+/// remembered id are dropped instead of accumulating in dead queues; ids
+/// are scheduler-monotonic and never reused, so forgetting ancient ones
+/// is harmless.
+const RETIRED_MEMORY: usize = 1024;
+
+/// Shared between the endpoint's caller threads and its I/O thread.
 struct MailboxInner {
-    queues: HashMap<(u32, u64), VecDeque<Payload>>,
+    /// Received payloads keyed `(job, logical src, tag)`.
+    queues: HashMap<(u32, u32, u64), VecDeque<Payload>>,
     peers: Vec<PeerState>,
+    /// `(job, logical src)` pairs whose sender declared the job finished.
+    job_done: HashSet<(u32, u32)>,
+    /// Jobs purged on this endpoint (see [`RETIRED_MEMORY`]).
+    retired: HashSet<u32>,
+    retired_order: VecDeque<u32>,
     recv_messages: u64,
     recv_bytes: u64,
 }
@@ -80,8 +119,8 @@ struct Mailbox {
     cv: Condvar,
     /// Set when any thread panicked while holding the mailbox lock. The
     /// transport keeps functioning (metrics, shutdown, draining) but
-    /// reports this rank as failed instead of cascading the panic into
-    /// every reader, heartbeater, and caller thread.
+    /// reports this endpoint as failed instead of cascading the panic
+    /// into every caller thread.
     poisoned: AtomicBool,
 }
 
@@ -106,8 +145,6 @@ impl Mailbox {
 struct PeerLink {
     writer: Mutex<TcpStream>,
     seq: AtomicU64,
-    sent_messages: AtomicU64,
-    sent_bytes: AtomicU64,
 }
 
 impl PeerLink {
@@ -115,21 +152,45 @@ impl PeerLink {
     /// header+payload write, no per-frame assembly buffer or payload
     /// copy); returns `false` if the stream is broken or its writer lock
     /// is poisoned — the caller marks the peer dead either way.
-    fn send(&self, kind: FrameKind, src: u32, dst: u32, tag: u64, payload: &[u8]) -> bool {
+    ///
+    /// `src`/`dst` are *logical* ranks within `job` (for job 0 they equal
+    /// mesh indices). Concurrent jobs sharing the link serialize on the
+    /// writer lock; sequence assignment happens under it, so frames hit
+    /// the wire in seq order even when the heartbeater races a data send.
+    fn send(
+        &self,
+        kind: FrameKind,
+        src: u32,
+        dst: u32,
+        job: u32,
+        tag: u64,
+        payload: &[u8],
+    ) -> bool {
         let Ok(mut w) = self.writer.lock() else {
             // A thread panicked mid-write: the stream may hold a torn
             // frame, so the link cannot be trusted.
             return false;
         };
-        // Sequence assignment under the write lock, so frames hit the wire
-        // in seq order even when the heartbeater races a data send.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        write_parts(&mut *w, kind, tag, src, dst, seq, payload).is_ok()
+        write_parts(&mut *w, kind, tag, src, dst, job, seq, payload).is_ok()
     }
 }
 
-/// The multi-process TCP [`Transport`] for one rank.
-pub struct TcpTransport {
+/// Why a core-level send/recv could not complete. Wrappers map these onto
+/// [`FabricError`] using their own *logical* rank numbering — the core
+/// cannot name logical ranks, it only knows mesh indices.
+enum CoreFail {
+    /// The peer is dead, finished, or was never linked.
+    PeerGone,
+    /// The receive deadline passed with the peer still alive.
+    Timeout,
+    /// Local state is suspect (a thread panicked holding the mailbox).
+    Poisoned,
+}
+
+/// One endpoint's warm mesh: sockets, the poll-loop I/O thread, and the
+/// job-namespaced mailbox. Shared by every job executing on the endpoint.
+pub struct MeshCore {
     rank: usize,
     size: usize,
     links: Vec<Option<Arc<PeerLink>>>,
@@ -138,26 +199,25 @@ pub struct TcpTransport {
     start: Instant,
     config: NetConfig,
     stop: Arc<AtomicBool>,
-    readers: Vec<std::thread::JoinHandle<()>>,
-    heartbeater: Option<std::thread::JoinHandle<()>>,
-    mem_high_water: u64,
+    io: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
-impl TcpTransport {
-    /// Establishes the full mesh for `rank` out of `peers` (one data-plane
-    /// listen address per rank, indexed by rank).
+impl MeshCore {
+    /// Establishes the full mesh for mesh index `rank` out of `peers` (one
+    /// data-plane listen address per endpoint, indexed by mesh rank).
     ///
-    /// Rank `i` actively connects to every rank below it (retrying with
+    /// Index `i` actively connects to every index below it (retrying with
     /// backoff while those processes come up) and accepts one connection
-    /// from every rank above it on `listener`; a `Hello` exchange binds
-    /// each accepted socket to its rank.
+    /// from every index above it on `listener`; a `Hello` exchange binds
+    /// each accepted socket to its index. All established sockets then go
+    /// nonblocking and a single I/O thread multiplexes them.
     pub fn connect(
         rank: usize,
         peers: &[String],
         listener: &TcpListener,
         config: NetConfig,
         probe: Probe,
-    ) -> Result<TcpTransport, NetError> {
+    ) -> Result<Arc<MeshCore>, NetError> {
         let size = peers.len();
         if rank >= size {
             return Err(NetError::Protocol(format!(
@@ -175,6 +235,9 @@ impl TcpTransport {
                         last_seen: start,
                     })
                     .collect(),
+                job_done: HashSet::new(),
+                retired: HashSet::new(),
+                retired_order: VecDeque::new(),
                 recv_messages: 0,
                 recv_bytes: 0,
             }),
@@ -183,7 +246,7 @@ impl TcpTransport {
         });
 
         let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
-        // Connect downward, with backoff: lower ranks may still be binding.
+        // Connect downward, with backoff: lower indices may still be binding.
         for (j, addr) in peers.iter().enumerate().take(rank) {
             let stream = connect_with_retry(addr, &config.retry, &probe, start)
                 .map_err(|e| NetError::Io(format!("connecting to rank {j} at {addr}: {e}")))?;
@@ -194,7 +257,7 @@ impl TcpTransport {
             probe.net_connect(start.elapsed().as_secs_f64(), j as u32);
             streams[j] = Some(stream);
         }
-        // Accept upward: higher ranks dial us; `Hello` tells us who called.
+        // Accept upward: higher indices dial us; `Hello` tells us who called.
         let deadline = Instant::now() + config.mesh_timeout;
         listener.set_nonblocking(true)?;
         let mut pending = size - rank - 1;
@@ -235,47 +298,44 @@ impl TcpTransport {
         }
         listener.set_nonblocking(false)?;
 
-        // Spin up one reader per link and the heartbeat loop.
+        // Go nonblocking (the fd is shared by the read clone and the write
+        // half; writers sleep-retry on WouldBlock inside `write_parts`)
+        // and hand every socket to the one I/O thread.
         let mut links: Vec<Option<Arc<PeerLink>>> = (0..size).map(|_| None).collect();
-        let mut readers = Vec::new();
+        let mut reads = Vec::new();
         for (j, stream) in streams.into_iter().enumerate() {
             let Some(stream) = stream else { continue };
+            stream.set_nonblocking(true)?;
             let read_half = stream.try_clone()?;
             links[j] = Some(Arc::new(PeerLink {
                 writer: Mutex::new(stream),
                 seq: AtomicU64::new(1),
-                sent_messages: AtomicU64::new(0),
-                sent_bytes: AtomicU64::new(0),
             }));
-            let mb = mailbox.clone();
-            let pr = probe.clone();
-            readers.push(std::thread::spawn(move || {
-                read_loop(read_half, j, mb, pr, start);
-            }));
+            reads.push(PeerRead {
+                peer: j,
+                stream: read_half,
+                buf: Vec::new(),
+                last_seq: None,
+                open: true,
+            });
         }
         let stop = Arc::new(AtomicBool::new(false));
-        let heartbeater = {
-            let links: Vec<(usize, Arc<PeerLink>)> = links
+        let io = {
+            let beat_links: Vec<(usize, Arc<PeerLink>)> = links
                 .iter()
                 .enumerate()
                 .filter_map(|(j, l)| l.as_ref().map(|l| (j, l.clone())))
                 .collect();
-            let stop = stop.clone();
             let mb = mailbox.clone();
+            let pr = probe.clone();
+            let stop = stop.clone();
             let interval = config.heartbeat;
             let rank = rank as u32;
-            Some(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    for (j, link) in &links {
-                        if !link.send(FrameKind::Heartbeat, rank, *j as u32, 0, &[]) {
-                            mb.mark_dead(*j);
-                        }
-                    }
-                }
-            }))
+            std::thread::spawn(move || {
+                io_loop(reads, beat_links, mb, pr, stop, interval, rank, start);
+            })
         };
-        Ok(TcpTransport {
+        Ok(Arc::new(MeshCore {
             rank,
             size,
             links,
@@ -284,175 +344,124 @@ impl TcpTransport {
             start,
             config,
             stop,
-            readers,
-            heartbeater,
-            mem_high_water: 0,
-        })
+            io: Mutex::new(Some(io)),
+        }))
     }
 
-    /// Clean shutdown: tell every peer we are done and return this rank's
-    /// traffic counters.
-    ///
-    /// Reader threads are detached, not joined — they run until the peer's
-    /// own goodbye or EOF, which may be long after this rank finishes
-    /// (ranks complete their schedules at different times; joining here
-    /// would deadlock two ranks that finish back-to-back). Already-written
-    /// frames stay deliverable to peers through normal TCP buffering.
-    pub fn finish(mut self) -> (NodeMetrics, Vec<LinkMetrics>) {
-        for (j, link) in self.links.iter().enumerate() {
-            if let Some(link) = link {
-                link.send(FrameKind::Goodbye, self.rank as u32, j as u32, 0, &[]);
-            }
-        }
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.heartbeater.take() {
-            let _ = h.join();
-        }
-        self.readers.clear();
-        let links: Vec<LinkMetrics> = self
-            .links
-            .iter()
-            .enumerate()
-            .filter_map(|(j, l)| {
-                l.as_ref().map(|l| LinkMetrics {
-                    src: self.rank as u32,
-                    dst: j as u32,
-                    messages: l.sent_messages.load(Ordering::Relaxed),
-                    bytes: l.sent_bytes.load(Ordering::Relaxed),
-                })
-            })
-            .collect();
-        let m = self.mailbox.lock();
-        let metrics = NodeMetrics {
-            messages_sent: links.iter().map(|l| l.messages).sum(),
-            bytes_sent: links.iter().map(|l| l.bytes).sum(),
-            messages_received: m.recv_messages,
-            bytes_received: m.recv_bytes,
-            mem_high_water: self.mem_high_water,
-            ..NodeMetrics::default()
-        };
-        drop(m);
-        (metrics, links)
-    }
-}
-
-impl Drop for TcpTransport {
-    fn drop(&mut self) {
-        // Error-path drop: stop heartbeating and detach readers (they end
-        // on peer EOF; the process is about to exit anyway). `finish`
-        // drains both vectors, so this is a no-op after a clean shutdown.
-        self.stop.store(true, Ordering::Relaxed);
-    }
-}
-
-impl Transport for TcpTransport {
-    fn rank(&self) -> usize {
+    /// This endpoint's mesh index.
+    pub fn mesh_rank(&self) -> usize {
         self.rank
     }
 
-    fn size(&self) -> usize {
+    /// Endpoints in the mesh.
+    pub fn mesh_size(&self) -> usize {
         self.size
     }
 
-    fn try_send(&mut self, dst: usize, tag: u64, payload: &Payload) -> Result<(), FabricError> {
+    /// Whether the mesh link to `peer` is currently usable.
+    pub fn peer_alive(&self, peer: usize) -> bool {
+        if peer == self.rank {
+            return true;
+        }
+        let m = self.mailbox.lock();
+        let p = &m.peers[peer];
+        !p.dead && !p.done
+    }
+
+    /// Enqueues a payload locally (self-sends never hit the wire).
+    fn local_enqueue(&self, job: u32, src: u32, tag: u64, payload: Payload) {
+        let mut m = self.mailbox.lock();
+        m.queues
+            .entry((job, src, tag))
+            .or_default()
+            .push_back(payload);
+        drop(m);
+        self.mailbox.cv.notify_all();
+    }
+
+    /// Sends one data frame to mesh peer `mesh_dst`, labeled with logical
+    /// `src`/`dst` ranks in `job`'s namespace.
+    fn send_data(
+        &self,
+        job: u32,
+        src: u32,
+        dst: u32,
+        mesh_dst: usize,
+        tag: u64,
+        payload: &[u8],
+    ) -> Result<(), CoreFail> {
         if self.mailbox.poisoned.load(Ordering::SeqCst) {
-            // A thread died holding the mailbox: local state is suspect.
-            return Err(FabricError::NodeFailed {
-                node: self.rank as u32,
-            });
+            return Err(CoreFail::Poisoned);
         }
-        if dst == self.rank {
-            let mut m = self.mailbox.lock();
-            m.queues
-                .entry((dst as u32, tag))
-                .or_default()
-                .push_back(payload.clone());
-            drop(m);
-            self.mailbox.cv.notify_all();
-            return Ok(());
-        }
-        let Some(link) = self.links[dst].as_ref() else {
+        let Some(link) = self.links.get(mesh_dst).and_then(|l| l.as_ref()) else {
             // No link was ever established to this peer (mesh came up
             // without it): sending can never succeed, so surface the same
             // typed error a crashed peer would — callers already handle it.
-            return Err(FabricError::PeerFailed {
-                node: self.rank as u32,
-                peer: dst as u32,
-            });
+            return Err(CoreFail::PeerGone);
         };
         {
             let m = self.mailbox.lock();
-            if m.peers[dst].dead {
-                return Err(FabricError::PeerFailed {
-                    node: self.rank as u32,
-                    peer: dst as u32,
-                });
+            if m.peers[mesh_dst].dead {
+                return Err(CoreFail::PeerGone);
             }
         }
-        if !link.send(FrameKind::Data, self.rank as u32, dst as u32, tag, payload) {
-            self.mailbox.mark_dead(dst);
-            return Err(FabricError::PeerFailed {
-                node: self.rank as u32,
-                peer: dst as u32,
-            });
+        if !link.send(FrameKind::Data, src, dst, job, tag, payload) {
+            self.mailbox.mark_dead(mesh_dst);
+            return Err(CoreFail::PeerGone);
         }
-        link.sent_messages.fetch_add(1, Ordering::Relaxed);
-        link.sent_bytes
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.probe
-            .net_send(self.start.elapsed().as_secs_f64(), dst as u32, 0);
+            .net_send(self.start.elapsed().as_secs_f64(), mesh_dst as u32, 0);
         Ok(())
     }
 
-    fn note_mem_use(&mut self, bytes: u64) {
-        self.mem_high_water = self.mem_high_water.max(bytes);
-    }
-
-    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
-        let key = (src as u32, tag);
+    /// Blocking receive of `(job, src, tag)`. `mesh_src` names the mesh
+    /// peer hosting logical `src` so liveness can be checked; `None` means
+    /// a self-receive (local queue only, no liveness).
+    fn recv(
+        &self,
+        job: u32,
+        src: u32,
+        mesh_src: Option<usize>,
+        tag: u64,
+    ) -> Result<Payload, CoreFail> {
+        let key = (job, src, tag);
         let deadline = Instant::now() + self.config.recv_timeout;
         let stale_after = self.config.stale_after();
         if self.mailbox.poisoned.load(Ordering::SeqCst) {
-            return Err(FabricError::NodeFailed {
-                node: self.rank as u32,
-            });
+            return Err(CoreFail::Poisoned);
         }
         let mut m = self.mailbox.lock();
         loop {
             if let Some(q) = m.queues.get_mut(&key) {
                 if let Some(payload) = q.pop_front() {
+                    m.recv_messages += 1;
+                    m.recv_bytes += payload.len() as u64;
                     return Ok(payload);
                 }
             }
-            if src != self.rank {
-                let p = &m.peers[src];
-                if p.dead || p.done {
+            if let Some(peer) = mesh_src {
+                let p = &m.peers[peer];
+                if p.dead || p.done || m.job_done.contains(&(job, src)) {
                     // Mirrors the local cluster: a finished peer with an
-                    // empty queue can never satisfy this receive.
-                    return Err(FabricError::PeerFailed {
-                        node: self.rank as u32,
-                        peer: src as u32,
-                    });
+                    // empty queue can never satisfy this receive. A
+                    // `JobDone` for this namespace means the same thing
+                    // job-locally, with the link itself staying warm.
+                    return Err(CoreFail::PeerGone);
                 }
                 if p.last_seen.elapsed() > stale_after {
-                    m.peers[src].dead = true;
+                    m.peers[peer].dead = true;
                     self.probe
-                        .net_timeout(self.start.elapsed().as_secs_f64(), src as u32);
-                    return Err(FabricError::PeerFailed {
-                        node: self.rank as u32,
-                        peer: src as u32,
-                    });
+                        .net_timeout(self.start.elapsed().as_secs_f64(), peer as u32);
+                    return Err(CoreFail::PeerGone);
                 }
             }
             let now = Instant::now();
             if now >= deadline {
-                self.probe
-                    .net_timeout(self.start.elapsed().as_secs_f64(), src as u32);
-                return Err(FabricError::RecvTimeout {
-                    node: self.rank as u32,
-                    src: src as u32,
-                    tag,
-                });
+                if let Some(peer) = mesh_src {
+                    self.probe
+                        .net_timeout(self.start.elapsed().as_secs_f64(), peer as u32);
+                }
+                return Err(CoreFail::Timeout);
             }
             // Wake at least every heartbeat to re-check staleness.
             let wait = (deadline - now).min(self.config.heartbeat);
@@ -461,18 +470,499 @@ impl Transport for TcpTransport {
                 Err(_) => {
                     // A waiter or producer panicked with the lock held.
                     self.mailbox.poisoned.store(true, Ordering::SeqCst);
-                    return Err(FabricError::NodeFailed {
-                        node: self.rank as u32,
-                    });
+                    return Err(CoreFail::Poisoned);
                 }
             }
+        }
+    }
+
+    /// Sends a job-scoped goodbye (`JobDone`) for `job` to mesh peer
+    /// `mesh_dst`, labeled with our logical `src` rank in that namespace.
+    fn send_job_done(&self, job: u32, src: u32, dst: u32, mesh_dst: usize) {
+        if let Some(link) = self.links.get(mesh_dst).and_then(|l| l.as_ref()) {
+            if !link.send(FrameKind::JobDone, src, dst, job, 0, &[]) {
+                self.mailbox.mark_dead(mesh_dst);
+            }
+        }
+    }
+
+    /// Retires a finished job: drops its queues and done-markers and
+    /// remembers the id so late frames are discarded instead of pooling.
+    pub fn purge_job(&self, job: u32) {
+        let mut m = self.mailbox.lock();
+        m.queues.retain(|k, _| k.0 != job);
+        m.job_done.retain(|k| k.0 != job);
+        if m.retired.insert(job) {
+            m.retired_order.push_back(job);
+            if m.retired_order.len() > RETIRED_MEMORY {
+                if let Some(old) = m.retired_order.pop_front() {
+                    m.retired.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Tears the mesh down: tells every peer we are done (link-level
+    /// `Goodbye`), stops the I/O thread, and joins it. The I/O thread is
+    /// nonblocking, so the join is prompt regardless of peer state;
+    /// already-written frames stay deliverable through TCP buffering.
+    pub fn shutdown(&self) {
+        for (j, link) in self.links.iter().enumerate() {
+            if let Some(link) = link {
+                link.send(FrameKind::Goodbye, self.rank as u32, j as u32, 0, 0, &[]);
+            }
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        let handle = self.io.lock().map(|mut h| h.take()).unwrap_or(None);
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MeshCore {
+    fn drop(&mut self) {
+        // Error-path drop: stop the I/O thread without goodbyes (peers see
+        // EOF and fail over). `shutdown` already joined on the clean path.
+        self.stop.store(true, Ordering::Relaxed);
+        let handle = self.io.lock().map(|mut h| h.take()).unwrap_or(None);
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-peer read state owned by the I/O thread.
+struct PeerRead {
+    peer: usize,
+    stream: TcpStream,
+    /// Incremental reassembly buffer: bytes read but not yet framed.
+    buf: Vec<u8>,
+    last_seq: Option<u64>,
+    open: bool,
+}
+
+/// How much to read per socket per pass.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The one I/O thread: polls every peer socket nonblockingly, parses
+/// frames incrementally, feeds the mailbox, and emits heartbeats.
+#[allow(clippy::too_many_arguments)]
+fn io_loop(
+    mut reads: Vec<PeerRead>,
+    links: Vec<(usize, Arc<PeerLink>)>,
+    mailbox: Arc<Mailbox>,
+    probe: Probe,
+    stop: Arc<AtomicBool>,
+    heartbeat: Duration,
+    rank: u32,
+    start: Instant,
+) {
+    let mut last_beat = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut progressed = false;
+        for pr in reads.iter_mut().filter(|p| p.open) {
+            let len = pr.buf.len();
+            pr.buf.resize(len + READ_CHUNK, 0);
+            let n = match std::io::Read::read(&mut pr.stream, &mut pr.buf[len..]) {
+                Ok(0) => {
+                    // EOF without goodbye: the peer crashed.
+                    pr.buf.truncate(len);
+                    pr.open = false;
+                    mailbox.mark_dead(pr.peer);
+                    continue;
+                }
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    pr.buf.truncate(len);
+                    continue;
+                }
+                Err(_) => {
+                    pr.buf.truncate(len);
+                    pr.open = false;
+                    mailbox.mark_dead(pr.peer);
+                    continue;
+                }
+            };
+            pr.buf.truncate(len + n);
+            progressed = true;
+            let mut consumed = 0;
+            while pr.open {
+                match Frame::decode(&pr.buf[consumed..]) {
+                    Ok((frame, used)) => {
+                        consumed += used;
+                        if !handle_frame(pr, frame, &mailbox, &probe, start) {
+                            pr.open = false;
+                            break;
+                        }
+                    }
+                    Err(WireError::Truncated) => break,
+                    Err(_) => {
+                        // Garbage on the wire: the link is corrupt — same
+                        // remedy as a crash.
+                        pr.open = false;
+                        mailbox.mark_dead(pr.peer);
+                        break;
+                    }
+                }
+            }
+            pr.buf.drain(..consumed);
+        }
+        if last_beat.elapsed() >= heartbeat {
+            last_beat = Instant::now();
+            for (j, link) in &links {
+                if !link.send(FrameKind::Heartbeat, rank, *j as u32, 0, 0, &[]) {
+                    mailbox.mark_dead(*j);
+                }
+            }
+        }
+        if !progressed {
+            // Idle: nothing readable anywhere. A short sleep keeps latency
+            // in the hundreds of microseconds without spinning a core.
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+/// Processes one received frame; returns `false` to stop reading the peer.
+fn handle_frame(
+    pr: &mut PeerRead,
+    frame: Frame,
+    mailbox: &Mailbox,
+    probe: &Probe,
+    start: Instant,
+) -> bool {
+    // Per-link sequence numbers are strictly increasing whatever the job;
+    // a replayed or reordered frame means the link cannot be trusted. For
+    // job 0 — where logical ranks equal mesh indices — the source
+    // attribution is checked too (fleet jobs use per-job namespaces the
+    // link layer cannot see; their frames are checksummed and sequenced
+    // like all others).
+    if pr.last_seq.is_some_and(|s| frame.seq <= s)
+        || (frame.job == 0
+            && matches!(frame.kind, FrameKind::Data | FrameKind::JobDone)
+            && frame.src as usize != pr.peer)
+    {
+        mailbox.mark_dead(pr.peer);
+        return false;
+    }
+    pr.last_seq = Some(frame.seq);
+    match frame.kind {
+        FrameKind::Data => {
+            // The freshly read bytes move straight into the mailbox as a
+            // `Payload` — receivers take the same allocation.
+            let payload = Payload::from_vec(frame.payload);
+            let mut m = mailbox.lock();
+            m.peers[pr.peer].last_seen = Instant::now();
+            if !m.retired.contains(&frame.job) {
+                m.queues
+                    .entry((frame.job, frame.src, frame.tag))
+                    .or_default()
+                    .push_back(payload);
+            }
+            drop(m);
+            probe.net_recv(start.elapsed().as_secs_f64(), pr.peer as u32, 0);
+            mailbox.cv.notify_all();
+            true
+        }
+        FrameKind::Heartbeat => {
+            let mut m = mailbox.lock();
+            m.peers[pr.peer].last_seen = Instant::now();
+            drop(m);
+            mailbox.cv.notify_all();
+            true
+        }
+        FrameKind::JobDone => {
+            let mut m = mailbox.lock();
+            m.peers[pr.peer].last_seen = Instant::now();
+            if !m.retired.contains(&frame.job) {
+                m.job_done.insert((frame.job, frame.src));
+            }
+            drop(m);
+            mailbox.cv.notify_all();
+            true
+        }
+        FrameKind::Goodbye => {
+            let mut m = mailbox.lock();
+            m.peers[pr.peer].done = true;
+            drop(m);
+            mailbox.cv.notify_all();
+            false
+        }
+        _ => {
+            // Control-plane kinds have no business on a data link.
+            mailbox.mark_dead(pr.peer);
+            false
+        }
+    }
+}
+
+/// Per-endpoint traffic counters for one job (or for the whole transport
+/// in the one-job case).
+struct Counters {
+    /// Per logical destination: `(messages, bytes)` sent.
+    sent: Vec<(u64, u64)>,
+    recv_messages: u64,
+    recv_bytes: u64,
+    mem_high_water: u64,
+}
+
+impl Counters {
+    fn new(ranks: usize) -> Counters {
+        Counters {
+            sent: vec![(0, 0); ranks],
+            recv_messages: 0,
+            recv_bytes: 0,
+            mem_high_water: 0,
+        }
+    }
+
+    fn finish(&self, rank: usize) -> (NodeMetrics, Vec<LinkMetrics>) {
+        let links: Vec<LinkMetrics> = self
+            .sent
+            .iter()
+            .enumerate()
+            .filter(|&(dst, _)| dst != rank)
+            .map(|(dst, &(messages, bytes))| LinkMetrics {
+                src: rank as u32,
+                dst: dst as u32,
+                messages,
+                bytes,
+            })
+            .collect();
+        let metrics = NodeMetrics {
+            messages_sent: links.iter().map(|l| l.messages).sum(),
+            bytes_sent: links.iter().map(|l| l.bytes).sum(),
+            messages_received: self.recv_messages,
+            bytes_received: self.recv_bytes,
+            mem_high_water: self.mem_high_water,
+            ..NodeMetrics::default()
+        };
+        (metrics, links)
+    }
+}
+
+/// A per-job [`Transport`] view over a shared [`MeshCore`]: logical rank
+/// `r` of the job lives on mesh peer `rank_map[r]`. Many `JobTransport`s
+/// — one per concurrent job on the endpoint — share one core.
+pub struct JobTransport {
+    core: Arc<MeshCore>,
+    job: u32,
+    rank: usize,
+    rank_map: Vec<usize>,
+    counters: Counters,
+}
+
+impl JobTransport {
+    /// A transport for logical `rank` of `job`, whose logical ranks map to
+    /// mesh indices through `rank_map` (so `rank_map[rank]` must be the
+    /// core's own mesh index).
+    pub fn new(core: Arc<MeshCore>, job: u32, rank: usize, rank_map: Vec<usize>) -> JobTransport {
+        debug_assert_eq!(rank_map[rank], core.mesh_rank());
+        let ranks = rank_map.len();
+        JobTransport {
+            core,
+            job,
+            rank,
+            rank_map,
+            counters: Counters::new(ranks),
+        }
+    }
+
+    /// Job-scoped clean shutdown: tells each participating peer this rank
+    /// is done with the job (`JobDone` — the links stay warm), retires the
+    /// job's mailbox state, and returns this rank's per-job counters.
+    pub fn finish(self) -> (NodeMetrics, Vec<LinkMetrics>) {
+        for (dst, &mesh) in self.rank_map.iter().enumerate() {
+            if dst != self.rank {
+                self.core
+                    .send_job_done(self.job, self.rank as u32, dst as u32, mesh);
+            }
+        }
+        self.core.purge_job(self.job);
+        self.counters.finish(self.rank)
+    }
+
+    fn peer_failed(&self, peer: usize) -> FabricError {
+        FabricError::PeerFailed {
+            node: self.rank as u32,
+            peer: peer as u32,
+        }
+    }
+}
+
+impl Transport for JobTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.rank_map.len()
+    }
+
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &Payload) -> Result<(), FabricError> {
+        if dst == self.rank {
+            if self.core.mailbox.poisoned.load(Ordering::SeqCst) {
+                return Err(FabricError::NodeFailed {
+                    node: self.rank as u32,
+                });
+            }
+            self.core
+                .local_enqueue(self.job, dst as u32, tag, payload.clone());
+            return Ok(());
+        }
+        let mesh = self.rank_map[dst];
+        match self
+            .core
+            .send_data(self.job, self.rank as u32, dst as u32, mesh, tag, payload)
+        {
+            Ok(()) => {
+                let s = &mut self.counters.sent[dst];
+                s.0 += 1;
+                s.1 += payload.len() as u64;
+                Ok(())
+            }
+            Err(CoreFail::Poisoned) => Err(FabricError::NodeFailed {
+                node: self.rank as u32,
+            }),
+            Err(_) => Err(self.peer_failed(dst)),
+        }
+    }
+
+    fn note_mem_use(&mut self, bytes: u64) {
+        self.counters.mem_high_water = self.counters.mem_high_water.max(bytes);
+    }
+
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
+        let mesh = if src == self.rank {
+            None
+        } else {
+            Some(self.rank_map[src])
+        };
+        match self.core.recv(self.job, src as u32, mesh, tag) {
+            Ok(payload) => {
+                self.counters.recv_messages += 1;
+                self.counters.recv_bytes += payload.len() as u64;
+                Ok(payload)
+            }
+            Err(CoreFail::PeerGone) => Err(self.peer_failed(src)),
+            Err(CoreFail::Timeout) => Err(FabricError::RecvTimeout {
+                node: self.rank as u32,
+                src: src as u32,
+                tag,
+            }),
+            Err(CoreFail::Poisoned) => Err(FabricError::NodeFailed {
+                node: self.rank as u32,
+            }),
+        }
+    }
+}
+
+/// The classic one-job-per-process TCP [`Transport`] for one rank: a
+/// private [`MeshCore`] in job namespace 0 with an identity rank map.
+pub struct TcpTransport {
+    core: Arc<MeshCore>,
+    counters: Counters,
+}
+
+impl TcpTransport {
+    /// Establishes the full mesh for `rank` out of `peers` (one data-plane
+    /// listen address per rank, indexed by rank). See [`MeshCore::connect`].
+    pub fn connect(
+        rank: usize,
+        peers: &[String],
+        listener: &TcpListener,
+        config: NetConfig,
+        probe: Probe,
+    ) -> Result<TcpTransport, NetError> {
+        let core = MeshCore::connect(rank, peers, listener, config, probe)?;
+        let counters = Counters::new(peers.len());
+        Ok(TcpTransport { core, counters })
+    }
+
+    /// Clean shutdown: tell every peer we are done and return this rank's
+    /// traffic counters. The I/O thread is joined (it is nonblocking, so
+    /// the join is prompt); already-written frames stay deliverable to
+    /// peers through normal TCP buffering.
+    pub fn finish(self) -> (NodeMetrics, Vec<LinkMetrics>) {
+        self.core.shutdown();
+        self.counters.finish(self.core.mesh_rank())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.core.mesh_rank()
+    }
+
+    fn size(&self) -> usize {
+        self.core.mesh_size()
+    }
+
+    fn try_send(&mut self, dst: usize, tag: u64, payload: &Payload) -> Result<(), FabricError> {
+        let rank = self.core.mesh_rank();
+        if self.core.mailbox.poisoned.load(Ordering::SeqCst) {
+            // A thread died holding the mailbox: local state is suspect.
+            return Err(FabricError::NodeFailed { node: rank as u32 });
+        }
+        if dst == rank {
+            self.core.local_enqueue(0, dst as u32, tag, payload.clone());
+            return Ok(());
+        }
+        match self
+            .core
+            .send_data(0, rank as u32, dst as u32, dst, tag, payload)
+        {
+            Ok(()) => {
+                let s = &mut self.counters.sent[dst];
+                s.0 += 1;
+                s.1 += payload.len() as u64;
+                Ok(())
+            }
+            Err(CoreFail::Poisoned) => Err(FabricError::NodeFailed { node: rank as u32 }),
+            Err(_) => Err(FabricError::PeerFailed {
+                node: rank as u32,
+                peer: dst as u32,
+            }),
+        }
+    }
+
+    fn note_mem_use(&mut self, bytes: u64) {
+        self.counters.mem_high_water = self.counters.mem_high_water.max(bytes);
+    }
+
+    fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
+        let rank = self.core.mesh_rank();
+        let mesh = if src == rank { None } else { Some(src) };
+        match self.core.recv(0, src as u32, mesh, tag) {
+            Ok(payload) => {
+                self.counters.recv_messages += 1;
+                self.counters.recv_bytes += payload.len() as u64;
+                Ok(payload)
+            }
+            Err(CoreFail::PeerGone) => Err(FabricError::PeerFailed {
+                node: rank as u32,
+                peer: src as u32,
+            }),
+            Err(CoreFail::Timeout) => Err(FabricError::RecvTimeout {
+                node: rank as u32,
+                src: src as u32,
+                tag,
+            }),
+            Err(CoreFail::Poisoned) => Err(FabricError::NodeFailed { node: rank as u32 }),
         }
     }
 }
 
 /// Dials `addr`, retrying with exponential backoff while the peer process
 /// comes up.
-fn connect_with_retry(
+pub(crate) fn connect_with_retry(
     addr: &str,
     retry: &RetryPolicy,
     probe: &Probe,
@@ -492,67 +982,6 @@ fn connect_with_retry(
         }
     }
     Err(last_err.expect("at least one attempt"))
-}
-
-/// One peer's reader: drains frames into the mailbox until goodbye, EOF,
-/// or a protocol violation.
-fn read_loop(stream: TcpStream, peer: usize, mailbox: Arc<Mailbox>, probe: Probe, start: Instant) {
-    let mut stream = stream;
-    let mut last_seq: Option<u64> = None;
-    loop {
-        match Frame::read_from(&mut stream) {
-            Ok(frame) => {
-                if frame.src as usize != peer || last_seq.is_some_and(|s| frame.seq <= s) {
-                    // Misattributed or replayed frame: distrust the link.
-                    mailbox.mark_dead(peer);
-                    return;
-                }
-                last_seq = Some(frame.seq);
-                match frame.kind {
-                    FrameKind::Data => {
-                        // The freshly read Vec moves straight into the
-                        // mailbox as a `Payload` — receivers take the same
-                        // allocation the socket read filled.
-                        let payload = Payload::from_vec(frame.payload);
-                        let mut m = mailbox.lock();
-                        m.recv_messages += 1;
-                        m.recv_bytes += payload.len() as u64;
-                        m.peers[peer].last_seen = Instant::now();
-                        m.queues
-                            .entry((frame.src, frame.tag))
-                            .or_default()
-                            .push_back(payload);
-                        drop(m);
-                        probe.net_recv(start.elapsed().as_secs_f64(), peer as u32, 0);
-                        mailbox.cv.notify_all();
-                    }
-                    FrameKind::Heartbeat => {
-                        let mut m = mailbox.lock();
-                        m.peers[peer].last_seen = Instant::now();
-                        drop(m);
-                        mailbox.cv.notify_all();
-                    }
-                    FrameKind::Goodbye => {
-                        let mut m = mailbox.lock();
-                        m.peers[peer].done = true;
-                        drop(m);
-                        mailbox.cv.notify_all();
-                        return;
-                    }
-                    _ => {
-                        mailbox.mark_dead(peer);
-                        return;
-                    }
-                }
-            }
-            Err(_) => {
-                // EOF without goodbye, or garbage on the wire: the peer
-                // crashed (or the link is corrupt — same remedy).
-                mailbox.mark_dead(peer);
-                return;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -590,6 +1019,40 @@ mod tests {
             .map(|h| h.join().expect("join"))
             .collect();
         out.sort_by_key(|t| t.rank());
+        out
+    }
+
+    /// Builds an N-endpoint core mesh for job-transport tests.
+    fn core_mesh(n: usize) -> Vec<Arc<MeshCore>> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        let peers: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr").to_string())
+            .collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let peers = peers.clone();
+                std::thread::spawn(move || {
+                    MeshCore::connect(
+                        rank,
+                        &peers,
+                        &listener,
+                        NetConfig::default(),
+                        Probe::disabled(),
+                    )
+                    .expect("mesh")
+                })
+            })
+            .collect();
+        let mut out: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        out.sort_by_key(|c| c.mesh_rank());
         out
     }
 
@@ -684,5 +1147,112 @@ mod tests {
         let (m, links) = t.finish();
         assert_eq!(m.messages_sent, 0, "self-sends never hit the wire");
         assert!(links.is_empty());
+    }
+
+    #[test]
+    fn concurrent_jobs_isolate_namespaces_over_one_mesh() {
+        // Two endpoints, two concurrent jobs. Job 1 maps logical {0, 1} to
+        // mesh {0, 1}; job 2 maps them *reversed*. Same tag, same logical
+        // src — the job field is the only thing keeping them apart.
+        let cores = core_mesh(2);
+        let (c0, c1) = (cores[0].clone(), cores[1].clone());
+        let j1_r0 = JobTransport::new(c0.clone(), 1, 0, vec![0, 1]);
+        let j1_r1 = JobTransport::new(c1.clone(), 1, 1, vec![0, 1]);
+        let j2_r1 = JobTransport::new(c0.clone(), 2, 1, vec![1, 0]);
+        let j2_r0 = JobTransport::new(c1.clone(), 2, 0, vec![1, 0]);
+        let a = std::thread::spawn(move || {
+            let mut t = j1_r0;
+            t.try_send(1, 5, &Payload::from(b"job1")).expect("send");
+            let got = t.try_recv(1, 5).expect("recv");
+            assert_eq!(got, b"1boj");
+            t.finish()
+        });
+        let b = std::thread::spawn(move || {
+            let mut t = j1_r1;
+            assert_eq!(t.try_recv(0, 5).expect("recv"), b"job1");
+            t.try_send(0, 5, &Payload::from(b"1boj")).expect("send");
+            t.finish()
+        });
+        let c = std::thread::spawn(move || {
+            let mut t = j2_r0;
+            t.try_send(1, 5, &Payload::from(b"job2")).expect("send");
+            assert_eq!(t.try_recv(1, 5).expect("recv"), b"2boj");
+            t.finish()
+        });
+        let d = std::thread::spawn(move || {
+            let mut t = j2_r1;
+            assert_eq!(t.try_recv(0, 5).expect("recv"), b"job2");
+            t.try_send(0, 5, &Payload::from(b"2boj")).expect("send");
+            t.finish()
+        });
+        let (m_a, links_a) = a.join().expect("a");
+        b.join().expect("b");
+        c.join().expect("c");
+        d.join().expect("d");
+        assert_eq!(m_a.messages_sent, 1);
+        assert_eq!(
+            links_a,
+            vec![LinkMetrics {
+                src: 0,
+                dst: 1,
+                messages: 1,
+                bytes: 4,
+            }]
+        );
+        for c in cores {
+            c.shutdown();
+        }
+    }
+
+    #[test]
+    fn job_done_fails_same_job_recv_but_leaves_link_warm() {
+        let cores = core_mesh(2);
+        let (c0, c1) = (cores[0].clone(), cores[1].clone());
+        // Job 7's rank on endpoint 1 finishes immediately.
+        JobTransport::new(c1.clone(), 7, 1, vec![0, 1]).finish();
+        let mut waiter = JobTransport::new(c0.clone(), 7, 0, vec![0, 1]);
+        // A recv from the finished rank fails typed, promptly.
+        let err = waiter.try_recv(1, 3).expect_err("job peer done");
+        assert_eq!(err, FabricError::PeerFailed { node: 0, peer: 1 });
+        // The *link* is still alive: a fresh job runs over the same mesh.
+        let mut j8_r0 = JobTransport::new(c0.clone(), 8, 0, vec![0, 1]);
+        let mut j8_r1 = JobTransport::new(c1.clone(), 8, 1, vec![0, 1]);
+        let h = std::thread::spawn(move || {
+            let got = j8_r1.try_recv(0, 1).expect("warm link");
+            assert_eq!(got, b"warm");
+            j8_r1.finish();
+        });
+        j8_r0
+            .try_send(1, 1, &Payload::from(b"warm"))
+            .expect("send over warm link");
+        h.join().expect("join");
+        j8_r0.finish();
+        for c in cores {
+            c.shutdown();
+        }
+    }
+
+    #[test]
+    fn purged_job_drops_late_frames() {
+        let cores = core_mesh(2);
+        let (c0, c1) = (cores[0].clone(), cores[1].clone());
+        let mut sender = JobTransport::new(c1.clone(), 3, 1, vec![0, 1]);
+        c0.purge_job(3);
+        sender
+            .try_send(0, 2, &Payload::from(b"late"))
+            .expect("send");
+        sender.finish();
+        // Give the io thread time to process the frame, then verify the
+        // retired job's queue never materialized.
+        std::thread::sleep(Duration::from_millis(100));
+        let m = c0.mailbox.lock();
+        assert!(
+            m.queues.keys().all(|k| k.0 != 3),
+            "late frame for retired job must be dropped"
+        );
+        drop(m);
+        for c in cores {
+            c.shutdown();
+        }
     }
 }

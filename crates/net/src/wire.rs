@@ -5,18 +5,26 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic      0x53414745 ("SAGE"), big-endian
-//!      4     1  version    protocol version (currently 1)
-//!      5     1  kind       frame kind (Hello/Data/Heartbeat/Job/Result/Goodbye)
+//!      4     1  version    protocol version (currently 2)
+//!      5     1  kind       frame kind (Hello/Data/.../JobDone/Reject/Fleet)
 //!      6     2  reserved   zero
 //!      8     8  tag        message tag (Data) or kind-specific
 //!     16     4  src        sending rank
 //!     20     4  dst        receiving rank
-//!     24     8  seq        per-link sequence number, strictly increasing
-//!     32     4  len        payload length in bytes
-//!     36     4  checksum   FNV-1a-32 over header (checksum field zeroed)
+//!     24     4  job        job namespace the frame belongs to (0 outside
+//!                          the fleet: one-shot jobs and control traffic)
+//!     28     8  seq        per-link sequence number, strictly increasing
+//!     36     4  len        payload length in bytes
+//!     40     4  checksum   FNV-1a-32 over header (checksum field zeroed)
 //!                          then payload
-//!     40   len  payload
+//!     44   len  payload
 //! ```
+//!
+//! Version history: v1 had no `job` field (40-byte header, one job per
+//! mesh). v2 threads a 32-bit job id through every frame so a persistent
+//! fleet worker can multiplex many concurrent jobs — each with its own rank
+//! namespace — over one warm mesh connection per peer. A v1 speaker is
+//! rejected with a typed [`WireError::BadVersion`], never misparsed.
 //!
 //! The checksum covers the whole frame, so any single corrupted byte —
 //! header or payload — is detected (FNV-1a's xor-then-odd-multiply step is
@@ -28,10 +36,10 @@ use std::io::{Read, Write};
 
 /// Frame magic: "SAGE" in ASCII.
 pub const MAGIC: u32 = 0x5341_4745;
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (v2: per-frame job namespace for the fleet).
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
-pub const HEADER_LEN: usize = 40;
+pub const HEADER_LEN: usize = 44;
 /// Maximum accepted payload (256 MiB) — bounds allocation on decode.
 pub const MAX_PAYLOAD: u32 = 256 << 20;
 
@@ -50,6 +58,15 @@ pub enum FrameKind {
     Result = 5,
     /// Clean shutdown: the sender will transmit nothing further.
     Goodbye = 6,
+    /// Job-scoped goodbye: the sender will transmit nothing further *for
+    /// the frame's job id*; the link itself stays warm for other jobs.
+    JobDone = 7,
+    /// Typed admission/handshake rejection; payload is a serialized
+    /// `RejectReason` (version mismatch, queue full, ...).
+    Reject = 8,
+    /// Fleet control-plane message (scheduler <-> fleet worker <->
+    /// submitter); payload carries its own message-type byte.
+    Fleet = 9,
 }
 
 impl FrameKind {
@@ -61,6 +78,9 @@ impl FrameKind {
             4 => FrameKind::Job,
             5 => FrameKind::Result,
             6 => FrameKind::Goodbye,
+            7 => FrameKind::JobDone,
+            8 => FrameKind::Reject,
+            9 => FrameKind::Fleet,
             _ => return None,
         })
     }
@@ -77,6 +97,8 @@ pub struct Frame {
     pub src: u32,
     /// Receiving rank.
     pub dst: u32,
+    /// Job namespace (0 outside the fleet).
+    pub job: u32,
     /// Per-link sequence number.
     pub seq: u64,
     /// Payload bytes.
@@ -155,11 +177,13 @@ fn check_len(len: usize) -> Result<u32, WireError> {
     Ok(len as u32)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn header_parts(
     kind: FrameKind,
     tag: u64,
     src: u32,
     dst: u32,
+    job: u32,
     seq: u64,
     len: u32,
     checksum: u32,
@@ -172,9 +196,10 @@ fn header_parts(
     h[8..16].copy_from_slice(&tag.to_be_bytes());
     h[16..20].copy_from_slice(&src.to_be_bytes());
     h[20..24].copy_from_slice(&dst.to_be_bytes());
-    h[24..32].copy_from_slice(&seq.to_be_bytes());
-    h[32..36].copy_from_slice(&len.to_be_bytes());
-    h[36..40].copy_from_slice(&checksum.to_be_bytes());
+    h[24..28].copy_from_slice(&job.to_be_bytes());
+    h[28..36].copy_from_slice(&seq.to_be_bytes());
+    h[36..40].copy_from_slice(&len.to_be_bytes());
+    h[40..44].copy_from_slice(&checksum.to_be_bytes());
     h
 }
 
@@ -185,26 +210,31 @@ fn header_parts(
 /// This is the hot-path writer: [`Frame::write_to`] delegates here, and the
 /// transport writes queued [`Payload`](sage_fabric::Payload)s through it
 /// without ever constructing a `Frame`.
+#[allow(clippy::too_many_arguments)]
 pub fn write_parts<W: Write>(
     w: &mut W,
     kind: FrameKind,
     tag: u64,
     src: u32,
     dst: u32,
+    job: u32,
     seq: u64,
     payload: &[u8],
 ) -> Result<(), WireError> {
     let len = check_len(payload.len())?;
-    let mut header = header_parts(kind, tag, src, dst, seq, len, 0);
+    let mut header = header_parts(kind, tag, src, dst, job, seq, len, 0);
     let checksum = fnv1a_32(&[&header, payload]);
-    header[36..40].copy_from_slice(&checksum.to_be_bytes());
+    header[40..44].copy_from_slice(&checksum.to_be_bytes());
     write_all_vectored(w, &header, payload)
         .and_then(|()| w.flush())
         .map_err(|e| WireError::Io(e.to_string()))
 }
 
 /// Drives `write_vectored` until both slices are fully written, falling
-/// back gracefully on writers that consume partial buffers.
+/// back gracefully on writers that consume partial buffers. Nonblocking
+/// sockets (the poll-loop transport shares one fd between its nonblocking
+/// read half and this writer) are handled by a brief sleep-and-retry on
+/// `WouldBlock` — the kernel send buffer drains in the background.
 fn write_all_vectored<W: Write>(
     w: &mut W,
     mut header: &[u8],
@@ -215,7 +245,15 @@ fn write_all_vectored<W: Write>(
             std::io::IoSlice::new(header),
             std::io::IoSlice::new(payload),
         ];
-        let n = w.write_vectored(&bufs)?;
+        let n = match w.write_vectored(&bufs) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::WriteZero,
@@ -233,28 +271,36 @@ fn write_all_vectored<W: Write>(
 }
 
 impl Frame {
-    /// A data frame.
+    /// A data frame in job namespace 0 (one-shot jobs).
     pub fn data(src: u32, dst: u32, tag: u64, seq: u64, payload: Vec<u8>) -> Frame {
         Frame {
             kind: FrameKind::Data,
             tag,
             src,
             dst,
+            job: 0,
             seq,
             payload,
         }
     }
 
-    /// A payload-less control frame.
+    /// A payload-less control frame (job namespace 0).
     pub fn control(kind: FrameKind, src: u32, dst: u32, seq: u64) -> Frame {
         Frame {
             kind,
             tag: 0,
             src,
             dst,
+            job: 0,
             seq,
             payload: Vec::new(),
         }
+    }
+
+    /// Builder: re-tags the frame into a job namespace.
+    pub fn in_job(mut self, job: u32) -> Frame {
+        self.job = job;
+        self
     }
 
     /// The frame's checksum: FNV-1a-32 over the header with the checksum
@@ -265,6 +311,7 @@ impl Frame {
             self.tag,
             self.src,
             self.dst,
+            self.job,
             self.seq,
             self.payload.len() as u32,
             0,
@@ -284,6 +331,7 @@ impl Frame {
             self.tag,
             self.src,
             self.dst,
+            self.job,
             self.seq,
             len,
             self.checksum(),
@@ -312,12 +360,13 @@ impl Frame {
         let tag = u64::from_be_bytes(buf[8..16].try_into().expect("8-byte slice"));
         let src = u32::from_be_bytes(buf[16..20].try_into().expect("4-byte slice"));
         let dst = u32::from_be_bytes(buf[20..24].try_into().expect("4-byte slice"));
-        let seq = u64::from_be_bytes(buf[24..32].try_into().expect("8-byte slice"));
-        let len = u32::from_be_bytes(buf[32..36].try_into().expect("4-byte slice"));
+        let job = u32::from_be_bytes(buf[24..28].try_into().expect("4-byte slice"));
+        let seq = u64::from_be_bytes(buf[28..36].try_into().expect("8-byte slice"));
+        let len = u32::from_be_bytes(buf[36..40].try_into().expect("4-byte slice"));
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
-        let expected = u32::from_be_bytes(buf[36..40].try_into().expect("4-byte slice"));
+        let expected = u32::from_be_bytes(buf[40..44].try_into().expect("4-byte slice"));
         let total = HEADER_LEN + len as usize;
         if buf.len() < total {
             return Err(WireError::Truncated);
@@ -327,7 +376,7 @@ impl Frame {
         // bytes no field covers (e.g. reserved) would go unnoticed.
         let mut header = [0u8; HEADER_LEN];
         header.copy_from_slice(&buf[..HEADER_LEN]);
-        header[36..40].fill(0);
+        header[40..44].fill(0);
         let computed = fnv1a_32(&[&header, &buf[HEADER_LEN..total]]);
         if computed != expected {
             return Err(WireError::Checksum { expected, computed });
@@ -337,6 +386,7 @@ impl Frame {
             tag,
             src,
             dst,
+            job,
             seq,
             payload: buf[HEADER_LEN..total].to_vec(),
         };
@@ -352,6 +402,7 @@ impl Frame {
             self.tag,
             self.src,
             self.dst,
+            self.job,
             self.seq,
             &self.payload,
         )
@@ -374,7 +425,7 @@ impl Frame {
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
-        let len = u32::from_be_bytes(header[32..36].try_into().expect("4-byte slice"));
+        let len = u32::from_be_bytes(header[36..40].try_into().expect("4-byte slice"));
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
@@ -388,8 +439,8 @@ impl Frame {
             return Err(WireError::BadVersion(version));
         }
         let kind = FrameKind::from_u8(header[5]).ok_or(WireError::BadKind(header[5]))?;
-        let expected = u32::from_be_bytes(header[36..40].try_into().expect("4-byte slice"));
-        header[36..40].fill(0);
+        let expected = u32::from_be_bytes(header[40..44].try_into().expect("4-byte slice"));
+        header[40..44].fill(0);
         let computed = fnv1a_32(&[&header, &payload]);
         if computed != expected {
             return Err(WireError::Checksum { expected, computed });
@@ -399,7 +450,8 @@ impl Frame {
             tag: u64::from_be_bytes(header[8..16].try_into().expect("8-byte slice")),
             src: u32::from_be_bytes(header[16..20].try_into().expect("4-byte slice")),
             dst: u32::from_be_bytes(header[20..24].try_into().expect("4-byte slice")),
-            seq: u64::from_be_bytes(header[24..32].try_into().expect("8-byte slice")),
+            job: u32::from_be_bytes(header[24..28].try_into().expect("4-byte slice")),
+            seq: u64::from_be_bytes(header[28..36].try_into().expect("8-byte slice")),
             payload,
         })
     }
@@ -420,7 +472,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Frame {
-        Frame::data(2, 5, 0xdead_beef, 42, vec![1, 2, 3, 4, 5])
+        Frame::data(2, 5, 0xdead_beef, 42, vec![1, 2, 3, 4, 5]).in_job(9)
     }
 
     #[test]
@@ -430,6 +482,7 @@ mod tests {
         let (g, n) = Frame::decode(&bytes).unwrap();
         assert_eq!(n, bytes.len());
         assert_eq!(f, g);
+        assert_eq!(g.job, 9);
     }
 
     #[test]
@@ -438,6 +491,25 @@ mod tests {
         let (g, n) = Frame::decode(&f.encode().unwrap()).unwrap();
         assert_eq!(n, HEADER_LEN);
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn job_scoped_kinds_round_trip() {
+        for kind in [FrameKind::JobDone, FrameKind::Reject, FrameKind::Fleet] {
+            let f = Frame::control(kind, 3, 1, 11).in_job(77);
+            let (g, _) = Frame::decode(&f.encode().unwrap()).unwrap();
+            assert_eq!(g.kind, kind);
+            assert_eq!(g.job, 77);
+        }
+    }
+
+    #[test]
+    fn v1_frames_rejected_with_typed_version_error() {
+        // A v1 header (40 bytes, no job field) leads with the same magic;
+        // decoding must fail on the version byte, not misparse the layout.
+        let mut bytes = sample().encode().unwrap();
+        bytes[4] = 1;
+        assert_eq!(Frame::decode(&bytes).unwrap_err(), WireError::BadVersion(1));
     }
 
     #[test]
@@ -469,7 +541,7 @@ mod tests {
     #[test]
     fn oversized_rejected_before_allocation() {
         let mut bytes = sample().encode().unwrap();
-        bytes[32..36].copy_from_slice(&u32::MAX.to_be_bytes());
+        bytes[36..40].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             Frame::decode(&bytes).unwrap_err(),
             WireError::Oversized(_)
@@ -491,7 +563,7 @@ mod tests {
             WireError::PayloadTooLarge(MAX_PAYLOAD as usize + 1)
         );
         assert!(sink.is_empty(), "nothing may reach the stream");
-        let e = write_parts(&mut sink, FrameKind::Data, 0, 0, 1, 0, &f.payload).unwrap_err();
+        let e = write_parts(&mut sink, FrameKind::Data, 0, 0, 1, 0, 0, &f.payload).unwrap_err();
         assert!(matches!(e, WireError::PayloadTooLarge(_)));
         assert!(e.to_string().contains("cannot frame"));
     }

@@ -16,7 +16,7 @@
 //! process that long after accepting a job — the chaos hook the
 //! kill-a-worker-mid-run tests use.
 
-use crate::error::NetError;
+use crate::error::{NetError, RejectReason};
 use crate::proto::{JobSpec, RankReport};
 use crate::transport::{NetConfig, TcpTransport};
 use crate::wire::{Frame, FrameKind};
@@ -55,7 +55,26 @@ pub fn serve(listen: &str, register: &dyn Fn(&mut Registry)) -> Result<(), NetEr
             job.kind
         )));
     }
-    let spec = JobSpec::decode(&job.payload)?;
+    let spec = match JobSpec::decode(&job.payload) {
+        Ok(spec) => spec,
+        Err(e @ NetError::VersionMismatch { ours, theirs }) => {
+            // Tell the launcher *why* before bailing: it sees a typed
+            // rejection instead of a dropped connection.
+            let reason = RejectReason::VersionMismatch { ours, theirs };
+            let _ = Frame {
+                kind: FrameKind::Reject,
+                tag: 0,
+                src: job.dst,
+                dst: u32::MAX,
+                job: 0,
+                seq: 1,
+                payload: reason.encode(),
+            }
+            .write_to(&mut &control);
+            return Err(e);
+        }
+        Err(e) => return Err(e),
+    };
 
     if let Some(ms) = std::env::var(CHAOS_EXIT_ENV)
         .ok()
@@ -74,12 +93,45 @@ pub fn serve(listen: &str, register: &dyn Fn(&mut Registry)) -> Result<(), NetEr
         tag: 0,
         src: spec.rank,
         dst: u32::MAX,
+        job: 0,
         seq: 1,
         payload: report.encode(),
     }
     .write_to(&mut &control)?;
     Frame::control(FrameKind::Goodbye, spec.rank, u32::MAX, 2).write_to(&mut &control)?;
     Ok(())
+}
+
+/// Failure report scaffold: everything zeroed except the error.
+pub fn failed_report(rank: u32, error: RuntimeError) -> RankReport {
+    failed(rank, error)
+}
+
+/// Regenerates and prepares one job's program from its model text: parse,
+/// place, generate, rank-count check, kernel binding. Shared by the
+/// one-shot worker and the fleet daemon — both must derive identical
+/// tables from the same model text.
+pub fn prepare_job(
+    model_text: &str,
+    ranks: usize,
+    register: &dyn Fn(&mut Registry),
+) -> Result<(sage_runtime::GlueProgram, sage_runtime::Prepared), RuntimeError> {
+    let model = model_from_sexpr(model_text)
+        .map_err(|e| RuntimeError::BadProgram(format!("model: {e}")))?;
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(ranks));
+    register(&mut project.registry);
+    let (program, _) = project
+        .generate(&Placement::Aligned)
+        .map_err(|e| RuntimeError::BadProgram(format!("codegen: {e}")))?;
+    if program.node_count() != ranks {
+        return Err(RuntimeError::BadProgram(format!(
+            "program wants {} nodes, job has {} ranks",
+            program.node_count(),
+            ranks
+        )));
+    }
+    let prepared = prepare(&program, &project.registry)?;
+    Ok((program, prepared))
 }
 
 /// Failure report scaffold: everything zeroed except the error.
@@ -98,27 +150,7 @@ fn failed(rank: u32, error: RuntimeError) -> RankReport {
 /// Executes this rank of the job; all failures come back in-band.
 fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Registry)) -> RankReport {
     let rank = spec.rank;
-    let model = match model_from_sexpr(&spec.model) {
-        Ok(m) => m,
-        Err(e) => return failed(rank, RuntimeError::BadProgram(format!("model: {e}"))),
-    };
-    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(spec.ranks as usize));
-    register(&mut project.registry);
-    let (program, _) = match project.generate(&Placement::Aligned) {
-        Ok(p) => p,
-        Err(e) => return failed(rank, RuntimeError::BadProgram(format!("codegen: {e}"))),
-    };
-    if program.node_count() != spec.ranks as usize {
-        return failed(
-            rank,
-            RuntimeError::BadProgram(format!(
-                "program wants {} nodes, job has {} ranks",
-                program.node_count(),
-                spec.ranks
-            )),
-        );
-    }
-    let prepared = match prepare(&program, &project.registry) {
+    let (program, prepared) = match prepare_job(&spec.model, spec.ranks as usize, register) {
         Ok(p) => p,
         Err(e) => return failed(rank, e),
     };
@@ -136,7 +168,7 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
         rank as usize,
         &spec.peers,
         listener,
-        NetConfig::default(),
+        NetConfig::default().with_heartbeat_ms(spec.heartbeat_ms),
         probe.clone(),
     ) {
         Ok(t) => t,

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use sage_net::{Frame, FrameKind, WireError};
 
-const HEADER_LEN: usize = 40;
+const HEADER_LEN: usize = 44;
 
 fn kinds() -> impl Strategy<Value = FrameKind> {
     prop_oneof![
@@ -17,6 +17,9 @@ fn kinds() -> impl Strategy<Value = FrameKind> {
         Just(FrameKind::Job),
         Just(FrameKind::Result),
         Just(FrameKind::Goodbye),
+        Just(FrameKind::JobDone),
+        Just(FrameKind::Reject),
+        Just(FrameKind::Fleet),
     ]
 }
 
@@ -41,10 +44,11 @@ proptest! {
         tag in 0u64..u64::MAX,
         src in 0u32..u32::MAX,
         dst in 0u32..u32::MAX,
+        job in 0u32..u32::MAX,
         seq in 0u64..u64::MAX,
         payload in payload(),
     ) {
-        let frame = Frame { kind, tag, src, dst, seq, payload };
+        let frame = Frame { kind, tag, src, dst, job, seq, payload };
         let bytes = frame.encode().unwrap();
         prop_assert_eq!(bytes.len(), HEADER_LEN + frame.payload.len());
         let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame must decode");
@@ -53,6 +57,7 @@ proptest! {
         prop_assert_eq!(decoded.tag, frame.tag);
         prop_assert_eq!(decoded.src, frame.src);
         prop_assert_eq!(decoded.dst, frame.dst);
+        prop_assert_eq!(decoded.job, frame.job);
         prop_assert_eq!(decoded.seq, frame.seq);
         prop_assert_eq!(decoded.payload, frame.payload);
     }
@@ -70,7 +75,7 @@ proptest! {
         victim_seed in 0usize..usize::MAX,
         flip in 1u8..=255,
     ) {
-        let frame = Frame { kind: FrameKind::Data, tag, src, dst, seq, payload };
+        let frame = Frame { kind: FrameKind::Data, tag, src, dst, job: 3, seq, payload };
         let mut bytes = frame.encode().unwrap();
         let victim = victim_seed % bytes.len();
         bytes[victim] ^= flip;
@@ -102,7 +107,7 @@ proptest! {
         payload in payload(),
         cut_seed in 0usize..usize::MAX,
     ) {
-        let frame = Frame { kind: FrameKind::Data, tag, src: 0, dst: 1, seq: 7, payload };
+        let frame = Frame { kind: FrameKind::Data, tag, src: 0, dst: 1, job: 0, seq: 7, payload };
         let bytes = frame.encode().unwrap();
         let cut = cut_seed % bytes.len(); // strict prefix: 0..len-1 bytes
         match Frame::decode(&bytes[..cut]) {

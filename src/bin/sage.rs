@@ -13,8 +13,14 @@
 //!                 [--dump-sink F] [--trace F]
 //! $ sage worker   --listen 127.0.0.1:0        # host one rank of a distributed job
 //! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized] [--copy-baseline]
-//!                 [--dump-sink F] [--trace F]
-//! $ sage bench    [--transport local|tcp] [--json PATH] [--check BASELINE]
+//!                 [--heartbeat-ms MS] [--dump-sink F] [--trace F]
+//! $ sage fleet    [--listen ADDR]             # persistent multi-job worker daemon
+//! $ sage fleet    drain|stats --sched ADDR    # drain the fleet / print service metrics
+//! $ sage sched    [--spawn N | --workers A,B,...] [--listen ADDR] [--queue-depth D]
+//!                 [--slots S] [--heartbeat-ms MS]
+//! $ sage submit   model.sexpr --sched ADDR --ranks N --iters I [--tenant T]
+//!                 [--optimized] [--copy-baseline] [--dump-sink F]
+//! $ sage bench    [--transport local|tcp] [--jobs] [--json PATH] [--check BASELINE]
 //! $ sage export   fft2d|corner_turn|stap|image_filter --size 256 --threads 8 > model.sexpr
 //! $ sage fuzz     --seed 42 --count 50 [--iters I] [--transport local|tcp]
 //!                 [--fault-rounds R] [--minimize] [--save-failing DIR] [--replay STEM]
@@ -30,6 +36,12 @@
 //! `run --transport tcp` and `launch` execute each rank in its own OS
 //! process over loopback TCP; `worker` is the per-rank daemon they spawn
 //! (it can also be started by hand on remote hosts).
+//!
+//! The fleet commands run the persistent job service: `fleet` daemons keep
+//! their mesh warm across jobs, `sched` multiplexes many concurrent jobs
+//! over it with typed admission control, and `submit` is the client —
+//! results merge exactly as `launch` merges them, so sink output is
+//! bit-identical to a one-shot run of the same model.
 
 use sage::prelude::*;
 use sage_core::{check_model_source, lint_model_source, model_from_sexpr, model_io, Project};
@@ -50,8 +62,13 @@ fn usage() -> ExitCode {
          [--transport local|tcp] [--copy-baseline] [--pipeline-validate D] [--dump-sink FILE] [--trace FILE]\n  \
          sage worker [--listen ADDR]\n  \
          sage launch <model.sexpr> [--workers N] [--iters I] [--optimized] [--copy-baseline]\n              \
-         [--dump-sink FILE] [--trace FILE]\n  \
-         sage bench [--transport local|tcp] [--json PATH] [--check BASELINE]\n  \
+         [--heartbeat-ms MS] [--dump-sink FILE] [--trace FILE]\n  \
+         sage fleet [--listen ADDR] | sage fleet drain|stats --sched ADDR\n  \
+         sage sched [--spawn N | --workers ADDR,ADDR,...] [--listen ADDR]\n             \
+         [--queue-depth D] [--slots S] [--heartbeat-ms MS]\n  \
+         sage submit <model.sexpr> --sched ADDR [--ranks N] [--iters I] [--tenant T]\n              \
+         [--optimized] [--copy-baseline] [--dump-sink FILE]\n  \
+         sage bench [--transport local|tcp] [--jobs] [--json PATH] [--check BASELINE]\n  \
          sage export <fft2d|corner_turn|stap|image_filter|beamformer|range_doppler> [--size S] [--threads T]\n  \
          sage fuzz [--seed S] [--count N] [--iters I] [--transport local|tcp]\n            \
          [--fault-rounds R] [--minimize] [--save-failing DIR] [--replay STEM]"
@@ -99,6 +116,20 @@ impl Args {
         self.get(name)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// The `--heartbeat-ms` transport knob: `None` leaves the transport's
+    /// default period in force.
+    fn heartbeat_ms(&self) -> Result<Option<u64>, String> {
+        match self.get("heartbeat-ms") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .map(Some)
+                .ok_or_else(|| format!("--heartbeat-ms must be a positive integer, got `{v}`")),
+        }
     }
 }
 
@@ -459,6 +490,7 @@ fn run_over_tcp(args: &Args, text: &str, workers: usize, iters: u32) -> Result<(
         optimized: args.has("optimized"),
         probes: true,
         copy_baseline: args.has("copy-baseline"),
+        heartbeat_ms: args.heartbeat_ms()?,
     };
     let outcome: LaunchOutcome =
         sage::net::launch(text, &opts, &spawn_local_worker).map_err(|e| e.to_string())?;
@@ -611,6 +643,189 @@ fn cmd_launch(args: &Args) -> Result<(), String> {
     run_over_tcp(args, &text, workers, iters)
 }
 
+/// Spawns `sage fleet --listen 127.0.0.1:0` daemon processes out of the
+/// currently running binary.
+fn spawn_local_fleet(_index: usize) -> std::io::Result<std::process::Child> {
+    std::process::Command::new(std::env::current_exe()?)
+        .args(["fleet", "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+}
+
+/// Reads one fleet daemon's listen banner off its piped stdout.
+fn read_fleet_banner(child: &mut std::process::Child) -> Result<String, String> {
+    use std::io::BufRead;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or("fleet worker spawned without piped stdout")?;
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading fleet banner: {e}"))?;
+    sage::fleet::parse_fleet_banner(&line)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            format!(
+                "fleet worker announced `{}` instead of a banner",
+                line.trim()
+            )
+        })
+}
+
+/// `sage fleet`: with no subcommand, run one persistent worker daemon
+/// (serves jobs until drained, then exits 0). `fleet drain` and
+/// `fleet stats` are clients of a running `sage sched`.
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        None => {
+            let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+            sage::fleet::serve_fleet(listen, &|reg| {
+                sage::apps::kernels::register_kernels(reg);
+            })
+            .map_err(|e| e.to_string())
+        }
+        Some("drain") => {
+            let addr = args.get("sched").ok_or("fleet drain needs --sched ADDR")?;
+            let n = sage::fleet::drain_fleet(addr).map_err(|e| e.to_string())?;
+            println!("fleet drained: {n} jobs completed over its lifetime");
+            Ok(())
+        }
+        Some("stats") => {
+            let addr = args.get("sched").ok_or("fleet stats needs --sched ADDR")?;
+            let s = sage::fleet::fleet_stats(addr).map_err(|e| e.to_string())?;
+            println!(
+                "fleet: {}/{} workers live, {} queued (high water {}), {} active",
+                s.workers_live, s.workers, s.queue_depth, s.queue_high_water, s.active
+            );
+            println!(
+                "jobs: {} accepted, {} completed, {} failed, {} rejected \
+                 (queue-full {}, insufficient-workers {}, draining {}, version {})",
+                s.accepted,
+                s.completed,
+                s.failed,
+                s.rejected_total(),
+                s.rejected_queue_full,
+                s.rejected_insufficient,
+                s.rejected_draining,
+                s.rejected_version
+            );
+            for t in &s.tenants {
+                let name = if t.tenant.is_empty() {
+                    "(anonymous)"
+                } else {
+                    &t.tenant
+                };
+                println!(
+                    "  tenant {name}: {} accepted, {} completed, {} failed, {} rejected",
+                    t.accepted, t.completed, t.failed, t.rejected
+                );
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown fleet subcommand `{other}` (drain|stats)")),
+    }
+}
+
+/// `sage sched`: connect to (or spawn) a fleet and serve the job-submission
+/// protocol until a client drains it — then exit 0.
+fn cmd_sched(args: &Args) -> Result<(), String> {
+    let cfg = sage::fleet::SchedConfig {
+        queue_depth: args.usize_or("queue-depth", 128),
+        slots_per_worker: args.usize_or("slots", 64),
+        heartbeat_ms: args.heartbeat_ms()?,
+    };
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let addrs: Vec<String> = if let Some(list) = args.get("workers") {
+        list.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    } else {
+        let n = args.usize_or("spawn", 4);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut child =
+                spawn_local_fleet(i).map_err(|e| format!("spawning fleet worker {i}: {e}"))?;
+            match read_fleet_banner(&mut child) {
+                Ok(addr) => addrs.push(addr),
+                Err(e) => {
+                    for c in &mut children {
+                        let _ = c.kill();
+                    }
+                    let _ = child.kill();
+                    return Err(e);
+                }
+            }
+            children.push(child);
+        }
+        addrs
+    };
+    let result = (|| {
+        let sched = sage::fleet::Scheduler::connect(&addrs, cfg).map_err(|e| e.to_string())?;
+        let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+        let listener = std::net::TcpListener::bind(listen)
+            .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+        sage::fleet::serve_sched(listener, sched).map_err(|e| e.to_string())
+    })();
+    for mut child in children {
+        if result.is_err() {
+            let _ = child.kill();
+        }
+        // Drained workers exit 0 on their own.
+        let _ = child.wait();
+    }
+    result
+}
+
+/// `sage submit`: ship one job to a running scheduler and merge the
+/// per-rank reports exactly as `launch` would.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("submit needs a model file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let addr = args.get("sched").ok_or("submit needs --sched ADDR")?;
+    let ranks = args.usize_or("ranks", 4);
+    auto_lint(path, &text, ranks)?;
+    auto_check(path, &text, ranks)?;
+    let iters = args.usize_or("iters", 3) as u32;
+    let spec = sage::fleet::SubmitSpec {
+        tenant: args.get("tenant").unwrap_or("").to_string(),
+        optimized: args.has("optimized"),
+        copy_baseline: args.has("copy-baseline"),
+        ..sage::fleet::SubmitSpec::new(text.clone(), ranks as u32, iters)
+    };
+    let outcome = sage::fleet::submit(addr, &spec).map_err(|e| e.to_string())?;
+    // Regenerate the program locally (same deterministic pipeline the
+    // workers ran) to merge reports and assemble sink output.
+    let model = model_from_sexpr(&text).map_err(|e| e.to_string())?;
+    let project = Project::new(model, HardwareShelf::cspi_with_nodes(ranks));
+    let (program, _) = project
+        .generate(&Placement::Aligned)
+        .map_err(|e| e.to_string())?;
+    let job = outcome.job;
+    let wall = outcome.wall_secs;
+    let merged = sage::net::merge_outcomes(
+        program,
+        sage::fleet::reports_to_outcomes(outcome.reports),
+        std::time::Duration::from_secs_f64(wall),
+        ranks,
+    )
+    .map_err(|e| e.to_string())?;
+    let m = &merged.report.metrics;
+    let slowest = merged.rank_walls.iter().copied().fold(0.0, f64::max);
+    println!(
+        "job {job} ran `{}` on {ranks} fleet ranks for {iters} iterations: \
+         {:.3} ms/data set (wall, slowest rank), {:.1} ms in service, \
+         {} framed messages, {} KB on the wire\n",
+        merged.program.app_name,
+        slowest * 1e3 / iters.max(1) as f64,
+        wall * 1e3,
+        m.wire_messages(),
+        m.wire_bytes() / 1024
+    );
+    finish_run(args, &merged.program, &merged.results, &merged.trace, iters)
+}
+
 /// `sage bench`: the performance-trajectory sweep over the four committed
 /// example models — copy-heavy baseline vs zero-copy data plane, on the
 /// local fabric and (optionally) the multi-process TCP transport.
@@ -665,21 +880,76 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             ));
         }
     }
-    let json = tj::to_json(&results, quick);
+    // --jobs: the job-service throughput sweep — a persistent fleet vs
+    // forking a full launch per job, at each concurrency level.
+    let mut jobs_cells = Vec::new();
+    if args.has("jobs") {
+        use sage_bench::jobs;
+        let conc = jobs::jobs_concurrency();
+        let total = jobs::jobs_total();
+        println!(
+            "\n{:<7} {:>11} {:>6} {:>7} {:>10} {:>10}  checksum",
+            "mode", "concurrency", "jobs", "ranks", "wall s", "jobs/s"
+        );
+        let fleet = jobs::bench_fleet_jobs(&spawn_local_fleet, &conc, total)?;
+        let fork = jobs::bench_fork_jobs(&spawn_local_worker, &conc, total)?;
+        for cell in fleet.iter().chain(&fork) {
+            println!(
+                "{:<7} {:>11} {:>6} {:>7} {:>10.2} {:>10.1}  {:#018x}",
+                cell.mode,
+                cell.concurrency,
+                cell.jobs,
+                cell.ranks,
+                cell.wall_secs,
+                cell.jobs_per_sec,
+                cell.checksum
+            );
+        }
+        // Bit-identical across modes, concurrency levels, and every job.
+        let sums: Vec<u64> = fleet.iter().chain(&fork).map(|c| c.checksum).collect();
+        if sums.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!(
+                "sink checksum mismatch across job cells: {sums:#018x?}"
+            ));
+        }
+        for (fl, fo) in fleet.iter().zip(&fork) {
+            println!(
+                "concurrency {}: fleet {:.1} jobs/s vs fork {:.1} jobs/s ({:.1}x)",
+                fl.concurrency,
+                fl.jobs_per_sec,
+                fo.jobs_per_sec,
+                fl.jobs_per_sec / fo.jobs_per_sec.max(1e-9)
+            );
+        }
+        jobs_cells = fleet;
+        jobs_cells.extend(fork);
+    }
+    let json = tj::to_json_doc(&tj::BenchDoc {
+        quick,
+        results,
+        jobs: jobs_cells,
+    });
     let path = args.get("json").unwrap_or("BENCH_runtime.json");
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
     eprintln!("wrote {path}");
     if let Some(baseline_path) = args.get("check") {
         let baseline_text = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
-        let baseline = tj::parse_results(&baseline_text)?;
+        let baseline = tj::parse_doc(&baseline_text)?;
         // Re-parse what we just wrote: the schema gate CI relies on.
-        let reread = tj::parse_results(&json)?;
-        tj::check_regression(&reread, &baseline, tj::DEFAULT_TOLERANCE)?;
+        let reread = tj::parse_doc(&json)?;
+        tj::check_regression(&reread.results, &baseline.results, tj::DEFAULT_TOLERANCE)?;
         eprintln!(
             "bandwidth within {:.0}% of {baseline_path} for all shared cells",
             tj::DEFAULT_TOLERANCE * 100.0
         );
+        if !reread.jobs.is_empty() {
+            tj::check_jobs_regression(&reread.jobs, &baseline.jobs, tj::JOBS_TOLERANCE)?;
+            eprintln!(
+                "job throughput within {:.0}% of {baseline_path} for all shared cells",
+                tj::JOBS_TOLERANCE * 100.0
+            );
+        }
     }
     Ok(())
 }
@@ -829,6 +1099,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "worker" => cmd_worker(&args),
         "launch" => cmd_launch(&args),
+        "fleet" => cmd_fleet(&args),
+        "sched" => cmd_sched(&args),
+        "submit" => cmd_submit(&args),
         "bench" => cmd_bench(&args),
         "export" => cmd_export(&args),
         "fuzz" => cmd_fuzz(&args),

@@ -40,6 +40,7 @@ pub use sage_atot as atot;
 pub use sage_check as check;
 pub use sage_core as core;
 pub use sage_fabric as fabric;
+pub use sage_fleet as fleet;
 pub use sage_fuzz as fuzz;
 pub use sage_lint as lint;
 pub use sage_model as model;

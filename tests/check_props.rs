@@ -96,6 +96,7 @@ proptest! {
             optimized: false,
             probes: false,
             copy_baseline: false,
+            heartbeat_ms: None,
         };
         let outcome = sage::net::launch(&source, &opts, &common::spawn_worker).unwrap();
         let tcp = common::sink_bytes(&outcome.program, &outcome.results, iters);
