@@ -214,6 +214,7 @@ pub fn bench_fork_jobs(
             optimized: false,
             probes: false,
             copy_baseline: false,
+            race_detect: false,
             heartbeat_ms: None,
         };
         let outcome = launch(&model, &opts, spawn_worker).map_err(|e| e.to_string())?;

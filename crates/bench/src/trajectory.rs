@@ -208,6 +208,7 @@ pub fn bench_tcp(
         optimized: false,
         probes: false,
         copy_baseline,
+        race_detect: false,
         heartbeat_ms: None,
     };
     let outcome = launch(model_text, &opts, spawn).map_err(|e| e.to_string())?;

@@ -28,7 +28,13 @@
 //!   per-buffer maximum safe pipeline depths (`SAGE060` WAR hazards,
 //!   `SAGE061` feedback cycles, `SAGE062` depth-infeasible memory),
 //!   emitted as a [`pipeline::PipelinePlan`] artifact that gates the
-//!   executor's block-interleaved pipeline-validate mode.
+//!   executor's block-interleaved pipeline-validate mode;
+//! * [`race`] — static happens-before race proofs over every input-port
+//!   group: unordered overlapping writes (`SAGE070`), read/write races
+//!   (`SAGE071`), depth-conditional orderings that cap the pipeline plan
+//!   (`SAGE072`), and benign same-value splats (`SAGE073`) — all
+//!   cross-validated by the run-time's vector-clock detector
+//!   (`sage run --race-detect`).
 //!
 //! Findings render through `sage-lint`'s diagnostics engine (rustc-style
 //! and JSON), with spans back into the model source when a
@@ -42,6 +48,7 @@
 
 pub mod memory;
 pub mod pipeline;
+pub mod race;
 pub mod structure;
 pub mod transfers;
 
@@ -93,7 +100,8 @@ pub fn check_program(
         transfers::check(program, &plans, spans, &mut diags);
     }
     memory::check(program, hw, &plans, spans, &mut diags);
-    pipeline::check(program, hw, &plans, None, spans, &mut diags);
+    let races = race::check(program, &plans, spans, &mut diags);
+    pipeline::check(program, hw, &plans, &races.capped, None, spans, &mut diags);
     diags
 }
 
@@ -133,8 +141,43 @@ pub fn check_pipeline(
         return (None, diags);
     }
     let plans = structure::plan_buffers(program, spans, &mut diags);
-    let plan = pipeline::check(program, hw, &plans, requested, spans, &mut diags);
+    // Race caps feed the depth proof but report through `sage race` /
+    // `check_program`, not here.
+    let races = race::analyze(program, &plans);
+    let plan = pipeline::check(
+        program,
+        hw,
+        &plans,
+        &races.capped,
+        requested,
+        spans,
+        &mut diags,
+    );
     (Some(plan), diags)
+}
+
+/// Runs only the happens-before race pass over a generated program,
+/// reporting `SAGE070`..`SAGE073` findings plus the proven
+/// [`race::RaceAnalysis`] artifact. This is the `sage race` engine;
+/// [`check_program`] runs the same pass as part of the full battery.
+///
+/// The analysis is `None` only when the program fails its structural
+/// self-checks (`SAGE041`).
+pub fn check_race(
+    program: &GlueProgram,
+    spans: Option<&ModelSpans>,
+) -> (Option<race::RaceAnalysis>, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    if let Err(e) = program.validate() {
+        diags.push(Diagnostic::error(
+            "SAGE041",
+            format!("malformed glue program: {e}"),
+        ));
+        return (None, diags);
+    }
+    let plans = structure::plan_buffers(program, spans, &mut diags);
+    let races = race::check(program, &plans, spans, &mut diags);
+    (Some(races), diags)
 }
 
 /// The proven [`pipeline::PipelinePlan`] for a well-formed program, with
@@ -153,7 +196,27 @@ pub fn pipeline_plan(program: &GlueProgram, hw: &HardwareSpec) -> Option<pipelin
     if scratch.error_count() > 0 || plans.iter().any(Option::is_none) {
         return None;
     }
-    Some(pipeline::analyze(program, hw, &plans))
+    let races = race::analyze(program, &plans);
+    Some(pipeline::analyze(program, hw, &plans, &races.capped))
+}
+
+/// The proven [`race::RaceAnalysis`] for a well-formed program, with no
+/// diagnostics — the artifact-only front door for `sage race --format
+/// json` and the fuzz harness's race axis.
+///
+/// Returns `None` when the program fails its structural self-checks or
+/// any buffer descriptor is degenerate (already reported by
+/// [`check_program`] as errors).
+pub fn race_analysis(program: &GlueProgram) -> Option<race::RaceAnalysis> {
+    if program.validate().is_err() {
+        return None;
+    }
+    let mut scratch = Diagnostics::new();
+    let plans = structure::plan_buffers(program, None, &mut scratch);
+    if scratch.error_count() > 0 || plans.iter().any(Option::is_none) {
+        return None;
+    }
+    Some(race::analyze(program, &plans))
 }
 
 /// Predicted per-node memory high-water marks (bytes) for a well-formed

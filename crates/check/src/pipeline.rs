@@ -57,6 +57,10 @@ pub enum DepthLimit {
         /// (`m -> fbd -> m`).
         path: Vec<String>,
     },
+    /// The race pass proved the buffer's ordering depends on the lock-step
+    /// iteration boundary (`SAGE072`): pipelining removes that boundary,
+    /// capping the buffer at lock-step.
+    Race,
 }
 
 impl DepthLimit {
@@ -67,12 +71,16 @@ impl DepthLimit {
             DepthLimit::Unbounded => "ok".into(),
             DepthLimit::Hazard { delay } => format!("delay:{delay}"),
             DepthLimit::Cycle { path } => format!("cycle:{}", path.join("->")),
+            DepthLimit::Race => "race".into(),
         }
     }
 
     fn decode(s: &str) -> Option<DepthLimit> {
         if s == "ok" {
             return Some(DepthLimit::Unbounded);
+        }
+        if s == "race" {
+            return Some(DepthLimit::Race);
         }
         if let Some(k) = s.strip_prefix("delay:") {
             return Some(DepthLimit::Hazard {
@@ -283,13 +291,22 @@ fn path_between(program: &GlueProgram, from: u32, to: u32) -> Option<Vec<String>
 }
 
 /// Proves the per-buffer and overall safe pipeline depths for a
-/// structurally valid program. Pure analysis — no diagnostics; see
-/// [`check`] for the reporting pass.
-pub fn analyze(program: &GlueProgram, hw: &HardwareSpec, plans: &BufferPlans) -> PipelinePlan {
+/// structurally valid program. `race_capped` lists the buffers the race
+/// pass proved depth-conditional (`SAGE072`); each is capped at lock-step
+/// with [`DepthLimit::Race`] unless a delay hazard already caps it. Pure
+/// analysis — no diagnostics; see [`check`] for the reporting pass.
+pub fn analyze(
+    program: &GlueProgram,
+    hw: &HardwareSpec,
+    plans: &BufferPlans,
+    race_capped: &[u32],
+) -> PipelinePlan {
     let mut buffers = Vec::with_capacity(program.buffers.len());
     let mut hazard_depth = UNBOUNDED;
     for b in &program.buffers {
-        let (safe_depth, limit) = if b.delay == 0 {
+        let (safe_depth, limit) = if b.delay == 0 && race_capped.contains(&b.id) {
+            (1, DepthLimit::Race)
+        } else if b.delay == 0 {
             (UNBOUNDED, DepthLimit::Unbounded)
         } else if let Some(mut path) = path_between(program, b.consumer, b.producer) {
             // Close the cycle through the delay arc itself.
@@ -355,15 +372,17 @@ fn limiting_node(
 /// `SAGE060` (cross-iteration WAR hazard), `SAGE061` (feedback cycle
 /// forces lock-step), and `SAGE062` (depth-infeasible memory: `requested`
 /// — or even double-buffering — does not fit the hardware model's DRAM).
+#[allow(clippy::too_many_arguments)]
 pub fn check(
     program: &GlueProgram,
     hw: &HardwareSpec,
     plans: &BufferPlans,
+    race_capped: &[u32],
     requested: Option<u32>,
     spans: Option<&ModelSpans>,
     diags: &mut Diagnostics,
 ) -> PipelinePlan {
-    let plan = analyze(program, hw, plans);
+    let plan = analyze(program, hw, plans, race_capped);
 
     for (idx, bd) in plan.buffers.iter().enumerate() {
         let b = &program.buffers[idx];
@@ -392,7 +411,8 @@ pub fn check(
                 .or_else(|| s.block(&program.functions[b.consumer as usize].name))
         });
         match &bd.limit {
-            DepthLimit::Unbounded => {}
+            // Race caps carry their own `SAGE072` from the race pass.
+            DepthLimit::Unbounded | DepthLimit::Race => {}
             DepthLimit::Hazard { delay } => diags.push(
                 Diagnostic::warning(
                     "SAGE060",
@@ -496,6 +516,11 @@ mod tests {
                     limit: DepthLimit::Cycle {
                         path: vec!["m".into(), "fbd".into(), "m".into()],
                     },
+                },
+                BufferDepth {
+                    buffer: 3,
+                    safe_depth: 1,
+                    limit: DepthLimit::Race,
                 },
             ],
             hazard_depth: 1,

@@ -234,11 +234,18 @@ fn local_port_shapes(
     f: &FunctionDescriptor,
 ) -> Option<(Vec<PortShape>, Vec<PortShape>)> {
     let mut ins = Vec::with_capacity(f.inputs.len());
+    let mut seen_ports: Vec<&str> = Vec::new();
     for &bid in &f.inputs {
         let b = &program.buffers[bid as usize];
         if b.consumer != f.id || plans[bid as usize].is_none() {
             return None;
         }
+        if seen_ports.contains(&b.consumer_port.as_str()) {
+            // Fan-in: the port's buffers merge into one kernel-visible
+            // stripe, so the contract sees one shape per port.
+            continue;
+        }
+        seen_ports.push(&b.consumer_port);
         ins.push((
             Layout::local_shape(&b.shape, b.recv_striping, f.threads as usize),
             b.elem_bytes,

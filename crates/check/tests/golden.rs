@@ -432,6 +432,116 @@ fn sage062_depth_infeasible_memory() {
     check_program_golden("sage062_depth_infeasible_memory", &program, "SAGE062");
 }
 
+/// Two 2-threaded sources (rows-striped and cols-striped) fan into one
+/// sink port on 2 nodes: cross-node overlapping writes with no ordering —
+/// the mutation base for the race-pass fixtures.
+fn fan_in_base() -> GlueProgram {
+    GlueProgram {
+        app_name: "golden".into(),
+        functions: vec![
+            descriptor(
+                0,
+                "a",
+                "fill.a",
+                FnRole::Source,
+                2,
+                vec![0, 1],
+                vec![],
+                vec![0],
+            ),
+            descriptor(
+                1,
+                "b",
+                "fill.b",
+                FnRole::Source,
+                2,
+                vec![0, 1],
+                vec![],
+                vec![1],
+            ),
+            descriptor(
+                2,
+                "snk",
+                "sink.null",
+                FnRole::Sink,
+                2,
+                vec![0, 1],
+                vec![0, 1],
+                vec![],
+            ),
+        ],
+        buffers: vec![buffer(0, 0, 2, vec![4, 4]), {
+            let mut b = buffer(1, 1, 2, vec![4, 4]);
+            b.send_striping = Striping::BY_COLS;
+            b
+        }],
+        schedules: vec![
+            vec![t(0, 0), t(1, 0), t(2, 0)],
+            vec![t(0, 1), t(1, 1), t(2, 1)],
+        ],
+    }
+}
+
+#[test]
+fn sage070_fan_in_write_write_race() {
+    check_program_golden("sage070_fan_in_write_write_race", &fan_in_base(), "SAGE070");
+}
+
+#[test]
+fn sage071_read_write_race() {
+    // A single-threaded replicated source `a` plus a rows-striped source
+    // `b` fan into the sink: `b[0]`'s stripe lands in the full payload
+    // `snk[1]` reads, but the only transfer from `b[0]` goes to `snk[0]` —
+    // nothing orders the write against the cross-node read (SAGE071; the
+    // unordered `a`/`b` write pair is the companion SAGE070).
+    let mut program = fan_in_base();
+    program.functions[0].threads = 1;
+    program.functions[0].placement = vec![0];
+    program.buffers[0].send_striping = Striping::Replicated;
+    program.buffers[0].recv_striping = Striping::Replicated;
+    program.buffers[1].send_striping = Striping::BY_ROWS;
+    program.schedules = vec![vec![t(0, 0), t(1, 0), t(2, 0)], vec![t(1, 1), t(2, 1)]];
+    check_program_golden("sage071_read_write_race", &program, "SAGE071");
+}
+
+#[test]
+fn sage072_depth_conditional_race() {
+    // Both writers on one node, one arc delayed: the lock-step iteration
+    // boundary orders them, pipelined execution does not — the race pass
+    // caps the buffers at depth 1 and the pipeline plan reports the cap.
+    let mut program = fan_in_base();
+    program.buffers[1].delay = 1;
+    for b in &mut program.buffers {
+        b.send_striping = Striping::Replicated;
+        b.recv_striping = Striping::Replicated;
+    }
+    for f in &mut program.functions {
+        f.threads = 1;
+        f.placement = vec![0];
+    }
+    program.schedules = vec![vec![t(0, 0), t(1, 0), t(2, 0)]];
+    check_program_golden("sage072_depth_conditional_race", &program, "SAGE072");
+}
+
+#[test]
+fn sage073_benign_splat() {
+    // The same generator with the same parameters splats identical
+    // replicated payloads from two unordered cross-node threads: either
+    // arrival order leaves the same bytes (warning, not error).
+    let mut program = fan_in_base();
+    program.functions[1].function = "fill.a".into();
+    program.functions[1].placement = vec![1, 0];
+    for b in &mut program.buffers {
+        b.send_striping = Striping::Replicated;
+        b.recv_striping = Striping::Replicated;
+    }
+    program.schedules = vec![
+        vec![t(0, 0), t(1, 1), t(2, 0)],
+        vec![t(0, 1), t(1, 0), t(2, 1)],
+    ];
+    check_program_golden("sage073_benign_splat", &program, "SAGE073");
+}
+
 /// Every golden fixture uses only codes from the published registry.
 #[test]
 fn golden_fixtures_only_use_registered_codes() {

@@ -11,7 +11,8 @@
 
 use crate::codegen::{generate, CodegenError, Placement};
 use sage_check::pipeline::PipelinePlan;
-use sage_check::{check_pipeline, check_program};
+use sage_check::race::RaceAnalysis;
+use sage_check::{check_pipeline, check_program, check_race};
 use sage_lint::{model_error_diag, Diagnostic, Diagnostics, ModelSpans};
 use sage_model::HardwareShelf;
 use sage_runtime::GlueProgram;
@@ -127,6 +128,55 @@ pub fn pipeline_model_source(
     }
     diags.sort();
     (plan, diags)
+}
+
+/// Proves a model's happens-before race story end to end the way `sage
+/// race` runs it: load + model-layer lint gate + code generation (as
+/// [`checked_program`]), then *only* the race pass of `sage-check` —
+/// `SAGE070`..`SAGE073` findings plus the [`RaceAnalysis`] artifact
+/// (graph sizes, depth caps).
+///
+/// The analysis is `None` whenever the front door fails (syntax,
+/// model-layer errors, code generation); the diagnostics say why.
+pub fn race_model_source(src: &str, nodes: usize) -> (Option<RaceAnalysis>, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let app = match crate::model_io::model_from_sexpr(src) {
+        Ok(app) => app,
+        Err(e) => {
+            diags.push(
+                Diagnostic::error("SAGE007", e.to_string())
+                    .with_note("fix the file syntax before any deeper analysis can run"),
+            );
+            return (None, diags);
+        }
+    };
+    let spans = ModelSpans::index(src);
+    diags.extend(sage_lint::lint_model(&app, nodes, Some(&spans)));
+    if diags.error_count() > 0 {
+        return (None, diags);
+    }
+    diags = Diagnostics::new();
+    let hw = HardwareShelf::cspi_with_nodes(nodes);
+    let mut analysis = None;
+    match generate(&app, &hw, &Placement::Aligned) {
+        Ok(program) => {
+            let (a, d) = check_race(&program, Some(&spans));
+            analysis = a;
+            diags.extend(d);
+        }
+        Err(CodegenError::Model(e)) => diags.push(model_error_diag(&e, Some(&spans))),
+        Err(CodegenError::Placement(m)) => {
+            diags.push(Diagnostic::error("SAGE021", m));
+        }
+        Err(CodegenError::Internal(m)) => {
+            diags.push(Diagnostic::error(
+                "SAGE041",
+                format!("malformed glue program: {m}"),
+            ));
+        }
+    }
+    diags.sort();
+    (analysis, diags)
 }
 
 #[cfg(test)]

@@ -178,7 +178,9 @@ pub fn generate(
             };
             match p.direction {
                 Direction::In => {
-                    if let Some(c) = flat.incoming(ep) {
+                    // One buffer per incoming arc; fan-in keeps a port's
+                    // buffers contiguous so the executor can merge them.
+                    for c in flat.incomings(ep) {
                         inputs.push(c.id.index() as u32);
                     }
                 }

@@ -26,7 +26,7 @@ pub mod lint;
 pub mod model_io;
 pub mod project;
 
-pub use check::{check_model_source, checked_program, pipeline_model_source};
+pub use check::{check_model_source, checked_program, pipeline_model_source, race_model_source};
 pub use codegen::{generate, CodegenError, Placement};
 pub use emit::render_glue_source;
 pub use lint::lint_model_source;

@@ -8,7 +8,7 @@ use crate::metrics::{FabricMetrics, NodeMetrics};
 use crate::payload::Payload;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A message in flight: payload plus its virtual arrival time at the
@@ -46,7 +46,10 @@ impl Shared {
     /// between a receiver's flag check and its wait.
     fn wake_all(&self) {
         for mbox in &self.mailboxes {
-            let _guard = mbox.queues.lock().expect("mailbox poisoned");
+            // A poisoned mailbox means a peer panicked mid-send; the
+            // queues themselves are still structurally sound, and waking
+            // the receivers is exactly how the failure propagates.
+            let _guard = mbox.queues.lock().unwrap_or_else(PoisonError::into_inner);
             mbox.cv.notify_all();
         }
     }
@@ -284,7 +287,7 @@ impl NodeCtx {
         self.metrics.messages_sent += 1;
         self.metrics.bytes_sent += bytes as u64;
         let mbox = &self.shared.mailboxes[dst];
-        let mut queues = mbox.queues.lock().expect("mailbox poisoned");
+        let mut queues = mbox.queues.lock().unwrap_or_else(PoisonError::into_inner);
         queues
             .entry((self.id as u32, tag))
             .or_default()
@@ -341,7 +344,7 @@ impl NodeCtx {
         self.check_failed()?;
         let mbox = &self.shared.mailboxes[self.id];
         let deadline = Instant::now() + self.shared.recv_timeout;
-        let mut queues = mbox.queues.lock().expect("mailbox poisoned");
+        let mut queues = mbox.queues.lock().unwrap_or_else(PoisonError::into_inner);
         let msg = loop {
             if let Some(q) = queues.get_mut(&(src as u32, tag)) {
                 if let Some(m) = q.pop_front() {
@@ -369,7 +372,7 @@ impl NodeCtx {
             let (guard, _timeout) = mbox
                 .cv
                 .wait_timeout(queues, deadline - now)
-                .expect("mailbox poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             queues = guard;
         };
         drop(queues);
@@ -503,7 +506,7 @@ impl Cluster {
             done: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
         let start = Instant::now();
-        let mut results: Vec<Option<(R, NodeMetrics)>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<(R, NodeMetrics)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for id in 0..n {
@@ -549,9 +552,10 @@ impl Cluster {
                     (r, ctx.metrics)
                 }));
             }
-            for (id, h) in handles.into_iter().enumerate() {
+            // Joining in spawn order keeps `results` indexed by node id.
+            for h in handles {
                 match h.join() {
-                    Ok(r) => results[id] = Some(r),
+                    Ok(r) => results.push(r),
                     // Re-raise with the original payload so callers see the
                     // node's own panic message (e.g. kernel errors).
                     Err(payload) => std::panic::resume_unwind(payload),
@@ -561,8 +565,7 @@ impl Cluster {
         let wall = start.elapsed();
         let mut rs = Vec::with_capacity(n);
         let mut metrics = FabricMetrics::default();
-        for slot in results {
-            let (r, m) = slot.expect("node produced no result");
+        for (r, m) in results {
             rs.push(r);
             metrics.nodes.push(m);
         }

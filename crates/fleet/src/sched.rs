@@ -387,8 +387,9 @@ impl Scheduler {
                 .collect();
             if live.len() < ranks {
                 // Admitted when the fleet was big enough, but workers died
-                // while it queued.
-                let q = state.queue.pop_front().expect("checked front");
+                // while it queued. The front exists — `ranks` was just read
+                // from it — so the `?` can never actually bail here.
+                let q = state.queue.pop_front()?;
                 state.rejected_insufficient += 1;
                 state.failed += 1;
                 state.tenant(&q.spec.tenant).failed += 1;
@@ -409,7 +410,8 @@ impl Scheduler {
                 return None;
             }
             free.sort_by_key(|&i| (self.workers[i].active.load(Ordering::SeqCst), i));
-            let q = state.queue.pop_front().expect("checked front");
+            // Same front-exists contract as the refusal branch above.
+            let q = state.queue.pop_front()?;
             let assigned: Vec<usize> = free[..ranks].to_vec();
             for &w in &assigned {
                 self.workers[w].active.fetch_add(1, Ordering::SeqCst);

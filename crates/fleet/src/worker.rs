@@ -212,6 +212,10 @@ fn run_fleet_job(
     let mut transport = JobTransport::new(core, spec.job, rank as usize, rank_map);
     let probe = Probe::disabled();
     let t0 = Instant::now();
+    // Degraded per-process detector (only this rank's serial accesses).
+    let race = options
+        .race_detect
+        .then(|| sage_runtime::RaceState::new(spec.rank_map.len()));
     let outcome = execute_rank(
         &mut transport,
         &program,
@@ -219,6 +223,7 @@ fn run_fleet_job(
         &options,
         spec.iterations,
         &probe,
+        race.as_ref(),
     );
     let wall_secs = t0.elapsed().as_secs_f64();
     // Finish on both paths: `JobDone` tells peer ranks this rank is out of

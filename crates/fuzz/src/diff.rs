@@ -17,10 +17,18 @@
 //!   dominate the executor's measured `mem_high_water` on every node of
 //!   every cell. A measured peak above the prediction means the static
 //!   walk missed live bytes.
+//! - **Direction A (races)**: every fault-free cell runs with the
+//!   vector-clock race detector armed — a model the happens-before pass
+//!   proved race-free must run detector-clean (and bit-identically) in
+//!   every cell. A `RaceDetected` failure here means the static
+//!   happens-before relation admits an ordering the run time does not
+//!   actually provide.
 //! - **Direction B (rejection)**: a model `sage check` rejects for a
-//!   kernel-contract violation (SAGE054) must also fail at run time. A
-//!   statically rejected model that runs clean is a harness failure —
-//!   the checker is crying wolf or the runtime is too lenient.
+//!   kernel-contract violation (SAGE054) must also fail at run time, and
+//!   a model it rejects as racy (SAGE070) must trip the dynamic detector
+//!   when the static gate is bypassed. A statically rejected model that
+//!   runs clean is a harness failure — the checker is crying wolf or the
+//!   runtime is too lenient.
 
 use crate::gen::splitmix64;
 use rand::rngs::StdRng;
@@ -182,6 +190,7 @@ fn run_local(
     nodes: usize,
     iterations: u32,
     copy_baseline: bool,
+    race_detect: bool,
     plan: Option<FaultPlan>,
     pipeline: Option<u32>,
 ) -> Result<(u64, Vec<u64>), String> {
@@ -193,7 +202,8 @@ fn run_local(
         .map_err(|e| format!("codegen: {e}"))?;
     let mut options = RuntimeOptions::paper_faithful()
         .with_probes(false)
-        .with_copy_baseline(copy_baseline);
+        .with_copy_baseline(copy_baseline)
+        .with_race_detect(race_detect);
     if let Some(plan) = plan {
         options = options.with_faults(plan);
     }
@@ -233,6 +243,9 @@ fn run_tcp(
         optimized: false,
         probes: false,
         copy_baseline,
+        // Per-process degraded mode over TCP: each rank validates its own
+        // serial order and stamp handling, never cross-rank pairs.
+        race_detect: true,
         heartbeat_ms: None,
     };
     let outcome = sage_net::launch(source, &opts, spawner).map_err(|e| format!("launch: {e}"))?;
@@ -266,7 +279,18 @@ pub fn run_cell(
         let spawner = spawner.ok_or("tcp cell needs a worker spawner")?;
         run_tcp(source, nodes, iterations, cell.copy_baseline, spawner)
     } else {
-        run_local(source, nodes, iterations, cell.copy_baseline, plan, None)
+        // Fault-free runs carry the race detector; faulted runs drop it so
+        // an injected failure never masquerades as an ordering bug.
+        let race_detect = plan.is_none();
+        run_local(
+            source,
+            nodes,
+            iterations,
+            cell.copy_baseline,
+            race_detect,
+            plan,
+            None,
+        )
     }
 }
 
@@ -361,11 +385,12 @@ pub fn run_diff(
 
     if !error_codes.is_empty() {
         // ---- Direction B: static reject must not run clean --------
-        // Only kernel-contract violations (SAGE054) have a runtime
-        // counterpart; capacity/feasibility findings (SAGE055/056) model
-        // limits the executor does not enforce.
+        // Only kernel-contract violations (SAGE054) and proven races
+        // (SAGE070) have a runtime counterpart; capacity/feasibility
+        // findings (SAGE055/056) model limits the executor does not
+        // enforce.
         if error_codes.iter().all(|c| c == "SAGE054") {
-            match run_local(source, nodes, cfg.iterations, false, None, None) {
+            match run_local(source, nodes, cfg.iterations, false, false, None, None) {
                 Err(_) => outcome.verdict = Verdict::CheckRejected,
                 Ok(_) => {
                     outcome.verdict = Verdict::Failed;
@@ -373,6 +398,33 @@ pub fn run_diff(
                         cell: "local/zero-copy".into(),
                         message: "sage check rejected this model (SAGE054) but it ran clean \
                                   — static/dynamic disagreement"
+                            .into(),
+                        plan: None,
+                    });
+                }
+            }
+        } else if error_codes.iter().all(|c| c == "SAGE070") {
+            // A statically proven write/write race must trip the
+            // vector-clock detector once the gate is bypassed.
+            match run_local(source, nodes, cfg.iterations, false, true, None, None) {
+                Err(e) if e.contains("data race") => outcome.verdict = Verdict::CheckRejected,
+                Err(e) => {
+                    outcome.verdict = Verdict::Failed;
+                    outcome.failures.push(Failure {
+                        cell: "local/zero-copy".into(),
+                        message: format!(
+                            "sage check proved a race (SAGE070) but the run failed with \
+                             `{e}` instead of RaceDetected"
+                        ),
+                        plan: None,
+                    });
+                }
+                Ok(_) => {
+                    outcome.verdict = Verdict::Failed;
+                    outcome.failures.push(Failure {
+                        cell: "local/zero-copy".into(),
+                        message: "sage check proved a race (SAGE070) but the run was \
+                                  detector-clean — static/dynamic disagreement"
                             .into(),
                         plan: None,
                     });
@@ -402,11 +454,13 @@ pub fn run_diff(
                 spawner.expect("tcp cell without spawner"),
             )
         } else {
+            // Direction A (races): fault-free cells run detector-armed.
             run_local(
                 source,
                 nodes,
                 cfg.iterations,
                 cell.copy_baseline,
+                true,
                 None,
                 None,
             )
@@ -452,7 +506,15 @@ pub fn run_diff(
             let depth = pplan.safe_depth.min(3);
             if depth >= 2 {
                 outcome.cells_run.push("local/pipelined");
-                match run_local(source, nodes, cfg.iterations, false, None, Some(depth)) {
+                match run_local(
+                    source,
+                    nodes,
+                    cfg.iterations,
+                    false,
+                    true,
+                    None,
+                    Some(depth),
+                ) {
                     Err(e) => outcome.failures.push(Failure {
                         cell: "local/pipelined".into(),
                         message: format!(
@@ -505,6 +567,7 @@ pub fn run_diff(
                 source,
                 nodes,
                 cfg.iterations,
+                false,
                 false,
                 Some(plan.clone()),
                 None,

@@ -154,6 +154,12 @@ pub struct GenConfig {
     /// (a model `sage check` must reject *and* that must also fail at run
     /// time) — the corpus' probe of the static/dynamic agreement.
     pub violation_rate: f64,
+    /// Probability of deliberately emitting an unordered fan-in race: a
+    /// second generator writing the sink's first port with nothing
+    /// ordering it against the wired writer. The race pass must reject
+    /// it (`SAGE070`) *and* the vector-clock detector must trip when the
+    /// gate is bypassed.
+    pub race_rate: f64,
 }
 
 impl Default for GenConfig {
@@ -163,6 +169,7 @@ impl Default for GenConfig {
             max_width: 2,
             max_nodes: 4,
             violation_rate: 0.12,
+            race_rate: 0.10,
         }
     }
 }
@@ -182,6 +189,9 @@ pub struct GeneratedModel {
     pub source: String,
     /// `true` when the generator deliberately broke a kernel contract.
     pub seeded_violation: bool,
+    /// `true` when the generator deliberately seeded an unordered
+    /// overlapping fan-in (a data race the toolchain must catch twice).
+    pub seeded_race: bool,
 }
 
 /// Power-of-two thread counts: extents of 8/16 stripe evenly under all of
@@ -219,11 +229,13 @@ pub fn gen_model(seed: u64, cfg: &GenConfig) -> GeneratedModel {
         shape,
     };
     let violation = rng.random_bool(cfg.violation_rate);
+    let race = !violation && rng.random_bool(cfg.race_rate);
 
     // Chain flavor needs a complex matrix for its `workload.matrix`
     // source; everything else takes the layered flavor with the
-    // dtype-agnostic `workload.bytes` source.
-    let chain_flavor = elem == DataType::Complex && dims == 2 && rng.random_bool(0.5);
+    // dtype-agnostic `workload.bytes` source. Race models are always
+    // layered: the racing writer fans into the sink's first port.
+    let chain_flavor = elem == DataType::Complex && dims == 2 && !race && rng.random_bool(0.5);
 
     let mut app = if chain_flavor {
         let src_threads = pick(&mut rng, &THREADS);
@@ -320,7 +332,7 @@ pub fn gen_model(seed: u64, cfg: &GenConfig) -> GeneratedModel {
         // the pipeline-safety pass (`SAGE061` caps the model at depth 1)
         // and the delay-arc executor path. Violation-free models only, so
         // the loop stays contract-clean.
-        if !violation && rng.random_bool(0.3) {
+        if !violation && !race && rng.random_bool(0.3) {
             let li = rng.random_range(0..layers.len());
             let bi = rng.random_range(0..layers[li].len());
             let (t, in_striping, _) = layers[li][bi];
@@ -348,14 +360,43 @@ pub fn gen_model(seed: u64, cfg: &GenConfig) -> GeneratedModel {
             g.connect(m, "out", fbd, "in").unwrap();
             g.connect(fbd, "out", m, "fb").unwrap();
         }
+        // Race flavor: a second, independently seeded generator fans into
+        // the sink's first port. Its stripe axis deliberately misaligns
+        // with the wired writer's, so at least one cross-node pair of
+        // overlapping writes has no happens-before ordering.
+        if race {
+            let (co_threads, _, co_out) = layers[layers.len() - 1][0];
+            let dim = match co_out {
+                Striping::Striped { dim } if co_threads >= 2 => (dim + 1) % dims,
+                _ => 0,
+            };
+            let racer_seed = rng.random_range(1..10_000i64);
+            let racer = g.add_block(
+                Block::source_threaded(
+                    "racer",
+                    2,
+                    vec![Port::output(
+                        "out",
+                        dtype.clone(),
+                        Striping::Striped { dim },
+                    )],
+                )
+                .with_prop("kernel", PropValue::Str("workload.bytes".into()))
+                .with_prop("seed", PropValue::Int(racer_seed)),
+            );
+            let snk = g.block_by_name("snk").unwrap();
+            g.connect(racer, "out", snk, "in0").unwrap();
+        }
         g
     };
 
-    // No idle ranks: clamp the machine to the narrowest block.
+    // No idle ranks: clamp the machine to the narrowest block. Race
+    // models need at least two nodes — on one node the schedule walk
+    // orders everything and the seeded race vanishes.
     let min_threads = app.blocks().iter().map(Block::threads).min().unwrap_or(1);
     let nodes = pick(&mut rng, &[1usize, 2, cfg.max_nodes.max(1)])
         .min(min_threads)
-        .max(1);
+        .max(if race { 2 } else { 1 });
 
     app.name = format!("fuzz_{seed:016x}");
     let source = model_io::model_to_sexpr(&app);
@@ -365,6 +406,7 @@ pub fn gen_model(seed: u64, cfg: &GenConfig) -> GeneratedModel {
         app,
         source,
         seeded_violation: violation,
+        seeded_race: race,
     }
 }
 

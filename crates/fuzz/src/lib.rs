@@ -145,6 +145,7 @@ pub fn run_fuzz(opts: &FuzzOptions, spawner: Option<&Spawner<'_>>) -> FuzzReport
             name: gm.app.name.clone(),
             nodes: gm.nodes,
             seeded_violation: gm.seeded_violation,
+            seeded_race: gm.seeded_race,
             outcome,
         });
     }

@@ -22,6 +22,8 @@ pub struct ModelReport {
     pub nodes: usize,
     /// Whether the generator deliberately seeded a contract violation.
     pub seeded_violation: bool,
+    /// Whether the generator deliberately seeded an unordered fan-in race.
+    pub seeded_race: bool,
     /// The differential outcome.
     pub outcome: DiffOutcome,
 }
@@ -119,6 +121,8 @@ impl FuzzReport {
             };
             let tag = if m.seeded_violation {
                 " [seeded-violation]"
+            } else if m.seeded_race {
+                " [seeded-race]"
             } else {
                 ""
             };
@@ -166,6 +170,7 @@ mod tests {
                     name: "a".into(),
                     nodes: 2,
                     seeded_violation: false,
+                    seeded_race: false,
                     outcome: outcome(Verdict::Clean),
                 },
                 ModelReport {
@@ -174,6 +179,7 @@ mod tests {
                     name: "b".into(),
                     nodes: 1,
                     seeded_violation: true,
+                    seeded_race: false,
                     outcome: outcome(Verdict::CheckRejected),
                 },
                 ModelReport {
@@ -182,6 +188,7 @@ mod tests {
                     name: "c".into(),
                     nodes: 1,
                     seeded_violation: false,
+                    seeded_race: false,
                     outcome: outcome(Verdict::FrontDoorRejected),
                 },
             ],

@@ -155,6 +155,26 @@ pub const CODE_TABLE: &[(&str, Severity, &str)] = &[
         Severity::Warning,
         "ring buffers at the requested depth exceed node memory",
     ),
+    (
+        "SAGE070",
+        Severity::Error,
+        "write/write race on an input port with no happens-before ordering",
+    ),
+    (
+        "SAGE071",
+        Severity::Error,
+        "read/write race on an input port with no happens-before ordering",
+    ),
+    (
+        "SAGE072",
+        Severity::Warning,
+        "ordering depends on the lock-step iteration boundary",
+    ),
+    (
+        "SAGE073",
+        Severity::Warning,
+        "unordered writers are a benign same-value splat",
+    ),
 ];
 
 /// Looks up the registry summary for a code (`None` for unknown codes).
@@ -402,6 +422,47 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          mark by N. For at least one node that exceeds the hardware model's \
          DRAM (`mem_mb`), so memory, not hazards, caps the achievable depth. \
          The diagnostic reports the deepest ring that still fits.",
+    ),
+    (
+        "SAGE070",
+        "Two producer tasks write overlapping byte regions of the same \
+         input-port version, and no chain of program order (a node's serial \
+         schedule walk) and synchronization order (matched transfers, where \
+         the run-time's vector clocks join) orders one before the other. \
+         The port's final bytes depend on message arrival order, so two \
+         runs of the same program can disagree. The diagnostic names both \
+         writing tasks' schedule slots; `sage run --race-detect` fails the \
+         same pair dynamically as RaceDetected.",
+    ),
+    (
+        "SAGE071",
+        "A consumer task reads an input-port version while an unordered \
+         producer task is still writing overlapping bytes of it: no \
+         transfer chain puts the write before (or after) the read, so the \
+         kernel may observe a partly written stripe. Arises only in \
+         hand-built or mis-wired programs — canonically generated transfers \
+         always synchronize their own reader.",
+    ),
+    (
+        "SAGE072",
+        "Two conflicting accesses to an input-port version are ordered in \
+         lock-step execution, but only through the iteration boundary (the \
+         last schedule slot of iteration i preceding the first slot of \
+         iteration i+1). Pipelined execution interleaves iterations and \
+         removes exactly that edge, so the ordering — and the program's \
+         determinism — silently degrades at depth >= 2. The race pass caps \
+         the involved buffers' safe pipeline depth at 1, which the \
+         pipeline plan reports as `race`.",
+    ),
+    (
+        "SAGE073",
+        "Two unordered producer tasks write the same byte regions of an \
+         input-port version, but both run the same generator kernel with \
+         identical parameters over identical regions: either arrival order \
+         leaves the same bytes, so the race is benign. Reported as a \
+         warning because the equivalence holds only while the generators \
+         stay deterministic and identically configured; the dynamic \
+         detector applies the same exemption by content hash.",
     ),
 ];
 

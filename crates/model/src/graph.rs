@@ -98,8 +98,10 @@ impl AppGraph {
     /// Connects `from_block.from_port` (an output) to `to_block.to_port` (an
     /// input), by port name.
     ///
-    /// Validates direction, existence, type equality, and single-writer
-    /// fan-in (each input port accepts exactly one incoming arc).
+    /// Validates direction, existence, and type equality. Both fan-out and
+    /// fan-in are structurally legal; whether multiple writers into one
+    /// input port are *safe* is decided by the static race pass over the
+    /// generated glue program (`sage race`), not by the editor.
     pub fn connect(
         &mut self,
         from_block: BlockId,
@@ -163,12 +165,6 @@ impl AppGraph {
                 ),
             });
         }
-        if self.incoming(to).is_some() {
-            return Err(ModelError::MultipleWriters {
-                block: self.block(to.block).name.clone(),
-                port: tport.name.clone(),
-            });
-        }
         let id = ConnId::from_index(self.connections.len());
         self.connections.push(Connection { id, from, to });
         Ok(id)
@@ -213,9 +209,15 @@ impl AppGraph {
         self.blocks.get(ep.block.index())?.ports.get(ep.port)
     }
 
-    /// The single connection feeding input endpoint `to`, if any.
+    /// The first connection feeding input endpoint `to`, if any.
     pub fn incoming(&self, to: Endpoint) -> Option<&Connection> {
         self.connections.iter().find(|c| c.to == to)
+    }
+
+    /// All connections feeding input endpoint `to`, in insertion order
+    /// (fan-in is structurally allowed; the race pass decides safety).
+    pub fn incomings(&self, to: Endpoint) -> Vec<&Connection> {
+        self.connections.iter().filter(|c| c.to == to).collect()
     }
 
     /// All connections leaving output endpoint `from` (fan-out is allowed).
@@ -450,7 +452,7 @@ mod tests {
     }
 
     #[test]
-    fn fan_out_allowed_fan_in_rejected() {
+    fn fan_out_and_fan_in_both_allowed() {
         let mut g = AppGraph::new("g");
         let a = g.add_block(leaf("a", &[], &["out"]));
         let b = g.add_block(leaf("b", &[], &["out"]));
@@ -458,8 +460,15 @@ mod tests {
         let d = g.add_block(leaf("d", &["in"], &[]));
         g.connect(a, "out", c, "in").unwrap();
         g.connect(a, "out", d, "in").unwrap(); // fan-out ok
-        let err = g.connect(b, "out", c, "in").unwrap_err();
-        assert!(matches!(err, ModelError::MultipleWriters { .. }));
+                                               // Fan-in is structurally legal too; the race pass judges safety.
+        g.connect(b, "out", c, "in").unwrap();
+        let ep = Endpoint { block: c, port: 0 };
+        let ins = g.incomings(ep);
+        assert_eq!(ins.len(), 2);
+        assert_eq!(ins[0].from.block, a);
+        assert_eq!(ins[1].from.block, b);
+        // `incoming` still reports the first arc for single-writer callers.
+        assert_eq!(g.incoming(ep).unwrap().from.block, a);
     }
 
     #[test]

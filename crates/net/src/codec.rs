@@ -89,15 +89,23 @@ impl<'a> Reader<'a> {
     }
     /// Reads a big-endian u32.
     pub fn u32(&mut self) -> Result<u32, NetError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4B")))
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
     /// Reads a big-endian u64.
     pub fn u64(&mut self) -> Result<u64, NetError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8B")))
+        Ok(u64::from_be_bytes(self.take8()?))
     }
     /// Reads a big-endian f64.
     pub fn f64(&mut self) -> Result<f64, NetError> {
-        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("8B")))
+        Ok(f64::from_be_bytes(self.take8()?))
+    }
+    /// Reads exactly 8 bytes into an array (`take` already length-checks).
+    fn take8(&mut self) -> Result<[u8; 8], NetError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(a)
     }
     /// Reads a length-prefixed byte blob.
     pub fn bytes(&mut self) -> Result<Vec<u8>, NetError> {

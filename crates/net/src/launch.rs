@@ -28,6 +28,9 @@ pub struct LaunchOptions {
     /// Run the copy-heavy baseline data plane on every rank (see
     /// `RuntimeOptions::copy_baseline`).
     pub copy_baseline: bool,
+    /// Arm the per-process vector-clock race detector on every rank (see
+    /// `RuntimeOptions::race_detect`).
+    pub race_detect: bool,
     /// Heartbeat period override in milliseconds shipped to every rank
     /// (`None` = transport default).
     pub heartbeat_ms: Option<u64>,
@@ -126,6 +129,7 @@ pub fn launch(
             optimized: opts.optimized,
             probes: opts.probes,
             copy_baseline: opts.copy_baseline,
+            race_detect: opts.race_detect,
             heartbeat_ms: opts.heartbeat_ms,
             model: model_text.to_string(),
             peers: addrs.clone(),

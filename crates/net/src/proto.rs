@@ -17,7 +17,8 @@ use sage_visualizer::{EventKind, ProbeEvent};
 /// v1 is detected: the first u32 of a v1 JobSpec is the rank, which is
 /// < 2^16 in practice, while v2+ leads with this constant). v2 added the
 /// version field, the per-job heartbeat override, and the fleet messages.
-pub const PROTO_VERSION: u32 = 2;
+/// v3 added the per-job `race_detect` switch.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Everything one worker needs to run one rank of a job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +38,12 @@ pub struct JobSpec {
     /// Run the copy-heavy baseline data plane instead of the zero-copy
     /// shared-payload path (see `RuntimeOptions::copy_baseline`).
     pub copy_baseline: bool,
+    /// Arm the vector-clock race detector on every rank (see
+    /// `RuntimeOptions::race_detect`). Each worker process only observes
+    /// its own rank's accesses, so over TCP the detector runs in degraded
+    /// per-process mode; full cross-rank validation is the in-process
+    /// backend's job.
+    pub race_detect: bool,
     /// Heartbeat period override in milliseconds (`None` = transport
     /// default). Lets soak tests and the fleet drain path tune the
     /// staleness window from the CLI.
@@ -122,6 +129,16 @@ pub(crate) fn write_runtime_error(w: &mut Writer, e: &RuntimeError) {
             w.u32(*iteration);
             w.string(message);
         }
+        RuntimeError::RaceDetected {
+            port,
+            first,
+            second,
+        } => {
+            w.u8(9);
+            w.string(port);
+            w.string(first);
+            w.string(second);
+        }
     }
 }
 
@@ -154,6 +171,11 @@ pub(crate) fn read_runtime_error(r: &mut Reader<'_>) -> Result<RuntimeError, Net
             fn_id: r.u32()?,
             iteration: r.u32()?,
             message: r.string()?,
+        },
+        9 => RuntimeError::RaceDetected {
+            port: r.string()?,
+            first: r.string()?,
+            second: r.string()?,
         },
         other => return Err(NetError::Protocol(format!("bad error code {other}"))),
     })
@@ -213,6 +235,7 @@ impl JobSpec {
         w.u8(u8::from(self.optimized));
         w.u8(u8::from(self.probes));
         w.u8(u8::from(self.copy_baseline));
+        w.u8(u8::from(self.race_detect));
         w.opt_u64(self.heartbeat_ms);
         w.string(&self.model);
         w.u32(self.peers.len() as u32);
@@ -244,6 +267,7 @@ impl JobSpec {
             optimized: r.u8()? != 0,
             probes: r.u8()? != 0,
             copy_baseline: r.u8()? != 0,
+            race_detect: r.u8()? != 0,
             heartbeat_ms: r.opt_u64()?,
             model: r.string()?,
             peers: {
@@ -390,6 +414,7 @@ mod tests {
             optimized: true,
             probes: false,
             copy_baseline: true,
+            race_detect: true,
             heartbeat_ms: Some(50),
             model: "(app demo)".into(),
             peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],

@@ -981,7 +981,11 @@ pub(crate) fn connect_with_retry(
             Err(e) => last_err = Some(e),
         }
     }
-    Err(last_err.expect("at least one attempt"))
+    // The loop runs at least once (`0..=max_retries`), so an error is
+    // recorded; fall back to a typed refusal rather than panicking.
+    Err(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no connect attempts")
+    }))
 }
 
 #[cfg(test)]

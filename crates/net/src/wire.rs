@@ -348,7 +348,7 @@ impl Frame {
         if buf.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
-        let magic = u32::from_be_bytes(buf[0..4].try_into().expect("4-byte slice"));
+        let magic = be_u32(buf, 0);
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
@@ -357,16 +357,16 @@ impl Frame {
             return Err(WireError::BadVersion(version));
         }
         let kind = FrameKind::from_u8(buf[5]).ok_or(WireError::BadKind(buf[5]))?;
-        let tag = u64::from_be_bytes(buf[8..16].try_into().expect("8-byte slice"));
-        let src = u32::from_be_bytes(buf[16..20].try_into().expect("4-byte slice"));
-        let dst = u32::from_be_bytes(buf[20..24].try_into().expect("4-byte slice"));
-        let job = u32::from_be_bytes(buf[24..28].try_into().expect("4-byte slice"));
-        let seq = u64::from_be_bytes(buf[28..36].try_into().expect("8-byte slice"));
-        let len = u32::from_be_bytes(buf[36..40].try_into().expect("4-byte slice"));
+        let tag = be_u64(buf, 8);
+        let src = be_u32(buf, 16);
+        let dst = be_u32(buf, 20);
+        let job = be_u32(buf, 24);
+        let seq = be_u64(buf, 28);
+        let len = be_u32(buf, 36);
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
-        let expected = u32::from_be_bytes(buf[40..44].try_into().expect("4-byte slice"));
+        let expected = be_u32(buf, 40);
         let total = HEADER_LEN + len as usize;
         if buf.len() < total {
             return Err(WireError::Truncated);
@@ -421,11 +421,11 @@ impl Frame {
         let mut header = [0u8; HEADER_LEN];
         read_exact(r, &mut header)?;
         // Parse magic and length first so we size the payload read.
-        let magic = u32::from_be_bytes(header[0..4].try_into().expect("4-byte slice"));
+        let magic = be_u32(&header, 0);
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
-        let len = u32::from_be_bytes(header[36..40].try_into().expect("4-byte slice"));
+        let len = be_u32(&header, 36);
         if len > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
@@ -439,7 +439,7 @@ impl Frame {
             return Err(WireError::BadVersion(version));
         }
         let kind = FrameKind::from_u8(header[5]).ok_or(WireError::BadKind(header[5]))?;
-        let expected = u32::from_be_bytes(header[40..44].try_into().expect("4-byte slice"));
+        let expected = be_u32(&header, 40);
         header[40..44].fill(0);
         let computed = fnv1a_32(&[&header, &payload]);
         if computed != expected {
@@ -447,14 +447,27 @@ impl Frame {
         }
         Ok(Frame {
             kind,
-            tag: u64::from_be_bytes(header[8..16].try_into().expect("8-byte slice")),
-            src: u32::from_be_bytes(header[16..20].try_into().expect("4-byte slice")),
-            dst: u32::from_be_bytes(header[20..24].try_into().expect("4-byte slice")),
-            job: u32::from_be_bytes(header[24..28].try_into().expect("4-byte slice")),
-            seq: u64::from_be_bytes(header[28..36].try_into().expect("8-byte slice")),
+            tag: be_u64(&header, 8),
+            src: be_u32(&header, 16),
+            dst: be_u32(&header, 20),
+            job: be_u32(&header, 24),
+            seq: be_u64(&header, 28),
             payload,
         })
     }
+}
+
+/// Big-endian `u32` at `buf[at..at + 4]`. The callers have already
+/// length-checked the header, so the indexing is in bounds by construction.
+fn be_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+/// Big-endian `u64` at `buf[at..at + 8]`; same bounds contract as [`be_u32`].
+fn be_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_be_bytes(b)
 }
 
 fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), WireError> {

@@ -160,7 +160,8 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
         sage_runtime::RuntimeOptions::paper_faithful()
     }
     .with_probes(spec.probes)
-    .with_copy_baseline(spec.copy_baseline);
+    .with_copy_baseline(spec.copy_baseline)
+    .with_race_detect(spec.race_detect);
 
     let collector = Arc::new(Collector::new(spec.ranks as usize, spec.probes));
     let probe = Probe::new(collector.clone(), rank);
@@ -177,6 +178,12 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
     };
 
     let t0 = Instant::now();
+    // Degraded per-process detector: it only sees this rank's serial
+    // accesses, so it is trivially clean — cross-rank race validation runs
+    // on the in-process backend.
+    let race = options
+        .race_detect
+        .then(|| sage_runtime::RaceState::new(spec.ranks as usize));
     let outcome = execute_rank(
         &mut transport,
         &program,
@@ -184,6 +191,7 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
         &options,
         spec.iterations,
         &probe,
+        race.as_ref(),
     );
     let wall_secs = t0.elapsed().as_secs_f64();
 

@@ -23,6 +23,7 @@
 use crate::function::{FnThreadCtx, Registry, RuntimeError, StripePayload};
 use crate::glue::{xfer_tag, FnRole, GlueProgram};
 use crate::options::{BufferScheme, RuntimeOptions};
+use crate::race::{fnv1a_64, Intervals, RaceState};
 use crate::striping::{Layout, PairOps, Redistribution};
 use sage_fabric::{
     Cluster, FabricError, MachineSpec, Payload, RunReport, TimePolicy, Transport, Work,
@@ -172,6 +173,23 @@ struct BufferPlan {
     ops: Vec<Vec<PairOps>>,
     dst_local_shape: Vec<usize>,
     src_local_shape: Vec<usize>,
+    /// Global byte intervals producer thread `i` contributes (union of its
+    /// pair intervals over all consumer threads). The race detector's write
+    /// footprint.
+    write_regions: Vec<Intervals>,
+}
+
+/// One input port of a function: the logical buffers that merge into it.
+/// Exactly one buffer per port in canonically generated programs; fan-in
+/// (multiple producers connected to one port) puts several.
+struct PortGroup {
+    /// Consumer port name (for race reporting).
+    port: String,
+    /// Buffer ids in function-input order (the merge order).
+    buffers: Vec<u32>,
+    /// Per consumer thread: the global byte intervals the thread's stripe
+    /// covers, unioned over the group. The race detector's read footprint.
+    read_regions: Vec<Intervals>,
 }
 
 /// Kernel resolution and buffer-redistribution planning, done once per
@@ -180,6 +198,11 @@ struct BufferPlan {
 pub struct Prepared {
     plans: Vec<BufferPlan>,
     kernels: Vec<Arc<dyn crate::function::Kernel>>,
+    /// Per function: its input buffers grouped by consumer port.
+    input_groups: Vec<Vec<PortGroup>>,
+    /// Per buffer: `(consumer fn, input-port group index)` — the conflict
+    /// domain a write to the buffer lands in.
+    buffer_group: Vec<(u32, u32)>,
 }
 
 /// Validates `program`, resolves every kernel through `registry`, and plans
@@ -253,6 +276,13 @@ pub fn prepare(program: &GlueProgram, registry: &Registry) -> Result<Prepared, R
                     })
                     .collect()
             };
+            let write_regions = (0..pf.threads as usize)
+                .map(|i| {
+                    Arc::new(crate::race::union_intervals(
+                        plan.pairs[i].iter().map(|iv| iv.as_slice()),
+                    ))
+                })
+                .collect();
             BufferPlan {
                 dst_local_shape: Layout::local_shape(
                     &b.shape,
@@ -267,10 +297,65 @@ pub fn prepare(program: &GlueProgram, registry: &Registry) -> Result<Prepared, R
                 plan,
                 aligned,
                 ops,
+                write_regions,
             }
         })
         .collect();
-    Ok(Prepared { plans, kernels })
+    // Group every function's inputs by consumer port: the buffers of one
+    // port merge into a single kernel-visible stripe. Fan-in groups must
+    // agree on the port's layout or the merge target is ill-defined.
+    let mut input_groups: Vec<Vec<PortGroup>> = Vec::with_capacity(program.functions.len());
+    let mut buffer_group = vec![(0u32, 0u32); program.buffers.len()];
+    for f in &program.functions {
+        let mut groups: Vec<PortGroup> = Vec::new();
+        for &bid in &f.inputs {
+            let port = &program.buffers[bid as usize].consumer_port;
+            match groups.iter_mut().find(|g| &g.port == port) {
+                Some(g) => g.buffers.push(bid),
+                None => groups.push(PortGroup {
+                    port: port.clone(),
+                    buffers: vec![bid],
+                    read_regions: Vec::new(),
+                }),
+            }
+        }
+        for (gi, g) in groups.iter_mut().enumerate() {
+            let first = &plans[g.buffers[0] as usize];
+            for &bid in &g.buffers[1..] {
+                let bp = &plans[bid as usize];
+                if bp.dst_local_shape != first.dst_local_shape
+                    || program.buffers[bid as usize].elem_bytes
+                        != program.buffers[g.buffers[0] as usize].elem_bytes
+                    || bp.plan.dst != first.plan.dst
+                {
+                    return Err(RuntimeError::BadProgram(format!(
+                        "function `{}` port `{}`: fan-in buffers {} and {} \
+                         disagree on the port's consumer layout",
+                        f.name, g.port, g.buffers[0], bid
+                    )));
+                }
+            }
+            g.read_regions = (0..first.plan.dst.len())
+                .map(|j| {
+                    Arc::new(crate::race::union_intervals(
+                        g.buffers
+                            .iter()
+                            .map(|&bid| plans[bid as usize].plan.dst[j].runs()),
+                    ))
+                })
+                .collect();
+            for &bid in &g.buffers {
+                buffer_group[bid as usize] = (f.id, gi as u32);
+            }
+        }
+        input_groups.push(groups);
+    }
+    Ok(Prepared {
+        plans,
+        kernels,
+        input_groups,
+        buffer_group,
+    })
 }
 
 /// Executes `program` on `machine` with the given time policy.
@@ -296,10 +381,23 @@ pub fn execute(
 
     let collector = Arc::new(Collector::new(machine.node_count(), options.probes));
     let cluster = Cluster::new(machine.clone(), policy).with_faults(options.faults.clone());
+    // One detector shared by every rank of the in-process cluster: clocks
+    // join across ranks, so cross-rank conflicts are visible.
+    let race = options
+        .race_detect
+        .then(|| RaceState::new(machine.node_count()));
 
     let (node_deposits, report) = cluster.run(|ctx| {
         let probe = Probe::new(collector.clone(), ctx.id() as u32);
-        execute_rank(ctx, program, &prepared, options, iterations, &probe)
+        execute_rank(
+            ctx,
+            program,
+            &prepared,
+            options,
+            iterations,
+            &probe,
+            race.as_ref(),
+        )
     });
 
     // Surface the root-cause error, deterministically: a node that failed
@@ -325,9 +423,12 @@ pub fn execute(
     if let Some(e) = secondary {
         return Err(e);
     }
+    // Every node thread has joined, so this is the last reference; if a
+    // clone somehow survived, an empty trace is strictly better than
+    // panicking after a successful run.
     let trace = Arc::into_inner(collector)
-        .expect("collector still shared")
-        .into_trace();
+        .map(Collector::into_trace)
+        .unwrap_or_default();
     Ok(Execution {
         report,
         trace,
@@ -400,6 +501,7 @@ pub type Deposit = ((u32, u32, u32), Payload);
 /// workers call it once per OS process with a `TcpTransport`. Unrecoverable
 /// injected faults surface as `Err(RuntimeError)` instead of panics; the
 /// fault site is also recorded in the trace when probes are on.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_rank<T: Transport>(
     ctx: &mut T,
     program: &GlueProgram,
@@ -407,6 +509,7 @@ pub fn execute_rank<T: Transport>(
     options: &RuntimeOptions,
     iterations: u32,
     probe: &Probe,
+    race: Option<&RaceState>,
 ) -> Result<Vec<Deposit>, RuntimeError> {
     let node = ctx.rank() as u32;
     // Node-local hand-off store: tag -> payload (shared, not copied).
@@ -434,6 +537,7 @@ pub fn execute_rank<T: Transport>(
                         &mut local_store,
                         &mut staging,
                         &mut deposits,
+                        race,
                     )?;
                 }
             }
@@ -465,6 +569,7 @@ pub fn execute_rank<T: Transport>(
                             &mut local_store,
                             &mut staging,
                             &mut deposits,
+                            race,
                         )?;
                     }
                 }
@@ -493,9 +598,13 @@ fn run_task<T: Transport>(
     local_store: &mut HashMap<u64, Payload>,
     staging: &mut HashMap<(u32, u32, u32), Payload>,
     deposits: &mut Vec<Deposit>,
+    race: Option<&RaceState>,
 ) -> Result<(), RuntimeError> {
     let plans = &prepared.plans;
     let kernels = &prepared.kernels;
+    if let Some(race) = race {
+        race.task_begin(node);
+    }
     // Ring-slot mapping for transfer tags: pipeline validation gives every
     // buffer a `depth`-slot ring, so the tag's iteration field is the ring
     // slot. Lock-step tags carry the iteration itself.
@@ -516,107 +625,141 @@ fn run_task<T: Transport>(
     probe.fn_start(t_start, f.id, iter);
 
     // ---- Assemble inputs -------------------------------------
-    let mut inputs: Vec<StripePayload> = Vec::with_capacity(f.inputs.len());
-    for &bid in &f.inputs {
-        let bp = &plans[bid as usize];
-        let desc = &program.buffers[bid as usize];
-        let producer = &program.functions[desc.producer as usize];
-        let dst_layout = &bp.plan.dst[tid];
+    // One kernel-visible stripe per input *port*: the buffers of a fan-in
+    // group merge into a shared buffer in `f.inputs` order, so the merge
+    // result is deterministic regardless of arrival order.
+    let groups = &prepared.input_groups[task.fn_id as usize];
+    let mut inputs: Vec<StripePayload> = Vec::with_capacity(groups.len());
+    for (gi, group) in groups.iter().enumerate() {
+        let multi = group.buffers.len() > 1;
+        let first_bp = &plans[group.buffers[0] as usize];
         let mut local: Option<Payload> = None;
-        // A `delay` arc carries the payload the producer emitted
-        // `delay` iterations earlier; while `iter < delay` there is
-        // nothing to read yet and the consumer sees the zeroed
-        // stripe the fallback below synthesizes.
-        let src_iter = iter.checked_sub(desc.delay);
-        for (i, row) in bp.plan.pairs.iter().enumerate() {
-            let Some(src_iter) = src_iter else { break };
-            let intervals = &row[tid];
-            if intervals.is_empty() {
-                continue;
-            }
-            let src_node = producer.placement[i];
-            let tag = xfer_tag(bid, slot(src_iter), i as u32, task.thread);
-            let msg = if src_node == node {
-                match local_store.remove(&tag) {
-                    Some(m) => m,
-                    None => {
-                        // The producing task has not run yet on this
-                        // node: the schedule is out of order. Nothing
-                        // was ever sent, so zero attempts were made.
-                        probe.fault(ctx.now(), bid, iter);
-                        return Err(RuntimeError::TransferFailed {
-                            node,
-                            peer: src_node,
-                            attempts: 0,
-                        });
+        for &bid in &group.buffers {
+            let bp = &plans[bid as usize];
+            let desc = &program.buffers[bid as usize];
+            let producer = &program.functions[desc.producer as usize];
+            let dst_layout = &bp.plan.dst[tid];
+            // A `delay` arc carries the payload the producer emitted
+            // `delay` iterations earlier; while `iter < delay` there is
+            // nothing to read yet and the consumer sees the zeroed
+            // stripe the fallback below synthesizes.
+            let src_iter = iter.checked_sub(desc.delay);
+            for (i, row) in bp.plan.pairs.iter().enumerate() {
+                let Some(src_iter) = src_iter else { break };
+                let intervals = &row[tid];
+                if intervals.is_empty() {
+                    continue;
+                }
+                let src_node = producer.placement[i];
+                let tag = xfer_tag(bid, slot(src_iter), i as u32, task.thread);
+                let msg = if src_node == node {
+                    match local_store.remove(&tag) {
+                        Some(m) => m,
+                        None => {
+                            // The producing task has not run yet on this
+                            // node: the schedule is out of order. Nothing
+                            // was ever sent, so zero attempts were made.
+                            probe.fault(ctx.now(), bid, iter);
+                            return Err(RuntimeError::TransferFailed {
+                                node,
+                                peer: src_node,
+                                attempts: 0,
+                            });
+                        }
                     }
-                }
-            } else {
-                let m = ctx.try_recv(src_node as usize, tag).map_err(|e| {
-                    probe.fault(ctx.now(), bid, iter);
-                    fabric_to_runtime(e)
-                })?;
-                ctx.advance(options.mpi.recv_overhead);
-                if options.copy_baseline {
-                    // The old path materialized every received
-                    // message out of the mailbox.
-                    Payload::from(&m[..])
                 } else {
-                    m
-                }
-            };
-            if bp.aligned {
-                // Whole stripe arrives as one piece: hand it off.
-                local = Some(msg);
-            } else {
-                // Unpack into the consuming function's logical
-                // buffer (interpreted descriptor walk: per-run
-                // overhead). Under the paper's unique-buffer scheme
-                // this is a full read+write pass into the
-                // function's own buffer; the improved shared scheme
-                // scatters write-only into the buffer the function
-                // reads directly (DMA-style).
-                ctx.advance(options.per_run_overhead * intervals.len() as f64);
-                match options.buffer_scheme {
-                    BufferScheme::UniquePerFunction => ctx.compute(Work::copy(msg.len())),
-                    BufferScheme::Shared => ctx.compute(Work {
-                        flops: 0.0,
-                        mem_bytes: msg.len() as f64,
-                        overhead_secs: 0.0,
-                    }),
-                }
-                let buf = local.get_or_insert_with(|| Payload::zeroed(dst_layout.len()));
-                if options.copy_baseline {
-                    // Interpreted per-interval scatter with a
-                    // to_local scan per interval.
-                    dst_layout.inject(buf.to_mut(), intervals, &msg);
+                    let m = ctx.try_recv(src_node as usize, tag).map_err(|e| {
+                        probe.fault(ctx.now(), bid, iter);
+                        fabric_to_runtime(e)
+                    })?;
+                    if let Some(race) = race {
+                        race.join_recv(node, tag);
+                    }
+                    ctx.advance(options.mpi.recv_overhead);
+                    if options.copy_baseline {
+                        // The old path materialized every received
+                        // message out of the mailbox.
+                        Payload::from(&m[..])
+                    } else {
+                        m
+                    }
+                };
+                if bp.aligned && !multi {
+                    // Whole stripe arrives as one piece: hand it off.
+                    local = Some(msg);
+                } else if bp.aligned {
+                    // Fan-in keeps the hand-off but merges it into the
+                    // port's shared buffer with a charged copy; later
+                    // buffers in the group overwrite earlier ones.
+                    ctx.compute(Work::copy(msg.len()));
+                    let buf = local.get_or_insert_with(|| Payload::zeroed(dst_layout.len()));
+                    buf.to_mut().copy_from_slice(&msg);
                 } else {
-                    // Compiled, coalesced scatter.
-                    bp.ops[i][tid].unpack_into(&msg, buf.to_mut());
+                    // Unpack into the consuming function's logical
+                    // buffer (interpreted descriptor walk: per-run
+                    // overhead). Under the paper's unique-buffer scheme
+                    // this is a full read+write pass into the
+                    // function's own buffer; the improved shared scheme
+                    // scatters write-only into the buffer the function
+                    // reads directly (DMA-style).
+                    ctx.advance(options.per_run_overhead * intervals.len() as f64);
+                    match options.buffer_scheme {
+                        BufferScheme::UniquePerFunction => ctx.compute(Work::copy(msg.len())),
+                        BufferScheme::Shared => ctx.compute(Work {
+                            flops: 0.0,
+                            mem_bytes: msg.len() as f64,
+                            overhead_secs: 0.0,
+                        }),
+                    }
+                    let buf = local.get_or_insert_with(|| Payload::zeroed(dst_layout.len()));
+                    if options.copy_baseline {
+                        // Interpreted per-interval scatter with a
+                        // to_local scan per interval.
+                        dst_layout.inject(buf.to_mut(), intervals, &msg);
+                    } else {
+                        // Compiled, coalesced scatter.
+                        bp.ops[i][tid].unpack_into(&msg, buf.to_mut());
+                    }
                 }
             }
         }
-        let mut local = local.unwrap_or_else(|| Payload::zeroed(dst_layout.len()));
+        let mut local = local.unwrap_or_else(|| Payload::zeroed(first_bp.plan.dst[tid].len()));
         // Aligned hand-offs land in the *producer's* buffer; the
         // unique-per-function scheme gives the compute function a
         // private copy ("assigns unique logical buffers to the data
         // per function", paper §3.4). The shared scheme passes the
         // pointer through. Inputs are read-only, so the zero-copy
         // plane keeps the charge but shares the bytes; the baseline
-        // physically duplicates them as the run-time shipped.
+        // physically duplicates them as the run-time shipped. Fan-in
+        // groups already merged into a private buffer above.
         if options.buffer_scheme == BufferScheme::UniquePerFunction
             && f.role == FnRole::Compute
-            && bp.aligned
+            && first_bp.aligned
+            && !multi
         {
             ctx.compute(Work::copy(local.len()));
             if options.copy_baseline {
                 local = Payload::from(&local[..]);
             }
         }
+        if let Some(race) = race {
+            let region = &group.read_regions[tid];
+            if !region.is_empty() {
+                race.read(
+                    node,
+                    (f.id, gi as u32, iter),
+                    &format!("{}.{}", f.name, group.port),
+                    program.task_path(*task),
+                    iter,
+                    region.clone(),
+                )
+                .inspect_err(|_| probe.fault(ctx.now(), f.id, iter))?;
+            }
+        }
         inputs.push(StripePayload {
             bytes: local,
-            shape: bp.dst_local_shape.clone(),
-            elem_bytes: desc.elem_bytes,
+            shape: first_bp.dst_local_shape.clone(),
+            elem_bytes: program.buffers[group.buffers[0] as usize].elem_bytes,
         });
     }
 
@@ -701,6 +844,24 @@ fn run_task<T: Transport>(
         let desc = &program.buffers[bid as usize];
         let consumer = &program.functions[desc.consumer as usize];
         let src_layout = &bp.plan.src[tid];
+        if let Some(race) = race {
+            // The write lands on the consumer-iteration version the delay
+            // shifts it to; checked before any byte leaves this rank.
+            let region = &bp.write_regions[tid];
+            if !region.is_empty() {
+                let (cf, gi) = prepared.buffer_group[bid as usize];
+                race.write(
+                    node,
+                    (cf, gi, iter + desc.delay),
+                    &format!("{}.{}", consumer.name, desc.consumer_port),
+                    program.task_path(*task),
+                    iter,
+                    region.clone(),
+                    fnv1a_64(&outputs[oi].bytes),
+                )
+                .inspect_err(|_| probe.fault(ctx.now(), bid, iter))?;
+            }
+        }
         for (j, intervals) in bp.plan.pairs[tid].iter().enumerate() {
             if intervals.is_empty() {
                 continue;
@@ -740,6 +901,9 @@ fn run_task<T: Transport>(
             if dst_node == node {
                 local_store.insert(tag, msg);
             } else {
+                if let Some(race) = race {
+                    race.stamp_send(node, tag);
+                }
                 send_with_retry(
                     ctx,
                     probe,

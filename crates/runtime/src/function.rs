@@ -130,6 +130,16 @@ pub enum RuntimeError {
         /// What went wrong.
         message: String,
     },
+    /// The vector-clock race detector found two conflicting logical-buffer
+    /// accesses with no happens-before ordering between them.
+    RaceDetected {
+        /// The contested input port, as `consumer.port`.
+        port: String,
+        /// One access, as `read/write by <task path> at iteration N`.
+        first: String,
+        /// The other access, same form.
+        second: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -176,6 +186,15 @@ impl fmt::Display for RuntimeError {
             } => write!(
                 f,
                 "sink assembly failed for function {fn_id} iteration {iteration}: {message}"
+            ),
+            RuntimeError::RaceDetected {
+                port,
+                first,
+                second,
+            } => write!(
+                f,
+                "data race on `{port}`: {first} and {second} have no \
+                 happens-before ordering"
             ),
         }
     }

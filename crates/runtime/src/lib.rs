@@ -17,7 +17,9 @@
 //!   scheme ("work underway ... to reach 90% of hand-coded");
 //! * [`executor`] — the per-node sequencer that walks the schedule,
 //!   assembles stripes, dispatches kernels, and transmits outputs, on either
-//!   the real or virtual clock.
+//!   the real or virtual clock;
+//! * [`race`] — the vector-clock race detector that cross-validates the
+//!   static `sage race` happens-before proofs at run time.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod executor;
 pub mod function;
 pub mod glue;
 pub mod options;
+pub mod race;
 pub mod striping;
 
 pub use executor::{
@@ -33,4 +36,5 @@ pub use executor::{
 pub use function::{FnThreadCtx, Kernel, Registry, RuntimeError, StripePayload};
 pub use glue::{FnRole, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Task};
 pub use options::{BufferScheme, RuntimeOptions};
+pub use race::RaceState;
 pub use striping::{CopyOp, Layout, PairOps, Redistribution};

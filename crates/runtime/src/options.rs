@@ -56,6 +56,14 @@ pub struct RuntimeOptions {
     /// corrupts or fails typed. `None` (the default) is ordinary lock-step
     /// execution.
     pub pipeline_validate: Option<u32>,
+    /// Run the vector-clock race detector alongside execution. Every task's
+    /// logical-buffer accesses are stamped with its rank's vector clock
+    /// (clocks join on mailbox hand-offs); any conflicting pair of accesses
+    /// with no happens-before ordering fails the run with a typed
+    /// [`crate::RuntimeError::RaceDetected`]. The dynamic oracle for the
+    /// static `sage race` pass: statically race-clean programs must run
+    /// detector-clean.
+    pub race_detect: bool,
 }
 
 impl RuntimeOptions {
@@ -75,6 +83,7 @@ impl RuntimeOptions {
             faults: FaultPlan::default(),
             copy_baseline: false,
             pipeline_validate: None,
+            race_detect: false,
         }
     }
 
@@ -90,6 +99,7 @@ impl RuntimeOptions {
             faults: FaultPlan::default(),
             copy_baseline: false,
             pipeline_validate: None,
+            race_detect: false,
         }
     }
 
@@ -123,6 +133,13 @@ impl RuntimeOptions {
     /// Depth 0 or 1 is lock-step.
     pub fn with_pipeline_validate(mut self, depth: u32) -> RuntimeOptions {
         self.pipeline_validate = if depth > 1 { Some(depth) } else { None };
+        self
+    }
+
+    /// Builder: run the vector-clock race detector alongside execution (see
+    /// [`RuntimeOptions::race_detect`]).
+    pub fn with_race_detect(mut self, on: bool) -> RuntimeOptions {
+        self.race_detect = on;
         self
     }
 }

@@ -5,12 +5,14 @@
 //! $ sage check    model.sexpr --nodes 8 [--deny-warnings] [--format json] [--explain]
 //! $ sage pipeline model.sexpr --nodes 8 [--depth D] [--deny-warnings] [--format json]
 //!                 [--plan F]                  # per-buffer safe pipeline depths
+//! $ sage race     model.sexpr --nodes 8 [--deny-warnings] [--format json]
+//!                                             # static happens-before race proofs
 //! $ sage explain  SAGE050                     # long-form diagnostic description
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
 //!                 [--transport local|tcp] [--copy-baseline] [--pipeline-validate D]
-//!                 [--dump-sink F] [--trace F]
+//!                 [--race-detect] [--unchecked] [--dump-sink F] [--trace F]
 //! $ sage worker   --listen 127.0.0.1:0        # host one rank of a distributed job
 //! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized] [--copy-baseline]
 //!                 [--heartbeat-ms MS] [--dump-sink F] [--trace F]
@@ -56,10 +58,12 @@ fn usage() -> ExitCode {
         "usage:\n  sage lint <model.sexpr>... [--nodes N] [--deny-warnings] [--format json] [--explain]\n  \
          sage check <model.sexpr>... [--nodes N] [--deny-warnings] [--format json] [--explain]\n  \
          sage pipeline <model.sexpr>... [--nodes N] [--depth D] [--deny-warnings] [--format json] [--plan FILE]\n  \
+         sage race <model.sexpr>... [--nodes N] [--deny-warnings] [--format json]\n  \
          sage explain [SAGE0xx]...\n  \
          sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
          sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n           \
-         [--transport local|tcp] [--copy-baseline] [--pipeline-validate D] [--dump-sink FILE] [--trace FILE]\n  \
+         [--transport local|tcp] [--copy-baseline] [--pipeline-validate D]\n           \
+         [--race-detect] [--unchecked] [--dump-sink FILE] [--trace FILE]\n  \
          sage worker [--listen ADDR]\n  \
          sage launch <model.sexpr> [--workers N] [--iters I] [--optimized] [--copy-baseline]\n              \
          [--heartbeat-ms MS] [--dump-sink FILE] [--trace FILE]\n  \
@@ -253,6 +257,9 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
                         DepthLimit::Cycle { path } => {
                             format!("feedback cycle {}", path.join(" -> "))
                         }
+                        DepthLimit::Race => {
+                            "ordering holds only at the lock-step boundary (SAGE072)".to_owned()
+                        }
                     };
                     println!(
                         "  buffer {:<3} depth {:<9} {why}",
@@ -288,6 +295,87 @@ fn cmd_pipeline(args: &Args) -> Result<(), String> {
     if failed > 0 {
         return Err(format!(
             "pipeline failed for {failed} of {} file(s)",
+            args.positional.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `sage race`: the static happens-before race pass — unordered
+/// overlapping accesses on fan-in ports (`SAGE070`/`SAGE071`),
+/// depth-conditional orderings (`SAGE072`), benign splats (`SAGE073`) —
+/// plus the proven analysis artifact (graph sizes, capped buffers).
+fn cmd_race(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("race needs at least one model file".into());
+    }
+    let nodes = args.usize_or("nodes", 4);
+    let deny_warnings = args.has("deny-warnings");
+    let json = match args.get("format") {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --format `{other}` (text|json)")),
+    };
+    let mut failed = 0usize;
+    for path in &args.positional {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (analysis, diags) = sage_core::race_model_source(&source, nodes);
+        if json {
+            let analysis_json = analysis.as_ref().map_or("null".to_owned(), |a| {
+                format!(
+                    "{{\"positions\":{},\"sync_edges\":{},\"capped\":[{}],\"findings\":{}}}",
+                    a.positions,
+                    a.sync_edges,
+                    a.capped
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    a.findings.len()
+                )
+            });
+            println!(
+                "{{\"race\":{analysis_json},\"diagnostics\":{}}}",
+                diags.to_json(path, Some(&source))
+            );
+        } else {
+            if !diags.is_empty() {
+                eprint!("{}", diags.render(path, Some(&source)));
+            }
+            if let Some(a) = &analysis {
+                println!(
+                    "{path}: happens-before graph of {} positions, {} sync edges",
+                    a.positions, a.sync_edges
+                );
+                if a.is_clean() && a.findings.is_empty() {
+                    println!("  race-free: every overlapping access pair is ordered");
+                } else if a.is_clean() {
+                    println!("  no races; {} warning finding(s)", a.findings.len());
+                } else {
+                    println!("  {} race finding(s) — see diagnostics above", {
+                        a.findings
+                            .iter()
+                            .filter(|f| f.code == "SAGE070" || f.code == "SAGE071")
+                            .count()
+                    });
+                }
+                if !a.capped.is_empty() {
+                    let ids: Vec<String> = a.capped.iter().map(u32::to_string).collect();
+                    println!(
+                        "  pipeline depth capped at 1 for buffer(s) {} (SAGE072)",
+                        ids.join(", ")
+                    );
+                }
+            }
+        }
+        if diags.fails(deny_warnings) {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "race failed for {failed} of {} file(s)",
             args.positional.len()
         ));
     }
@@ -490,6 +578,7 @@ fn run_over_tcp(args: &Args, text: &str, workers: usize, iters: u32) -> Result<(
         optimized: args.has("optimized"),
         probes: true,
         copy_baseline: args.has("copy-baseline"),
+        race_detect: args.has("race-detect"),
         heartbeat_ms: args.heartbeat_ms()?,
     };
     let outcome: LaunchOutcome =
@@ -518,7 +607,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let nodes = args.usize_or("nodes", 4);
     auto_lint(path, &text, nodes)?;
-    auto_check(path, &text, nodes)?;
+    if args.has("unchecked") {
+        // Escape hatch for cross-validating the static gates against the
+        // run-time's own defenses (e.g. a statically proven race against
+        // `--race-detect`): skip the pre-run abstract interpretation.
+        eprintln!("warning: --unchecked skips `sage check`; the program may fail at run time");
+    } else {
+        auto_check(path, &text, nodes)?;
+    }
     let iters = args.usize_or("iters", 3) as u32;
     match args.get("transport") {
         None | Some("local") => {}
@@ -544,7 +640,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         RuntimeOptions::paper_faithful()
     }
     .with_probes(true)
-    .with_copy_baseline(args.has("copy-baseline"));
+    .with_copy_baseline(args.has("copy-baseline"))
+    .with_race_detect(args.has("race-detect"));
     let policy = if args.has("real") {
         TimePolicy::Real
     } else {
@@ -1093,6 +1190,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&args),
         "check" => cmd_check(&args),
         "pipeline" => cmd_pipeline(&args),
+        "race" => cmd_race(&args),
         "explain" => cmd_explain(&args),
         "inspect" => cmd_inspect(&args),
         "codegen" => cmd_codegen(&args),

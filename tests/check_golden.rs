@@ -115,6 +115,76 @@ fn feedback_cycle_min_warns_sage061() {
     check_model_golden("feedback_cycle_min", 2, "SAGE061");
 }
 
+/// The acceptance contract for the happens-before race pass: the minimal
+/// unordered fan-in model is rejected *statically* with a SAGE070 naming
+/// both producers' task paths, and the same program fails *typed* under
+/// the run-time's vector-clock detector.
+#[test]
+fn race_min_is_caught_by_both_layers() {
+    // Statically: SAGE070, naming both unordered writers.
+    let src = std::fs::read_to_string(fixture_path("race_min.sexpr")).unwrap();
+    let diags = check_model_source(&src, 2);
+    let d = diags
+        .diags
+        .iter()
+        .find(|d| d.code == "SAGE070")
+        .unwrap_or_else(|| panic!("expected SAGE070, got {:?}", diags.diags));
+    assert!(
+        d.message.contains("`src_a[0]` (node 0, slot 0)")
+            && d.message.contains("`src_b[1]` (node 1, slot 1)"),
+        "finding must name both racing task paths: {}",
+        d.message
+    );
+    check_golden("race_min", &diags.render("race_min.sexpr", Some(&src)));
+
+    // Dynamically: the vector-clock detector fails the run typed, naming
+    // the same port.
+    let (project, program) = fixture_project("race_min", 2);
+    let err = project
+        .execute(
+            &program,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful().with_race_detect(true),
+            2,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            sage_core::ProjectError::Runtime(RuntimeError::RaceDetected { port, .. })
+                if port == "snk.in"
+        ),
+        "expected RaceDetected on `snk.in`, got: {err}"
+    );
+}
+
+/// Every committed example model is statically race-free *and* runs
+/// detector-clean — the two layers must agree on clean programs too.
+#[test]
+fn committed_example_models_run_detector_clean() {
+    let dir = format!("{}/examples/models", env!("CARGO_MANIFEST_DIR"));
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("sexpr") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_str().unwrap();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let model = model_from_sexpr(&src).unwrap();
+        let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(4));
+        sage_apps::kernels::register_kernels(&mut project.registry);
+        let (program, _) = project.generate(&Placement::Aligned).unwrap();
+        project
+            .execute(
+                &program,
+                TimePolicy::Virtual,
+                &RuntimeOptions::paper_faithful().with_race_detect(true),
+                2,
+            )
+            .unwrap_or_else(|e| panic!("{name} must run detector-clean: {e}"));
+    }
+}
+
 /// Loads a fixture model, generates its aligned glue program, and returns
 /// a ready-to-execute project plus the program.
 fn fixture_project(name: &str, nodes: usize) -> (Project, GlueProgram) {

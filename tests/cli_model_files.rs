@@ -108,6 +108,66 @@ fn sage_pipeline_proves_example_and_plan_round_trips() {
     let _ = std::fs::remove_file(&plan_file);
 }
 
+/// `sage race` proves a committed example race-free under `--deny-warnings`
+/// (exactly as CI runs it) and prints the happens-before graph size.
+#[test]
+fn sage_race_proves_example_race_free() {
+    let out = std::process::Command::new(common::sage_bin())
+        .args([
+            "race",
+            &common::model_path("beamformer_64.sexpr"),
+            "--deny-warnings",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("happens-before graph"), "{stdout}");
+    assert!(stdout.contains("race-free"), "{stdout}");
+}
+
+/// The racy fixture fails `sage race` with SAGE070 on stderr, and fails a
+/// `--race-detect --unchecked` run typed with the dynamic detector's
+/// data-race report — both layers through the real CLI.
+#[test]
+fn sage_race_and_race_detect_reject_racy_fixture() {
+    let fixture = format!(
+        "{}/tests/fixtures/race_min.sexpr",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let out = std::process::Command::new(common::sage_bin())
+        .args(["race", &fixture, "--nodes", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "race_min must be rejected");
+    let all = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(all.contains("SAGE070"), "{all}");
+
+    let out = std::process::Command::new(common::sage_bin())
+        .args([
+            "run",
+            &fixture,
+            "--nodes",
+            "2",
+            "--race-detect",
+            "--unchecked",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "detector must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("data race on `snk.in`"), "{stderr}");
+}
+
 /// Requesting a depth above the proven cap fails the CLI with the hazard
 /// diagnostic on stderr.
 #[test]

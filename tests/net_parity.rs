@@ -119,6 +119,7 @@ fn killed_worker_surfaces_typed_failure() {
         optimized: false,
         probes: false,
         copy_baseline: false,
+        race_detect: false,
         heartbeat_ms: None,
     };
     let spawn = |rank: usize| {
