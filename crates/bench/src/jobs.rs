@@ -216,6 +216,8 @@ pub fn bench_fork_jobs(
             copy_baseline: false,
             race_detect: false,
             heartbeat_ms: None,
+            pipeline: None,
+            pipeline_depths: Vec::new(),
         };
         let outcome = launch(&model, &opts, spawn_worker).map_err(|e| e.to_string())?;
         Ok(fnv1a_64(&sink_stream(

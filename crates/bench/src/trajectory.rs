@@ -10,9 +10,10 @@
 //! a quick re-run must stay within [`DEFAULT_TOLERANCE`] of the recorded
 //! bandwidth.
 
+use sage_atot::TaskMapping;
 use sage_core::{model_from_sexpr, Placement, Project};
 use sage_fabric::TimePolicy;
-use sage_model::HardwareShelf;
+use sage_model::{HardwareShelf, ProcId};
 use sage_net::{launch, LaunchOptions, Spawner};
 use sage_runtime::{FnRole, GlueProgram, RuntimeOptions, SinkResults};
 
@@ -24,6 +25,22 @@ pub const BENCH_MODELS: [(&str, &str); 4] = [
     ("image_filter_128", "examples/models/image_filter_128.sexpr"),
     ("stap_128", "examples/models/stap_128.sexpr"),
 ];
+
+/// The models `sage bench --pipeline` sweeps: the trajectory set plus the
+/// beamformer, whose long cross-node chain is where streaming pays most.
+pub const PIPELINE_MODELS: [(&str, &str); 5] = [
+    ("fft2d_64", "examples/models/fft2d_64.sexpr"),
+    ("corner_turn_256", "examples/models/corner_turn_256.sexpr"),
+    ("image_filter_128", "examples/models/image_filter_128.sexpr"),
+    ("stap_128", "examples/models/stap_128.sexpr"),
+    ("beamformer_64", "examples/models/beamformer_64.sexpr"),
+];
+
+/// Requested global ring depth for `sage bench --pipeline`; each model
+/// runs at `min(proven safe depth, this)` so every cell is provably safe.
+/// Eight frames in flight is enough to cover the cross-group round-trip
+/// on every committed model; the proven depths are all far deeper.
+pub const PIPELINE_BENCH_DEPTH: u32 = 8;
 
 /// Ranks (local nodes or worker processes) each bench run uses.
 pub const BENCH_NODES: usize = 4;
@@ -44,6 +61,15 @@ pub fn bench_iterations() -> u32 {
     } else {
         24
     }
+}
+
+/// Iterations per `sage bench --pipeline` cell: the trajectory count with
+/// a floor of twice [`PIPELINE_BENCH_DEPTH`], so the streaming run spends
+/// most of its frames in steady state instead of ring fill/drain. The
+/// cells run on the virtual clock, so the floor costs negligible wall
+/// time even under `SAGE_QUICK`.
+pub fn pipeline_iterations() -> u32 {
+    bench_iterations().max(2 * PIPELINE_BENCH_DEPTH)
 }
 
 /// One measured (model, transport, data-plane) cell.
@@ -210,6 +236,8 @@ pub fn bench_tcp(
         copy_baseline,
         race_detect: false,
         heartbeat_ms: None,
+        pipeline: None,
+        pipeline_depths: Vec::new(),
     };
     let outcome = launch(model_text, &opts, spawn).map_err(|e| e.to_string())?;
     let sink = sink_stream(&outcome.program, &outcome.results, iterations);
@@ -228,6 +256,151 @@ pub fn bench_tcp(
         raw,
         &sink,
     ))
+}
+
+/// One measured streaming-pipeline cell (`sage bench --pipeline`):
+/// lock-step vs the streaming executor at the proven-safe depth, on the
+/// in-process fabric's virtual clock (frames/sec in deterministic model
+/// time, independent of host load).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineResult {
+    /// Model name (`fft2d_64`, ...).
+    pub model: String,
+    /// Ranks the run used.
+    pub nodes: usize,
+    /// Iterations (data frames) executed.
+    pub iterations: u32,
+    /// Global ring depth the streaming run used
+    /// (`min(proven, PIPELINE_BENCH_DEPTH)`).
+    pub depth: u32,
+    /// Lock-step frames per virtual second.
+    pub lockstep_fps: f64,
+    /// Streaming frames per virtual second.
+    pub pipelined_fps: f64,
+    /// `pipelined_fps / lockstep_fps`.
+    pub speedup: f64,
+    /// FNV-1a-64 over the assembled sink output — lock-step and streaming
+    /// must agree bit-for-bit or the cell fails instead of reporting.
+    pub checksum: u64,
+}
+
+/// Runs one virtual-clock execution per repeat and keeps the smallest
+/// makespan (the streaming scheduler's issue order can vary with host
+/// timing even though its output bytes cannot).
+fn best_virtual_run(
+    project: &Project,
+    program: &GlueProgram,
+    options: &RuntimeOptions,
+    iterations: u32,
+) -> Result<(f64, u64), String> {
+    let mut best: Option<f64> = None;
+    let mut checksum = 0u64;
+    for rep in 0..=LOCAL_REPEATS {
+        let exec = project
+            .execute(program, TimePolicy::Virtual, options, iterations)
+            .map_err(|e| e.to_string())?;
+        let sink = sink_stream(program, &exec.results, iterations);
+        checksum = fnv1a_64(&sink);
+        if rep == 0 {
+            continue;
+        }
+        if best.is_none_or(|b| exec.report.makespan < b) {
+            best = Some(exec.report.makespan);
+        }
+    }
+    Ok((
+        best.expect("at least one timed bench run").max(1e-9),
+        checksum,
+    ))
+}
+
+/// Builds the stage-pipelined placement the pipeline bench runs on: the
+/// block chain is split into two cost-balanced stage groups, each group
+/// striped over half the nodes.
+///
+/// The SPMD-aligned mapping gives streaming nothing to overlap: every rank
+/// runs every stage, and the fabric charges message serialization to the
+/// sender's clock, so an aligned lock-step rank never waits (measured
+/// `wait_secs` is zero on all committed models). Splitting the chain
+/// across disjoint node groups puts a real cross-group round-trip inside
+/// every frame — lock-step eats it as idle time, while the streaming
+/// executor fills it with later frames' compute. Both cells of each bench
+/// row run on this same placement, so the comparison is apples-to-apples.
+fn stage_pipelined_placement(project: &Project) -> Result<Placement, String> {
+    let flat = project.app.flatten().map_err(|e| e.to_string())?;
+    let costs: Vec<f64> = flat.blocks().iter().map(|b| b.cost().flops).collect();
+    // Greedy running balance: each block goes to the group with less
+    // accumulated compute, keeping the two halves of the machine equally
+    // busy in steady state.
+    let mut acc = [0.0f64; 2];
+    let mut groups = Vec::with_capacity(costs.len());
+    for &c in &costs {
+        let g = usize::from(acc[0] > acc[1]);
+        acc[g] += c;
+        groups.push(g);
+    }
+    // A single dominant block (corner turn) can swallow one whole group;
+    // alternate instead so both node groups stay on the critical path.
+    if groups.iter().all(|&g| g == groups[0]) {
+        for (bi, g) in groups.iter_mut().enumerate() {
+            *g = bi % 2;
+        }
+    }
+    let per = (project.hardware.node_count() / 2).max(1);
+    let mut nodes = Vec::new();
+    for (bi, b) in flat.blocks().iter().enumerate() {
+        for t in 0..b.threads() {
+            nodes.push(ProcId((groups[bi] * per + t % per) as u32));
+        }
+    }
+    Ok(Placement::Tasks(TaskMapping { nodes }))
+}
+
+/// Benches one model's streaming executor against lock-step at the
+/// statically proven safe depth (capped at [`PIPELINE_BENCH_DEPTH`]),
+/// with per-buffer ring caps from the same plan. Both cells run on the
+/// [`stage_pipelined_placement`] so the lock-step baseline has real
+/// communication bubbles for streaming to reclaim.
+pub fn bench_pipeline(
+    name: &str,
+    model_text: &str,
+    iterations: u32,
+) -> Result<PipelineResult, String> {
+    let model = model_from_sexpr(model_text).map_err(|e| e.to_string())?;
+    let mut project = Project::new(model, HardwareShelf::cspi_with_nodes(BENCH_NODES));
+    sage_apps::kernels::register_kernels(&mut project.registry);
+    let placement = stage_pipelined_placement(&project)?;
+    let (program, _) = project.generate(&placement).map_err(|e| e.to_string())?;
+    let (caps, proven) = match sage_check::pipeline_plan(&program, &project.hardware) {
+        Some(p) => (
+            p.buffers.iter().map(|b| b.safe_depth).collect::<Vec<u32>>(),
+            p.safe_depth,
+        ),
+        None => (Vec::new(), PIPELINE_BENCH_DEPTH),
+    };
+    let depth = proven.clamp(1, PIPELINE_BENCH_DEPTH);
+    let base = RuntimeOptions::paper_faithful().with_copy_baseline(false);
+    let (lock_mk, lock_sum) = best_virtual_run(&project, &program, &base, iterations)?;
+    let streaming = base.clone().with_pipeline(depth).with_pipeline_depths(caps);
+    let (pipe_mk, pipe_sum) = best_virtual_run(&project, &program, &streaming, iterations)?;
+    if lock_sum != pipe_sum {
+        return Err(format!(
+            "pipeline bench `{name}`: streaming sink checksum {pipe_sum:#018x} \
+             diverged from lock-step {lock_sum:#018x}"
+        ));
+    }
+    let lockstep_fps = f64::from(iterations) / lock_mk;
+    let pipelined_fps = f64::from(iterations) / pipe_mk;
+    Ok(PipelineResult {
+        model: name.to_string(),
+        nodes: BENCH_NODES,
+        iterations,
+        depth,
+        lockstep_fps,
+        pipelined_fps,
+        speedup: pipelined_fps / lockstep_fps.max(1e-12),
+        checksum: lock_sum,
+    })
 }
 
 // ---- JSON writer / parser --------------------------------------------
@@ -269,7 +442,17 @@ pub struct BenchDoc {
     /// The job-service throughput cells (empty in v1 documents and in
     /// runs without `--jobs`).
     pub jobs: Vec<JobsCell>,
+    /// The streaming-pipeline cells (empty in v1/v2 documents and in runs
+    /// without `--pipeline`).
+    pub pipeline: Vec<PipelineResult>,
 }
+
+/// Frames/sec regression tolerated by [`check_pipeline_regression`]: a
+/// run must reach at least `1 - PIPELINE_TOLERANCE` of the committed
+/// streaming frame rate. Virtual-clock fps is deterministic modulo the
+/// scheduler's timing-dependent issue order, so the bandwidth tolerance
+/// is plenty.
+pub const PIPELINE_TOLERANCE: f64 = 0.25;
 
 /// Throughput regression tolerated by [`check_jobs_regression`]: a run
 /// must reach at least half the committed jobs/sec. Job cells measure
@@ -278,10 +461,10 @@ pub struct BenchDoc {
 pub const JOBS_TOLERANCE: f64 = 0.5;
 
 /// Serializes results as the `BENCH_runtime.json` document (schema
-/// `sage-bench/v2`; v1 lacked the `jobs` array).
+/// `sage-bench/v3`; v1 lacked the `jobs` array, v2 lacked `pipeline`).
 pub fn to_json_doc(doc: &BenchDoc) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"sage-bench/v2\",\n");
+    out.push_str("  \"schema\": \"sage-bench/v3\",\n");
     out.push_str(&format!("  \"quick\": {},\n", doc.quick));
     out.push_str("  \"results\": [\n");
     for (i, r) in doc.results.iter().enumerate() {
@@ -322,16 +505,35 @@ pub fn to_json_doc(doc: &BenchDoc) -> String {
             "}\n"
         });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"pipeline\": [\n");
+    for (i, p) in doc.pipeline.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"model\": \"{}\", ", p.model));
+        out.push_str(&format!("\"nodes\": {}, ", p.nodes));
+        out.push_str(&format!("\"iterations\": {}, ", p.iterations));
+        out.push_str(&format!("\"depth\": {}, ", p.depth));
+        out.push_str(&format!("\"lockstep_fps\": {}, ", p.lockstep_fps));
+        out.push_str(&format!("\"pipelined_fps\": {}, ", p.pipelined_fps));
+        out.push_str(&format!("\"speedup\": {}, ", p.speedup));
+        out.push_str(&format!("\"checksum\": \"{:#018x}\"", p.checksum));
+        out.push_str(if i + 1 < doc.pipeline.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
-/// Serializes trajectory results alone (no job cells).
+/// Serializes trajectory results alone (no job or pipeline cells).
 pub fn to_json(results: &[BenchResult], quick: bool) -> String {
     to_json_doc(&BenchDoc {
         quick,
         results: results.to_vec(),
         jobs: Vec::new(),
+        pipeline: Vec::new(),
     })
 }
 
@@ -395,15 +597,16 @@ fn objects(body: &str) -> impl Iterator<Item = &str> {
 }
 
 /// Parses a `BENCH_runtime.json` document — the schema validation CI runs
-/// on every generated file. Accepts both `sage-bench/v2` and the older
-/// `sage-bench/v1` (which had no `jobs` array; such documents parse with
-/// empty job cells).
+/// on every generated file. Accepts `sage-bench/v3` and the older v2/v1
+/// schemas (v1 had no `jobs` array, v2 no `pipeline`; older documents
+/// parse with those cell lists empty).
 pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
     let schema = field(json, "schema")?;
-    let v2 = match schema {
-        "sage-bench/v2" => true,
-        "sage-bench/v1" => false,
-        _ => return Err("bench json: unknown schema (want sage-bench/v1|v2)".into()),
+    let version = match schema {
+        "sage-bench/v3" => 3,
+        "sage-bench/v2" => 2,
+        "sage-bench/v1" => 1,
+        _ => return Err("bench json: unknown schema (want sage-bench/v1|v2|v3)".into()),
     };
     let quick = field(json, "quick")? == "true";
     let body = array_body(json, "results").ok_or("bench json: missing `results` array")?;
@@ -428,8 +631,8 @@ pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
         return Err("bench json: empty results".into());
     }
     let mut jobs = Vec::new();
-    if v2 {
-        let body = array_body(json, "jobs").ok_or("bench json: v2 document missing `jobs`")?;
+    if version >= 2 {
+        let body = array_body(json, "jobs").ok_or("bench json: v2+ document missing `jobs`")?;
         for obj in objects(body) {
             jobs.push(JobsCell {
                 mode: field(obj, "mode")?.to_string(),
@@ -443,10 +646,28 @@ pub fn parse_doc(json: &str) -> Result<BenchDoc, String> {
             });
         }
     }
+    let mut pipeline = Vec::new();
+    if version >= 3 {
+        let body =
+            array_body(json, "pipeline").ok_or("bench json: v3 document missing `pipeline`")?;
+        for obj in objects(body) {
+            pipeline.push(PipelineResult {
+                model: field(obj, "model")?.to_string(),
+                nodes: num(obj, "nodes")?,
+                iterations: num(obj, "iterations")?,
+                depth: num(obj, "depth")?,
+                lockstep_fps: num(obj, "lockstep_fps")?,
+                pipelined_fps: num(obj, "pipelined_fps")?,
+                speedup: num(obj, "speedup")?,
+                checksum: parse_checksum(obj)?,
+            });
+        }
+    }
     Ok(BenchDoc {
         quick,
         results,
         jobs,
+        pipeline,
     })
 }
 
@@ -517,6 +738,39 @@ pub fn check_jobs_regression(
     Ok(())
 }
 
+/// Fails if any streaming-pipeline cell present in both runs lost more
+/// than `tolerance` of its committed frames/sec, or fell below its
+/// committed speedup floored the same way. A baseline without pipeline
+/// cells (a v1/v2 document, or a run without `--pipeline`) gates nothing.
+pub fn check_pipeline_regression(
+    current: &[PipelineResult],
+    baseline: &[PipelineResult],
+    tolerance: f64,
+) -> Result<(), String> {
+    let mut checked = 0usize;
+    for b in baseline {
+        let Some(c) = current
+            .iter()
+            .find(|c| c.model == b.model && c.nodes == b.nodes)
+        else {
+            continue;
+        };
+        checked += 1;
+        let floor = b.pipelined_fps * (1.0 - tolerance);
+        if c.pipelined_fps < floor {
+            return Err(format!(
+                "pipeline regression: {} measured {:.1} frames/s, committed {:.1} frames/s \
+                 (floor {:.1})",
+                c.model, c.pipelined_fps, b.pipelined_fps, floor
+            ));
+        }
+    }
+    if checked == 0 && !baseline.is_empty() {
+        return Err("bench baseline pipeline cells share nothing with this run".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,6 +805,19 @@ mod tests {
         }
     }
 
+    fn pipeline_sample(model: &str, fps: f64) -> PipelineResult {
+        PipelineResult {
+            model: model.into(),
+            nodes: 4,
+            iterations: 24,
+            depth: 3,
+            lockstep_fps: fps / 1.5,
+            pipelined_fps: fps,
+            speedup: 1.5,
+            checksum: 0x106286f4fa7ffcfd,
+        }
+    }
+
     #[test]
     fn json_round_trips() {
         let rs = vec![sample("fft2d_64", 8.0), sample("corner_turn_256", 80.5)];
@@ -559,13 +826,17 @@ mod tests {
     }
 
     #[test]
-    fn v2_doc_round_trips_with_job_cells() {
+    fn v3_doc_round_trips_with_job_and_pipeline_cells() {
         let doc = BenchDoc {
             quick: false,
             results: vec![sample("fft2d_64", 8.0)],
             jobs: vec![
                 jobs_sample("fleet", 64, 120.0),
                 jobs_sample("fork", 64, 11.5),
+            ],
+            pipeline: vec![
+                pipeline_sample("fft2d_64", 900.0),
+                pipeline_sample("beamformer_64", 300.0),
             ],
         };
         assert_eq!(parse_doc(&to_json_doc(&doc)).unwrap(), doc);
@@ -575,19 +846,53 @@ mod tests {
     fn v1_documents_still_parse() {
         // A committed pre-jobs baseline: v1 schema, no `jobs` array.
         let json = to_json(&[sample("m", 1.0)], false)
-            .replace("sage-bench/v2", "sage-bench/v1")
-            .replace("  \"jobs\": [\n  ]\n", "");
+            .replace("sage-bench/v3", "sage-bench/v1")
+            .replace("  \"jobs\": [\n  ],\n", "")
+            .replace("  \"pipeline\": [\n  ]\n", "");
         let doc = parse_doc(&json).unwrap();
         assert_eq!(doc.results.len(), 1);
         assert!(doc.jobs.is_empty());
+        assert!(doc.pipeline.is_empty());
+    }
+
+    #[test]
+    fn v2_documents_still_parse() {
+        // A committed pre-pipeline baseline: v2 schema with job cells but
+        // no `pipeline` array.
+        let doc = BenchDoc {
+            quick: false,
+            results: vec![sample("m", 1.0)],
+            jobs: vec![jobs_sample("fleet", 8, 100.0)],
+            pipeline: Vec::new(),
+        };
+        let json = to_json_doc(&doc)
+            .replace("sage-bench/v3", "sage-bench/v2")
+            .replace("  \"pipeline\": [\n  ]\n", "");
+        let parsed = parse_doc(&json).unwrap();
+        assert_eq!(parsed.jobs, doc.jobs);
+        assert!(parsed.pipeline.is_empty());
     }
 
     #[test]
     fn schema_is_validated() {
         assert!(parse_results("{}").is_err());
         assert!(parse_results("{\"schema\": \"other/v9\", \"results\": []}").is_err());
-        let json = to_json(&[sample("m", 1.0)], false).replace("sage-bench/v2", "bogus");
+        let json = to_json(&[sample("m", 1.0)], false).replace("sage-bench/v3", "bogus");
         assert!(parse_results(&json).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn pipeline_regression_gate() {
+        let committed = vec![pipeline_sample("fft2d_64", 100.0)];
+        let ok = vec![pipeline_sample("fft2d_64", 80.0)];
+        let bad = vec![pipeline_sample("fft2d_64", 70.0)];
+        assert!(check_pipeline_regression(&ok, &committed, 0.25).is_ok());
+        assert!(check_pipeline_regression(&bad, &committed, 0.25).is_err());
+        // Disjoint cells are an error when the baseline has pipeline cells...
+        let other = vec![pipeline_sample("stap_128", 99.0)];
+        assert!(check_pipeline_regression(&other, &committed, 0.25).is_err());
+        // ...but a pre-pipeline (v1/v2) baseline gates nothing.
+        assert!(check_pipeline_regression(&bad, &[], 0.25).is_ok());
     }
 
     #[test]

@@ -386,6 +386,24 @@ impl NodeCtx {
         Ok(msg.payload)
     }
 
+    /// Nonblocking readiness probe: `true` when [`NodeCtx::try_recv`] for
+    /// `(src, tag)` would return a message without waiting. In virtual mode
+    /// a queued message whose arrival time is still ahead of this node's
+    /// clock counts as *not* ready — consuming it now would charge wait
+    /// time, which is exactly what an overlapping scheduler is trying to
+    /// avoid.
+    pub fn recv_ready(&self, src: usize, tag: u64) -> bool {
+        if src >= self.nodes() || self.failed_self {
+            return false;
+        }
+        let mbox = &self.shared.mailboxes[self.id];
+        let queues = mbox.queues.lock().unwrap_or_else(PoisonError::into_inner);
+        match queues.get(&(src as u32, tag)).and_then(|q| q.front()) {
+            Some(m) => !self.shared.policy.is_virtual() || m.arrival <= self.clock,
+            None => false,
+        }
+    }
+
     /// Zero-copy [`NodeCtx::try_sendrecv`].
     pub fn try_sendrecv_payload(
         &mut self,

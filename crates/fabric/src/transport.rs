@@ -49,6 +49,17 @@ pub trait Transport {
     /// Receives the next message from rank `src` with matching `tag`.
     fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError>;
 
+    /// Nonblocking readiness probe: `true` when [`Transport::try_recv`] for
+    /// `(src, tag)` would return a message without waiting. Purely advisory
+    /// — a `false` answer never implies the message will not arrive, and an
+    /// overlapping scheduler must still fall back to a blocking receive for
+    /// forward progress. Backends that cannot peek their mailbox keep the
+    /// default `false`, which degrades streaming execution to blocking
+    /// issuance in dependency order (correct, just without overlap).
+    fn try_recv_ready(&mut self, _src: usize, _tag: u64) -> bool {
+        false
+    }
+
     /// Combined send-then-receive with one peer.
     fn try_sendrecv(
         &mut self,
@@ -116,6 +127,10 @@ impl Transport for crate::cluster::NodeCtx {
 
     fn try_recv(&mut self, src: usize, tag: u64) -> Result<Payload, FabricError> {
         crate::cluster::NodeCtx::try_recv_payload(self, src, tag)
+    }
+
+    fn try_recv_ready(&mut self, src: usize, tag: u64) -> bool {
+        crate::cluster::NodeCtx::recv_ready(self, src, tag)
     }
 
     fn now(&self) -> f64 {

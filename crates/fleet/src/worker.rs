@@ -231,10 +231,11 @@ fn run_fleet_job(
     // every other job on the daemon.
     let (metrics, links) = transport.finish();
     match outcome {
-        Ok(deposits) => RankReport {
+        Ok(outcome) => RankReport {
             rank,
             error: None,
-            deposits: deposits
+            deposits: outcome
+                .deposits
                 .into_iter()
                 .map(|(key, payload)| (key, payload.into_vec()))
                 .collect(),

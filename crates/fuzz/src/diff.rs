@@ -2,11 +2,13 @@
 //!
 //! A lint/check-clean model must produce **bit-identical** sink bytes in
 //! every cell of the {local, tcp} × {zero-copy, copy-baseline} lattice,
-//! and again along the {lock-step, pipeline-validate} scheduling axis:
-//! when the pipeline-safety pass proves a depth >= 2 safe, a
-//! block-interleaved run at that depth must reproduce the lock-step
-//! checksum exactly (an unsound depth proof shows up here as silent
-//! corruption). It then runs under seeded random [`FaultPlan`]s, where
+//! and again along the {lock-step, pipeline-validate, streaming}
+//! scheduling axis: when the pipeline-safety pass proves a depth >= 2
+//! safe, a block-interleaved run at that depth must reproduce the
+//! lock-step checksum exactly (an unsound depth proof shows up here as
+//! silent corruption), and the streaming dataflow executor must do the
+//! same at the proven depth while conserving every backpressure credit
+//! (issued == retired). It then runs under seeded random [`FaultPlan`]s, where
 //! each run must either reproduce the fault-free checksum exactly or
 //! fail with a typed error — never hang, never silently corrupt.
 //!
@@ -185,6 +187,17 @@ impl Default for DiffConfig {
     }
 }
 
+/// Which scheduling mode a local differential run executes under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PipeMode {
+    /// Plain lock-step walk.
+    LockStep,
+    /// Block-interleaved pipeline-validate mode at a proven depth.
+    Validate(u32),
+    /// The streaming executor at a global depth with per-buffer ring caps.
+    Streaming(u32, Vec<u32>),
+}
+
 fn run_local(
     source: &str,
     nodes: usize,
@@ -192,7 +205,7 @@ fn run_local(
     copy_baseline: bool,
     race_detect: bool,
     plan: Option<FaultPlan>,
-    pipeline: Option<u32>,
+    mode: PipeMode,
 ) -> Result<(u64, Vec<u64>), String> {
     let app = sage_core::model_from_sexpr(source).map_err(|e| format!("parse: {e}"))?;
     let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(nodes));
@@ -207,8 +220,14 @@ fn run_local(
     if let Some(plan) = plan {
         options = options.with_faults(plan);
     }
-    if let Some(depth) = pipeline {
-        options = options.with_pipeline_validate(depth);
+    match &mode {
+        PipeMode::LockStep => {}
+        PipeMode::Validate(depth) => options = options.with_pipeline_validate(*depth),
+        PipeMode::Streaming(depth, caps) => {
+            options = options
+                .with_pipeline(*depth)
+                .with_pipeline_depths(caps.clone());
+        }
     }
     let exec = project
         .execute(&program, TimePolicy::Virtual, &options, iterations)
@@ -216,6 +235,14 @@ fn run_local(
             ProjectError::Runtime(e) => format!("runtime: {e}"),
             ProjectError::Codegen(e) => format!("codegen: {e}"),
         })?;
+    if matches!(mode, PipeMode::Streaming(..))
+        && exec.stream.credits_issued != exec.stream.credits_retired
+    {
+        return Err(format!(
+            "credit leak: issued {} != retired {}",
+            exec.stream.credits_issued, exec.stream.credits_retired
+        ));
+    }
     let bytes = sink_bytes(&program, &exec.results, iterations);
     if bytes.is_empty() {
         return Err("sink produced no bytes".into());
@@ -247,6 +274,8 @@ fn run_tcp(
         // serial order and stamp handling, never cross-rank pairs.
         race_detect: true,
         heartbeat_ms: None,
+        pipeline: None,
+        pipeline_depths: Vec::new(),
     };
     let outcome = sage_net::launch(source, &opts, spawner).map_err(|e| format!("launch: {e}"))?;
     let bytes = sink_bytes(&outcome.program, &outcome.results, iterations);
@@ -289,7 +318,7 @@ pub fn run_cell(
             cell.copy_baseline,
             race_detect,
             plan,
-            None,
+            PipeMode::LockStep,
         )
     }
 }
@@ -390,7 +419,15 @@ pub fn run_diff(
         // findings (SAGE055/056) model limits the executor does not
         // enforce.
         if error_codes.iter().all(|c| c == "SAGE054") {
-            match run_local(source, nodes, cfg.iterations, false, false, None, None) {
+            match run_local(
+                source,
+                nodes,
+                cfg.iterations,
+                false,
+                false,
+                None,
+                PipeMode::LockStep,
+            ) {
                 Err(_) => outcome.verdict = Verdict::CheckRejected,
                 Ok(_) => {
                     outcome.verdict = Verdict::Failed;
@@ -406,7 +443,15 @@ pub fn run_diff(
         } else if error_codes.iter().all(|c| c == "SAGE070") {
             // A statically proven write/write race must trip the
             // vector-clock detector once the gate is bypassed.
-            match run_local(source, nodes, cfg.iterations, false, true, None, None) {
+            match run_local(
+                source,
+                nodes,
+                cfg.iterations,
+                false,
+                true,
+                None,
+                PipeMode::LockStep,
+            ) {
                 Err(e) if e.contains("data race") => outcome.verdict = Verdict::CheckRejected,
                 Err(e) => {
                     outcome.verdict = Verdict::Failed;
@@ -462,7 +507,7 @@ pub fn run_diff(
                 cell.copy_baseline,
                 true,
                 None,
-                None,
+                PipeMode::LockStep,
             )
         };
         outcome.cells_run.push(cell.label());
@@ -513,7 +558,7 @@ pub fn run_diff(
                     false,
                     true,
                     None,
-                    Some(depth),
+                    PipeMode::Validate(depth),
                 ) {
                     Err(e) => outcome.failures.push(Failure {
                         cell: "local/pipelined".into(),
@@ -552,6 +597,56 @@ pub fn run_diff(
                     }
                 }
             }
+            // ---- Streaming executor: continuous issue with per-pair
+            // credits must reproduce lock-step bit-for-bit at any depth
+            // up to the proven plan, and conserve every credit ---------
+            let caps: Vec<u32> = pplan.buffers.iter().map(|b| b.safe_depth).collect();
+            let sdepth = pplan.safe_depth.clamp(1, 3);
+            outcome.cells_run.push("local/streaming");
+            match run_local(
+                source,
+                nodes,
+                cfg.iterations,
+                false,
+                true,
+                None,
+                PipeMode::Streaming(sdepth, caps),
+            ) {
+                Err(e) => outcome.failures.push(Failure {
+                    cell: "local/streaming".into(),
+                    message: format!("streaming at proven depth {sdepth} failed to execute: {e}"),
+                    plan: None,
+                }),
+                Ok((checksum, mems)) => {
+                    if checksum != want {
+                        outcome.failures.push(Failure {
+                            cell: "local/streaming".into(),
+                            message: format!(
+                                "streaming depth {sdepth} produced checksum {checksum:016x} \
+                                 instead of lock-step {want:016x} — the dataflow schedule \
+                                 reordered a visible effect"
+                            ),
+                            plan: None,
+                        });
+                    }
+                    // Direction A, scaled: per-tag FIFO queues hold up to
+                    // `depth` ring slots plus a window's worth of frames
+                    // still in flight between producer and consumer.
+                    if let Some(predicted) = &predicted {
+                        let scaled: Vec<usize> = predicted
+                            .iter()
+                            .map(|p| p.saturating_mul(sdepth as usize + 2))
+                            .collect();
+                        if let Some(msg) = mem_violation(&scaled, &mems) {
+                            outcome.failures.push(Failure {
+                                cell: "local/streaming".into(),
+                                message: format!("at streaming depth {sdepth}: {msg}"),
+                                plan: None,
+                            });
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -570,7 +665,7 @@ pub fn run_diff(
                 false,
                 false,
                 Some(plan.clone()),
-                None,
+                PipeMode::LockStep,
             ) {
                 Ok((checksum, _)) if checksum == want => outcome.fault_ok += 1,
                 Ok((checksum, _)) => outcome.failures.push(Failure {
@@ -622,7 +717,12 @@ mod tests {
         assert!(out.checksum.is_some());
         assert_eq!(
             out.cells_run,
-            vec!["local/zero-copy", "local/copy", "local/pipelined"]
+            vec![
+                "local/zero-copy",
+                "local/copy",
+                "local/pipelined",
+                "local/streaming"
+            ]
         );
     }
 

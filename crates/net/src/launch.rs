@@ -34,6 +34,13 @@ pub struct LaunchOptions {
     /// Heartbeat period override in milliseconds shipped to every rank
     /// (`None` = transport default).
     pub heartbeat_ms: Option<u64>,
+    /// Streaming pipeline depth shipped to every rank (`None` =
+    /// lock-step; see `RuntimeOptions::pipeline`).
+    pub pipeline: Option<u32>,
+    /// Per-buffer ring-depth caps for streaming, indexed by buffer id.
+    /// The caller computes these from the static pipeline-safety plan;
+    /// empty means every buffer uses the global depth.
+    pub pipeline_depths: Vec<u32>,
 }
 
 /// A merged distributed run.
@@ -131,6 +138,8 @@ pub fn launch(
             copy_baseline: opts.copy_baseline,
             race_detect: opts.race_detect,
             heartbeat_ms: opts.heartbeat_ms,
+            pipeline: opts.pipeline,
+            pipeline_depths: opts.pipeline_depths.clone(),
             model: model_text.to_string(),
             peers: addrs.clone(),
         };

@@ -17,8 +17,9 @@ use sage_visualizer::{EventKind, ProbeEvent};
 /// v1 is detected: the first u32 of a v1 JobSpec is the rank, which is
 /// < 2^16 in practice, while v2+ leads with this constant). v2 added the
 /// version field, the per-job heartbeat override, and the fleet messages.
-/// v3 added the per-job `race_detect` switch.
-pub const PROTO_VERSION: u32 = 3;
+/// v3 added the per-job `race_detect` switch. v4 added the streaming
+/// pipeline knob (`pipeline` + per-buffer `pipeline_depths`).
+pub const PROTO_VERSION: u32 = 4;
 
 /// Everything one worker needs to run one rank of a job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +49,15 @@ pub struct JobSpec {
     /// default). Lets soak tests and the fleet drain path tune the
     /// staleness window from the CLI.
     pub heartbeat_ms: Option<u64>,
+    /// Streaming pipeline depth (`None` = lock-step; see
+    /// `RuntimeOptions::pipeline`). Every rank must run the same mode or
+    /// their transfer tags disagree, so the launcher ships it in the spec.
+    pub pipeline: Option<u32>,
+    /// Per-buffer ring-depth caps for streaming, indexed by buffer id
+    /// (empty = global depth; see `RuntimeOptions::pipeline_depths`).
+    /// Computed by the launcher from the static pipeline-safety plan — the
+    /// net layer ships the numbers without depending on the checker.
+    pub pipeline_depths: Vec<u32>,
     /// The application model, as s-expression text. Each worker
     /// regenerates the glue program from this deterministically, so every
     /// rank — and the launcher — agrees on tables and schedules without
@@ -237,6 +247,11 @@ impl JobSpec {
         w.u8(u8::from(self.copy_baseline));
         w.u8(u8::from(self.race_detect));
         w.opt_u64(self.heartbeat_ms);
+        w.opt_u64(self.pipeline.map(u64::from));
+        w.u32(self.pipeline_depths.len() as u32);
+        for &d in &self.pipeline_depths {
+            w.u32(d);
+        }
         w.string(&self.model);
         w.u32(self.peers.len() as u32);
         for p in &self.peers {
@@ -269,6 +284,15 @@ impl JobSpec {
             copy_baseline: r.u8()? != 0,
             race_detect: r.u8()? != 0,
             heartbeat_ms: r.opt_u64()?,
+            pipeline: r.opt_u64()?.map(|d| d as u32),
+            pipeline_depths: {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    v.push(r.u32()?);
+                }
+                v
+            },
             model: r.string()?,
             peers: {
                 let n = r.u32()? as usize;
@@ -416,6 +440,8 @@ mod tests {
             copy_baseline: true,
             race_detect: true,
             heartbeat_ms: Some(50),
+            pipeline: Some(3),
+            pipeline_depths: vec![2, 3],
             model: "(app demo)".into(),
             peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
         }

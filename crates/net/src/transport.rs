@@ -25,7 +25,7 @@
 //! `RecvTimeout` when a receive outlives the configured deadline.
 
 use crate::error::NetError;
-use crate::wire::{write_parts, Frame, FrameKind, WireError};
+use crate::wire::{try_write_control, write_parts, Frame, FrameKind, TryWrite, WireError};
 use sage_fabric::{FabricError, LinkMetrics, NodeMetrics, Payload, Transport};
 use sage_mpi::RetryPolicy;
 use sage_visualizer::Probe;
@@ -173,6 +173,32 @@ impl PeerLink {
         };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         write_parts(&mut *w, kind, tag, src, dst, job, seq, payload).is_ok()
+    }
+
+    /// Nonblocking heartbeat from the transport's single I/O thread.
+    ///
+    /// Data senders hold the writer lock across `write_parts`, which
+    /// sleep-retries while the kernel send buffer drains — potentially
+    /// for a long time on a saturated link. Blocking here would freeze
+    /// the whole I/O thread (reads *and* beats for every peer) behind
+    /// that one link, which is exactly how healthy peers used to get
+    /// declared stale under heavy data volume. Instead the beat is
+    /// skipped when the writer is busy or the buffer is full: in both
+    /// cases data frames are already in flight on this link, and any
+    /// bytes arriving refresh the remote's `last_seen` just like a beat.
+    /// Returns `false` only when the stream itself is broken.
+    fn try_beat(&self, src: u32, dst: u32) -> bool {
+        match self.writer.try_lock() {
+            Ok(mut w) => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                !matches!(
+                    try_write_control(&mut *w, FrameKind::Heartbeat, src, dst, 0, seq),
+                    TryWrite::Failed
+                )
+            }
+            Err(std::sync::TryLockError::WouldBlock) => true,
+            Err(std::sync::TryLockError::Poisoned(_)) => false,
+        }
     }
 }
 
@@ -476,6 +502,17 @@ impl MeshCore {
         }
     }
 
+    /// Nonblocking peek: whether a `(job, src, tag)` receive would
+    /// complete immediately from the local mailbox. Advisory only — the
+    /// streaming executor uses it to pick ready work, falling back to
+    /// blocking receives for forward progress.
+    fn ready(&self, job: u32, src: u32, tag: u64) -> bool {
+        let m = self.mailbox.lock();
+        m.queues
+            .get(&(job, src, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
+
     /// Sends a job-scoped goodbye (`JobDone`) for `job` to mesh peer
     /// `mesh_dst`, labeled with our logical `src` rank in that namespace.
     fn send_job_done(&self, job: u32, src: u32, dst: u32, mesh_dst: usize) {
@@ -592,6 +629,15 @@ fn io_loop(
             };
             pr.buf.truncate(len + n);
             progressed = true;
+            // Any bytes at all prove the peer's process and link are alive:
+            // a peer midway through a large frame (or trickling one through
+            // a congested path) must not be declared stale while its bytes
+            // are still arriving, even if no *complete* frame lands within
+            // the staleness window.
+            {
+                let mut m = mailbox.lock();
+                m.peers[pr.peer].last_seen = Instant::now();
+            }
             let mut consumed = 0;
             while pr.open {
                 match Frame::decode(&pr.buf[consumed..]) {
@@ -617,7 +663,11 @@ fn io_loop(
         if last_beat.elapsed() >= heartbeat {
             last_beat = Instant::now();
             for (j, link) in &links {
-                if !link.send(FrameKind::Heartbeat, rank, *j as u32, 0, 0, &[]) {
+                // Nonblocking: a saturated link skips its beat (its queued
+                // data frames carry the liveness signal) instead of
+                // stalling this thread — and with it reads and beats for
+                // every other peer — behind one slow consumer.
+                if !link.try_beat(rank, *j as u32) {
                     mailbox.mark_dead(*j);
                 }
             }
@@ -862,6 +912,10 @@ impl Transport for JobTransport {
             }),
         }
     }
+
+    fn try_recv_ready(&mut self, src: usize, tag: u64) -> bool {
+        self.core.ready(self.job, src as u32, tag)
+    }
 }
 
 /// The classic one-job-per-process TCP [`Transport`] for one rank: a
@@ -957,6 +1011,10 @@ impl Transport for TcpTransport {
             }),
             Err(CoreFail::Poisoned) => Err(FabricError::NodeFailed { node: rank as u32 }),
         }
+    }
+
+    fn try_recv_ready(&mut self, src: usize, tag: u64) -> bool {
+        self.core.ready(0, src as u32, tag)
     }
 }
 
@@ -1258,5 +1316,176 @@ mod tests {
         for c in cores {
             c.shutdown();
         }
+    }
+
+    /// A raw connected TCP pair for link-level tests.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn beat_skips_busy_writer_instead_of_blocking() {
+        let (w, _r) = tcp_pair();
+        let link = PeerLink {
+            writer: Mutex::new(w),
+            seq: AtomicU64::new(1),
+        };
+        // A data sender mid-`write_parts` holds the writer lock; the beat
+        // must neither block behind it nor declare the link broken.
+        let guard = link.writer.try_lock().expect("free lock");
+        let started = Instant::now();
+        assert!(link.try_beat(0, 1), "busy writer is not a dead link");
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "beat must not block behind a held writer lock"
+        );
+        drop(guard);
+        // With the lock free the beat actually goes out.
+        assert!(link.try_beat(0, 1));
+    }
+
+    #[test]
+    fn beat_skips_saturated_socket_instead_of_killing_peer() {
+        let (w, _r) = tcp_pair();
+        w.set_nonblocking(true).expect("nonblocking");
+        let link = PeerLink {
+            writer: Mutex::new(w),
+            seq: AtomicU64::new(1),
+        };
+        // Saturate the kernel send buffer: nobody reads `_r`, so writes
+        // eventually refuse. Top off with single bytes so not even a
+        // partial header fits.
+        {
+            let mut w = link.writer.lock().expect("lock");
+            let chunk = [0u8; 64 * 1024];
+            loop {
+                match std::io::Write::write(&mut *w, &chunk) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("unexpected write error: {e}"),
+                }
+            }
+            loop {
+                match std::io::Write::write(&mut *w, &[0u8]) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => panic!("unexpected write error: {e}"),
+                }
+            }
+        }
+        let started = Instant::now();
+        assert!(
+            link.try_beat(0, 1),
+            "a full send buffer means data is queued, not that the peer died"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "beat must not sleep-retry against a saturated socket"
+        );
+    }
+
+    #[test]
+    fn raw_bytes_refresh_liveness_before_a_frame_completes() {
+        let (writer, reader) = tcp_pair();
+        reader.set_nonblocking(true).expect("nonblocking");
+        let mailbox = Arc::new(Mailbox {
+            inner: Mutex::new(MailboxInner {
+                queues: HashMap::new(),
+                peers: (0..2)
+                    .map(|_| PeerState {
+                        done: false,
+                        dead: false,
+                        last_seen: Instant::now(),
+                    })
+                    .collect(),
+                job_done: HashSet::new(),
+                retired: HashSet::new(),
+                retired_order: VecDeque::new(),
+                recv_messages: 0,
+                recv_bytes: 0,
+            }),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let io = {
+            let reads = vec![PeerRead {
+                peer: 1,
+                stream: reader,
+                buf: Vec::new(),
+                last_seq: None,
+                open: true,
+            }];
+            let mb = mailbox.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                io_loop(
+                    reads,
+                    Vec::new(),
+                    mb,
+                    Probe::disabled(),
+                    stop,
+                    Duration::from_secs(3600),
+                    0,
+                    Instant::now(),
+                );
+            })
+        };
+        // One valid data frame from peer 1, delivered in two halves with a
+        // long pause between them — the shape of a large payload trickling
+        // through a congested path.
+        let mut frame = Vec::new();
+        write_parts(
+            &mut frame,
+            FrameKind::Data,
+            9,
+            1,
+            0,
+            0,
+            1,
+            b"slow-big-frame",
+        )
+        .expect("encode");
+        let split = frame.len() / 2;
+        let stale_before = {
+            let m = mailbox.lock();
+            m.peers[1].last_seen
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        std::io::Write::write_all(&mut &writer, &frame[..split]).expect("first half");
+        std::thread::sleep(Duration::from_millis(50));
+        {
+            let m = mailbox.lock();
+            assert!(
+                m.peers[1].last_seen > stale_before,
+                "half a frame is still proof of life"
+            );
+            assert!(
+                m.peers[1].last_seen.elapsed() < Duration::from_millis(200),
+                "liveness must track the bytes, not the frame boundary"
+            );
+            assert!(m.queues.is_empty(), "no complete frame has arrived yet");
+        }
+        std::io::Write::write_all(&mut &writer, &frame[split..]).expect("second half");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let m = mailbox.lock();
+                if m.queues
+                    .get(&(0, 1, 9))
+                    .is_some_and(|q| q.front().is_some_and(|p| &p[..] == b"slow-big-frame"))
+                {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "reassembled frame never landed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        io.join().expect("join io loop");
     }
 }

@@ -230,6 +230,62 @@ pub fn write_parts<W: Write>(
         .map_err(|e| WireError::Io(e.to_string()))
 }
 
+/// Outcome of [`try_write_control`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryWrite {
+    /// The frame is fully written and flushed.
+    Sent,
+    /// The socket had no buffer space and *nothing* was written — the
+    /// stream is untouched and the caller may simply try again later.
+    Skipped,
+    /// The stream is broken (I/O error or stalled write).
+    Failed,
+}
+
+/// Writes a payload-less control frame, giving up *before* the first byte
+/// if the socket has no buffer space (`WouldBlock`), leaving the stream
+/// clean. Once any byte is out the remainder is driven to completion with
+/// the usual sleep-retry — abandoning a frame mid-write would poison the
+/// link for every later frame.
+///
+/// Built for heartbeats out of the transport's single I/O thread: a full
+/// send buffer means queued data frames are already waiting to refresh
+/// the peer's liveness, so the beat is redundant — while blocking on it
+/// would stall reads and beats for *every other* link behind one
+/// saturated peer.
+pub fn try_write_control<W: Write>(
+    w: &mut W,
+    kind: FrameKind,
+    src: u32,
+    dst: u32,
+    job: u32,
+    seq: u64,
+) -> TryWrite {
+    let mut header = header_parts(kind, 0, src, dst, job, seq, 0, 0);
+    let checksum = fnv1a_32(&[&header, &[]]);
+    header[40..44].copy_from_slice(&checksum.to_be_bytes());
+    let mut written = 0usize;
+    while written < header.len() {
+        match w.write(&header[written..]) {
+            Ok(0) => return TryWrite::Failed,
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if written == 0 {
+                    return TryWrite::Skipped;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return TryWrite::Failed,
+        }
+    }
+    match w.flush() {
+        Ok(()) => TryWrite::Sent,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => TryWrite::Sent,
+        Err(_) => TryWrite::Failed,
+    }
+}
+
 /// Drives `write_vectored` until both slices are fully written, falling
 /// back gracefully on writers that consume partial buffers. Nonblocking
 /// sockets (the poll-loop transport shares one fd between its nonblocking

@@ -161,7 +161,9 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
     }
     .with_probes(spec.probes)
     .with_copy_baseline(spec.copy_baseline)
-    .with_race_detect(spec.race_detect);
+    .with_race_detect(spec.race_detect)
+    .with_pipeline(spec.pipeline.unwrap_or(0))
+    .with_pipeline_depths(spec.pipeline_depths.clone());
 
     let collector = Arc::new(Collector::new(spec.ranks as usize, spec.probes));
     let probe = Probe::new(collector.clone(), rank);
@@ -196,12 +198,13 @@ fn run_job(spec: &JobSpec, listener: &TcpListener, register: &dyn Fn(&mut Regist
     let wall_secs = t0.elapsed().as_secs_f64();
 
     let (error, deposits, metrics, links) = match outcome {
-        Ok(deposits) => {
+        Ok(outcome) => {
             let (metrics, links) = transport.finish();
             // Deposits leave the shared-payload world here: the report
             // codec ships plain bytes. `into_vec` is free when the run-time
             // handed over the sole reference.
-            let deposits = deposits
+            let deposits = outcome
+                .deposits
                 .into_iter()
                 .map(|(key, payload)| (key, payload.into_vec()))
                 .collect();

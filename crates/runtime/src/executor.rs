@@ -30,7 +30,7 @@ use sage_fabric::{
 };
 use sage_mpi::MpiConfig;
 use sage_visualizer::{Collector, Probe, Trace};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Collected sink deposits: the stripes each sink thread absorbed.
@@ -148,6 +148,9 @@ pub struct Execution {
     pub results: SinkResults,
     /// Iterations executed.
     pub iterations: u32,
+    /// Streaming-executor credit counters, summed over ranks (all zero in
+    /// lock-step and pipeline-validate modes).
+    pub stream: StreamStats,
 }
 
 impl Execution {
@@ -406,11 +409,14 @@ pub fn execute(
     // order. Without the priority, node 0's secondary `PeerFailed` would
     // always mask the real fault on a higher-numbered node.
     let mut results = SinkResults::default();
+    let mut stream = StreamStats::default();
     let mut secondary: Option<RuntimeError> = None;
-    for deposits in node_deposits {
-        match deposits {
-            Ok(deposits) => {
-                for (k, v) in deposits {
+    for outcome in node_deposits {
+        match outcome {
+            Ok(outcome) => {
+                stream.credits_issued += outcome.stream.credits_issued;
+                stream.credits_retired += outcome.stream.credits_retired;
+                for (k, v) in outcome.deposits {
                     results.deposits.insert(k, v);
                 }
             }
@@ -434,6 +440,7 @@ pub fn execute(
         trace,
         results,
         iterations,
+        stream,
     })
 }
 
@@ -494,6 +501,110 @@ fn send_with_retry<T: Transport>(
 /// A sink deposit: `(fn_id, iteration, thread)` -> absorbed stripe.
 pub type Deposit = ((u32, u32, u32), Payload);
 
+/// Streaming-executor credit counters for one rank (or summed over ranks).
+///
+/// A credit is *issued* when a consumer retires an iteration and frees a
+/// ring slot of one of its input buffers, and *retired* when the producer
+/// spends it to emit into that slot again. Conservation — per-pair issued
+/// == retired == `max(0, iterations - window)` — is an executor invariant
+/// the streaming proptests pin down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Credits returned by consumers on retiring an iteration.
+    pub credits_issued: u64,
+    /// Credits spent by producers to reuse a ring slot.
+    pub credits_retired: u64,
+}
+
+/// Everything one rank produced: its sink deposits plus streaming credit
+/// counters (zero outside streaming mode).
+#[derive(Debug, Default)]
+pub struct RankOutcome {
+    /// Sink stripes this rank absorbed.
+    pub deposits: Vec<Deposit>,
+    /// Streaming credit counters.
+    pub stream: StreamStats,
+}
+
+/// High tag bit marking a backpressure credit message. [`xfer_tag`] packs
+/// its fields into bits 0..60 and `sage-mpi`'s user/collective split owns
+/// bit 63, so bit 62 is free on every transport; credits therefore share
+/// the data fabric without ever colliding with a data frame's tag.
+const CREDIT_BIT: u64 = 1 << 62;
+
+/// The credit-channel tag for one (buffer, producer thread, consumer
+/// thread) pair. Iteration-independent: credits are fungible within a
+/// pair, so a single per-pair FIFO counts them.
+fn credit_tag(bid: u32, producer_thread: u32, consumer_thread: u32) -> u64 {
+    CREDIT_BIT | xfer_tag(bid, 0, producer_thread, consumer_thread)
+}
+
+/// Node-local hand-off store: tag -> payload (shared, not copied).
+///
+/// Lock-step and pipeline-validate keep the historical overwrite map — a
+/// ring slot holds one live payload, and *reusing a slot before its reader
+/// got there* is exactly the corruption the validation mode exists to
+/// surface. Streaming instead queues per tag: per-pair hand-offs are
+/// produced and consumed in iteration order, so a FIFO keeps ring-masked
+/// tags unambiguous at any depth while credits bound each queue's length.
+enum LocalStore {
+    Overwrite(HashMap<u64, Payload>),
+    Queued(HashMap<u64, VecDeque<Payload>>),
+}
+
+impl LocalStore {
+    fn insert(&mut self, tag: u64, payload: Payload) {
+        match self {
+            LocalStore::Overwrite(m) => {
+                m.insert(tag, payload);
+            }
+            LocalStore::Queued(m) => m.entry(tag).or_default().push_back(payload),
+        }
+    }
+
+    fn remove(&mut self, tag: u64) -> Option<Payload> {
+        match self {
+            LocalStore::Overwrite(m) => m.remove(&tag),
+            LocalStore::Queued(m) => {
+                let q = m.get_mut(&tag)?;
+                let p = q.pop_front();
+                if q.is_empty() {
+                    m.remove(&tag);
+                }
+                p
+            }
+        }
+    }
+
+    /// Live logical bytes pending in the store (for the memory high-water
+    /// sample).
+    fn live_bytes(&self) -> usize {
+        match self {
+            LocalStore::Overwrite(m) => m.values().map(|p| p.len()).sum(),
+            LocalStore::Queued(m) => m.values().flatten().map(|p| p.len()).sum(),
+        }
+    }
+}
+
+/// Per-rank streaming state: ring depths, credit windows, counters.
+struct StreamCtx {
+    /// Ring depth per buffer id: the buffer's proven cap bounded by the
+    /// global pipeline knob, min 1.
+    depths: Vec<u32>,
+    /// Credit window per buffer id: ring depth + delay. A producer needs a
+    /// credit to emit iteration `p >= window`; the consumer that frees the
+    /// slot is reading producer-iteration `p - window`, `delay` arcs
+    /// included.
+    window: Vec<u32>,
+    /// Total iterations in the run (for the issue-side skip rule).
+    iterations: u32,
+    /// Outstanding credits for same-node (buffer, producer thread,
+    /// consumer thread) pairs; remote pairs ride the credit tag channel.
+    local_credits: HashMap<(u32, u32, u32), u32>,
+    /// Conservation counters.
+    stats: StreamStats,
+}
+
 /// One rank's program: walk the schedule for every iteration, over any
 /// [`Transport`] backend.
 ///
@@ -510,15 +621,77 @@ pub fn execute_rank<T: Transport>(
     iterations: u32,
     probe: &Probe,
     race: Option<&RaceState>,
-) -> Result<Vec<Deposit>, RuntimeError> {
+) -> Result<RankOutcome, RuntimeError> {
     let node = ctx.rank() as u32;
+    if options.pipeline.is_some() && options.pipeline_validate.is_some() {
+        return Err(RuntimeError::BadProgram(
+            "streaming execution (--pipeline) and pipeline cross-validation \
+             (--pipeline-validate) are mutually exclusive"
+                .into(),
+        ));
+    }
     // Node-local hand-off store: tag -> payload (shared, not copied).
-    let mut local_store: HashMap<u64, Payload> = HashMap::new();
+    let mut local_store = if options.pipeline.is_some() {
+        LocalStore::Queued(HashMap::new())
+    } else {
+        LocalStore::Overwrite(HashMap::new())
+    };
     // Per-(buffer, src thread, dst thread) staging buffers for packed
     // redistribution messages, reused across iterations whenever the
     // previous iteration's receiver has already released its handle.
     let mut staging: HashMap<(u32, u32, u32), Payload> = HashMap::new();
     let mut deposits = Vec::new();
+    let mut stats = StreamStats::default();
+
+    if let Some(horizon) = options.pipeline {
+        // Streaming dataflow: continuous issue with credit backpressure.
+        let horizon = horizon.max(1);
+        let depths: Vec<u32> = program
+            .buffers
+            .iter()
+            .map(|b| {
+                let cap = options
+                    .pipeline_depths
+                    .get(b.id as usize)
+                    .copied()
+                    .unwrap_or(horizon);
+                cap.min(horizon).max(1)
+            })
+            .collect();
+        let window: Vec<u32> = program
+            .buffers
+            .iter()
+            .zip(&depths)
+            .map(|(b, &d)| d.saturating_add(b.delay))
+            .collect();
+        let mut st = StreamCtx {
+            depths,
+            window,
+            iterations,
+            local_credits: HashMap::new(),
+            stats: StreamStats::default(),
+        };
+        run_streaming(
+            ctx,
+            program,
+            prepared,
+            options,
+            iterations,
+            probe,
+            node,
+            horizon,
+            &mut st,
+            &mut local_store,
+            &mut staging,
+            &mut deposits,
+            race,
+        )?;
+        stats = st.stats;
+        return Ok(RankOutcome {
+            deposits,
+            stream: stats,
+        });
+    }
 
     match options.pipeline_validate {
         // Lock-step: iteration i retires before iteration i+1 starts.
@@ -538,6 +711,7 @@ pub fn execute_rank<T: Transport>(
                         &mut staging,
                         &mut deposits,
                         race,
+                        None,
                     )?;
                 }
             }
@@ -545,12 +719,14 @@ pub fn execute_rank<T: Transport>(
         // Pipeline cross-validation: `depth` iterations in flight,
         // block-interleaved — for each block of `depth` iterations, every
         // schedule slot runs all of the block's iterations before the next
-        // slot starts. Transfer tags are ring-masked (iteration mod depth),
-        // so a logical buffer has exactly `depth` slots: a program whose
-        // proven safe depth is >= `depth` is bit-identical to lock-step,
-        // while an over-deep run reuses a slot before its reader got there
-        // and corrupts or fails typed — exactly what the static pipeline
-        // pass (SAGE060/061/062) predicts.
+        // slot starts. The final block is simply the `iterations % depth`
+        // tail (`end` is clamped), so every tail iteration executes and
+        // retires exactly once. Transfer tags are ring-masked (iteration
+        // mod depth), so a logical buffer has exactly `depth` slots: a
+        // program whose proven safe depth is >= `depth` is bit-identical
+        // to lock-step, while an over-deep run reuses a slot before its
+        // reader got there and corrupts or fails typed — exactly what the
+        // static pipeline pass (SAGE060/061/062) predicts.
         Some(depth) => {
             let mut start = 0;
             while start < iterations {
@@ -570,6 +746,7 @@ pub fn execute_rank<T: Transport>(
                             &mut staging,
                             &mut deposits,
                             race,
+                            None,
                         )?;
                     }
                 }
@@ -577,14 +754,195 @@ pub fn execute_rank<T: Transport>(
             }
         }
     }
-    Ok(deposits)
+    Ok(RankOutcome {
+        deposits,
+        stream: stats,
+    })
+}
+
+/// The streaming scheduler: a continuous-issue dataflow loop over this
+/// rank's schedule slots.
+///
+/// `next[s]` is the next iteration schedule slot `s` has yet to run. Each
+/// round picks the lowest-(iteration, slot) *ready* task among the
+/// "staircase" candidates — slots strictly ahead of every earlier slot
+/// (preserving intra-iteration schedule order) and within `horizon`
+/// iterations of the global minimum (bounding run-ahead). Readiness is a
+/// nonblocking probe: every input hand-off landed and every downstream
+/// ring slot has a credit. When nothing is ready the loop falls back to
+/// the *minimal* pending task with ordinary blocking receives — that task
+/// provably never deadlocks (its same-node inputs and credits are already
+/// present; cross-rank waits are on strictly earlier frontier points and
+/// bounded by the fabric's receive deadline), so a killed peer surfaces
+/// as a typed error, never a hang.
+#[allow(clippy::too_many_arguments)]
+fn run_streaming<T: Transport>(
+    ctx: &mut T,
+    program: &GlueProgram,
+    prepared: &Prepared,
+    options: &RuntimeOptions,
+    iterations: u32,
+    probe: &Probe,
+    node: u32,
+    horizon: u32,
+    st: &mut StreamCtx,
+    local_store: &mut LocalStore,
+    staging: &mut HashMap<(u32, u32, u32), Payload>,
+    deposits: &mut Vec<Deposit>,
+    race: Option<&RaceState>,
+) -> Result<(), RuntimeError> {
+    let sched = &program.schedules[node as usize];
+    // This rank's tasks by (fn, thread) -> schedule slot, for same-node
+    // producer progress checks.
+    let slot_of: HashMap<(u32, u32), usize> = sched
+        .iter()
+        .enumerate()
+        .map(|(s, t)| ((t.fn_id, t.thread), s))
+        .collect();
+    let mut next: Vec<u32> = vec![0; sched.len()];
+    let mut candidates: Vec<(u32, usize)> = Vec::with_capacity(sched.len());
+    // Until every slot has retired every iteration:
+    while let Some(i_min) = next.iter().copied().filter(|&i| i < iterations).min() {
+        candidates.clear();
+        let mut prefix_min = u32::MAX;
+        for (s, &i) in next.iter().enumerate() {
+            if i < prefix_min && i < iterations && i - i_min < horizon {
+                candidates.push((i, s));
+            }
+            prefix_min = prefix_min.min(i);
+        }
+        candidates.sort_unstable();
+        let mut chosen = None;
+        for &(i, s) in &candidates {
+            if task_ready(
+                ctx, program, prepared, st, &slot_of, &next, &sched[s], i, node,
+            ) {
+                chosen = Some((i, s));
+                break;
+            }
+        }
+        let (i, s) = match chosen.or_else(|| candidates.first().copied()) {
+            Some(c) => c,
+            None => break, // unreachable: pending slots imply a candidate
+        };
+        run_task(
+            ctx,
+            program,
+            prepared,
+            options,
+            probe,
+            node,
+            i,
+            &sched[s],
+            local_store,
+            staging,
+            deposits,
+            race,
+            Some(st),
+        )?;
+        next[s] = i + 1;
+    }
+    Ok(())
+}
+
+/// Nonblocking readiness probe for running schedule slot `task` at
+/// iteration `iter`: have all its input hand-offs landed, and does every
+/// downstream ring have a free slot (a credit)? Purely advisory — `false`
+/// only demotes the task in the issue order; the blocking fallback keeps
+/// forward progress when a backend cannot peek its mailbox.
+#[allow(clippy::too_many_arguments)]
+fn task_ready<T: Transport>(
+    ctx: &mut T,
+    program: &GlueProgram,
+    prepared: &Prepared,
+    st: &StreamCtx,
+    slot_of: &HashMap<(u32, u32), usize>,
+    next: &[u32],
+    task: &crate::glue::Task,
+    iter: u32,
+    node: u32,
+) -> bool {
+    let tid = task.thread as usize;
+    // Inputs: every nonempty (producer thread -> this thread) pair of every
+    // input buffer must have its iteration `iter - delay` hand-off
+    // available (produced locally, or arrived in the mailbox).
+    for group in &prepared.input_groups[task.fn_id as usize] {
+        for &bid in &group.buffers {
+            let bp = &prepared.plans[bid as usize];
+            let desc = &program.buffers[bid as usize];
+            let Some(src_iter) = iter.checked_sub(desc.delay) else {
+                continue; // delay arc before its first payload: zero-fill
+            };
+            let producer = &program.functions[desc.producer as usize];
+            for (t, row) in bp.plan.pairs.iter().enumerate() {
+                if row[tid].is_empty() {
+                    continue;
+                }
+                let src_node = producer.placement[t];
+                if src_node == node {
+                    match slot_of.get(&(desc.producer, t as u32)) {
+                        Some(&sp) => {
+                            if next[sp] <= src_iter {
+                                return false;
+                            }
+                        }
+                        // Producer absent from this rank's schedule: let
+                        // the blocking path surface the typed error.
+                        None => return false,
+                    }
+                } else {
+                    let tag = xfer_tag(
+                        bid,
+                        src_iter % st.depths[bid as usize],
+                        t as u32,
+                        task.thread,
+                    );
+                    if !ctx.try_recv_ready(src_node as usize, tag) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // Outputs: past a buffer's credit window, every nonempty (this thread
+    // -> consumer thread) pair must hold a credit.
+    let f = &program.functions[task.fn_id as usize];
+    for &bid in &f.outputs {
+        if iter < st.window[bid as usize] {
+            continue;
+        }
+        let bp = &prepared.plans[bid as usize];
+        let desc = &program.buffers[bid as usize];
+        let consumer = &program.functions[desc.consumer as usize];
+        for (j, intervals) in bp.plan.pairs[tid].iter().enumerate() {
+            if intervals.is_empty() {
+                continue;
+            }
+            let dst_node = consumer.placement[j];
+            if dst_node == node {
+                let have = st
+                    .local_credits
+                    .get(&(bid, task.thread, j as u32))
+                    .copied()
+                    .unwrap_or(0);
+                if have == 0 {
+                    return false;
+                }
+            } else if !ctx.try_recv_ready(dst_node as usize, credit_tag(bid, task.thread, j as u32))
+            {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Runs one schedule slot of one iteration: assemble inputs, invoke the
 /// kernel, deposit sink stripes, emit outputs. Factored out of
-/// [`execute_rank`] so the lock-step and pipeline-validate loops share the
-/// exact same task body — the only thing the modes change is iteration
-/// order and the ring masking of transfer tags.
+/// [`execute_rank`] so the lock-step, pipeline-validate and streaming
+/// loops share the exact same task body — the modes change iteration
+/// order, the ring masking of transfer tags, and (streaming only) the
+/// credit protocol.
 #[allow(clippy::too_many_arguments)]
 fn run_task<T: Transport>(
     ctx: &mut T,
@@ -595,22 +953,28 @@ fn run_task<T: Transport>(
     node: u32,
     iter: u32,
     task: &crate::glue::Task,
-    local_store: &mut HashMap<u64, Payload>,
+    local_store: &mut LocalStore,
     staging: &mut HashMap<(u32, u32, u32), Payload>,
     deposits: &mut Vec<Deposit>,
     race: Option<&RaceState>,
+    stream: Option<&mut StreamCtx>,
 ) -> Result<(), RuntimeError> {
     let plans = &prepared.plans;
     let kernels = &prepared.kernels;
+    let mut stream = stream;
     if let Some(race) = race {
         race.task_begin(node);
     }
     // Ring-slot mapping for transfer tags: pipeline validation gives every
-    // buffer a `depth`-slot ring, so the tag's iteration field is the ring
+    // buffer a `depth`-slot ring and streaming gives each buffer its own
+    // per-buffer ring depth, so the tag's iteration field is the ring
     // slot. Lock-step tags carry the iteration itself.
-    let slot = |i: u32| match options.pipeline_validate {
-        Some(depth) => i % depth,
-        None => i,
+    let ring = |stream: &Option<&mut StreamCtx>, bid: u32, i: u32| -> u32 {
+        match (stream, options.pipeline_validate) {
+            (Some(st), _) => i % st.depths[bid as usize],
+            (None, Some(depth)) => i % depth,
+            (None, None) => i,
+        }
     };
     let f = &program.functions[task.fn_id as usize];
     let threads = f.threads as usize;
@@ -651,9 +1015,9 @@ fn run_task<T: Transport>(
                     continue;
                 }
                 let src_node = producer.placement[i];
-                let tag = xfer_tag(bid, slot(src_iter), i as u32, task.thread);
+                let tag = xfer_tag(bid, ring(&stream, bid, src_iter), i as u32, task.thread);
                 let msg = if src_node == node {
-                    match local_store.remove(&tag) {
+                    match local_store.remove(tag) {
                         Some(m) => m,
                         None => {
                             // The producing task has not run yet on this
@@ -820,7 +1184,7 @@ fn run_task<T: Transport>(
     // against `sage-check`'s static per-node prediction.
     let live = inputs.iter().map(|p| p.bytes.len()).sum::<usize>()
         + outputs.iter().map(|p| p.bytes.len()).sum::<usize>()
-        + local_store.values().map(|p| p.len()).sum::<usize>();
+        + local_store.live_bytes();
     ctx.note_mem_use(live as u64);
 
     // ---- Sink deposit ----------------------------------------
@@ -867,7 +1231,37 @@ fn run_task<T: Transport>(
                 continue;
             }
             let dst_node = consumer.placement[j];
-            let tag = xfer_tag(bid, slot(iter), task.thread, j as u32);
+            let tag = xfer_tag(bid, ring(&stream, bid, iter), task.thread, j as u32);
+            // Backpressure: past the buffer's credit window the producer
+            // must spend one credit per pair before emitting — proof the
+            // consumer has retired the iteration whose ring slot this emit
+            // reuses. Local pairs decrement a counter (underflow is an
+            // executor invariant violation, typed); remote pairs block on
+            // the pair's credit channel, bounded by the fabric's receive
+            // deadline, so a consumer killed mid-stream surfaces as a
+            // typed error, never a hang.
+            if let Some(st) = stream.as_deref_mut() {
+                if iter >= st.window[bid as usize] {
+                    if dst_node == node {
+                        match st.local_credits.get_mut(&(bid, task.thread, j as u32)) {
+                            Some(c) if *c > 0 => *c -= 1,
+                            _ => {
+                                return Err(RuntimeError::BadProgram(
+                                    "internal: streaming credit underflow on a local hand-off"
+                                        .into(),
+                                ))
+                            }
+                        }
+                    } else {
+                        ctx.try_recv(dst_node as usize, credit_tag(bid, task.thread, j as u32))
+                            .map_err(|e| {
+                                probe.fault(ctx.now(), bid, iter);
+                                fabric_to_runtime(e)
+                            })?;
+                    }
+                    st.stats.credits_retired += 1;
+                }
+            }
             let msg = if bp.aligned {
                 // Whole-stripe hand-off; no pack. Sharing the
                 // kernel's output buffer is safe because outputs
@@ -914,6 +1308,55 @@ fn run_task<T: Transport>(
                     bid,
                     iter,
                 )?;
+            }
+        }
+    }
+
+    // ---- Return credits --------------------------------------
+    // Streaming backpressure, consumer side: retiring iteration `iter`
+    // frees one ring slot of every input buffer, so return one credit per
+    // nonempty (producer thread, this thread) pair — except credits no
+    // producer iteration will ever spend (`src_iter + window >=
+    // iterations`), so per-pair issued == retired == `max(0, iterations -
+    // window)` exactly. Remote credits ride the retried send path: a
+    // fault-plan drop backs off and resends, exhaustion is a typed
+    // transfer failure.
+    if let Some(st) = stream {
+        for group in &prepared.input_groups[task.fn_id as usize] {
+            for &bid in &group.buffers {
+                let bp = &plans[bid as usize];
+                let desc = &program.buffers[bid as usize];
+                let Some(src_iter) = iter.checked_sub(desc.delay) else {
+                    continue;
+                };
+                let window = st.window[bid as usize];
+                if src_iter as u64 + window as u64 >= st.iterations as u64 {
+                    continue;
+                }
+                let producer = &program.functions[desc.producer as usize];
+                for (t, row) in bp.plan.pairs.iter().enumerate() {
+                    if row[tid].is_empty() {
+                        continue;
+                    }
+                    st.stats.credits_issued += 1;
+                    let src_node = producer.placement[t];
+                    if src_node == node {
+                        *st.local_credits
+                            .entry((bid, t as u32, task.thread))
+                            .or_insert(0) += 1;
+                    } else {
+                        send_with_retry(
+                            ctx,
+                            probe,
+                            src_node as usize,
+                            credit_tag(bid, t as u32, task.thread),
+                            &Payload::zeroed(0),
+                            &options.mpi,
+                            bid,
+                            iter,
+                        )?;
+                    }
+                }
             }
         }
     }
@@ -1045,6 +1488,277 @@ mod tests {
                 assert_eq!(full[t as usize * 8 + i], t.wrapping_mul(31) + i as u8);
             }
         }
+    }
+
+    /// Satellite regression: `iterations % depth != 0`. The final partial
+    /// block (iterations 4..5 at depth 2) must execute and retire exactly
+    /// once, bit-identical to lock-step, with correctly ring-masked tags.
+    #[test]
+    fn pipeline_validate_tail_block_is_bit_identical() {
+        let program = pipeline_program(4, 8, 4);
+        let reg = fill_registry();
+        let iters = 5;
+        let lock = execute(
+            &program,
+            &machine(4),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful(),
+            iters,
+        )
+        .unwrap();
+        let piped = execute(
+            &program,
+            &machine(4),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful().with_pipeline_validate(2),
+            iters,
+        )
+        .unwrap();
+        assert_eq!(lock.results.len(), piped.results.len());
+        for iter in 0..iters {
+            assert_eq!(
+                lock.results.assemble(&program, 2, iter).unwrap(),
+                piped.results.assemble(&program, 2, iter).unwrap(),
+                "iteration {iter} diverged",
+            );
+        }
+    }
+
+    /// Depth 1 runs the validation machinery in lock-step order and must
+    /// be bit-equivalent to plain lock-step (the documented identity).
+    #[test]
+    fn pipeline_validate_depth_one_is_lock_step() {
+        let program = pipeline_program(2, 4, 4);
+        let reg = fill_registry();
+        let lock = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful(),
+            3,
+        )
+        .unwrap();
+        let one = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful().with_pipeline_validate(1),
+            3,
+        )
+        .unwrap();
+        for iter in 0..3 {
+            assert_eq!(
+                lock.results.assemble(&program, 2, iter),
+                one.results.assemble(&program, 2, iter)
+            );
+        }
+    }
+
+    /// Streaming at several depths (including the degenerate depth 1) is
+    /// bit-identical to lock-step and conserves credits exactly.
+    #[test]
+    fn streaming_matches_lock_step_and_conserves_credits() {
+        let program = pipeline_program(4, 8, 4);
+        let reg = fill_registry();
+        let iters = 6;
+        let lock = execute(
+            &program,
+            &machine(4),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful(),
+            iters,
+        )
+        .unwrap();
+        assert_eq!(lock.stream, StreamStats::default());
+        for depth in [1u32, 2, 3] {
+            let stream = execute(
+                &program,
+                &machine(4),
+                TimePolicy::Virtual,
+                &reg,
+                &RuntimeOptions::paper_faithful().with_pipeline(depth),
+                iters,
+            )
+            .unwrap();
+            assert_eq!(lock.results.len(), stream.results.len(), "depth {depth}");
+            for iter in 0..iters {
+                assert_eq!(
+                    lock.results.assemble(&program, 2, iter).unwrap(),
+                    stream.results.assemble(&program, 2, iter).unwrap(),
+                    "depth {depth} iteration {iter} diverged",
+                );
+            }
+            assert_eq!(
+                stream.stream.credits_issued, stream.stream.credits_retired,
+                "depth {depth}: credits not conserved",
+            );
+            // Every (buffer, pair) on this all-local program is a
+            // same-node hand-off: 2 buffers x 4 self-pairs, each issuing
+            // max(0, iters - depth) credits (window == depth, delay 0).
+            let expect = 8 * iters.saturating_sub(depth) as u64;
+            assert_eq!(stream.stream.credits_issued, expect, "depth {depth}");
+        }
+    }
+
+    /// Streaming across a real redistribution (rows -> cols on 2 nodes):
+    /// cross-node pairs exercise the remote credit channel, and per-buffer
+    /// depth caps below the global knob still replay bit-identically.
+    #[test]
+    fn streaming_remote_credits_match_lock_step() {
+        let n = 2u32;
+        let shape = vec![4usize, 4];
+        let program = GlueProgram {
+            app_name: "ct".into(),
+            functions: vec![
+                FunctionDescriptor {
+                    id: 0,
+                    name: "src".into(),
+                    function: "test.fill".into(),
+                    role: FnRole::Source,
+                    threads: n,
+                    placement: vec![0, 1],
+                    flops: 0.0,
+                    mem_bytes: 0.0,
+                    inputs: vec![],
+                    outputs: vec![0],
+                    params: Properties::new(),
+                },
+                FunctionDescriptor {
+                    id: 1,
+                    name: "snk".into(),
+                    function: "sink.null".into(),
+                    role: FnRole::Sink,
+                    threads: n,
+                    placement: vec![0, 1],
+                    flops: 0.0,
+                    mem_bytes: 0.0,
+                    inputs: vec![0],
+                    outputs: vec![],
+                    params: Properties::new(),
+                },
+            ],
+            buffers: vec![LogicalBufferDesc {
+                id: 0,
+                producer: 0,
+                producer_port: "out".into(),
+                consumer: 1,
+                consumer_port: "in".into(),
+                shape: shape.clone(),
+                elem_bytes: 1,
+                send_striping: Striping::BY_ROWS,
+                recv_striping: Striping::BY_COLS,
+                delay: 0,
+            }],
+            schedules: (0..n)
+                .map(|t| {
+                    vec![
+                        Task {
+                            fn_id: 0,
+                            thread: t,
+                        },
+                        Task {
+                            fn_id: 1,
+                            thread: t,
+                        },
+                    ]
+                })
+                .collect(),
+        };
+        let reg = fill_registry();
+        let iters = 5;
+        let lock = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful(),
+            iters,
+        )
+        .unwrap();
+        let stream = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful()
+                .with_pipeline(3)
+                .with_pipeline_depths(vec![2]),
+            iters,
+        )
+        .unwrap();
+        for iter in 0..iters {
+            assert_eq!(
+                lock.results.assemble(&program, 1, iter).unwrap(),
+                stream.results.assemble(&program, 1, iter).unwrap(),
+                "iteration {iter} diverged",
+            );
+        }
+        // 4 nonzero pairs (rows x cols all overlap), per-pair window
+        // min(2, 3) + 0 = 2: 4 * (5 - 2) credits, conserved.
+        assert_eq!(stream.stream.credits_issued, 12);
+        assert_eq!(stream.stream.credits_retired, 12);
+    }
+
+    /// Combining the streaming and validation knobs is a typed error, not
+    /// an arbitrary precedence choice.
+    #[test]
+    fn streaming_and_validate_are_mutually_exclusive() {
+        let program = pipeline_program(2, 4, 4);
+        let err = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &fill_registry(),
+            &RuntimeOptions::paper_faithful()
+                .with_pipeline(2)
+                .with_pipeline_validate(2),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::BadProgram(_)), "{err}");
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    /// A delay (feedback) arc under streaming: the consumer reads
+    /// `iter - delay` against ring-indexed tags and the first `delay`
+    /// iterations see the zero stripe, exactly as in lock-step.
+    #[test]
+    fn streaming_delay_arc_matches_lock_step() {
+        let mut program = pipeline_program(2, 4, 4);
+        program.buffers[1].delay = 1;
+        let reg = fill_registry();
+        let iters = 4;
+        let lock = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful(),
+            iters,
+        )
+        .unwrap();
+        let stream = execute(
+            &program,
+            &machine(2),
+            TimePolicy::Virtual,
+            &reg,
+            &RuntimeOptions::paper_faithful().with_pipeline(2),
+            iters,
+        )
+        .unwrap();
+        for iter in 0..iters {
+            assert_eq!(
+                lock.results.assemble(&program, 2, iter).unwrap(),
+                stream.results.assemble(&program, 2, iter).unwrap(),
+                "iteration {iter} diverged",
+            );
+        }
+        assert_eq!(stream.stream.credits_issued, stream.stream.credits_retired);
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod race;
 pub mod striping;
 
 pub use executor::{
-    execute, execute_rank, fabric_to_runtime, prepare, Deposit, Execution, Prepared, SinkResults,
+    execute, execute_rank, fabric_to_runtime, prepare, Deposit, Execution, Prepared, RankOutcome,
+    SinkResults, StreamStats,
 };
 pub use function::{FnThreadCtx, Kernel, Registry, RuntimeError, StripePayload};
 pub use glue::{FnRole, FunctionDescriptor, GlueProgram, LogicalBufferDesc, Task};

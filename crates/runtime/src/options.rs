@@ -56,6 +56,23 @@ pub struct RuntimeOptions {
     /// corrupts or fails typed. `None` (the default) is ordinary lock-step
     /// execution.
     pub pipeline_validate: Option<u32>,
+    /// Streaming pipeline execution. `Some(n)` replaces the lock-step walk
+    /// with a continuous-issue dataflow loop: every logical buffer becomes
+    /// an N-deep ring (N = the buffer's cap from
+    /// [`RuntimeOptions::pipeline_depths`], bounded by `n`), a schedule
+    /// slot issues iteration `i` as soon as its inputs for `i` have landed
+    /// and every downstream ring has a free slot, and per-pair credits
+    /// (one per downstream ring slot, returned when the consumer retires an
+    /// iteration) provide backpressure. At most `n` iterations are in
+    /// flight per rank. Hand-offs ride per-tag FIFO queues, so the sink
+    /// stream is bit-identical to lock-step at any depth; the knob only
+    /// bounds memory and run-ahead. `None` (the default) is lock-step.
+    pub pipeline: Option<u32>,
+    /// Per-buffer ring-depth caps for streaming execution, indexed by
+    /// buffer id — normally the proven `safe_depth`s from the static
+    /// pipeline-safety pass (`sage pipeline`). Empty means every buffer
+    /// uses the global [`RuntimeOptions::pipeline`] depth.
+    pub pipeline_depths: Vec<u32>,
     /// Run the vector-clock race detector alongside execution. Every task's
     /// logical-buffer accesses are stamped with its rank's vector clock
     /// (clocks join on mailbox hand-offs); any conflicting pair of accesses
@@ -83,6 +100,8 @@ impl RuntimeOptions {
             faults: FaultPlan::default(),
             copy_baseline: false,
             pipeline_validate: None,
+            pipeline: None,
+            pipeline_depths: Vec::new(),
             race_detect: false,
         }
     }
@@ -99,6 +118,8 @@ impl RuntimeOptions {
             faults: FaultPlan::default(),
             copy_baseline: false,
             pipeline_validate: None,
+            pipeline: None,
+            pipeline_depths: Vec::new(),
             race_detect: false,
         }
     }
@@ -130,9 +151,33 @@ impl RuntimeOptions {
 
     /// Builder: run the pipeline cross-validation mode with `depth`
     /// iterations in flight (see [`RuntimeOptions::pipeline_validate`]).
-    /// Depth 0 or 1 is lock-step.
+    ///
+    /// Depth 1 means one iteration in flight — by definition lock-step —
+    /// so it maps to plain lock-step execution and is trivially
+    /// bit-equivalent (a useful identity when sweeping depths; note a
+    /// literal one-slot ring would *not* be equivalent on `delay` arcs,
+    /// whose iteration `i-delay` payload must stay live while iteration
+    /// `i` emits). Depth 0 means "no validation" and also maps to `None`;
+    /// callers that consider 0 a user error (the CLI does) must reject it
+    /// before building options.
     pub fn with_pipeline_validate(mut self, depth: u32) -> RuntimeOptions {
         self.pipeline_validate = if depth > 1 { Some(depth) } else { None };
+        self
+    }
+
+    /// Builder: run the streaming pipeline executor with up to `depth`
+    /// iterations in flight (see [`RuntimeOptions::pipeline`]). Depth 0
+    /// disables streaming; depth 1 streams with a one-iteration window
+    /// (lock-step issue order, with full credit accounting).
+    pub fn with_pipeline(mut self, depth: u32) -> RuntimeOptions {
+        self.pipeline = if depth >= 1 { Some(depth) } else { None };
+        self
+    }
+
+    /// Builder: per-buffer ring-depth caps for streaming execution (see
+    /// [`RuntimeOptions::pipeline_depths`]), indexed by buffer id.
+    pub fn with_pipeline_depths(mut self, depths: Vec<u32>) -> RuntimeOptions {
+        self.pipeline_depths = depths;
         self
     }
 

@@ -19,7 +19,7 @@
 //! clean — cross-rank direction-B validation runs on the local transport.
 
 use crate::function::RuntimeError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A global byte-interval list: sorted, disjoint `(start, end)` pairs.
@@ -46,8 +46,12 @@ type Records = HashMap<(u32, u32, u32), Vec<Access>>;
 struct Inner {
     /// One vector clock per rank; rank `r` only bumps component `r`.
     clocks: Vec<Vec<u32>>,
-    /// In-flight transfer stamps: tag -> sender clock at send time.
-    msgs: HashMap<u64, Vec<u32>>,
+    /// In-flight transfer stamps: tag -> sender clocks at send time, FIFO.
+    /// A queue, not a single slot: streaming execution (and ring-masked
+    /// pipeline tags) can put two messages with the same tag in flight at
+    /// once, and the transport delivers per-(src, tag) pairs in send order,
+    /// so the matching receive joins the *oldest* stamp.
+    msgs: HashMap<u64, VecDeque<Vec<u32>>>,
     records: Records,
     inserts: usize,
 }
@@ -137,14 +141,25 @@ impl RaceState {
     pub fn stamp_send(&self, rank: u32, tag: u64) {
         let mut g = self.lock();
         let clock = g.clocks[rank as usize].clone();
-        g.msgs.insert(tag, clock);
+        g.msgs.entry(tag).or_default().push_back(clock);
     }
 
-    /// A rank received transfer `tag`: join the sender's stamp into its
-    /// clock. Unstamped tags (degraded per-process mode) are ignored.
+    /// A rank received transfer `tag`: join the sender's oldest pending
+    /// stamp into its clock (stamps and deliveries are both per-tag FIFO).
+    /// Unstamped tags (degraded per-process mode) are ignored.
     pub fn join_recv(&self, rank: u32, tag: u64) {
         let mut g = self.lock();
-        if let Some(stamp) = g.msgs.remove(&tag) {
+        let stamp = match g.msgs.get_mut(&tag) {
+            Some(q) => {
+                let stamp = q.pop_front();
+                if q.is_empty() {
+                    g.msgs.remove(&tag);
+                }
+                stamp
+            }
+            None => None,
+        };
+        if let Some(stamp) = stamp {
             for (c, s) in g.clocks[rank as usize].iter_mut().zip(stamp.iter()) {
                 *c = (*c).max(*s);
             }

@@ -11,18 +11,20 @@
 //! $ sage inspect  model.sexpr                 # validate + DOT view
 //! $ sage codegen  model.sexpr --nodes 8       # emit the glue source files
 //! $ sage run      model.sexpr --nodes 8 --iters 10 [--optimized] [--real] [--ga]
-//!                 [--transport local|tcp] [--copy-baseline] [--pipeline-validate D]
-//!                 [--race-detect] [--unchecked] [--dump-sink F] [--trace F]
+//!                 [--transport local|tcp] [--copy-baseline] [--pipeline D]
+//!                 [--pipeline-validate D] [--race-detect] [--unchecked]
+//!                 [--dump-sink F] [--trace F]
 //! $ sage worker   --listen 127.0.0.1:0        # host one rank of a distributed job
 //! $ sage launch   model.sexpr --workers 4 --iters 10 [--optimized] [--copy-baseline]
-//!                 [--heartbeat-ms MS] [--dump-sink F] [--trace F]
+//!                 [--pipeline D] [--heartbeat-ms MS] [--dump-sink F] [--trace F]
 //! $ sage fleet    [--listen ADDR]             # persistent multi-job worker daemon
 //! $ sage fleet    drain|stats --sched ADDR    # drain the fleet / print service metrics
 //! $ sage sched    [--spawn N | --workers A,B,...] [--listen ADDR] [--queue-depth D]
 //!                 [--slots S] [--heartbeat-ms MS]
 //! $ sage submit   model.sexpr --sched ADDR --ranks N --iters I [--tenant T]
 //!                 [--optimized] [--copy-baseline] [--dump-sink F]
-//! $ sage bench    [--transport local|tcp] [--jobs] [--json PATH] [--check BASELINE]
+//! $ sage bench    [--transport local|tcp] [--pipeline] [--jobs] [--json PATH]
+//!                 [--check BASELINE]
 //! $ sage export   fft2d|corner_turn|stap|image_filter --size 256 --threads 8 > model.sexpr
 //! $ sage fuzz     --seed 42 --count 50 [--iters I] [--transport local|tcp]
 //!                 [--fault-rounds R] [--minimize] [--save-failing DIR] [--replay STEM]
@@ -62,17 +64,17 @@ fn usage() -> ExitCode {
          sage explain [SAGE0xx]...\n  \
          sage inspect <model.sexpr>\n  sage codegen <model.sexpr> [--nodes N]\n  \
          sage run <model.sexpr> [--nodes N] [--iters I] [--optimized] [--real] [--ga]\n           \
-         [--transport local|tcp] [--copy-baseline] [--pipeline-validate D]\n           \
+         [--transport local|tcp] [--copy-baseline] [--pipeline D] [--pipeline-validate D]\n           \
          [--race-detect] [--unchecked] [--dump-sink FILE] [--trace FILE]\n  \
          sage worker [--listen ADDR]\n  \
          sage launch <model.sexpr> [--workers N] [--iters I] [--optimized] [--copy-baseline]\n              \
-         [--heartbeat-ms MS] [--dump-sink FILE] [--trace FILE]\n  \
+         [--pipeline D] [--heartbeat-ms MS] [--dump-sink FILE] [--trace FILE]\n  \
          sage fleet [--listen ADDR] | sage fleet drain|stats --sched ADDR\n  \
          sage sched [--spawn N | --workers ADDR,ADDR,...] [--listen ADDR]\n             \
          [--queue-depth D] [--slots S] [--heartbeat-ms MS]\n  \
          sage submit <model.sexpr> --sched ADDR [--ranks N] [--iters I] [--tenant T]\n              \
          [--optimized] [--copy-baseline] [--dump-sink FILE]\n  \
-         sage bench [--transport local|tcp] [--jobs] [--json PATH] [--check BASELINE]\n  \
+         sage bench [--transport local|tcp] [--pipeline] [--jobs] [--json PATH] [--check BASELINE]\n  \
          sage export <fft2d|corner_turn|stap|image_filter|beamformer|range_doppler> [--size S] [--threads T]\n  \
          sage fuzz [--seed S] [--count N] [--iters I] [--transport local|tcp]\n            \
          [--fault-rounds R] [--minimize] [--save-failing DIR] [--replay STEM]"
@@ -134,6 +136,41 @@ impl Args {
                 .map(Some)
                 .ok_or_else(|| format!("--heartbeat-ms must be a positive integer, got `{v}`")),
         }
+    }
+
+    /// The `--pipeline` streaming knob: `None` means lock-step execution.
+    /// Depth 0 is an explicit error, not silent lock-step — the flag's
+    /// absence already means lock-step, and depth 1 is a real streaming
+    /// mode (a one-iteration window per buffer).
+    fn pipeline_depth(&self) -> Result<Option<u32>, String> {
+        if !self.has("pipeline") {
+            return Ok(None);
+        }
+        match self.get("pipeline").and_then(|v| v.parse::<u32>().ok()) {
+            Some(d) if d >= 1 => Ok(Some(d)),
+            Some(_) => Err("--pipeline 0 is not a mode: omit the flag for lock-step \
+                 execution, or pass a depth >= 1 to stream (depth 1 streams \
+                 with a one-iteration window per buffer)"
+                .into()),
+            None => Err("--pipeline needs a positive ring depth (iterations in flight)".into()),
+        }
+    }
+}
+
+/// Per-buffer ring-depth caps from the static pipeline-safety plan
+/// (`sage pipeline`'s hazard analysis), plus the whole-program proven
+/// depth for the progress message. Empty caps mean the planner had no
+/// opinion and every buffer uses the global `--pipeline` depth.
+fn pipeline_caps(
+    program: &GlueProgram,
+    hardware: &sage::model::HardwareSpec,
+) -> (Vec<u32>, Option<u32>) {
+    match sage_check::pipeline_plan(program, hardware) {
+        Some(plan) => (
+            plan.buffers.iter().map(|b| b.safe_depth).collect(),
+            Some(plan.safe_depth),
+        ),
+        None => (Vec::new(), None),
     }
 }
 
@@ -572,6 +609,26 @@ fn spawn_local_worker(_rank: usize) -> std::io::Result<std::process::Child> {
 /// Runs a model across worker processes over loopback TCP and prints the
 /// merged summary. Used by both `launch` and `run --transport tcp`.
 fn run_over_tcp(args: &Args, text: &str, workers: usize, iters: u32) -> Result<(), String> {
+    let pipeline = args.pipeline_depth()?;
+    let mut pipeline_depths = Vec::new();
+    if pipeline.is_some() {
+        // Regenerate the program locally (the same deterministic pipeline
+        // every rank runs) to compute the per-buffer ring caps the static
+        // safety plan proves; the workers receive them with the job.
+        let model = model_from_sexpr(text).map_err(|e| e.to_string())?;
+        let project = Project::new(model, HardwareShelf::cspi_with_nodes(workers));
+        let (program, _) = project
+            .generate(&Placement::Aligned)
+            .map_err(|e| e.to_string())?;
+        let (caps, proven) = pipeline_caps(&program, &project.hardware);
+        if let Some(depth) = proven {
+            println!(
+                "statically proven safe pipeline depth: {}",
+                sage_check::pipeline::depth_str(depth)
+            );
+        }
+        pipeline_depths = caps;
+    }
     let opts = LaunchOptions {
         workers,
         iterations: iters,
@@ -580,6 +637,8 @@ fn run_over_tcp(args: &Args, text: &str, workers: usize, iters: u32) -> Result<(
         copy_baseline: args.has("copy-baseline"),
         race_detect: args.has("race-detect"),
         heartbeat_ms: args.heartbeat_ms()?,
+        pipeline,
+        pipeline_depths,
     };
     let outcome: LaunchOutcome =
         sage::net::launch(text, &opts, &spawn_local_worker).map_err(|e| e.to_string())?;
@@ -616,6 +675,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         auto_check(path, &text, nodes)?;
     }
     let iters = args.usize_or("iters", 3) as u32;
+    if args.has("pipeline") && args.has("pipeline-validate") {
+        return Err(
+            "--pipeline and --pipeline-validate are mutually exclusive: \
+             streaming already validates against lock-step output"
+                .into(),
+        );
+    }
     match args.get("transport") {
         None | Some("local") => {}
         Some("tcp") => {
@@ -680,12 +746,71 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
     }
     print!("{}", gantt::render(&exec.trace, 72));
+    if let Some(depth) = args.pipeline_depth()? {
+        // Streaming run: per-buffer rings capped by the static safety
+        // plan, continuous issue with credit-based backpressure. The
+        // lock-step execution above is the oracle — the sink stream must
+        // be bit-identical at any proven depth.
+        let (caps, proven) = pipeline_caps(&program, &project.hardware);
+        if let Some(p) = proven {
+            println!(
+                "statically proven safe pipeline depth: {} (requested {depth})",
+                sage_check::pipeline::depth_str(p)
+            );
+        }
+        let streaming = project
+            .execute(
+                &program,
+                policy,
+                &options
+                    .clone()
+                    .with_pipeline(depth)
+                    .with_pipeline_depths(caps),
+                iters,
+            )
+            .map_err(|e| format!("pipeline depth {depth}: {e}"))?;
+        let lockstep = sink_bytes(&program, &exec.results, iters);
+        let streamed = sink_bytes(&program, &streaming.results, iters);
+        if lockstep != streamed {
+            return Err(format!(
+                "pipeline depth {depth}: sink stream diverged from lock-step \
+                 ({:#018x} vs {:#018x})",
+                fnv1a_64(&lockstep),
+                fnv1a_64(&streamed)
+            ));
+        }
+        let frames = |e: &sage_runtime::Execution| {
+            let secs = match policy {
+                TimePolicy::Virtual => e.report.makespan,
+                TimePolicy::Real => e.report.wall.as_secs_f64(),
+            };
+            f64::from(iters) / secs.max(1e-9)
+        };
+        let (fps, base) = (frames(&streaming), frames(&exec));
+        println!(
+            "pipeline depth {depth}: {fps:.1} frames/s vs {base:.1} lock-step \
+             ({:.2}x), {} credits issued / {} retired, bit-identical to \
+             lock-step (checksum {:#018x})",
+            fps / base.max(1e-9),
+            streaming.stream.credits_issued,
+            streaming.stream.credits_retired,
+            fnv1a_64(&lockstep)
+        );
+    }
     if args.has("pipeline-validate") {
-        let depth = args
+        let depth = match args
             .get("pipeline-validate")
             .and_then(|v| v.parse::<u32>().ok())
-            .filter(|&d| d >= 1)
-            .ok_or("--pipeline-validate needs a positive depth")?;
+        {
+            Some(d) if d >= 1 => d,
+            Some(_) => {
+                return Err("--pipeline-validate 0 is not a mode: omit the flag for a \
+                     plain lock-step run, or pass depth 1, which validates in \
+                     lock-step order and is bit-equivalent to lock-step"
+                    .into())
+            }
+            None => return Err("--pipeline-validate needs a positive depth".into()),
+        };
         if let Some(plan) = sage_check::pipeline_plan(&program, &project.hardware) {
             println!(
                 "statically proven safe pipeline depth: {}",
@@ -1021,10 +1146,30 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         jobs_cells = fleet;
         jobs_cells.extend(fork);
     }
+    // --pipeline: the streaming-executor sweep — lock-step vs pipelined
+    // frames per virtual second at the statically proven safe depth.
+    let mut pipeline_cells = Vec::new();
+    if args.has("pipeline") {
+        println!(
+            "\n{:<18} {:>6} {:>14} {:>14} {:>8}  checksum",
+            "model", "depth", "lockstep f/s", "pipelined f/s", "speedup"
+        );
+        for (name, path) in tj::PIPELINE_MODELS {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path} (run from the repo root): {e}"))?;
+            let p = tj::bench_pipeline(name, &text, tj::pipeline_iterations())?;
+            println!(
+                "{:<18} {:>6} {:>14.1} {:>14.1} {:>7.2}x  {:#018x}",
+                p.model, p.depth, p.lockstep_fps, p.pipelined_fps, p.speedup, p.checksum
+            );
+            pipeline_cells.push(p);
+        }
+    }
     let json = tj::to_json_doc(&tj::BenchDoc {
         quick,
         results,
         jobs: jobs_cells,
+        pipeline: pipeline_cells,
     });
     let path = args.get("json").unwrap_or("BENCH_runtime.json");
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -1045,6 +1190,17 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             eprintln!(
                 "job throughput within {:.0}% of {baseline_path} for all shared cells",
                 tj::JOBS_TOLERANCE * 100.0
+            );
+        }
+        if !reread.pipeline.is_empty() {
+            tj::check_pipeline_regression(
+                &reread.pipeline,
+                &baseline.pipeline,
+                tj::PIPELINE_TOLERANCE,
+            )?;
+            eprintln!(
+                "pipelined frame rate within {:.0}% of {baseline_path} for all shared cells",
+                tj::PIPELINE_TOLERANCE * 100.0
             );
         }
     }

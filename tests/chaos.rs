@@ -10,6 +10,13 @@
 //!    fault-free baseline, or
 //! 2. the run fails with a structured `ProjectError::Runtime` error.
 //!
+//! Each plan runs twice: once lock-step and once through the streaming
+//! pipeline executor at the app's statically proven depth, so the 40 cases
+//! per app exercise 80 plan-runs per app overall. The streaming leg holds
+//! the same invariant against the *same lock-step baseline* — a fault plan
+//! must never make the dataflow schedule emit different bits, and a fault
+//! that kills the run must still surface as a typed error, never a hang.
+//!
 //! Anything else — a panic, a codegen error, or a silently different result
 //! — fails the property. A failing case prints its `PROPTEST_CASE_SEED`,
 //! the exact fault-plan seed and configuration cell, and writes the
@@ -44,6 +51,28 @@ fn fft2d_baseline() -> &'static DistRun {
 fn corner_turn_baseline() -> &'static DistRun {
     static BASE: OnceLock<DistRun> = OnceLock::new();
     BASE.get_or_init(|| corner_turn::run_sage(SIZE, NODES, TimePolicy::Virtual, &options(), ITERS))
+}
+
+/// Statically proven streaming depth for one app's generated program,
+/// capped at 3 to keep each chaos case cheap (the proven depths on these
+/// programs are far deeper than anything a 2-iteration run can fill).
+fn proven_stream_depth(project: &Project) -> u32 {
+    let (program, _) = project
+        .generate(&Placement::Aligned)
+        .expect("committed apps generate cleanly");
+    let plan = sage::check::pipeline_plan(&program, &project.hardware)
+        .expect("committed apps are pipeline-check clean");
+    plan.safe_depth.clamp(1, 3)
+}
+
+fn fft2d_stream_depth() -> u32 {
+    static DEPTH: OnceLock<u32> = OnceLock::new();
+    *DEPTH.get_or_init(|| proven_stream_depth(&fft2d::sage_project(SIZE, NODES)))
+}
+
+fn corner_turn_stream_depth() -> u32 {
+    static DEPTH: OnceLock<u32> = OnceLock::new();
+    *DEPTH.get_or_init(|| proven_stream_depth(&corner_turn::sage_project(SIZE, NODES)))
 }
 
 /// Bit patterns of a run's result payload (f32 equality would mask a
@@ -110,12 +139,12 @@ fn save_failed_plan(app: &str, plan: &FaultPlan) -> String {
     let path = dir.join(format!("chaos-{app}-{:016x}.plan", plan.seed));
     match std::fs::write(&path, plan_to_text(plan)) {
         Ok(()) => format!(
-            "plan seed {:016x}, cell local/zero-copy, saved to {}",
+            "plan seed {:016x}, app {app}, saved to {}",
             plan.seed,
             path.display()
         ),
         Err(e) => format!(
-            "plan seed {:016x}, cell local/zero-copy (saving plan failed: {e})",
+            "plan seed {:016x}, app {app} (saving plan failed: {e})",
             plan.seed
         ),
     }
@@ -177,6 +206,18 @@ proptest! {
             ITERS,
         );
         check("fft2d", run, fft2d_baseline(), &plan)?;
+        // Streaming axis: the same plan, pipelined at the proven depth, must
+        // match the same lock-step baseline bit-for-bit or fail typed.
+        let srun = fft2d::try_run_sage(
+            SIZE,
+            NODES,
+            TimePolicy::Virtual,
+            &options()
+                .with_faults(plan.clone())
+                .with_pipeline(fft2d_stream_depth()),
+            ITERS,
+        );
+        check("fft2d-streaming", srun, fft2d_baseline(), &plan)?;
     }
 
     #[test]
@@ -191,6 +232,17 @@ proptest! {
             ITERS,
         );
         check("corner_turn", run, corner_turn_baseline(), &plan)?;
+        // Streaming axis: same invariant, same baseline, pipelined run.
+        let srun = corner_turn::try_run_sage(
+            SIZE,
+            NODES,
+            TimePolicy::Virtual,
+            &options()
+                .with_faults(plan.clone())
+                .with_pipeline(corner_turn_stream_depth()),
+            ITERS,
+        );
+        check("corner_turn-streaming", srun, corner_turn_baseline(), &plan)?;
     }
 }
 
@@ -241,6 +293,43 @@ fn empty_plan_reproduces_fault_free_run() {
     assert_eq!(result_bits(&run), result_bits(base));
     assert_eq!(run.metrics.total_faults(), 0);
     assert_eq!(run.metrics.total_dropped(), 0);
+}
+
+/// A fault-free streaming run at the proven depth must reproduce the
+/// lock-step sink payload bit-for-bit — the dataflow schedule reorders
+/// work, never results.
+#[test]
+fn streaming_empty_plan_matches_lockstep_bits() {
+    let run = fft2d::try_run_sage(
+        SIZE,
+        NODES,
+        TimePolicy::Virtual,
+        &options()
+            .with_faults(FaultPlan::default())
+            .with_pipeline(fft2d_stream_depth()),
+        ITERS,
+    )
+    .expect("empty plan cannot fail");
+    assert_eq!(result_bits(&run), result_bits(fft2d_baseline()));
+}
+
+/// A node failure at t=0 under the streaming executor must also surface as
+/// a structured error — a stalled credit loop that hangs instead would be
+/// exactly the failure mode the typed-error contract forbids.
+#[test]
+fn streaming_immediate_node_failure_is_typed() {
+    let err = corner_turn::try_run_sage(
+        SIZE,
+        NODES,
+        TimePolicy::Virtual,
+        &options()
+            .with_faults(FaultPlan::new(7).fail_node(2, 0.0))
+            .with_pipeline(corner_turn_stream_depth()),
+        ITERS,
+    )
+    .expect_err("a dead node cannot produce the sink payload");
+    let msg = err.to_string();
+    assert!(msg.contains("failed"), "got: {msg}");
 }
 
 /// A node failure at t=0 must surface as a structured error naming a node,

@@ -98,6 +98,8 @@ proptest! {
             copy_baseline: false,
             race_detect: false,
             heartbeat_ms: None,
+            pipeline: None,
+            pipeline_depths: Vec::new(),
         };
         let outcome = sage::net::launch(&source, &opts, &common::spawn_worker).unwrap();
         let tcp = common::sink_bytes(&outcome.program, &outcome.results, iters);

@@ -121,6 +121,8 @@ fn killed_worker_surfaces_typed_failure() {
         copy_baseline: false,
         race_detect: false,
         heartbeat_ms: None,
+        pipeline: None,
+        pipeline_depths: Vec::new(),
     };
     let spawn = |rank: usize| {
         let mut cmd = Command::new(common::sage_bin());

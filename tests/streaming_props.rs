@@ -1,0 +1,190 @@
+//! Streaming-executor properties on randomly generated check-clean DAGs.
+//!
+//! The streaming pipeline executor replaces the lock-step walk with a
+//! continuous-issue dataflow loop governed by per-pair credits. Two
+//! invariants make that loop trustworthy, and both are checked here on
+//! random `chain_model` pipelines (the same generator the `sage fuzz`
+//! corpus uses) across random depths and iteration counts:
+//!
+//! 1. **Bit-equality**: every iteration's assembled sink payload is
+//!    bit-identical to the lock-step run's — the dataflow schedule may
+//!    reorder work, never results.
+//! 2. **Credit conservation**: every credit issued is retired
+//!    (`issued == retired`), and the total matches the closed form
+//!    `sum over buffers of nonzero_pairs(b) * max(0, iters - window(b))`
+//!    where `window(b) = min(depth, cap(b)) + delay(b)`. A leak in either
+//!    direction means a producer ran ahead of proven bounds or a consumer
+//!    stranded a ring slot — the two ways a credit loop deadlocks or
+//!    corrupts under load.
+//!
+//! Depths are deliberately allowed to exceed the proven per-buffer caps:
+//! the executor must clamp each ring to its cap, and the expected-credit
+//! formula pins that clamping down.
+
+use proptest::prelude::*;
+use sage::fuzz::gen::{chain_model, Stage};
+use sage::prelude::*;
+use sage::runtime::Redistribution;
+
+const NODES: usize = 2;
+
+/// Stripings that are contract-clean on a threaded `id` stage in either
+/// port position (replicated inputs on threaded stages are the SAGE054
+/// violation the generator reserves for negative tests).
+fn striping(bit: bool) -> Striping {
+    if bit {
+        Striping::BY_COLS
+    } else {
+        Striping::BY_ROWS
+    }
+}
+
+/// Builds a random source -> id-stages -> sink chain from packed strategy
+/// bits: stage `i` reads `pattern` bits `2i` (input striping) and `2i + 1`
+/// (output striping), and runs 1 + bit `i` of `threads` threads.
+fn chain(seed: u32, nstages: usize, pattern: u32, threads: u32) -> AppGraph {
+    let stages: Vec<Stage> = (0..nstages)
+        .map(|i| {
+            (
+                1 + (threads >> i & 1) as usize,
+                striping(pattern >> (2 * i) & 1 == 1),
+                striping(pattern >> (2 * i + 1) & 1 == 1),
+            )
+        })
+        .collect();
+    chain_model(
+        &DataType::complex_matrix(8, 8),
+        seed,
+        NODES,
+        &stages,
+        NODES,
+        striping(pattern >> 31 == 1),
+    )
+}
+
+/// The closed-form credit total the streaming run must hit exactly: one
+/// credit per nonempty (producer thread, consumer thread) transfer pair,
+/// per iteration past the buffer's window (ring depth + delay).
+fn expected_credits(program: &GlueProgram, depth: u32, caps: &[u32], iters: u32) -> u64 {
+    let mut total = 0u64;
+    for desc in &program.buffers {
+        let producer = &program.functions[desc.producer as usize];
+        let consumer = &program.functions[desc.consumer as usize];
+        let redist = Redistribution::plan(
+            &desc.shape,
+            desc.elem_bytes,
+            desc.send_striping,
+            producer.threads as usize,
+            desc.recv_striping,
+            consumer.threads as usize,
+        );
+        let pairs = redist
+            .pairs
+            .iter()
+            .flatten()
+            .filter(|ops| !ops.is_empty())
+            .count() as u64;
+        let cap = caps.get(desc.id as usize).copied().unwrap_or(depth);
+        let window = depth.clamp(1, cap.max(1)) + desc.delay;
+        total += pairs * u64::from(iters.saturating_sub(window));
+    }
+    total
+}
+
+/// Per-iteration sink payloads of one run (the sink is the last function
+/// in topological order).
+fn sink_frames(program: &GlueProgram, exec: &sage::runtime::Execution, iters: u32) -> Vec<Vec<u8>> {
+    let sink = (program.functions.len() - 1) as u32;
+    (0..iters)
+        .map(|i| exec.results.assemble(program, sink, i).expect("sink frame"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn streaming_conserves_credits_and_bits_on_random_chains(
+        seed in 0u32..1_000_000,
+        nstages in 1usize..4,
+        pattern in 0u32..=u32::MAX,
+        threads in 0u32..8,
+        depth in 1u32..5,
+        iters in 1u32..7,
+    ) {
+        let app = chain(seed, nstages, pattern, threads);
+        let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(NODES));
+        sage::apps::kernels::register_kernels(&mut project.registry);
+        let (program, _) = project
+            .generate(&Placement::Aligned)
+            .expect("generated chains are check-clean");
+        let pplan = sage::check::pipeline_plan(&program, &project.hardware)
+            .expect("check-clean chains always carry a pipeline proof");
+        let caps: Vec<u32> = pplan.buffers.iter().map(|b| b.safe_depth).collect();
+
+        let base = project
+            .execute(
+                &program,
+                TimePolicy::Virtual,
+                &RuntimeOptions::paper_faithful().with_probes(false),
+                iters,
+            )
+            .expect("lock-step run");
+        let stream = project
+            .execute(
+                &program,
+                TimePolicy::Virtual,
+                &RuntimeOptions::paper_faithful()
+                    .with_probes(false)
+                    .with_pipeline(depth)
+                    .with_pipeline_depths(caps.clone()),
+                iters,
+            )
+            .expect("streaming run");
+
+        prop_assert_eq!(
+            sink_frames(&program, &base, iters),
+            sink_frames(&program, &stream, iters),
+            "depth {} reordered a visible effect", depth
+        );
+        prop_assert_eq!(
+            stream.stream.credits_issued,
+            stream.stream.credits_retired,
+            "credit leak at depth {}", depth
+        );
+        prop_assert_eq!(
+            stream.stream.credits_issued,
+            expected_credits(&program, depth, &caps, iters),
+            "credit total drifted from the closed form at depth {}", depth
+        );
+        // Lock-step charges the credit machinery nothing.
+        prop_assert_eq!(base.stream.credits_issued, 0u64);
+    }
+}
+
+/// Depth 1 streaming is the degenerate one-slot window: issue order matches
+/// lock-step, credits still ledger exactly.
+#[test]
+fn depth_one_window_still_ledgers_credits() {
+    let app = chain(7, 2, 0b0110, 0b11);
+    let mut project = Project::new(app, HardwareShelf::cspi_with_nodes(NODES));
+    sage::apps::kernels::register_kernels(&mut project.registry);
+    let (program, _) = project.generate(&Placement::Aligned).expect("codegen");
+    let iters = 5;
+    let exec = project
+        .execute(
+            &program,
+            TimePolicy::Virtual,
+            &RuntimeOptions::paper_faithful()
+                .with_probes(false)
+                .with_pipeline(1),
+            iters,
+        )
+        .expect("streaming run");
+    assert_eq!(exec.stream.credits_issued, exec.stream.credits_retired);
+    assert_eq!(
+        exec.stream.credits_issued,
+        expected_credits(&program, 1, &[], iters)
+    );
+    assert!(exec.stream.credits_issued > 0, "chain issued no credits");
+}
